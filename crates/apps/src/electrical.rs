@@ -1,0 +1,147 @@
+//! Electrical flows and potentials.
+//!
+//! Treating a weighted graph as a resistor network (conductance = edge
+//! weight), the potentials induced by injecting one unit of current at `s`
+//! and extracting it at `t` are the solution of `L φ = χ_s − χ_t`; the
+//! current on edge `{u,v}` is `w_e (φ_u − φ_v)` and the `s`–`t` effective
+//! resistance is `φ_s − φ_t`. One SDD solve per electrical flow — this is
+//! the inner loop of the approximate max-flow algorithm of [CKM+10] that
+//! the paper lists among its applications.
+
+use parsdd_graph::{Graph, VertexId};
+use parsdd_solver::sdd_solve::SddSolver;
+
+/// An electrical flow between two terminals.
+#[derive(Debug, Clone)]
+pub struct ElectricalFlow {
+    /// Vertex potentials `φ` (defined up to an additive constant).
+    pub potentials: Vec<f64>,
+    /// Signed current on every edge, oriented from `edge.u` to `edge.v`.
+    pub edge_flow: Vec<f64>,
+    /// Effective resistance between the terminals.
+    pub effective_resistance: f64,
+    /// Energy `Σ_e f_e²/w_e` of the flow (equals the effective resistance
+    /// for a unit injection).
+    pub energy: f64,
+    /// Whether the underlying solve converged.
+    pub converged: bool,
+}
+
+/// Computes the unit-current electrical flow from `s` to `t` on `g`, using
+/// a prebuilt [`SddSolver`] for the Laplacian of `g`.
+pub fn electrical_flow(g: &Graph, solver: &SddSolver, s: VertexId, t: VertexId) -> ElectricalFlow {
+    assert_ne!(s, t, "terminals must differ");
+    let n = g.n();
+    let mut b = vec![0.0; n];
+    b[s as usize] = 1.0;
+    b[t as usize] = -1.0;
+    let out = solver.solve(&b);
+    let potentials = out.x;
+    let edge_flow: Vec<f64> = g
+        .edges()
+        .iter()
+        .map(|e| e.w * (potentials[e.u as usize] - potentials[e.v as usize]))
+        .collect();
+    let effective_resistance = potentials[s as usize] - potentials[t as usize];
+    let energy: f64 = g
+        .edges()
+        .iter()
+        .zip(&edge_flow)
+        .map(|(e, f)| f * f / e.w)
+        .sum();
+    ElectricalFlow {
+        potentials,
+        edge_flow,
+        effective_resistance,
+        energy,
+        converged: out.converged,
+    }
+}
+
+/// Verifies flow conservation: net flow out of every vertex must equal the
+/// injected current (`+1` at `s`, `−1` at `t`, `0` elsewhere). Returns the
+/// maximum conservation violation.
+pub fn conservation_violation(g: &Graph, flow: &ElectricalFlow, s: VertexId, t: VertexId) -> f64 {
+    let mut net = vec![0.0f64; g.n()];
+    for (e, &f) in g.edges().iter().zip(&flow.edge_flow) {
+        net[e.u as usize] -= f;
+        net[e.v as usize] += f;
+    }
+    net[s as usize] += 1.0;
+    net[t as usize] -= 1.0;
+    net.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+    use parsdd_solver::sdd_solve::SddSolverOptions;
+
+    fn solver_for(g: &Graph) -> SddSolver {
+        SddSolver::new_laplacian(g, SddSolverOptions::default().with_tolerance(1e-10))
+    }
+
+    #[test]
+    fn series_resistors() {
+        // Path of 4 unit-conductance edges: s=0, t=4, R_eff = 4.
+        let g = generators::path(5, 1.0);
+        let solver = solver_for(&g);
+        let f = electrical_flow(&g, &solver, 0, 4);
+        assert!(f.converged);
+        assert!((f.effective_resistance - 4.0).abs() < 1e-6);
+        // All edges carry the full unit of current.
+        for &fe in &f.edge_flow {
+            assert!((fe.abs() - 1.0).abs() < 1e-6);
+        }
+        assert!(conservation_violation(&g, &f, 0, 4) < 1e-6);
+    }
+
+    #[test]
+    fn parallel_resistors() {
+        // Two parallel unit edges between 0 and 1: R_eff = 1/2, each edge
+        // carries half of the current.
+        use parsdd_graph::{Edge, Graph};
+        let g = Graph::from_edges(2, vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 1.0)]);
+        let solver = solver_for(&g);
+        let f = electrical_flow(&g, &solver, 0, 1);
+        assert!((f.effective_resistance - 0.5).abs() < 1e-6);
+        assert!((f.edge_flow[0] - 0.5).abs() < 1e-6);
+        assert!((f.edge_flow[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_flow_conservation_and_energy() {
+        let g = generators::grid2d(12, 12, |_, _| 1.0);
+        let solver = solver_for(&g);
+        let f = electrical_flow(&g, &solver, 0, (g.n() - 1) as u32);
+        assert!(f.converged);
+        assert!(conservation_violation(&g, &f, 0, (g.n() - 1) as u32) < 1e-5);
+        // Energy equals effective resistance for a unit injection.
+        assert!((f.energy - f.effective_resistance).abs() < 1e-5);
+        // Thomson's principle: the electrical energy is at most that of any
+        // unit s-t flow, e.g. one routed along a single shortest path of
+        // length 22 (energy 22).
+        assert!(f.energy <= 22.0 + 1e-6);
+    }
+
+    #[test]
+    fn wheatstone_bridge_symmetry() {
+        // Symmetric bridge: no current through the bridge edge.
+        use parsdd_graph::{Edge, Graph};
+        let g = Graph::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0), // s - a
+                Edge::new(0, 2, 1.0), // s - b
+                Edge::new(1, 3, 1.0), // a - t
+                Edge::new(2, 3, 1.0), // b - t
+                Edge::new(1, 2, 5.0), // bridge a - b
+            ],
+        );
+        let solver = solver_for(&g);
+        let f = electrical_flow(&g, &solver, 0, 3);
+        assert!(f.edge_flow[4].abs() < 1e-6, "bridge current {}", f.edge_flow[4]);
+        assert!((f.effective_resistance - 1.0).abs() < 1e-6);
+    }
+}

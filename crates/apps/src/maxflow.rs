@@ -1,0 +1,312 @@
+//! Approximate undirected maximum flow via electrical flows [CKM+10], plus
+//! an exact augmenting-path max-flow used as ground truth.
+//!
+//! The paper notes that its solver, plugged into the
+//! Christiano–Kelner–Mądry–Spielman–Teng framework, yields
+//! `Õ(m^{4/3} poly(1/ε))`-work parallel approximate max-flow. The heart of
+//! that framework is the multiplicative-weights loop implemented here: each
+//! iteration computes one electrical flow with edge conductances
+//! `c_e²/w_e` (capacity² over weight), penalises congested edges by
+//! increasing their weight, and finally averages the flows. We expose the
+//! loop for a *target flow value* `F` together with a binary search that
+//! finds the largest feasible `F`, and validate against the exact max-flow.
+
+use parsdd_graph::{Graph, VertexId};
+use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
+
+/// Result of the approximate max-flow computation.
+#[derive(Debug, Clone)]
+pub struct ApproxMaxFlowResult {
+    /// The flow value achieved (after scaling down to feasibility).
+    pub flow_value: f64,
+    /// Edge flows oriented from `edge.u` to `edge.v`.
+    pub edge_flow: Vec<f64>,
+    /// Maximum congestion `|f_e|/c_e` of the returned flow (≤ 1 + ε).
+    pub max_congestion: f64,
+    /// Number of electrical-flow iterations (solver calls) used.
+    pub iterations: usize,
+}
+
+/// Exact max-flow between `s` and `t` treating edge weights as capacities
+/// (undirected), via Edmonds–Karp augmenting paths. Used as the comparator
+/// in tests/experiments; runs in `O(V·E²)` so keep graphs small.
+pub fn exact_max_flow(g: &Graph, s: VertexId, t: VertexId) -> f64 {
+    let n = g.n();
+    // Residual capacities: for every undirected edge create both arcs.
+    let mut cap = std::collections::HashMap::<(u32, u32), f64>::new();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        *cap.entry((e.u, e.v)).or_insert(0.0) += e.w;
+        *cap.entry((e.v, e.u)).or_insert(0.0) += e.w;
+        adj[e.u as usize].push(e.v);
+        adj[e.v as usize].push(e.u);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let mut flow = 0.0f64;
+    loop {
+        // BFS for an augmenting path with positive residual capacity.
+        let mut parent = vec![u32::MAX; n];
+        parent[s as usize] = s;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            if v == t {
+                break;
+            }
+            for &u in &adj[v as usize] {
+                if parent[u as usize] == u32::MAX
+                    && *cap.get(&(v, u)).unwrap_or(&0.0) > 1e-12
+                {
+                    parent[u as usize] = v;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if parent[t as usize] == u32::MAX {
+            break;
+        }
+        // Bottleneck.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = t;
+        while v != s {
+            let p = parent[v as usize];
+            bottleneck = bottleneck.min(*cap.get(&(p, v)).unwrap_or(&0.0));
+            v = p;
+        }
+        // Augment.
+        let mut v = t;
+        while v != s {
+            let p = parent[v as usize];
+            *cap.get_mut(&(p, v)).expect("forward arc") -= bottleneck;
+            *cap.entry((v, p)).or_insert(0.0) += bottleneck;
+            v = p;
+        }
+        flow += bottleneck;
+    }
+    flow
+}
+
+/// One multiplicative-weights electrical-flow phase: tries to route `target`
+/// units from `s` to `t` with congestion ≤ `1 + eps`. Returns the averaged
+/// flow and its congestion, or `None` if the oracle certifies that `target`
+/// exceeds the max flow (total weight of congested edges explodes).
+fn mwu_phase(
+    g: &Graph,
+    s: VertexId,
+    t: VertexId,
+    target: f64,
+    eps: f64,
+    max_iterations: usize,
+) -> Option<(Vec<f64>, f64, usize)> {
+    let m = g.m();
+    let capacities: Vec<f64> = g.edges().iter().map(|e| e.w).collect();
+    let mut weights = vec![1.0f64; m];
+    let mut avg_flow = vec![0.0f64; m];
+    let mut iterations = 0usize;
+
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        // Electrical network: conductance of edge e is c_e² / w_e (the
+        // CKMST choice). Rebuild the solver because conductances change.
+        let edges: Vec<parsdd_graph::Edge> = g
+            .edges()
+            .iter()
+            .zip(&weights)
+            .map(|(e, &w)| parsdd_graph::Edge::new(e.u, e.v, e.w * e.w / w))
+            .collect();
+        let elec_graph = Graph::from_edges_unchecked(g.n(), edges);
+        let solver = SddSolver::new_laplacian(
+            &elec_graph,
+            SddSolverOptions::default().with_tolerance(1e-9),
+        );
+        let mut b = vec![0.0; g.n()];
+        b[s as usize] = target;
+        b[t as usize] = -target;
+        let out = solver.solve(&b);
+        let phi = out.x;
+        // Flow on edge e = conductance * potential difference.
+        let flows: Vec<f64> = elec_graph
+            .edges()
+            .iter()
+            .map(|e| e.w * (phi[e.u as usize] - phi[e.v as usize]))
+            .collect();
+        // Congestion check.
+        let congestion: Vec<f64> = flows
+            .iter()
+            .zip(&capacities)
+            .map(|(f, c)| f.abs() / c)
+            .collect();
+        let max_cong = congestion.iter().fold(0.0f64, |a, &b| a.max(b));
+        if max_cong.is_nan() || !max_cong.is_finite() {
+            return None;
+        }
+        // Accumulate average flow.
+        for i in 0..m {
+            avg_flow[i] += flows[i];
+        }
+        // Multiplicative weight update.
+        let mut total_weight = 0.0;
+        for i in 0..m {
+            weights[i] *= 1.0 + (eps / 2.0) * congestion[i];
+            total_weight += weights[i];
+        }
+        // Oracle failure heuristic: if the weights blow up, the target is
+        // infeasible.
+        if total_weight > (m as f64) * (1.0 / eps).exp2().max(1e12) {
+            return None;
+        }
+        // Early exit when the averaged flow is already nearly feasible.
+        let scale = 1.0 / iterations as f64;
+        let avg_cong = avg_flow
+            .iter()
+            .zip(&capacities)
+            .map(|(f, c)| (f * scale).abs() / c)
+            .fold(0.0f64, f64::max);
+        if avg_cong <= 1.0 + eps {
+            let averaged: Vec<f64> = avg_flow.iter().map(|f| f * scale).collect();
+            return Some((averaged, avg_cong, iterations));
+        }
+    }
+    // Return the average anyway; the caller rescales to feasibility.
+    let scale = 1.0 / iterations.max(1) as f64;
+    let averaged: Vec<f64> = avg_flow.iter().map(|f| f * scale).collect();
+    let avg_cong = averaged
+        .iter()
+        .zip(&capacities)
+        .map(|(f, c)| f.abs() / c)
+        .fold(0.0f64, f64::max);
+    Some((averaged, avg_cong, iterations))
+}
+
+/// Approximate max-flow between `s` and `t` on the undirected capacitated
+/// graph `g` (capacities = edge weights): binary-searches the largest
+/// target value for which the multiplicative-weights electrical-flow
+/// oracle finds a `(1+ε)`-congested flow, then scales that flow down to
+/// strict feasibility.
+pub fn approx_max_flow(
+    g: &Graph,
+    s: VertexId,
+    t: VertexId,
+    eps: f64,
+    search_steps: usize,
+) -> ApproxMaxFlowResult {
+    assert_ne!(s, t);
+    // Upper bound on the max flow: capacity out of s.
+    let cap_s: f64 = g.arcs(s).map(|(_, w, _)| w).sum();
+    let cap_t: f64 = g.arcs(t).map(|(_, w, _)| w).sum();
+    let mut hi = cap_s.min(cap_t);
+    let mut lo = 0.0f64;
+    let max_iterations = ((1.0 / eps).ceil() as usize * 8).clamp(8, 120);
+
+    let mut best_flow = vec![0.0; g.m()];
+    let mut best_value = 0.0;
+    let mut best_cong = 0.0;
+    let mut total_iters = 0usize;
+
+    for _ in 0..search_steps {
+        let target = 0.5 * (lo + hi);
+        if target <= 1e-12 {
+            break;
+        }
+        match mwu_phase(g, s, t, target, eps, max_iterations) {
+            Some((flow, cong, iters)) if cong <= 1.0 + 2.0 * eps => {
+                total_iters += iters;
+                // Feasible (after scaling); remember and try higher.
+                let scale = if cong > 1.0 { 1.0 / cong } else { 1.0 };
+                best_flow = flow.iter().map(|f| f * scale).collect();
+                best_value = target * scale;
+                best_cong = cong.min(1.0);
+                lo = target;
+            }
+            Some((_, _, iters)) => {
+                total_iters += iters;
+                hi = target;
+            }
+            None => {
+                hi = target;
+            }
+        }
+    }
+
+    ApproxMaxFlowResult {
+        flow_value: best_value,
+        edge_flow: best_flow,
+        max_congestion: best_cong,
+        iterations: total_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+    use parsdd_graph::{Edge, Graph};
+
+    #[test]
+    fn exact_flow_on_path_and_parallel() {
+        let g = generators::path(5, 3.0);
+        assert!((exact_max_flow(&g, 0, 4) - 3.0).abs() < 1e-9);
+        let g2 = Graph::from_edges(2, vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.5)]);
+        assert!((exact_max_flow(&g2, 0, 1) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_flow_respects_bottleneck() {
+        // Two wide sides connected by a single capacity-1 bridge.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            edges.push(Edge::new(0, 1 + i, 10.0));
+            edges.push(Edge::new(5 + i, 9, 10.0));
+        }
+        edges.push(Edge::new(1, 5, 1.0)); // bridge
+        let g = Graph::from_edges(10, edges);
+        assert!((exact_max_flow(&g, 0, 9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_flow_close_to_exact_on_small_grid() {
+        let g = generators::grid2d(5, 5, |_, _| 1.0);
+        let s = 0u32;
+        let t = (g.n() - 1) as u32;
+        let exact = exact_max_flow(&g, s, t);
+        let approx = approx_max_flow(&g, s, t, 0.2, 8);
+        assert!(
+            approx.flow_value >= 0.5 * exact,
+            "approx {} vs exact {exact}",
+            approx.flow_value
+        );
+        assert!(approx.flow_value <= exact + 1e-6);
+        assert!(approx.max_congestion <= 1.0 + 1e-6);
+        // Flow conservation at internal vertices.
+        let mut net = vec![0.0f64; g.n()];
+        for (e, &f) in g.edges().iter().zip(&approx.edge_flow) {
+            net[e.u as usize] -= f;
+            net[e.v as usize] += f;
+        }
+        for v in 0..g.n() as u32 {
+            if v != s && v != t {
+                assert!(net[v as usize].abs() < 1e-4, "conservation at {v}: {}", net[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn approx_flow_two_disjoint_paths() {
+        // Two vertex-disjoint unit paths from s to t: max flow 2.
+        let mut edges = Vec::new();
+        edges.push(Edge::new(0, 1, 1.0));
+        edges.push(Edge::new(1, 2, 1.0));
+        edges.push(Edge::new(2, 5, 1.0));
+        edges.push(Edge::new(0, 3, 1.0));
+        edges.push(Edge::new(3, 4, 1.0));
+        edges.push(Edge::new(4, 5, 1.0));
+        let g = Graph::from_edges(6, edges);
+        let exact = exact_max_flow(&g, 0, 5);
+        assert!((exact - 2.0).abs() < 1e-9);
+        let approx = approx_max_flow(&g, 0, 5, 0.15, 10);
+        assert!(approx.flow_value >= 1.2, "approx {}", approx.flow_value);
+    }
+}

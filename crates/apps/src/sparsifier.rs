@@ -1,0 +1,130 @@
+//! Spectral sparsification by effective resistances [SS08].
+//!
+//! Sample `q` edges with replacement with probability proportional to
+//! `w_e·R_eff(e)` and weight each sampled copy by `w_e/(q·p_e)`; the
+//! resulting graph has `O(n log n / ε²)` edges and approximates every
+//! quadratic form of the original Laplacian within `1 ± ε` (w.h.p.). The
+//! paper cites this as a direct application of its solver: the resistances
+//! come from `O(log n)` SDD solves.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+use parsdd_graph::{Edge, Graph};
+use parsdd_solver::sdd_solve::SddSolver;
+
+use crate::resistance::approximate_effective_resistances;
+
+/// The result of spectral sparsification.
+#[derive(Debug, Clone)]
+pub struct SparsifierResult {
+    /// The sparsified graph (same vertex set, reweighted sampled edges).
+    pub graph: Graph,
+    /// Number of samples drawn (with replacement).
+    pub samples: usize,
+    /// Number of distinct edges in the output.
+    pub distinct_edges: usize,
+}
+
+/// Spectrally sparsifies `g` by sampling `samples` edges with replacement
+/// proportionally to `w_e·R_eff(e)` (estimated with `projections` solves).
+pub fn spectral_sparsify(
+    g: &Graph,
+    solver: &SddSolver,
+    samples: usize,
+    projections: usize,
+    seed: u64,
+) -> SparsifierResult {
+    assert!(samples > 0);
+    let m = g.m();
+    let reff = approximate_effective_resistances(g, solver, projections, seed);
+    // Sampling weights p_e ∝ w_e·R_eff(e); Σ w_e R_eff(e) ≈ n − 1.
+    let scores: Vec<f64> = g
+        .edges()
+        .iter()
+        .zip(&reff)
+        .map(|(e, &r)| (e.w * r).max(1e-300))
+        .collect();
+    let total: f64 = scores.iter().sum();
+    // Cumulative distribution for inverse-transform sampling.
+    let mut cdf = Vec::with_capacity(m);
+    let mut acc = 0.0;
+    for s in &scores {
+        acc += s / total;
+        cdf.push(acc);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ca1ab1e);
+    let mut weight_acc: HashMap<usize, f64> = HashMap::new();
+    for _ in 0..samples {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(m - 1),
+        };
+        let p = scores[idx] / total;
+        let add = g.edge(idx as u32).w / (samples as f64 * p);
+        *weight_acc.entry(idx).or_insert(0.0) += add;
+    }
+    let mut edges: Vec<Edge> = weight_acc
+        .iter()
+        .map(|(&idx, &w)| {
+            let e = g.edge(idx as u32);
+            Edge::new(e.u, e.v, w)
+        })
+        .collect();
+    edges.sort_by_key(|e| (e.u, e.v));
+    let distinct_edges = edges.len();
+    SparsifierResult {
+        graph: Graph::from_edges_unchecked(g.n(), edges),
+        samples,
+        distinct_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+    use parsdd_linalg::power::quadratic_form_ratio_bounds;
+    use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
+
+    fn solver_for(g: &Graph) -> SddSolver {
+        SddSolver::new_laplacian(g, SddSolverOptions::default().with_tolerance(1e-8))
+    }
+
+    #[test]
+    fn sparsifier_reduces_edges_and_preserves_energy() {
+        let g = generators::complete(40, 1.0); // 780 edges
+        let solver = solver_for(&g);
+        let samples = 20 * g.n();
+        let sp = spectral_sparsify(&g, &solver, samples, 60, 3);
+        assert!(sp.distinct_edges < g.m(), "should drop some edges");
+        assert_eq!(sp.graph.n(), g.n());
+        // Quadratic forms preserved within a reasonable band.
+        let (lo, hi) = quadratic_form_ratio_bounds(&g, &sp.graph, 25, 5);
+        assert!(lo > 0.5 && hi < 2.0, "spectral band [{lo}, {hi}] too wide");
+    }
+
+    #[test]
+    fn sparsifier_preserves_connectivity_on_grid() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        let solver = solver_for(&g);
+        let sp = spectral_sparsify(&g, &solver, 12 * g.n(), 50, 7);
+        // A grid is already sparse, so the sampled graph may not shrink
+        // much, but it must stay connected and spectrally close.
+        let comps = parsdd_graph::components::parallel_connected_components(&sp.graph);
+        assert_eq!(comps.count, 1);
+        let (lo, hi) = quadratic_form_ratio_bounds(&g, &sp.graph, 20, 9);
+        assert!(lo > 0.4 && hi < 2.5, "band [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn total_weight_roughly_preserved() {
+        let g = generators::weighted_random_graph(60, 600, 1.0, 3.0, 11);
+        let solver = solver_for(&g);
+        let sp = spectral_sparsify(&g, &solver, 30 * g.n(), 60, 13);
+        let ratio = sp.graph.total_weight() / g.total_weight();
+        assert!(ratio > 0.5 && ratio < 2.0, "total weight ratio {ratio}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Fiedler vectors and spectral partitioning.
+//!
+//! The Fiedler vector (eigenvector of the second-smallest Laplacian
+//! eigenvalue) is computed by inverse power iteration: every step solves
+//! one Laplacian system with the `parsdd` solver and re-orthogonalises
+//! against the constant vector. Spectral bisection thresholds the Fiedler
+//! vector at its median — one of the classic "eigenvector computation"
+//! applications the paper's introduction mentions.
+
+use parsdd_graph::{Graph, VertexId};
+use parsdd_linalg::laplacian::laplacian_quadratic_form;
+use parsdd_linalg::vector::{dot, norm2, project_out_constant, scale};
+use parsdd_solver::sdd_solve::SddSolver;
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of the Fiedler computation.
+#[derive(Debug, Clone)]
+pub struct FiedlerResult {
+    /// The (approximate) Fiedler vector, unit norm, orthogonal to 1.
+    pub vector: Vec<f64>,
+    /// The Rayleigh quotient `xᵀLx / xᵀx` — an estimate of the algebraic
+    /// connectivity `λ₂`.
+    pub lambda2: f64,
+    /// Inverse-power iterations performed.
+    pub iterations: usize,
+}
+
+/// Computes an approximate Fiedler vector of `g` by inverse power iteration
+/// with the given solver (one solve per iteration).
+pub fn fiedler_vector(g: &Graph, solver: &SddSolver, iterations: usize, seed: u64) -> FiedlerResult {
+    let n = g.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    project_out_constant(&mut x);
+    let nrm = norm2(&x).max(1e-300);
+    scale(1.0 / nrm, &mut x);
+    let mut iters = 0;
+    for _ in 0..iterations {
+        iters += 1;
+        let out = solver.solve(&x);
+        let mut y = out.x;
+        project_out_constant(&mut y);
+        let nrm = norm2(&y);
+        if nrm <= 1e-300 {
+            break;
+        }
+        scale(1.0 / nrm, &mut y);
+        x = y;
+    }
+    let lambda2 = laplacian_quadratic_form(g, &x) / dot(&x, &x).max(1e-300);
+    FiedlerResult {
+        vector: x,
+        lambda2,
+        iterations: iters,
+    }
+}
+
+/// Spectral bisection: splits the vertices at the median Fiedler value.
+/// Returns the side assignment (false/true) and the conductance of the cut.
+pub fn spectral_bisection(g: &Graph, fiedler: &FiedlerResult) -> (Vec<bool>, f64) {
+    let n = g.n();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by(|&a, &b| {
+        fiedler.vector[a as usize]
+            .partial_cmp(&fiedler.vector[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut side = vec![false; n];
+    for &v in order.iter().take(n / 2) {
+        side[v as usize] = true;
+    }
+    (side.clone(), cut_conductance(g, &side))
+}
+
+/// Conductance of a cut: `w(cut) / min(vol(S), vol(V∖S))` with weighted
+/// degrees as volumes.
+pub fn cut_conductance(g: &Graph, side: &[bool]) -> f64 {
+    let mut cut = 0.0;
+    for e in g.edges() {
+        if side[e.u as usize] != side[e.v as usize] {
+            cut += e.w;
+        }
+    }
+    let mut vol_s = 0.0;
+    let mut vol_rest = 0.0;
+    for v in 0..g.n() {
+        let d = g.weighted_degree(v as u32);
+        if side[v] {
+            vol_s += d;
+        } else {
+            vol_rest += d;
+        }
+    }
+    let denom = vol_s.min(vol_rest);
+    if denom <= 0.0 {
+        1.0
+    } else {
+        cut / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+    use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
+
+    fn solver_for(g: &Graph) -> SddSolver {
+        SddSolver::new_laplacian(g, SddSolverOptions::default().with_tolerance(1e-10))
+    }
+
+    #[test]
+    fn path_lambda2_matches_formula() {
+        // λ₂ of the path P_n with unit weights is 2(1 − cos(π/n)).
+        let n = 24;
+        let g = generators::path(n, 1.0);
+        let solver = solver_for(&g);
+        let f = fiedler_vector(&g, &solver, 60, 3);
+        let expected = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
+        assert!(
+            (f.lambda2 - expected).abs() < 0.05 * expected,
+            "lambda2 {} vs expected {expected}",
+            f.lambda2
+        );
+    }
+
+    #[test]
+    fn barbell_bisection_finds_the_bridge() {
+        // Two K_8 cliques joined by one path: the natural cut severs the
+        // bridge, conductance ≈ 1/vol(K_8).
+        let g = generators::barbell(8, 2, 1.0);
+        let solver = solver_for(&g);
+        let f = fiedler_vector(&g, &solver, 80, 5);
+        let (side, conductance) = spectral_bisection(&g, &f);
+        // The two cliques end up on opposite sides.
+        let clique_a_side = side[0];
+        for v in 1..8 {
+            assert_eq!(side[v], clique_a_side, "clique A split by spectral cut");
+        }
+        let clique_b_start = 8 + 2;
+        let clique_b_side = side[clique_b_start];
+        for v in clique_b_start..clique_b_start + 8 {
+            assert_eq!(side[v], clique_b_side, "clique B split by spectral cut");
+        }
+        assert_ne!(clique_a_side, clique_b_side);
+        assert!(conductance < 0.1, "conductance {conductance}");
+    }
+
+    #[test]
+    fn conductance_of_trivial_cuts() {
+        let g = generators::cycle(10, 1.0);
+        assert_eq!(cut_conductance(&g, &vec![false; 10]), 1.0);
+        let mut half = vec![false; 10];
+        for item in half.iter_mut().take(5) {
+            *item = true;
+        }
+        // Contiguous half of a cycle: 2 cut edges, volume 10.
+        assert!((cut_conductance(&g, &half) - 0.2).abs() < 1e-12);
+    }
+}

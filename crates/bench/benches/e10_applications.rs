@@ -1,0 +1,87 @@
+//! E10 — the applications layer (Section 1 "Some Applications"):
+//! spectral-sparsifier quality via effective resistances [SS08] and
+//! approximate max-flow via electrical flows [CKM+10], both driven by the
+//! solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use parsdd_apps::maxflow::{approx_max_flow, exact_max_flow};
+use parsdd_apps::resistance::approximate_effective_resistances;
+use parsdd_apps::sparsifier::spectral_sparsify;
+use parsdd_bench::{fmt, report_header, report_row};
+use parsdd_graph::generators;
+use parsdd_linalg::power::quadratic_form_ratio_bounds;
+use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
+
+fn quality_table() {
+    // Spectral sparsification.
+    report_header(
+        "E10a: spectral sparsifier quality (Spielman–Srivastava via the solver)",
+        &["graph", "m", "samples", "distinct edges", "quadratic-form band", "time (ms)"],
+    );
+    let cases = vec![
+        ("complete-100", generators::complete(100, 1.0)),
+        ("erdos-renyi (n=1000, m=12000)", generators::erdos_renyi_gnm(1000, 12_000, 3)),
+    ];
+    for (name, g) in &cases {
+        let solver = SddSolver::new_laplacian(g, SddSolverOptions::default().with_tolerance(1e-8));
+        let t0 = Instant::now();
+        let sp = spectral_sparsify(g, &solver, 25 * g.n(), 40, 7);
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let (lo, hi) = quadratic_form_ratio_bounds(g, &sp.graph, 25, 9);
+        report_row(&[
+            name.to_string(),
+            g.m().to_string(),
+            sp.samples.to_string(),
+            sp.distinct_edges.to_string(),
+            format!("[{}, {}]", fmt(lo), fmt(hi)),
+            fmt(ms),
+        ]);
+    }
+
+    // Approximate max-flow vs exact.
+    report_header(
+        "E10b: approximate max-flow via electrical flows (CKM+10 inner loop)",
+        &["graph", "eps", "exact flow", "approx flow", "ratio", "electrical flows", "time (ms)"],
+    );
+    let flow_cases = vec![
+        ("grid-8x8", generators::grid2d(8, 8, |_, _| 1.0)),
+        ("grid-10x10-weighted", generators::grid2d(10, 10, |u, v| 1.0 + ((u + v) % 3) as f64)),
+    ];
+    for (name, g) in &flow_cases {
+        let s = 0u32;
+        let t = (g.n() - 1) as u32;
+        let exact = exact_max_flow(g, s, t);
+        for eps in [0.3f64, 0.15] {
+            let t0 = Instant::now();
+            let approx = approx_max_flow(g, s, t, eps, 8);
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            report_row(&[
+                name.to_string(),
+                fmt(eps),
+                fmt(exact),
+                fmt(approx.flow_value),
+                fmt(approx.flow_value / exact),
+                approx.iterations.to_string(),
+                fmt(ms),
+            ]);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e10_applications");
+    group.sample_size(10);
+    let g = generators::erdos_renyi_gnm(1000, 12_000, 3);
+    let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default().with_tolerance(1e-8));
+    group.bench_function("effective_resistances_40_projections", |b| {
+        b.iter(|| black_box(approximate_effective_resistances(&g, &solver, 40, 7).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E1 — Theorem 4.1(2): the decomposition's strong radius is at most ρ.
+//!
+//! For each workload graph and each ρ, runs `Partition` and reports the
+//! measured maximum component radius and strong diameter (both must stay
+//! below ρ and 2ρ respectively in the paper's regime ρ ≥ 2·log₂ n), plus
+//! the component count. The timing group measures one decomposition per
+//! (graph, ρ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsdd_bench::{fmt, report_header, report_row, workloads};
+use parsdd_decomp::partition::partition_single_class;
+use parsdd_decomp::stats::decomposition_stats;
+use parsdd_decomp::PartitionParams;
+
+const RHOS: [u32; 4] = [8, 16, 32, 64];
+
+fn quality_table() {
+    report_header(
+        "E1: strong radius vs rho (Theorem 4.1(2))",
+        &["graph", "n", "m", "rho", "components", "max radius", "strong diameter", "radius <= rho"],
+    );
+    for wl in workloads::small_suite() {
+        for rho in RHOS {
+            let res = partition_single_class(&wl.graph, &PartitionParams::new(rho).with_seed(1));
+            let stats = decomposition_stats(&wl.graph, &res.split, false);
+            let paper_regime = rho as f64 >= 2.0 * (wl.graph.n() as f64).log2();
+            report_row(&[
+                wl.name.to_string(),
+                wl.graph.n().to_string(),
+                wl.graph.m().to_string(),
+                rho.to_string(),
+                stats.components.to_string(),
+                stats.max_radius.to_string(),
+                stats.max_strong_diameter.to_string(),
+                format!(
+                    "{}{}",
+                    stats.max_radius <= rho,
+                    if paper_regime { "" } else { " (below paper regime)" }
+                ),
+            ]);
+            let _ = fmt(0.0);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e1_partition");
+    group.sample_size(10);
+    let suite = workloads::small_suite();
+    let wl = &suite[0];
+    for rho in [16u32, 64] {
+        group.bench_with_input(BenchmarkId::new(wl.name, rho), &rho, |b, &rho| {
+            b.iter(|| {
+                let res =
+                    partition_single_class(&wl.graph, &PartitionParams::new(rho).with_seed(1));
+                black_box(res.split.component_count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

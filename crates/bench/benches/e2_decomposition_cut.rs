@@ -1,0 +1,82 @@
+//! E2 — Theorem 4.1(3): the fraction of edges cut per class decays like
+//! `c₁·k·log³n / ρ`, i.e. inversely in ρ.
+//!
+//! Reports, for each workload and ρ, the measured cut fraction (single
+//! class, k = 1) and the product `fraction × ρ` — the paper predicts the
+//! product stays roughly flat as ρ grows. Also reports a two-class run
+//! (k = 2, light/heavy edges) to show the per-class guarantee.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parsdd_bench::{fmt, report_header, report_row, workloads};
+use parsdd_decomp::partition::{partition, partition_single_class};
+use parsdd_decomp::PartitionParams;
+
+const RHOS: [u32; 5] = [6, 12, 24, 48, 96];
+
+fn quality_table() {
+    report_header(
+        "E2: cut fraction vs rho (Theorem 4.1(3); expect fraction ~ 1/rho)",
+        &["graph", "rho", "cut fraction", "fraction x rho"],
+    );
+    for wl in workloads::small_suite() {
+        for rho in RHOS {
+            let res = partition_single_class(&wl.graph, &PartitionParams::new(rho).with_seed(3));
+            let f = res.cut_fraction(0);
+            report_row(&[
+                wl.name.to_string(),
+                rho.to_string(),
+                fmt(f),
+                fmt(f * rho as f64),
+            ]);
+        }
+    }
+
+    report_header(
+        "E2b: per-class cut fractions with k = 2 classes (light/heavy edges)",
+        &["graph", "rho", "light-class fraction", "heavy-class fraction", "attempts"],
+    );
+    for wl in workloads::small_suite() {
+        let median = {
+            let mut w: Vec<f64> = wl.graph.edges().iter().map(|e| e.w).collect();
+            w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            w[w.len() / 2]
+        };
+        let classes: Vec<u32> = wl
+            .graph
+            .edges()
+            .iter()
+            .map(|e| (e.w > median) as u32)
+            .collect();
+        for rho in [12u32, 48] {
+            let res = partition(&wl.graph, &classes, 2, &PartitionParams::new(rho).with_seed(5));
+            report_row(&[
+                wl.name.to_string(),
+                rho.to_string(),
+                fmt(res.cut_fraction(0)),
+                fmt(res.cut_fraction(1)),
+                res.attempts.to_string(),
+            ]);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e2_cut_fraction");
+    group.sample_size(10);
+    let suite = workloads::small_suite();
+    let wl = &suite[1];
+    group.bench_function("two_class_partition_rho24", |b| {
+        let classes: Vec<u32> = wl.graph.edges().iter().map(|e| (e.w > 10.0) as u32).collect();
+        b.iter(|| {
+            let res = partition(&wl.graph, &classes, 2, &PartitionParams::new(24).with_seed(5));
+            black_box(res.cut_per_class.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

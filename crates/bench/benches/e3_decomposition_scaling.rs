@@ -1,0 +1,73 @@
+//! E3 — Theorem 4.1 work/depth: `O(m log²n)` work and `O(ρ log²n)` depth.
+//!
+//! Two series: (a) decomposition time as the graph grows (work scaling —
+//! should be near-linear in m), and (b) decomposition time at a fixed size
+//! as the number of rayon threads grows (parallel speedup), plus the
+//! machine-independent depth proxy (total BFS rounds ≈ ρ·log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use parsdd_bench::{fmt, report_header, report_row, workloads};
+use parsdd_decomp::split_graph;
+use parsdd_decomp::SplitParams;
+use parsdd_graph::parutil::with_threads;
+
+fn quality_table() {
+    report_header(
+        "E3a: work scaling with graph size (expect ~linear in m)",
+        &["n", "m", "time (ms)", "time / m (us)", "BFS rounds (depth proxy)", "arcs traversed / m"],
+    );
+    for (n, graph) in workloads::grid_scaling_suite() {
+        let t0 = Instant::now();
+        let split = split_graph(&graph, &SplitParams::new(24).with_seed(1));
+        let elapsed = t0.elapsed().as_secs_f64() * 1000.0;
+        report_row(&[
+            n.to_string(),
+            graph.m().to_string(),
+            fmt(elapsed),
+            fmt(elapsed * 1000.0 / graph.m() as f64),
+            split.bfs_rounds_total.to_string(),
+            fmt(split.arcs_traversed as f64 / graph.m() as f64),
+        ]);
+    }
+
+    report_header(
+        "E3b: thread scaling at fixed size (expect speedup, depth unchanged)",
+        &["threads", "time (ms)", "speedup vs 1 thread", "BFS rounds"],
+    );
+    let graph = parsdd_graph::generators::grid2d(96, 96, |_, _| 1.0);
+    let mut t1 = None;
+    for threads in [1usize, 2, 4, 8, 16] {
+        let (elapsed, rounds) = with_threads(threads, || {
+            let t0 = Instant::now();
+            let split = split_graph(&graph, &SplitParams::new(24).with_seed(1));
+            (t0.elapsed().as_secs_f64() * 1000.0, split.bfs_rounds_total)
+        });
+        if t1.is_none() {
+            t1 = Some(elapsed);
+        }
+        report_row(&[
+            threads.to_string(),
+            fmt(elapsed),
+            fmt(t1.unwrap() / elapsed),
+            rounds.to_string(),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e3_split_graph");
+    group.sample_size(10);
+    for (n, graph) in workloads::grid_scaling_suite() {
+        group.bench_with_input(BenchmarkId::new("grid", n), &graph, |b, g| {
+            b.iter(|| black_box(split_graph(g, &SplitParams::new(24).with_seed(1)).component_count))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E4 — Theorem 5.1: AKPW produces spanning trees whose *average stretch*
+//! grows sub-polynomially (`2^{O(√(log n log log n))}`), in contrast to the
+//! Θ(√n) average stretch of an MST on a grid.
+//!
+//! Reports the average stretch of the AKPW tree vs the MST and a BFS tree
+//! on growing grids and on weighted random graphs, plus construction-time
+//! scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsdd_bench::{fmt, report_header, report_row};
+use parsdd_graph::bfs::parallel_bfs;
+use parsdd_graph::generators;
+use parsdd_graph::mst::kruskal;
+use parsdd_lsst::stretch::stretch_over_tree;
+use parsdd_lsst::{akpw, AkpwParams};
+
+fn quality_table() {
+    report_header(
+        "E4: average stretch of AKPW trees vs baselines (Theorem 5.1)",
+        &["graph", "n", "m", "MST avg", "BFS-tree avg", "AKPW avg", "AKPW max", "iterations"],
+    );
+    let mut cases: Vec<(String, parsdd_graph::Graph)> = Vec::new();
+    for side in [24usize, 48, 96] {
+        cases.push((
+            format!("grid-{side}x{side}"),
+            generators::grid2d(side, side, |_, _| 1.0),
+        ));
+    }
+    for side in [48usize] {
+        cases.push((
+            format!("weighted-grid-{side}"),
+            generators::with_power_law_weights(&generators::grid2d(side, side, |_, _| 1.0), 5, 3),
+        ));
+    }
+    cases.push((
+        "rand-regular-4 (n=2048)".into(),
+        generators::random_regular(2048, 4, 9),
+    ));
+
+    for (name, g) in &cases {
+        let mst = kruskal(g);
+        let mst_rep = stretch_over_tree(g, &mst);
+        let bfs_tree = parallel_bfs(g, 0).tree_edges();
+        let bfs_rep = stretch_over_tree(g, &bfs_tree);
+        let tree = akpw(g, &AkpwParams::practical(32.0).with_seed(5));
+        let akpw_rep = stretch_over_tree(g, &tree.tree_edges);
+        report_row(&[
+            name.clone(),
+            g.n().to_string(),
+            g.m().to_string(),
+            fmt(mst_rep.average_stretch),
+            fmt(bfs_rep.average_stretch),
+            fmt(akpw_rep.average_stretch),
+            fmt(akpw_rep.max_stretch),
+            tree.iterations.to_string(),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e4_akpw_build");
+    group.sample_size(10);
+    for side in [32usize, 64, 96] {
+        let g = generators::grid2d(side, side, |_, _| 1.0);
+        group.bench_with_input(BenchmarkId::new("grid", side * side), &g, |b, g| {
+            b.iter(|| black_box(akpw(g, &AkpwParams::practical(32.0).with_seed(5)).tree_edges.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E5 — Theorem 5.9: the low-stretch subgraph trades extra edges for
+//! stretch: `n−1+m(c·log³n/β)^λ` edges vs `m·β²·log^{3λ+3}n` total stretch.
+//!
+//! Sweeps the practical knobs (bucket base z ↔ β, promotion lag λ) and
+//! reports the number of extra edges beyond a spanning tree and the
+//! sampled average stretch: more extra edges ⇒ lower stretch, with λ
+//! controlling how fast the extra-edge count falls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsdd_bench::{fmt, report_header, report_row};
+use parsdd_graph::generators;
+use parsdd_lsst::stretch::{stretch_over_subgraph_sampled, stretch_over_tree};
+use parsdd_lsst::{akpw, ls_subgraph, AkpwParams, LsSubgraphParams};
+
+fn quality_table() {
+    report_header(
+        "E5: edges vs stretch trade-off of LSSubgraph (Theorem 5.9)",
+        &["graph", "z", "lambda", "edges", "extra vs tree", "avg stretch (sampled)", "AKPW tree avg stretch"],
+    );
+    let cases = vec![
+        (
+            "weighted-grid-64x64",
+            generators::with_power_law_weights(&generators::grid2d(64, 64, |_, _| 1.0), 6, 11),
+        ),
+        (
+            "weighted-random (n=3000, m=12000)",
+            generators::weighted_random_graph(2000, 8_000, 1.0, 1e4, 13),
+        ),
+    ];
+    for (name, g) in &cases {
+        let tree = akpw(g, &AkpwParams::practical(16.0).with_seed(3));
+        let tree_rep = stretch_over_tree(g, &tree.tree_edges);
+        for (z, lambda) in [(8.0f64, 1u32), (8.0, 2), (16.0, 2), (32.0, 3)] {
+            let out = ls_subgraph(g, &LsSubgraphParams::practical(z, lambda).with_seed(3));
+            let edges = out.all_edges();
+            let rep = stretch_over_subgraph_sampled(g, &edges, 400, 7);
+            report_row(&[
+                name.to_string(),
+                fmt(z),
+                lambda.to_string(),
+                edges.len().to_string(),
+                format!("{:+}", edges.len() as i64 - (g.n() as i64 - 1)),
+                fmt(rep.average_stretch),
+                fmt(tree_rep.average_stretch),
+            ]);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e5_ls_subgraph_build");
+    group.sample_size(10);
+    let g = generators::with_power_law_weights(&generators::grid2d(64, 64, |_, _| 1.0), 6, 11);
+    for lambda in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("lambda", lambda), &lambda, |b, &lambda| {
+            b.iter(|| {
+                black_box(
+                    ls_subgraph(&g, &LsSubgraphParams::practical(16.0, lambda).with_seed(3))
+                        .all_edges()
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

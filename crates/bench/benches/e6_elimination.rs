@@ -1,0 +1,47 @@
+//! E6 — Lemma 6.5: greedy elimination reduces a graph with `n` vertices and
+//! `n−1+j` edges to at most `2j−2` vertices, in O(log n) randomized rounds.
+//!
+//! Reports, for ultra-sparse graphs with varying numbers of extra edges,
+//! the reduced vertex count against the `2j` bound and the number of
+//! elimination rounds against `log n`, plus elimination throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsdd_bench::{fmt, report_header, report_row, workloads};
+use parsdd_solver::elimination::greedy_elimination;
+
+fn quality_table() {
+    report_header(
+        "E6: greedy elimination on ultra-sparse graphs (Lemma 6.5)",
+        &["n", "extra edges j", "reduced vertices", "bound 2j", "rounds", "log2 n"],
+    );
+    for (n, extra, g) in workloads::ultra_sparse_suite() {
+        let elim = greedy_elimination(&g, 7);
+        report_row(&[
+            n.to_string(),
+            extra.to_string(),
+            elim.reduced_graph.n().to_string(),
+            (2 * extra).to_string(),
+            elim.rounds.to_string(),
+            fmt((n as f64).log2()),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e6_elimination");
+    group.sample_size(10);
+    for (n, extra, g) in workloads::ultra_sparse_suite() {
+        group.bench_with_input(
+            BenchmarkId::new("ultra_sparse", format!("{n}+{extra}")),
+            &g,
+            |b, g| b.iter(|| black_box(greedy_elimination(g, 7).reduced_graph.n())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

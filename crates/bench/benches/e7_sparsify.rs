@@ -1,0 +1,87 @@
+//! E7 — Lemma 6.1/6.2: the incremental sparsifier's size shrinks like
+//! `|E(Ĝ)| + O(S·log n/κ)` as κ grows, while the spectral distance between
+//! the input and the sparsifier (measured by sampled quadratic-form ratios)
+//! widens proportionally — the `κ` trade-off the chain is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsdd_bench::{fmt, report_header, report_row};
+use parsdd_graph::generators;
+use parsdd_graph::mst::kruskal;
+use parsdd_linalg::power::quadratic_form_ratio_bounds;
+use parsdd_lsst::{ls_subgraph, LsSubgraphParams};
+use parsdd_solver::sparsify::{incremental_sparsify, SparsifyParams};
+
+fn quality_table() {
+    report_header(
+        "E7: sparsifier size and spectral spread vs kappa (Lemma 6.1/6.2)",
+        &["graph", "kappa", "subgraph edges", "sampled edges", "total", "ratio spread hi/lo"],
+    );
+    let cases = vec![
+        (
+            "weighted-random (n=2000, m=10000)",
+            generators::weighted_random_graph(1500, 7_500, 1.0, 8.0, 5),
+        ),
+        (
+            "grid-48 weighted",
+            generators::with_power_law_weights(&generators::grid2d(48, 48, |_, _| 1.0), 4, 9),
+        ),
+    ];
+    for (name, g) in &cases {
+        let sub = ls_subgraph(g, &LsSubgraphParams::practical(16.0, 2).with_seed(3));
+        let sub_edges = sub.all_edges();
+        let forest: Vec<u32> = {
+            let sg = g.edge_subgraph(&sub_edges);
+            kruskal(&sg).into_iter().map(|e| sub_edges[e as usize]).collect()
+        };
+        for kappa in [4.0f64, 16.0, 64.0, 256.0, 1024.0] {
+            let sp = incremental_sparsify(
+                g,
+                &sub_edges,
+                &forest,
+                &SparsifyParams {
+                    kappa,
+                    oversample: 2.0,
+                    seed: 11,
+                },
+            );
+            let (lo, hi) = quadratic_form_ratio_bounds(g, &sp.graph, 20, 13);
+            report_row(&[
+                name.to_string(),
+                fmt(kappa),
+                sp.subgraph_edges.to_string(),
+                sp.sampled_edges.to_string(),
+                sp.edge_count().to_string(),
+                fmt(hi / lo),
+            ]);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    quality_table();
+    let mut group = c.benchmark_group("e7_incremental_sparsify");
+    group.sample_size(10);
+    let g = generators::weighted_random_graph(1500, 7_500, 1.0, 8.0, 5);
+    let tree = kruskal(&g);
+    for kappa in [16.0f64, 256.0] {
+        group.bench_with_input(BenchmarkId::new("kappa", kappa as u64), &kappa, |b, &kappa| {
+            b.iter(|| {
+                black_box(
+                    incremental_sparsify(
+                        &g,
+                        &tree,
+                        &tree,
+                        &SparsifyParams { kappa, oversample: 2.0, seed: 11 },
+                    )
+                    .edge_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,339 @@
+//! `splitGraph` — Algorithm 4.1.
+//!
+//! The algorithm runs `T = 2·log₂ n` rounds. In round `t` it samples a set
+//! `S^{(t)}` of centers from the still-unassigned ("alive") vertices — the
+//! sample grows geometrically with `t`, following Cohen's (β,W)-cover
+//! construction — draws a random jitter `δ_s ∈ {0, …, R}` for each center,
+//! and grows a ball of radius `r^{(t)} − δ_s` from each. Every vertex
+//! reached by at least one ball is assigned to the center minimising
+//! `dist(u, s) + δ_s` (ties broken lexicographically), which is realised
+//! here by a single *shifted multi-source BFS* in which center `s` starts
+//! at round `δ_s`. Assigned vertices are removed and the next round runs
+//! on the remainder.
+//!
+//! Properties established by the paper and checked by the tests/benches:
+//! (P1) every non-empty component contains its center; (P2) components
+//! have strong radius ≤ ρ (for ρ ≥ 2 log₂ n); (P3) every edge is cut with
+//! probability O(log²n / R).
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use parsdd_graph::bfs::{shifted_multi_source_bfs, ShiftedSource, NO_OWNER};
+use parsdd_graph::{EdgeId, Graph, VertexId, INVALID_VERTEX};
+
+use crate::params::{jitter_range, num_rounds, sample_size, SplitParams};
+
+/// The outcome of `splitGraph`: a partition of the vertices into
+/// low-radius components, each with a designated center and an explicit
+/// BFS tree.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// Component label of every vertex (`0..component_count`).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub component_count: usize,
+    /// Center vertex of each component (the component's BFS root).
+    pub centers: Vec<VertexId>,
+    /// Hop distance from each vertex to its component's center, measured
+    /// inside the component (strong radius witness).
+    pub dist_to_center: Vec<u32>,
+    /// For every non-center vertex, the edge to its parent in the
+    /// component's BFS tree (`EdgeId::MAX` for centers).
+    pub parent_edge: Vec<EdgeId>,
+    /// Parent vertex in the component BFS tree (`INVALID_VERTEX` for centers).
+    pub parent: Vec<VertexId>,
+    /// Number of `splitGraph` rounds that did any work (≤ `2·log₂ n`).
+    pub rounds_used: u32,
+    /// Total BFS rounds summed over all iterations — the algorithm's
+    /// machine-independent depth proxy (Theorem 4.1: `O(ρ log² n)`).
+    pub bfs_rounds_total: u64,
+    /// Total arcs traversed — the work proxy (Theorem 4.1: `O(m log² n)`).
+    pub arcs_traversed: u64,
+}
+
+impl SplitResult {
+    /// The members of each component.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.component_count];
+        for (v, &l) in self.labels.iter().enumerate() {
+            groups[l as usize].push(v as VertexId);
+        }
+        groups
+    }
+
+    /// The BFS-tree edges of all components (a spanning forest of the
+    /// decomposition: exactly `n − component_count` edges).
+    pub fn tree_edges(&self) -> Vec<EdgeId> {
+        self.parent_edge
+            .iter()
+            .copied()
+            .filter(|&e| e != EdgeId::MAX)
+            .collect()
+    }
+
+    /// Maximum hop radius over all components (the quantity bounded by
+    /// Theorem 4.1(2)).
+    pub fn max_radius(&self) -> u32 {
+        self.dist_to_center.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs `splitGraph` (Algorithm 4.1) on `g` with radius parameter
+/// `params.rho`.
+///
+/// The graph is treated as unweighted (hop distance); weights are ignored.
+/// Works for disconnected graphs: each connected component is partitioned
+/// independently (a component smaller than the radius bound typically
+/// becomes a single output component).
+pub fn split_graph(g: &Graph, params: &SplitParams) -> SplitResult {
+    let n = g.n();
+    let mut labels = vec![u32::MAX; n];
+    let mut centers: Vec<VertexId> = Vec::new();
+    let mut dist_to_center = vec![0u32; n];
+    let mut parent_edge = vec![EdgeId::MAX; n];
+    let mut parent = vec![INVALID_VERTEX; n];
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+
+    if n == 0 {
+        return SplitResult {
+            labels,
+            component_count: 0,
+            centers,
+            dist_to_center,
+            parent_edge,
+            parent,
+            rounds_used: 0,
+            bfs_rounds_total: 0,
+            arcs_traversed: 0,
+        };
+    }
+
+    let rounds = num_rounds(n);
+    let r_jitter = jitter_range(params.rho, n);
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut rounds_used = 0u32;
+    let mut bfs_rounds_total = 0u64;
+    let mut arcs_traversed = 0u64;
+
+    for t in 1..=rounds {
+        if alive_count == 0 {
+            break;
+        }
+        rounds_used = t;
+        // Ball radius for this round: r^{(t)} = (T − t + 1)·R.
+        let radius = (rounds - t + 1) * r_jitter;
+
+        // Sample σ_t centers uniformly from the alive vertices (or take
+        // all of them when the sample exceeds the population).
+        let sigma = sample_size(n, alive_count, t, rounds, params.sample_multiplier);
+        let alive_vertices: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| alive[v as usize])
+            .collect();
+        let mut sampled: Vec<VertexId> = if sigma >= alive_vertices.len() {
+            alive_vertices
+        } else {
+            alive_vertices
+                .choose_multiple(&mut rng, sigma)
+                .copied()
+                .collect()
+        };
+        // Sort by vertex id so that "smaller source index" ties equal
+        // "smaller vertex id" — the consistent lexicographic tie break the
+        // paper requires.
+        sampled.sort_unstable();
+
+        // Random jitters δ_s ∈ {0, …, R}.
+        let sources: Vec<ShiftedSource> = sampled
+            .iter()
+            .map(|&v| ShiftedSource {
+                vertex: v,
+                delay: rng.gen_range(0..=r_jitter),
+            })
+            .collect();
+
+        let bfs = shifted_multi_source_bfs(g, &sources, radius, Some(&alive));
+        bfs_rounds_total += bfs.rounds as u64;
+        arcs_traversed += bfs.arcs_traversed;
+
+        // Materialise components: a center that claimed at least one
+        // vertex becomes a component (P1 guarantees it claimed itself).
+        let mut component_of_source: Vec<u32> = vec![u32::MAX; sources.len()];
+        for v in 0..n {
+            let o = bfs.owner[v];
+            if o == NO_OWNER {
+                continue;
+            }
+            debug_assert!(alive[v]);
+            if component_of_source[o as usize] == u32::MAX {
+                component_of_source[o as usize] = centers.len() as u32;
+                centers.push(sources[o as usize].vertex);
+            }
+            let comp = component_of_source[o as usize];
+            labels[v] = comp;
+            dist_to_center[v] = bfs.dist[v];
+            parent_edge[v] = bfs.parent_edge[v];
+            parent[v] = bfs.parent[v];
+            alive[v] = false;
+            alive_count -= 1;
+        }
+    }
+
+    debug_assert_eq!(alive_count, 0, "final round samples every alive vertex");
+    SplitResult {
+        component_count: centers.len(),
+        labels,
+        centers,
+        dist_to_center,
+        parent_edge,
+        parent,
+        rounds_used,
+        bfs_rounds_total,
+        arcs_traversed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SplitParams;
+    use parsdd_graph::components::parallel_connected_components;
+    use parsdd_graph::generators;
+    use parsdd_graph::unionfind::UnionFind;
+
+    fn check_invariants(g: &Graph, r: &SplitResult) {
+        let n = g.n();
+        // Every vertex is assigned.
+        assert!(r.labels.iter().all(|&l| (l as usize) < r.component_count));
+        assert_eq!(r.centers.len(), r.component_count);
+        // (P1) the center belongs to its own component at distance 0.
+        for (c, &center) in r.centers.iter().enumerate() {
+            assert_eq!(r.labels[center as usize] as usize, c);
+            assert_eq!(r.dist_to_center[center as usize], 0);
+            assert_eq!(r.parent_edge[center as usize], EdgeId::MAX);
+        }
+        // Parent edges stay within the component and decrease distance —
+        // this is the strong-radius witness (Lemma 4.3 / Fact 4.2).
+        for v in 0..n {
+            if r.parent_edge[v] != EdgeId::MAX {
+                let e = g.edge(r.parent_edge[v]);
+                let p = e.other(v as u32);
+                assert_eq!(r.labels[p as usize], r.labels[v]);
+                assert_eq!(r.dist_to_center[p as usize] + 1, r.dist_to_center[v]);
+            }
+        }
+        // Tree edges form a spanning forest of the partition.
+        let tree = r.tree_edges();
+        assert_eq!(tree.len(), n - r.component_count);
+        let mut uf = UnionFind::new(n);
+        for &e in &tree {
+            let edge = g.edge(e);
+            assert!(uf.unite(edge.u, edge.v), "cycle in component BFS trees");
+        }
+    }
+
+    #[test]
+    fn grid_decomposition_invariants() {
+        let g = generators::grid2d(30, 30, |_, _| 1.0);
+        let r = split_graph(&g, &SplitParams::new(12).with_seed(1));
+        check_invariants(&g, &r);
+        assert!(r.component_count >= 1);
+    }
+
+    #[test]
+    fn radius_respects_bound_in_paper_regime() {
+        // n = 900 → 2·log₂ n ≈ 19.6; use ρ = 40 ≥ that so the strict bound
+        // of Theorem 4.1(2) applies.
+        let g = generators::grid2d(30, 30, |_, _| 1.0);
+        let rho = 40;
+        let r = split_graph(&g, &SplitParams::new(rho).with_seed(3));
+        check_invariants(&g, &r);
+        assert!(
+            r.max_radius() <= rho,
+            "radius {} exceeds rho {}",
+            r.max_radius(),
+            rho
+        );
+    }
+
+    #[test]
+    fn smaller_rho_gives_more_components() {
+        let g = generators::grid2d(40, 40, |_, _| 1.0);
+        let small = split_graph(&g, &SplitParams::new(8).with_seed(5));
+        let large = split_graph(&g, &SplitParams::new(64).with_seed(5));
+        check_invariants(&g, &small);
+        check_invariants(&g, &large);
+        assert!(
+            small.component_count > large.component_count,
+            "small rho {} comps vs large rho {} comps",
+            small.component_count,
+            large.component_count
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_components_respected() {
+        use parsdd_graph::{Edge, Graph};
+        // Two separate paths.
+        let mut edges = Vec::new();
+        for i in 0..9u32 {
+            edges.push(Edge::new(i, i + 1, 1.0));
+        }
+        for i in 10..19u32 {
+            edges.push(Edge::new(i, i + 1, 1.0));
+        }
+        let g = Graph::from_edges(20, edges);
+        let r = split_graph(&g, &SplitParams::new(50).with_seed(2));
+        check_invariants(&g, &r);
+        // No output component can span the two input components.
+        let comps = parallel_connected_components(&g);
+        for v in 0..20usize {
+            for u in 0..20usize {
+                if r.labels[v] == r.labels[u] {
+                    assert!(comps.same(v as u32, u as u32));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::erdos_renyi_gnm(400, 1200, 9);
+        let a = split_graph(&g, &SplitParams::new(10).with_seed(77));
+        let b = split_graph(&g, &SplitParams::new(10).with_seed(77));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.centers, b.centers);
+        let c = split_graph(&g, &SplitParams::new(10).with_seed(78));
+        // Different seed: almost surely a different partition.
+        assert!(a.labels != c.labels || a.centers != c.centers);
+    }
+
+    #[test]
+    fn random_regular_graph_invariants() {
+        let g = generators::random_regular(600, 4, 11);
+        let r = split_graph(&g, &SplitParams::new(24).with_seed(4));
+        check_invariants(&g, &r);
+    }
+
+    #[test]
+    fn single_vertex_and_empty_graphs() {
+        use parsdd_graph::Graph;
+        let empty = Graph::from_edges(0, vec![]);
+        let r = split_graph(&empty, &SplitParams::new(4));
+        assert_eq!(r.component_count, 0);
+        let single = Graph::from_edges(1, vec![]);
+        let r = split_graph(&single, &SplitParams::new(4));
+        assert_eq!(r.component_count, 1);
+        assert_eq!(r.labels, vec![0]);
+    }
+
+    #[test]
+    fn work_and_depth_counters_populated() {
+        let g = generators::grid2d(25, 25, |_, _| 1.0);
+        let r = split_graph(&g, &SplitParams::new(16).with_seed(6));
+        assert!(r.bfs_rounds_total > 0);
+        assert!(r.arcs_traversed > 0);
+        assert!(r.rounds_used >= 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Connected components, sequentially and in parallel.
+
+use rayon::prelude::*;
+
+use crate::graph::{Graph, VertexId};
+use crate::unionfind::{ConcurrentUnionFind, UnionFind};
+
+/// A labelling of vertices by connected component.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component label of each vertex, in `0..count`.
+    pub labels: Vec<u32>,
+    /// Number of connected components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Returns the vertices of each component.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &l) in self.labels.iter().enumerate() {
+            groups[l as usize].push(v as VertexId);
+        }
+        groups
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// True when vertices `u` and `v` are in the same component.
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+}
+
+/// Sequential connected components via union–find.
+pub fn connected_components(g: &Graph) -> Components {
+    let mut uf = UnionFind::new(g.n());
+    for e in g.edges() {
+        uf.unite(e.u, e.v);
+    }
+    let (labels, count) = uf.dense_labels();
+    Components { labels, count }
+}
+
+/// Parallel connected components via concurrent union–find over the edge
+/// list.
+pub fn parallel_connected_components(g: &Graph) -> Components {
+    let uf = ConcurrentUnionFind::new(g.n());
+    g.edges().par_iter().for_each(|e| {
+        uf.unite(e.u, e.v);
+    });
+    let (labels, count) = uf.dense_labels();
+    Components { labels, count }
+}
+
+/// True when the graph is connected (the empty graph and the single-vertex
+/// graph are considered connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    parallel_connected_components(g).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Edge;
+
+    #[test]
+    fn single_component_grid() {
+        let g = generators::grid2d(8, 9, |_, _| 1.0);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = Graph::from_edges(
+            6,
+            vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0), Edge::new(3, 4, 1.0)],
+        );
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1}, {2,3,4}, {5}
+        assert!(c.same(2, 4));
+        assert!(!c.same(0, 2));
+        assert_eq!(c.sizes().iter().sum::<usize>(), 6);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generators::erdos_renyi_gnm(500, 600, 42);
+        let seq = connected_components(&g);
+        let par = parallel_connected_components(&g);
+        assert_eq!(seq.count, par.count);
+        for u in 0..g.n() as VertexId {
+            for v in [0u32, u / 2, g.n() as u32 - 1] {
+                assert_eq!(seq.same(u, v), par.same(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn members_partition_vertices() {
+        let g = generators::erdos_renyi_gnm(100, 80, 3);
+        let c = parallel_connected_components(&g);
+        let groups = c.members();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(groups.len(), c.count);
+    }
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(is_connected(&Graph::from_edges(0, vec![])));
+        assert!(is_connected(&Graph::from_edges(1, vec![])));
+        assert!(!is_connected(&Graph::from_edges(2, vec![])));
+    }
+}

@@ -1,0 +1,126 @@
+//! Graph contraction (quotient graphs / minors).
+//!
+//! Contraction by vertex labels is used in two places:
+//!
+//! * the AKPW iteration contracts low-diameter components each round
+//!   (handled by [`MultiGraph::contract`](crate::multigraph::MultiGraph::contract));
+//! * the solver's greedy elimination and the sparsifier work with *simple*
+//!   quotient graphs where parallel edges are merged by summing weights
+//!   (the Laplacian of the quotient), which is what [`contract_simple`]
+//!   produces.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use crate::graph::{Edge, EdgeId, Graph, VertexId};
+
+/// Result of a simple contraction.
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    /// The quotient graph (parallel edges merged by weight sum, self-loops
+    /// dropped).
+    pub graph: Graph,
+    /// For each quotient edge, the ids of the original edges merged into it.
+    pub edge_members: Vec<Vec<EdgeId>>,
+}
+
+/// Contracts `g` according to `labels` (values in `0..k`), merging parallel
+/// edges by summing weights and dropping self-loops.
+pub fn contract_simple(g: &Graph, labels: &[u32], k: usize) -> Contraction {
+    assert_eq!(labels.len(), g.n());
+    debug_assert!(labels.iter().all(|&l| (l as usize) < k));
+    let mut buckets: HashMap<(VertexId, VertexId), (f64, Vec<EdgeId>)> = HashMap::new();
+    for (id, e) in g.edges().iter().enumerate() {
+        let lu = labels[e.u as usize];
+        let lv = labels[e.v as usize];
+        if lu == lv {
+            continue;
+        }
+        let key = if lu < lv { (lu, lv) } else { (lv, lu) };
+        let entry = buckets.entry(key).or_insert((0.0, Vec::new()));
+        entry.0 += e.w;
+        entry.1.push(id as EdgeId);
+    }
+    let mut keys: Vec<(VertexId, VertexId)> = buckets.keys().copied().collect();
+    keys.par_sort_unstable();
+    let mut edges = Vec::with_capacity(keys.len());
+    let mut edge_members = Vec::with_capacity(keys.len());
+    for key in keys {
+        let (w, members) = buckets.remove(&key).expect("key exists");
+        edges.push(Edge::new(key.0, key.1, w));
+        edge_members.push(members);
+    }
+    Contraction {
+        graph: Graph::from_edges_unchecked(k, edges),
+        edge_members,
+    }
+}
+
+/// Computes, for a labelling, how many edges of `g` cross between different
+/// labels (i.e. are cut by the partition).
+pub fn count_cut_edges(g: &Graph, labels: &[u32]) -> usize {
+    g.edges()
+        .par_iter()
+        .filter(|e| labels[e.u as usize] != labels[e.v as usize])
+        .count()
+}
+
+/// Lists the edge ids of `g` crossing between different labels.
+pub fn cut_edges(g: &Graph, labels: &[u32]) -> Vec<EdgeId> {
+    g.edges()
+        .par_iter()
+        .enumerate()
+        .filter(|(_, e)| labels[e.u as usize] != labels[e.v as usize])
+        .map(|(i, _)| i as EdgeId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn contract_cycle_in_half() {
+        let g = generators::cycle(6, 2.0);
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let c = contract_simple(&g, &labels, 2);
+        assert_eq!(c.graph.n(), 2);
+        // Two crossing edges (2-3 and 5-0) merge into one quotient edge of
+        // weight 4.
+        assert_eq!(c.graph.m(), 1);
+        assert_eq!(c.graph.edge(0).w, 4.0);
+        assert_eq!(c.edge_members[0].len(), 2);
+    }
+
+    #[test]
+    fn cut_edge_counting() {
+        let g = generators::grid2d(4, 4, |_, _| 1.0);
+        // Split grid by column parity of the linear index: lots of cuts.
+        let labels: Vec<u32> = (0..16).map(|v| (v % 4 < 2) as u32).collect();
+        let cut = count_cut_edges(&g, &labels);
+        let listed = cut_edges(&g, &labels);
+        assert_eq!(cut, listed.len());
+        assert!(cut > 0);
+        // All-same labels cut nothing.
+        assert_eq!(count_cut_edges(&g, &vec![0u32; 16]), 0);
+    }
+
+    #[test]
+    fn contraction_preserves_total_crossing_weight() {
+        let g = generators::weighted_random_graph(60, 200, 1.0, 5.0, 17);
+        let labels: Vec<u32> = (0..60u32).map(|v| v % 7).collect();
+        let c = contract_simple(&g, &labels, 7);
+        let crossing_weight: f64 = g
+            .edges()
+            .iter()
+            .filter(|e| labels[e.u as usize] != labels[e.v as usize])
+            .map(|e| e.w)
+            .sum();
+        assert!((c.graph.total_weight() - crossing_weight).abs() < 1e-9);
+        // Members cover exactly the cut edges.
+        let members: usize = c.edge_members.iter().map(|m| m.len()).sum();
+        assert_eq!(members, count_cut_edges(&g, &labels));
+    }
+}

@@ -1,0 +1,378 @@
+//! Synthetic graph generators.
+//!
+//! These are the workloads used by the tests, examples and experiment
+//! benches: regular lattices (the SDD systems arising from PDE/vision
+//! problems the paper's introduction motivates), random graphs (expander-
+//! like inputs where low-diameter decomposition is easy but stretch is
+//! interesting), pathological trees/cycles, and "ultra-sparse" graphs
+//! (tree + few extra edges) matching the preconditioners the solver chain
+//! produces internally.
+//!
+//! All generators are deterministic given their seed.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+
+/// Path graph `0 - 1 - ... - (n-1)` with constant edge weight.
+pub fn path(n: usize, weight: f64) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId, weight);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n >= 3` vertices with constant edge weight.
+pub fn cycle(n: usize, weight: f64) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId, weight);
+    }
+    b.add_edge((n - 1) as VertexId, 0, weight);
+    b.build()
+}
+
+/// Star graph: vertex 0 connected to vertices `1..n`.
+pub fn star(n: usize, weight: f64) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId, weight);
+    }
+    b.build()
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize, weight: f64) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId, weight);
+        }
+    }
+    b.build()
+}
+
+/// Two complete graphs of size `k` joined by a single path of length
+/// `bridge` — the classic "barbell", a worst case for ball growing and a
+/// good stress test for decomposition quality.
+pub fn barbell(k: usize, bridge: usize, weight: f64) -> Graph {
+    assert!(k >= 2);
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    let clique = |b: &mut GraphBuilder, off: usize| {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_edge((off + u) as VertexId, (off + v) as VertexId, weight);
+            }
+        }
+    };
+    clique(&mut b, 0);
+    clique(&mut b, k + bridge);
+    // Bridge path from vertex k-1 through bridge vertices to vertex k+bridge.
+    let mut prev = (k - 1) as VertexId;
+    for i in 0..bridge {
+        let cur = (k + i) as VertexId;
+        b.add_edge(prev, cur, weight);
+        prev = cur;
+    }
+    b.add_edge(prev, (k + bridge) as VertexId, weight);
+    b.build()
+}
+
+/// 2-D grid graph with `rows × cols` vertices; vertex `(r, c)` has index
+/// `r * cols + c`. `weight(u, v)` supplies the weight of each edge.
+pub fn grid2d(rows: usize, cols: usize, weight: impl Fn(VertexId, VertexId) -> f64) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let idx = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let (u, v) = (idx(r, c), idx(r, c + 1));
+                b.add_edge(u, v, weight(u, v));
+            }
+            if r + 1 < rows {
+                let (u, v) = (idx(r, c), idx(r + 1, c));
+                b.add_edge(u, v, weight(u, v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3-D grid graph with `nx × ny × nz` vertices and unit-or-custom weights.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, weight: impl Fn(VertexId, VertexId) -> f64) -> Graph {
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    let idx = |x: usize, y: usize, z: usize| (x * ny * nz + y * nz + z) as VertexId;
+    for x in 0..nx {
+        for y in 0..ny {
+            for z in 0..nz {
+                let u = idx(x, y, z);
+                if x + 1 < nx {
+                    let v = idx(x + 1, y, z);
+                    b.add_edge(u, v, weight(u, v));
+                }
+                if y + 1 < ny {
+                    let v = idx(x, y + 1, z);
+                    b.add_edge(u, v, weight(u, v));
+                }
+                if z + 1 < nz {
+                    let v = idx(x, y, z + 1);
+                    b.add_edge(u, v, weight(u, v));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// 2-D torus (grid with wrap-around edges), a common SDD benchmark with no
+/// boundary effects.
+pub fn torus2d(rows: usize, cols: usize, weight: f64) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs at least 3x3");
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let idx = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols), weight);
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c), weight);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniformly random edges (no parallel
+/// edges, no self-loops), unit weights.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0);
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "requested more edges than a simple graph allows");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while b.m() < m {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular multigraph via the configuration model (pairs up
+/// vertex "stubs" uniformly at random). Self-loops are discarded, so some
+/// vertices may end up with degree slightly below `d`; parallel edges are
+/// kept. `n * d` must be even.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n * d must be even");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut stubs: Vec<VertexId> = (0..n)
+        .flat_map(|v| std::iter::repeat(v as VertexId).take(d))
+        .collect();
+    stubs.shuffle(&mut rng);
+    let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+    for pair in stubs.chunks_exact(2) {
+        b.add_edge_skip_loops(pair[0], pair[1], 1.0);
+    }
+    b.build()
+}
+
+/// Connected random graph: a random spanning tree plus `extra` additional
+/// distinct random edges, with weights drawn uniformly from
+/// `[w_min, w_max]`. This is the workhorse input for solver tests.
+pub fn weighted_random_graph(n: usize, m: usize, w_min: f64, w_max: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!(m + 1 >= n, "need at least n-1 edges for connectivity");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let weight = |rng: &mut ChaCha8Rng| {
+        if w_min == w_max {
+            w_min
+        } else {
+            rng.gen_range(w_min..=w_max)
+        }
+    };
+    let mut seen = std::collections::HashSet::new();
+    // Random attachment tree guarantees connectivity.
+    let perm: Vec<VertexId> = {
+        let mut p: Vec<VertexId> = (0..n as VertexId).collect();
+        p.shuffle(&mut rng);
+        p
+    };
+    for i in 1..n {
+        let u = perm[i];
+        let v = perm[rng.gen_range(0..i)];
+        let key = if u < v { (u, v) } else { (v, u) };
+        seen.insert(key);
+        let w = weight(&mut rng);
+        b.add_edge(key.0, key.1, w);
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    while b.m() < target {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            let w = weight(&mut rng);
+            b.add_edge(key.0, key.1, w);
+        }
+    }
+    b.build()
+}
+
+/// Uniform random spanning tree-ish: random attachment tree on `n`
+/// vertices with the given constant weight (not uniform over all trees,
+/// but has the right size/shape distribution for testing).
+pub fn random_tree(n: usize, weight: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        let p = rng.gen_range(0..v);
+        b.add_edge(p, v, weight);
+    }
+    b.build()
+}
+
+/// An "ultra-sparse" graph: a random tree plus `extra` random non-tree
+/// edges (duplicates skipped), all with weights in `[w_min, w_max]`.
+/// Matches the `n - 1 + O(m / polylog)` shape of the preconditioners the
+/// chain produces (Theorem 5.9), and is the natural input for the greedy
+/// elimination experiments (Lemma 6.5).
+pub fn ultra_sparse(n: usize, extra: usize, w_min: f64, w_max: f64, seed: u64) -> Graph {
+    weighted_random_graph(n, (n - 1) + extra, w_min, w_max, seed)
+}
+
+/// Rescales every edge weight by a power-law factor to produce graphs with
+/// large *spread* Δ (ratio of max to min weight), exercising the weight-
+/// class machinery of AKPW (Section 5). `decades` is log10(Δ).
+pub fn with_power_law_weights(g: &Graph, decades: u32, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let edges = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let exp = rng.gen_range(0..=decades) as f64;
+            crate::graph::Edge::new(e.u, e.v, e.w * 10f64.powf(exp))
+        })
+        .collect();
+    Graph::from_edges_unchecked(g.n(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        let p = path(10, 1.0);
+        assert_eq!((p.n(), p.m()), (10, 9));
+        let c = cycle(10, 1.0);
+        assert_eq!((c.n(), c.m()), (10, 10));
+        assert!(c.edges().iter().all(|e| e.w == 1.0));
+        let s = star(10, 1.0);
+        assert_eq!((s.n(), s.m()), (10, 9));
+        assert_eq!(s.degree(0), 9);
+        let k = complete(6, 1.0);
+        assert_eq!((k.n(), k.m()), (6, 15));
+        assert_eq!(k.max_degree(), 5);
+    }
+
+    #[test]
+    fn grid_shapes() {
+        let g = grid2d(5, 7, |_, _| 1.0);
+        assert_eq!(g.n(), 35);
+        assert_eq!(g.m(), 5 * 6 + 4 * 7); // horizontal + vertical
+        assert!(is_connected(&g));
+        let g3 = grid3d(3, 4, 5, |_, _| 1.0);
+        assert_eq!(g3.n(), 60);
+        assert!(is_connected(&g3));
+        let t = torus2d(4, 5, 1.0);
+        assert_eq!(t.n(), 20);
+        assert_eq!(t.m(), 40);
+        assert_eq!(t.max_degree(), 4);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(5, 3, 1.0);
+        assert_eq!(g.n(), 13);
+        assert_eq!(g.m(), 2 * 10 + 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_counts_and_determinism() {
+        let a = erdos_renyi_gnm(100, 300, 7);
+        let b = erdos_renyi_gnm(100, 300, 7);
+        assert_eq!(a.m(), 300);
+        assert!(a.is_simple());
+        assert_eq!(
+            a.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>(),
+            b.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>()
+        );
+        let c = erdos_renyi_gnm(100, 300, 8);
+        assert_ne!(
+            a.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>(),
+            c.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(200, 4, 3);
+        assert!(g.m() <= 400);
+        assert!(g.max_degree() <= 4 + 4); // parallel edges possible but bounded in practice
+        // Average degree close to 4.
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(avg > 3.5 && avg <= 4.0);
+    }
+
+    #[test]
+    fn weighted_random_graph_connected() {
+        let g = weighted_random_graph(150, 400, 1.0, 10.0, 5);
+        assert_eq!(g.m(), 400);
+        assert!(is_connected(&g));
+        assert!(g.min_weight().unwrap() >= 1.0);
+        assert!(g.max_weight().unwrap() <= 10.0);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let g = random_tree(500, 1.0, 9);
+        assert_eq!(g.m(), 499);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ultra_sparse_edge_count() {
+        let g = ultra_sparse(100, 20, 1.0, 1.0, 13);
+        assert_eq!(g.m(), 119);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn power_law_weights_increase_spread() {
+        let g = grid2d(10, 10, |_, _| 1.0);
+        let w = with_power_law_weights(&g, 6, 21);
+        assert!(w.spread() >= 1e4);
+        assert_eq!(w.m(), g.m());
+    }
+}

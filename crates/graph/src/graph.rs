@@ -1,0 +1,396 @@
+//! The core immutable CSR graph type.
+//!
+//! [`Graph`] stores a weighted undirected multigraph in compressed sparse
+//! row (CSR) form. Every undirected edge has a stable [`EdgeId`] (its index
+//! in the edge list) so that higher layers — the AKPW contraction, the
+//! low-stretch subgraph output, the incremental sparsifier — can refer to
+//! edges of the *original* graph across transformations.
+
+use rayon::prelude::*;
+
+/// Vertex identifier. Vertices are numbered `0..n`.
+pub type VertexId = u32;
+
+/// Undirected edge identifier. Edges are numbered `0..m` in the order they
+/// were supplied to the builder.
+pub type EdgeId = u32;
+
+/// Sentinel for "no vertex" (used in BFS parents, component labels, ...).
+pub const INVALID_VERTEX: VertexId = u32::MAX;
+
+/// An undirected weighted edge `{u, v}` with weight `w > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Positive edge weight. In Laplacian terms this is the conductance;
+    /// in metric terms the *length* of the edge is `1/w` for some uses and
+    /// `w` for others — the stretch module documents which convention it
+    /// uses (the paper treats `w(e)` as a length).
+    pub w: f64,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId, w: f64) -> Self {
+        Edge { u, v, w }
+    }
+
+    /// Returns the endpoint different from `x`; panics if `x` is not an
+    /// endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else {
+            debug_assert_eq!(x, self.v);
+            self.u
+        }
+    }
+}
+
+/// A weighted undirected multigraph in CSR form with stable edge ids.
+///
+/// The graph is immutable after construction (use
+/// [`GraphBuilder`](crate::builder::GraphBuilder) or the constructors on
+/// this type). Self-loops are not allowed; parallel edges are.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Arc targets, length `2m`.
+    targets: Vec<VertexId>,
+    /// Arc weights, length `2m` (mirrors the undirected edge weight).
+    weights: Vec<f64>,
+    /// Undirected edge id of each arc, length `2m`.
+    arc_edge: Vec<EdgeId>,
+    /// The undirected edge list, length `m`.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    ///
+    /// Panics if an edge references a vertex `>= n`, has a non-positive or
+    /// non-finite weight, or is a self-loop.
+    pub fn from_edges(n: usize, edges: Vec<Edge>) -> Self {
+        for (i, e) in edges.iter().enumerate() {
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "edge {i} references vertex out of range: {e:?} with n={n}"
+            );
+            assert!(e.u != e.v, "edge {i} is a self-loop: {e:?}");
+            assert!(
+                e.w.is_finite() && e.w > 0.0,
+                "edge {i} has invalid weight: {e:?}"
+            );
+        }
+        Self::from_edges_unchecked(n, edges)
+    }
+
+    /// Builds a graph assuming the edge list has already been validated.
+    pub fn from_edges_unchecked(n: usize, edges: Vec<Edge>) -> Self {
+        let m = edges.len();
+        // Degree counting.
+        let mut degree = vec![0usize; n];
+        for e in &edges {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+        // Prefix sums -> offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        debug_assert_eq!(acc, 2 * m);
+        // Fill arcs.
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; 2 * m];
+        let mut weights = vec![0.0f64; 2 * m];
+        let mut arc_edge = vec![0 as EdgeId; 2 * m];
+        for (id, e) in edges.iter().enumerate() {
+            let pu = cursor[e.u as usize];
+            targets[pu] = e.v;
+            weights[pu] = e.w;
+            arc_edge[pu] = id as EdgeId;
+            cursor[e.u as usize] += 1;
+
+            let pv = cursor[e.v as usize];
+            targets[pv] = e.u;
+            weights[pv] = e.w;
+            arc_edge[pv] = id as EdgeId;
+            cursor[e.v as usize] += 1;
+        }
+        Graph {
+            n,
+            offsets,
+            targets,
+            weights,
+            arc_edge,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of vertex `v` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The undirected edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with identifier `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e as usize]
+    }
+
+    /// Neighbors of `v` (with multiplicity), as a slice of vertex ids.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterates over the arcs leaving `v` as `(neighbor, weight, edge_id)`.
+    #[inline]
+    pub fn arcs(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64, EdgeId)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        (lo..hi).map(move |i| (self.targets[i], self.weights[i], self.arc_edge[i]))
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.par_iter().map(|e| e.w).sum()
+    }
+
+    /// Minimum edge weight (`None` for the empty graph).
+    pub fn min_weight(&self) -> Option<f64> {
+        self.edges
+            .par_iter()
+            .map(|e| e.w)
+            .reduce_with(f64::min)
+    }
+
+    /// Maximum edge weight (`None` for the empty graph).
+    pub fn max_weight(&self) -> Option<f64> {
+        self.edges
+            .par_iter()
+            .map(|e| e.w)
+            .reduce_with(f64::max)
+    }
+
+    /// The *spread* Δ = max weight / min weight (1.0 for the empty graph).
+    pub fn spread(&self) -> f64 {
+        match (self.min_weight(), self.max_weight()) {
+            (Some(lo), Some(hi)) => hi / lo,
+            _ => 1.0,
+        }
+    }
+
+    /// Maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n)
+            .into_par_iter()
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns a copy of the graph with every edge weight replaced by `1.0`.
+    pub fn unweighted(&self) -> Graph {
+        let edges = self
+            .edges
+            .par_iter()
+            .map(|e| Edge::new(e.u, e.v, 1.0))
+            .collect();
+        Graph::from_edges_unchecked(self.n, edges)
+    }
+
+    /// Returns the subgraph consisting of the listed edge ids, on the same
+    /// vertex set.
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> Graph {
+        let edges: Vec<Edge> = edge_ids.iter().map(|&e| self.edge(e)).collect();
+        Graph::from_edges_unchecked(self.n, edges)
+    }
+
+    /// Merges parallel edges by summing their weights, returning a simple
+    /// graph (no parallel edges, no self-loops). Edge ids are renumbered.
+    pub fn simplify(&self) -> Graph {
+        use std::collections::HashMap;
+        let mut map: HashMap<(VertexId, VertexId), f64> = HashMap::with_capacity(self.m());
+        for e in &self.edges {
+            let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+            *map.entry(key).or_insert(0.0) += e.w;
+        }
+        let mut edges: Vec<Edge> = map
+            .into_iter()
+            .map(|((u, v), w)| Edge::new(u, v, w))
+            .collect();
+        // Deterministic order.
+        edges.sort_by_key(|e| (e.u, e.v));
+        Graph::from_edges_unchecked(self.n, edges)
+    }
+
+    /// True when the graph contains no parallel edges.
+    pub fn is_simple(&self) -> bool {
+        use std::collections::HashSet;
+        let mut seen = HashSet::with_capacity(self.m());
+        for e in &self.edges {
+            let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+            if !seen.insert(key) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Volume (sum of degrees) of a set of vertices.
+    pub fn volume(&self, vertices: &[VertexId]) -> usize {
+        vertices.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Weighted degree (sum of incident edge weights) of vertex `v`.
+    pub fn weighted_degree(&self, v: VertexId) -> f64 {
+        self.arcs(v).map(|(_, w, _)| w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(
+            3,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 2.0),
+                Edge::new(2, 0, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_and_arcs() {
+        let g = triangle();
+        let mut nbrs: Vec<_> = g.neighbors(0).to_vec();
+        nbrs.sort();
+        assert_eq!(nbrs, vec![1, 2]);
+        let arcs: Vec<_> = g.arcs(1).collect();
+        assert_eq!(arcs.len(), 2);
+        for (nbr, w, id) in arcs {
+            let e = g.edge(id);
+            assert!((e.u == 1 && e.v == nbr) || (e.v == 1 && e.u == nbr));
+            assert_eq!(e.w, w);
+        }
+    }
+
+    #[test]
+    fn weight_statistics() {
+        let g = triangle();
+        assert_eq!(g.total_weight(), 7.0);
+        assert_eq!(g.min_weight(), Some(1.0));
+        assert_eq!(g.max_weight(), Some(4.0));
+        assert_eq!(g.spread(), 4.0);
+        assert!((g.weighted_degree(2) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unweighted_copy() {
+        let g = triangle().unweighted();
+        assert!(g.edges().iter().all(|e| e.w == 1.0));
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn edge_subgraph_selects_edges() {
+        let g = triangle();
+        let sub = g.edge_subgraph(&[0, 2]);
+        assert_eq!(sub.m(), 2);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.degree(1), 1);
+    }
+
+    #[test]
+    fn simplify_merges_parallel_edges() {
+        let g = Graph::from_edges(
+            2,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 0, 2.5), Edge::new(0, 1, 0.5)],
+        );
+        assert!(!g.is_simple());
+        let s = g.simplify();
+        assert!(s.is_simple());
+        assert_eq!(s.m(), 1);
+        assert!((s.edge(0).w - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_self_loop() {
+        let _ = Graph::from_edges(2, vec![Edge::new(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        let _ = Graph::from_edges(2, vec![Edge::new(0, 2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_weight() {
+        let _ = Graph::from_edges(2, vec![Edge::new(0, 1, 0.0)]);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(3, 7, 1.0);
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(5, vec![]);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.min_weight(), None);
+        assert_eq!(g.spread(), 1.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Edge-classed multigraphs used by the AKPW iteration (Section 5).
+//!
+//! AKPW repeatedly contracts components of a minor of the original graph;
+//! the minor keeps *parallel edges* (Algorithm 5.1, step 3) and every edge
+//! must remember (a) the weight class ("bucket") it belongs to and (b) its
+//! identity in the original input graph, so the spanning tree / subgraph is
+//! reported in terms of original edge ids. [`MultiGraph`] is exactly this
+//! bookkeeping structure.
+
+use rayon::prelude::*;
+
+use crate::graph::{Edge, EdgeId, Graph, VertexId};
+
+/// An edge of a [`MultiGraph`]: endpoints in the *current* (contracted)
+/// vertex space, plus weight-class and original-edge metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassedEdge {
+    /// First endpoint (current vertex id).
+    pub u: VertexId,
+    /// Second endpoint (current vertex id).
+    pub v: VertexId,
+    /// Weight of the original edge.
+    pub weight: f64,
+    /// Weight class (bucket index `i` such that `w ∈ [z^{i-1}, z^i)`).
+    pub class: u32,
+    /// Id of the corresponding edge in the original input graph.
+    pub original: EdgeId,
+}
+
+/// A multigraph over `n` current vertices whose edges carry class and
+/// provenance information.
+#[derive(Debug, Clone, Default)]
+pub struct MultiGraph {
+    n: usize,
+    edges: Vec<ClassedEdge>,
+}
+
+impl MultiGraph {
+    /// Creates a multigraph with `n` vertices and the given edges.
+    pub fn new(n: usize, edges: Vec<ClassedEdge>) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|e| (e.u as usize) < n && (e.v as usize) < n && e.u != e.v));
+        MultiGraph { n, edges }
+    }
+
+    /// Builds the initial (uncontracted) multigraph from a host graph and a
+    /// per-edge class assignment.
+    pub fn from_graph(g: &Graph, classes: &[u32]) -> Self {
+        assert_eq!(classes.len(), g.m());
+        let edges = g
+            .edges()
+            .par_iter()
+            .enumerate()
+            .map(|(id, e)| ClassedEdge {
+                u: e.u,
+                v: e.v,
+                weight: e.w,
+                class: classes[id],
+                original: id as EdgeId,
+            })
+            .collect();
+        MultiGraph { n: g.n(), edges }
+    }
+
+    /// Number of current vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when there are no edges left.
+    pub fn is_exhausted(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[ClassedEdge] {
+        &self.edges
+    }
+
+    /// Number of edges in each class (indexed by class id, up to the
+    /// largest class present).
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let max_class = self.edges.iter().map(|e| e.class).max().map_or(0, |c| c as usize + 1);
+        let mut sizes = vec![0usize; max_class];
+        for e in &self.edges {
+            sizes[e.class as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Builds an unweighted [`Graph`] *view* of the edges selected by
+    /// `keep`, for running hop-distance algorithms (BFS, decomposition) on
+    /// the current minor. Returns the view plus a map from the view's edge
+    /// ids back to indices into `self.edges()`.
+    pub fn view<F>(&self, keep: F) -> (Graph, Vec<usize>)
+    where
+        F: Fn(&ClassedEdge) -> bool + Sync,
+    {
+        let kept: Vec<usize> = self
+            .edges
+            .par_iter()
+            .enumerate()
+            .filter(|(_, e)| keep(e))
+            .map(|(i, _)| i)
+            .collect();
+        let view_edges: Vec<Edge> = kept
+            .par_iter()
+            .map(|&i| {
+                let e = &self.edges[i];
+                Edge::new(e.u, e.v, 1.0)
+            })
+            .collect();
+        (Graph::from_edges_unchecked(self.n, view_edges), kept)
+    }
+
+    /// Contracts the multigraph according to a vertex labelling
+    /// (`labels[v]` in `0..k`): vertices with equal labels merge, self-loops
+    /// are discarded, parallel edges are kept (Algorithm 5.1, step 3).
+    pub fn contract(&self, labels: &[u32], k: usize) -> MultiGraph {
+        assert_eq!(labels.len(), self.n);
+        let edges: Vec<ClassedEdge> = self
+            .edges
+            .par_iter()
+            .filter_map(|e| {
+                let lu = labels[e.u as usize];
+                let lv = labels[e.v as usize];
+                if lu == lv {
+                    None
+                } else {
+                    Some(ClassedEdge {
+                        u: lu,
+                        v: lv,
+                        weight: e.weight,
+                        class: e.class,
+                        original: e.original,
+                    })
+                }
+            })
+            .collect();
+        MultiGraph { n: k, edges }
+    }
+
+    /// Retains only the edges satisfying `keep` (used to move classes into
+    /// the "generic bucket" or drop them).
+    pub fn filter<F>(&self, keep: F) -> MultiGraph
+    where
+        F: Fn(&ClassedEdge) -> bool + Sync,
+    {
+        let edges = self
+            .edges
+            .par_iter()
+            .copied()
+            .filter(|e| keep(e))
+            .collect();
+        MultiGraph { n: self.n, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn from_graph_preserves_metadata() {
+        let g = generators::path(4, 3.0);
+        let mg = MultiGraph::from_graph(&g, &[0, 1, 2]);
+        assert_eq!(mg.n(), 4);
+        assert_eq!(mg.m(), 3);
+        assert_eq!(mg.edges()[1].class, 1);
+        assert_eq!(mg.edges()[2].original, 2);
+        assert_eq!(mg.class_sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn view_filters_and_maps_back() {
+        let g = generators::path(5, 1.0);
+        let mg = MultiGraph::from_graph(&g, &[0, 0, 1, 1]);
+        let (view, map) = mg.view(|e| e.class == 0);
+        assert_eq!(view.m(), 2);
+        assert_eq!(view.n(), 5);
+        assert_eq!(map, vec![0, 1]);
+        assert_eq!(mg.edges()[map[1]].original, 1);
+    }
+
+    #[test]
+    fn contract_drops_self_loops_keeps_parallel() {
+        let g = generators::cycle(4, 1.0); // edges 0-1,1-2,2-3,3-0
+        let mg = MultiGraph::from_graph(&g, &[0; 4]);
+        // Merge {0,1} -> 0 and {2,3} -> 1: edges 0-1 and 2-3 become loops,
+        // edges 1-2 and 3-0 become two parallel edges between supernodes.
+        let c = mg.contract(&[0, 0, 1, 1], 2);
+        assert_eq!(c.n(), 2);
+        assert_eq!(c.m(), 2);
+        assert!(c.edges().iter().all(|e| (e.u, e.v) == (0, 1) || (e.u, e.v) == (1, 0)));
+        // Original ids preserved.
+        let mut originals: Vec<EdgeId> = c.edges().iter().map(|e| e.original).collect();
+        originals.sort_unstable();
+        assert_eq!(originals, vec![1, 3]);
+    }
+
+    #[test]
+    fn filter_retains_predicate() {
+        let g = generators::path(6, 1.0);
+        let mg = MultiGraph::from_graph(&g, &[0, 1, 0, 1, 0]);
+        let f = mg.filter(|e| e.class == 1);
+        assert_eq!(f.m(), 2);
+        assert_eq!(f.n(), 6);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let g = generators::path(3, 1.0);
+        let mg = MultiGraph::from_graph(&g, &[0, 0]);
+        assert!(!mg.is_exhausted());
+        let c = mg.contract(&[0, 0, 0], 1);
+        assert!(c.is_exhausted());
+    }
+}

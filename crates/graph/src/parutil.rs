@@ -1,0 +1,158 @@
+//! Small parallel primitives shared by the graph algorithms.
+//!
+//! These are the classic PRAM building blocks (prefix sums, filtered
+//! compaction, counting) expressed with rayon. They keep the higher-level
+//! algorithms close to their PRAM pseudocode.
+
+use rayon::prelude::*;
+
+/// Sequential-work cutoff below which parallel dispatch is not worth it.
+pub const SEQ_CUTOFF: usize = 1 << 12;
+
+/// Exclusive prefix sum. Returns a vector of length `input.len() + 1`
+/// where `out[i]` is the sum of `input[..i]` and `out[len]` is the total.
+pub fn exclusive_prefix_sum(input: &[usize]) -> Vec<usize> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n + 1);
+    if n < SEQ_CUTOFF {
+        let mut acc = 0usize;
+        out.push(0);
+        for &x in input {
+            acc += x;
+            out.push(acc);
+        }
+        return out;
+    }
+    // Block-wise parallel scan.
+    let threads = rayon::current_num_threads().max(1);
+    let block = n.div_ceil(threads);
+    let block_sums: Vec<usize> = input
+        .par_chunks(block)
+        .map(|chunk| chunk.iter().sum::<usize>())
+        .collect();
+    let mut block_offsets = Vec::with_capacity(block_sums.len() + 1);
+    let mut acc = 0usize;
+    block_offsets.push(0);
+    for &s in &block_sums {
+        acc += s;
+        block_offsets.push(acc);
+    }
+    out.resize(n + 1, 0);
+    out[n] = acc;
+    let out_ptr = SyncMutPtr(out.as_mut_ptr());
+    input
+        .par_chunks(block)
+        .enumerate()
+        .for_each(|(bi, chunk)| {
+            let mut local = block_offsets[bi];
+            let base = bi * block;
+            for (i, &x) in chunk.iter().enumerate() {
+                // SAFETY: each (bi, i) pair maps to a distinct index < n,
+                // and index n was written before the parallel loop.
+                unsafe { out_ptr.write(base + i, local) };
+                local += x;
+            }
+        });
+    out
+}
+
+/// A Send/Sync wrapper for a raw mutable pointer used in disjoint parallel
+/// writes. Callers must guarantee disjointness.
+#[derive(Clone, Copy)]
+pub(crate) struct SyncMutPtr<T>(pub *mut T);
+unsafe impl<T> Send for SyncMutPtr<T> {}
+unsafe impl<T> Sync for SyncMutPtr<T> {}
+
+impl<T> SyncMutPtr<T> {
+    /// Writes `val` at `idx`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that `idx` is in bounds and that no other
+    /// thread writes or reads the same index concurrently.
+    pub(crate) unsafe fn write(&self, idx: usize, val: T) {
+        *self.0.add(idx) = val;
+    }
+}
+
+/// Parallel filter + collect preserving order.
+pub fn par_filter<T, F>(items: &[T], keep: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if items.len() < SEQ_CUTOFF {
+        return items.iter().copied().filter(|x| keep(x)).collect();
+    }
+    items
+        .par_iter()
+        .copied()
+        .filter(|x| keep(x))
+        .collect()
+}
+
+/// Counts how many items satisfy a predicate, in parallel.
+pub fn par_count<T, F>(items: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if items.len() < SEQ_CUTOFF {
+        return items.iter().filter(|x| pred(x)).count();
+    }
+    items.par_iter().filter(|x| pred(x)).count()
+}
+
+/// Runs `f` on a rayon pool with exactly `threads` worker threads. Used by
+/// the scaling experiments (E3/E9) to measure parallel speedup without
+/// touching the global pool.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_small() {
+        let xs = vec![1usize, 2, 3, 4];
+        assert_eq!(exclusive_prefix_sum(&xs), vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn prefix_sum_empty() {
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
+    }
+
+    #[test]
+    fn prefix_sum_large_matches_sequential() {
+        let xs: Vec<usize> = (0..100_000).map(|i| i % 7).collect();
+        let par = exclusive_prefix_sum(&xs);
+        let mut acc = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(par[i], acc);
+            acc += x;
+        }
+        assert_eq!(par[xs.len()], acc);
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let evens = par_filter(&xs, |x| x % 2 == 0);
+        assert_eq!(evens.len(), 5000);
+        assert_eq!(par_count(&xs, |x| *x < 100), 100);
+        // Order preserved.
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn with_threads_runs_closure() {
+        let r = with_threads(2, || rayon::current_num_threads());
+        assert_eq!(r, 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Sparse matrices in compressed sparse row (CSR) form.
+//!
+//! The solver mostly works with Laplacians represented as graphs, but the
+//! general [`CsrMatrix`] is used for: accepting user SDD systems, the
+//! Gremban reduction, tests against dense arithmetic, and the application
+//! layer (e.g. edge–vertex incidence products for electrical flows).
+
+use rayon::prelude::*;
+
+use crate::operator::LinearOperator;
+
+/// A sparse matrix in CSR format. Rows are stored contiguously; the matrix
+/// need not be symmetric, but [`LinearOperator`] is only meaningful for
+/// symmetric matrices.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from triplets `(row, col, value)`. Duplicate
+    /// entries are summed. Triplet order does not matter.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of range");
+        }
+        // Count entries per row after deduplication within (row, col).
+        let mut sorted: Vec<(u32, u32, f64)> = triplets.to_vec();
+        sorted.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut dedup: Vec<(u32, u32, f64)> = Vec::with_capacity(sorted.len());
+        for t in sorted {
+            if let Some(last) = dedup.last_mut() {
+                if last.0 == t.0 && last.1 == t.1 {
+                    last.2 += t.2;
+                    continue;
+                }
+            }
+            dedup.push(t);
+        }
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &dedup {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = dedup.iter().map(|t| t.1).collect();
+        let values = dedup.iter().map(|t| t.2).collect();
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The entries of row `r` as `(col, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Returns entry `(r, c)` (zero if not stored).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.row(r)
+            .find(|&(col, _)| col as usize == c)
+            .map_or(0.0, |(_, v)| v)
+    }
+
+    /// The diagonal of the matrix.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// True when the matrix is exactly symmetric (structurally and
+    /// numerically, up to `tol` relative tolerance).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let vt = self.get(c as usize, r);
+                let scale = v.abs().max(vt.abs()).max(1.0);
+                if (v - vt).abs() > tol * scale {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Parallel sparse matrix–vector product `y ← A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let kernel = |r: usize| {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for i in lo..hi {
+                acc += self.values[i] * x[self.col_idx[i] as usize];
+            }
+            acc
+        };
+        if self.rows < 1 << 13 {
+            for (r, yr) in y.iter_mut().enumerate() {
+                *yr = kernel(r);
+            }
+        } else {
+            y.par_iter_mut().enumerate().for_each(|(r, yr)| *yr = kernel(r));
+        }
+    }
+
+    /// Transposed product `y ← Aᵀ x` (sequential accumulation; used by the
+    /// incidence-matrix operations in the application layer).
+    pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for i in lo..hi {
+                y[self.col_idx[i] as usize] += self.values[i] * xr;
+            }
+        }
+    }
+
+    /// Converts to a dense row-major matrix (tests / small systems only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.cols]; self.rows];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                d[r][c as usize] += v;
+            }
+        }
+        d
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(self.rows, self.cols, "operator must be square");
+        self.rows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [ 2 -1  0]
+        // [-1  2 -1]
+        // [ 0 -1  2]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = example();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 1.0)]);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = example();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+        let dense = a.to_dense();
+        for r in 0..3 {
+            let expect: f64 = (0..3).map(|c| dense[r][c] * x[c]).sum();
+            assert!((y[r] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_transpose_matches_for_rectangular() {
+        // 2x3 matrix.
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        let x = vec![1.0, 2.0];
+        let mut y = vec![0.0; 3];
+        a.spmv_transpose(&x, &mut y);
+        assert_eq!(y, vec![1.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn operator_interface() {
+        let a = example();
+        assert_eq!(a.dim(), 3);
+        let norm = a.a_norm(&[1.0, 0.0, 0.0]);
+        assert!((norm - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_detection() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]);
+        assert!(!a.is_symmetric(1e-12));
+    }
+}

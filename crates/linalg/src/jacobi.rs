@@ -1,0 +1,81 @@
+//! Diagonal (Jacobi) preconditioner.
+//!
+//! The simplest classical preconditioner; used as a baseline in the solver
+//! experiments (E8) and inside tests.
+
+use crate::csr::CsrMatrix;
+use crate::laplacian::LaplacianOp;
+use crate::operator::Preconditioner;
+
+/// Jacobi (diagonal) preconditioner: `z = D⁻¹ r`.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds the preconditioner from an explicit diagonal. Zero diagonal
+    /// entries (isolated vertices) are treated as identity.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let inv_diag = diag
+            .iter()
+            .map(|&d| if d.abs() > 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        JacobiPreconditioner { inv_diag }
+    }
+
+    /// Builds the preconditioner from a Laplacian operator (weighted
+    /// degrees).
+    pub fn from_laplacian(op: &LaplacianOp<'_>) -> Self {
+        Self::from_diagonal(op.diagonal())
+    }
+
+    /// Builds the preconditioner from a CSR matrix's diagonal.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        Self::from_diagonal(&a.diagonal())
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn precondition(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::LaplacianOp;
+    use parsdd_graph::generators;
+
+    #[test]
+    fn diagonal_inverse_applied() {
+        let p = JacobiPreconditioner::from_diagonal(&[2.0, 4.0, 0.0]);
+        let z = p.precondition_vec(&[2.0, 2.0, 5.0]);
+        assert_eq!(z, vec![1.0, 0.5, 5.0]);
+        assert_eq!(p.dim(), 3);
+    }
+
+    #[test]
+    fn from_laplacian_uses_weighted_degree() {
+        let g = generators::star(4, 2.0);
+        let op = LaplacianOp::new(&g);
+        let p = JacobiPreconditioner::from_laplacian(&op);
+        let z = p.precondition_vec(&[6.0, 2.0, 2.0, 2.0]);
+        assert_eq!(z, vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_csr_matches_matrix_diagonal() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 5.0), (1, 1, 10.0), (0, 1, -1.0), (1, 0, -1.0)]);
+        let p = JacobiPreconditioner::from_csr(&a);
+        let z = p.precondition_vec(&[5.0, 10.0]);
+        assert_eq!(z, vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Graph Laplacians.
+//!
+//! The Laplacian of a weighted graph `G = (V, E, w)` is
+//! `L(i,j) = -w_{ij}` for `i ≠ j` and `L(i,i) = Σ_j w_{ij}` (Section 2 of
+//! the paper). The solver treats graphs and their Laplacians
+//! interchangeably; [`LaplacianOp`] applies `L x` directly from the CSR
+//! graph without materialising a matrix, which is both faster and keeps the
+//! graph structure available to the preconditioner machinery.
+
+use rayon::prelude::*;
+
+use parsdd_graph::Graph;
+
+use crate::csr::CsrMatrix;
+use crate::operator::LinearOperator;
+
+/// Builds the Laplacian of `g` as an explicit [`CsrMatrix`].
+pub fn laplacian_of(g: &Graph) -> CsrMatrix {
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(4 * g.m() + g.n());
+    for e in g.edges() {
+        triplets.push((e.u, e.v, -e.w));
+        triplets.push((e.v, e.u, -e.w));
+        triplets.push((e.u, e.u, e.w));
+        triplets.push((e.v, e.v, e.w));
+    }
+    // Ensure every vertex has a diagonal entry (possibly zero) so the
+    // matrix has a full diagonal even for isolated vertices.
+    for v in 0..g.n() as u32 {
+        triplets.push((v, v, 0.0));
+    }
+    CsrMatrix::from_triplets(g.n(), g.n(), &triplets)
+}
+
+/// Reconstructs a graph from a Laplacian matrix.
+///
+/// Off-diagonal entries must be non-positive; positive off-diagonals (a
+/// general SDD matrix) must first go through
+/// [`GrembanReduction`](crate::sdd::GrembanReduction). Entries smaller in
+/// magnitude than `drop_tol` are ignored.
+pub fn graph_of_laplacian(l: &CsrMatrix, drop_tol: f64) -> Graph {
+    assert_eq!(l.rows(), l.cols());
+    let n = l.rows();
+    let mut builder = parsdd_graph::GraphBuilder::new(n);
+    for r in 0..n {
+        for (c, v) in l.row(r) {
+            let c = c as usize;
+            if c <= r {
+                continue;
+            }
+            if v.abs() <= drop_tol {
+                continue;
+            }
+            assert!(
+                v < 0.0,
+                "Laplacian off-diagonal must be non-positive, found {v} at ({r},{c})"
+            );
+            builder.add_edge(r as u32, c as u32, -v);
+        }
+    }
+    builder.build()
+}
+
+/// A matrix-free Laplacian operator over a graph.
+#[derive(Debug, Clone)]
+pub struct LaplacianOp<'a> {
+    graph: &'a Graph,
+    weighted_degree: Vec<f64>,
+}
+
+impl<'a> LaplacianOp<'a> {
+    /// Creates the operator (precomputes weighted degrees).
+    pub fn new(graph: &'a Graph) -> Self {
+        let weighted_degree = (0..graph.n())
+            .into_par_iter()
+            .map(|v| graph.weighted_degree(v as u32))
+            .collect();
+        LaplacianOp {
+            graph,
+            weighted_degree,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The weighted degree (diagonal of the Laplacian).
+    pub fn diagonal(&self) -> &[f64] {
+        &self.weighted_degree
+    }
+}
+
+impl LinearOperator for LaplacianOp<'_> {
+    fn dim(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.graph.n());
+        assert_eq!(y.len(), self.graph.n());
+        let kernel = |v: usize| {
+            let mut acc = self.weighted_degree[v] * x[v];
+            for (u, w, _e) in self.graph.arcs(v as u32) {
+                acc -= w * x[u as usize];
+            }
+            acc
+        };
+        // Parallel dispatch only pays off for systems large enough to
+        // amortise the fork-join overhead.
+        if self.graph.n() < 1 << 13 {
+            for (v, yv) in y.iter_mut().enumerate() {
+                *yv = kernel(v);
+            }
+        } else {
+            y.par_iter_mut().enumerate().for_each(|(v, yv)| *yv = kernel(v));
+        }
+    }
+}
+
+/// Quadratic form `xᵀ L_G x = Σ_e w_e (x_u - x_v)²`, computed edge-wise
+/// (numerically the most stable way to evaluate Laplacian energies).
+pub fn laplacian_quadratic_form(g: &Graph, x: &[f64]) -> f64 {
+    assert_eq!(x.len(), g.n());
+    g.edges()
+        .par_iter()
+        .map(|e| {
+            let d = x[e.u as usize] - x[e.v as usize];
+            e.w * d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+
+    #[test]
+    fn laplacian_matrix_of_path() {
+        let g = generators::path(3, 1.0);
+        let l = laplacian_of(&g);
+        let d = l.to_dense();
+        let expect = [[1.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 1.0]];
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((d[r][c] - expect[r][c]).abs() < 1e-12, "({r},{c})");
+            }
+        }
+        assert!(l.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn operator_matches_matrix() {
+        let g = generators::weighted_random_graph(50, 150, 0.5, 4.0, 3);
+        let l = laplacian_of(&g);
+        let op = LaplacianOp::new(&g);
+        let x: Vec<f64> = (0..g.n()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y_matrix = l.apply_vec(&x);
+        let y_op = op.apply_vec(&x);
+        for (a, b) in y_matrix.iter().zip(&y_op) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_operator() {
+        let g = generators::grid2d(6, 6, |_, _| 2.0);
+        let op = LaplacianOp::new(&g);
+        let x: Vec<f64> = (0..g.n()).map(|i| ((i * 7) % 11) as f64).collect();
+        let via_edges = laplacian_quadratic_form(&g, &x);
+        let lx = op.apply_vec(&x);
+        let via_op: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        assert!((via_edges - via_op).abs() < 1e-7 * via_edges.abs().max(1.0));
+    }
+
+    #[test]
+    fn laplacian_annihilates_constants() {
+        let g = generators::cycle(7, 3.0);
+        let op = LaplacianOp::new(&g);
+        let ones = vec![1.0; 7];
+        let y = op.apply_vec(&ones);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn roundtrip_graph_laplacian_graph() {
+        let g = generators::weighted_random_graph(30, 60, 1.0, 5.0, 8);
+        let l = laplacian_of(&g);
+        let g2 = graph_of_laplacian(&l, 1e-12);
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        assert!((g2.total_weight() - g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn positive_offdiagonal_rejected() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 0.5), (1, 0, 0.5)]);
+        let _ = graph_of_laplacian(&m, 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # parsdd-linalg
+//!
+//! Linear-algebra substrate for the `parsdd` reproduction of *Near
+//! Linear-Work Parallel SDD Solvers* (SPAA 2011).
+//!
+//! The paper's solver operates on graph Laplacians and, via Gremban's
+//! reduction, on general symmetric diagonally dominant (SDD) matrices.
+//! This crate provides:
+//!
+//! * [`vector`] — parallel dense vector kernels (dot, axpy, norms,
+//!   projections onto `1⊥`).
+//! * [`operator`] — the [`LinearOperator`](operator::LinearOperator) and
+//!   [`Preconditioner`](operator::Preconditioner) abstractions shared by
+//!   every iterative method and by the recursive solver chain.
+//! * [`csr`] — symmetric sparse matrices in CSR form with parallel
+//!   matrix–vector products.
+//! * [`laplacian`] — graph ↔ Laplacian conversions and the fast
+//!   Laplacian-apply operator that works directly on a
+//!   [`parsdd_graph::Graph`].
+//! * [`sdd`] — SDD matrix classification and Gremban's reduction of an SDD
+//!   system to a Laplacian system (Section 2 / Section 6 of the paper).
+//! * [`cholesky`] — dense LDLᵀ factorisation used at the bottom of the
+//!   preconditioner chain (Fact 6.4).
+//! * [`cg`] — conjugate gradient and preconditioned conjugate gradient.
+//! * [`chebyshev`] — preconditioned Chebyshev iteration (the paper's rPCh
+//!   inner iteration, Lemma 6.7).
+//! * [`jacobi`] — diagonal (Jacobi) preconditioner baseline.
+//! * [`power`] — power iteration / generalized Rayleigh quotient bounds
+//!   used to verify `G ⪯ H ⪯ κG` relations experimentally.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cg;
+pub mod chebyshev;
+pub mod cholesky;
+pub mod csr;
+pub mod jacobi;
+pub mod laplacian;
+pub mod operator;
+pub mod power;
+pub mod sdd;
+pub mod vector;
+
+pub use cg::{cg_solve, pcg_solve, CgOptions, CgOutcome};
+pub use chebyshev::{chebyshev_solve, ChebyshevOptions};
+pub use cholesky::DenseLdl;
+pub use csr::CsrMatrix;
+pub use laplacian::{laplacian_of, LaplacianOp};
+pub use operator::{IdentityPreconditioner, LinearOperator, Preconditioner};
+pub use sdd::{GrembanReduction, SddClass};

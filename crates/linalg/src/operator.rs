@@ -1,0 +1,124 @@
+//! Linear operator and preconditioner abstractions.
+//!
+//! The iterative methods (CG, PCG, Chebyshev) and the recursive solver
+//! chain only interact with matrices through these two traits, so a level
+//! of the preconditioner chain, a CSR matrix, a graph Laplacian and a dense
+//! factorization are all interchangeable.
+
+use crate::vector;
+
+/// A symmetric linear operator `y = A x` on `R^n`.
+pub trait LinearOperator: Sync {
+    /// Dimension `n` of the operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y ← A x`. `x` and `y` have length [`dim`](Self::dim).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience allocation-returning apply.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+
+    /// The `A`-norm `‖x‖_A = sqrt(xᵀ A x)` (clamped at zero for roundoff).
+    fn a_norm(&self, x: &[f64]) -> f64 {
+        let ax = self.apply_vec(x);
+        vector::a_norm_with(x, &ax)
+    }
+
+    /// Residual `b - A x`.
+    fn residual(&self, x: &[f64], b: &[f64]) -> Vec<f64> {
+        let ax = self.apply_vec(x);
+        vector::sub(b, &ax)
+    }
+}
+
+/// An (approximate) inverse operator `z ≈ A⁻¹ r` used as a preconditioner.
+pub trait Preconditioner: Sync {
+    /// Dimension of the preconditioner.
+    fn dim(&self) -> usize;
+
+    /// Computes `z ← M⁻¹ r` for the preconditioning operator `M`.
+    fn precondition(&self, r: &[f64], z: &mut [f64]);
+
+    /// Convenience allocation-returning apply.
+    fn precondition_vec(&self, r: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; self.dim()];
+        self.precondition(r, &mut z);
+        z
+    }
+}
+
+/// The identity preconditioner (turns PCG into plain CG).
+#[derive(Debug, Clone, Copy)]
+pub struct IdentityPreconditioner {
+    n: usize,
+}
+
+impl IdentityPreconditioner {
+    /// Creates an identity preconditioner of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        IdentityPreconditioner { n }
+    }
+}
+
+impl Preconditioner for IdentityPreconditioner {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn precondition(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// A diagonal matrix as a [`LinearOperator`] (used in tests and by the
+/// Jacobi preconditioner).
+#[derive(Debug, Clone)]
+pub struct DiagonalOperator {
+    diag: Vec<f64>,
+}
+
+impl DiagonalOperator {
+    /// Creates the operator from its diagonal.
+    pub fn new(diag: Vec<f64>) -> Self {
+        DiagonalOperator { diag }
+    }
+}
+
+impl LinearOperator for DiagonalOperator {
+    fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for ((yi, xi), di) in y.iter_mut().zip(x).zip(&self.diag) {
+            *yi = di * xi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_operator_applies() {
+        let d = DiagonalOperator::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.dim(), 3);
+        let y = d.apply_vec(&[1.0, 1.0, 2.0]);
+        assert_eq!(y, vec![1.0, 2.0, 6.0]);
+        assert!((d.a_norm(&[1.0, 1.0, 0.0]) - 3.0f64.sqrt()).abs() < 1e-12);
+        let r = d.residual(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]);
+        assert_eq!(r, vec![1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn identity_preconditioner_copies() {
+        let p = IdentityPreconditioner::new(3);
+        let z = p.precondition_vec(&[1.0, -2.0, 3.0]);
+        assert_eq!(z, vec![1.0, -2.0, 3.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Spectral estimation utilities.
+//!
+//! The paper's chain guarantees are spectral inequalities (`G ⪯ H ⪯ κ·G`,
+//! Lemma 6.1/6.2, Definition 6.3). We verify them empirically in tests and
+//! experiments with two tools:
+//!
+//! * [`largest_eigenvalue`] — power iteration for `λ_max(A)` (optionally
+//!   deflating the all-ones null space of a Laplacian);
+//! * [`quadratic_form_ratio_bounds`] — samples random test vectors and
+//!   returns the observed range of `x|L_G x / x|L_H x`, a practical probe
+//!   of the relative condition number of two graphs on the same vertex set.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use parsdd_graph::Graph;
+
+use crate::laplacian::laplacian_quadratic_form;
+use crate::operator::LinearOperator;
+use crate::vector::{dot, norm2, project_out_constant, scale};
+
+/// Power iteration estimate of the largest eigenvalue of a symmetric PSD
+/// operator. When `deflate_constant` is set, the all-ones direction is
+/// projected out each step (appropriate for Laplacians of connected
+/// graphs).
+pub fn largest_eigenvalue(
+    a: &dyn LinearOperator,
+    iterations: usize,
+    deflate_constant: bool,
+    seed: u64,
+) -> f64 {
+    let n = a.dim();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    if deflate_constant {
+        project_out_constant(&mut v);
+    }
+    let nv = norm2(&v);
+    if nv == 0.0 {
+        return 0.0;
+    }
+    scale(1.0 / nv, &mut v);
+    let mut lambda = 0.0;
+    let mut av = vec![0.0; n];
+    for _ in 0..iterations {
+        a.apply(&v, &mut av);
+        if deflate_constant {
+            project_out_constant(&mut av);
+        }
+        lambda = dot(&v, &av);
+        let norm = norm2(&av);
+        if norm <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        v.copy_from_slice(&av);
+        scale(1.0 / norm, &mut v);
+    }
+    lambda.max(0.0)
+}
+
+/// Samples `samples` random vectors orthogonal to the all-ones vector and
+/// returns the minimum and maximum observed ratio
+/// `xᵀ L_G x / xᵀ L_H x` over samples where the denominator is non-zero.
+///
+/// If `H` satisfies `G ⪯ H ⪯ κ·G`, every ratio lies in `[1/κ, 1]` up to a
+/// global scaling — the experiments check the *observed* ratio spread
+/// against the chain's target `κ`.
+pub fn quadratic_form_ratio_bounds(
+    g: &Graph,
+    h: &Graph,
+    samples: usize,
+    seed: u64,
+) -> (f64, f64) {
+    assert_eq!(g.n(), h.n(), "graphs must share a vertex set");
+    let n = g.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut lo = f64::INFINITY;
+    let mut hi: f64 = 0.0;
+    for _ in 0..samples {
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        project_out_constant(&mut x);
+        let qg = laplacian_quadratic_form(g, &x);
+        let qh = laplacian_quadratic_form(h, &x);
+        if qh <= 1e-300 {
+            continue;
+        }
+        let ratio = qg / qh;
+        lo = lo.min(ratio);
+        hi = hi.max(ratio);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::LaplacianOp;
+    use crate::operator::DiagonalOperator;
+    use parsdd_graph::generators;
+
+    #[test]
+    fn power_iteration_on_diagonal() {
+        let d = DiagonalOperator::new(vec![1.0, 5.0, 3.0]);
+        let l = largest_eigenvalue(&d, 200, false, 1);
+        assert!((l - 5.0).abs() < 1e-6, "estimate {l}");
+    }
+
+    #[test]
+    fn complete_graph_laplacian_top_eigenvalue() {
+        // K_n with unit weights has non-zero eigenvalues all equal to n.
+        let g = generators::complete(8, 1.0);
+        let op = LaplacianOp::new(&g);
+        let l = largest_eigenvalue(&op, 300, true, 2);
+        assert!((l - 8.0).abs() < 1e-4, "estimate {l}");
+    }
+
+    #[test]
+    fn ratio_bounds_identical_graphs() {
+        let g = generators::grid2d(6, 6, |_, _| 1.0);
+        let (lo, hi) = quadratic_form_ratio_bounds(&g, &g, 20, 3);
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_bounds_scaled_graph() {
+        let g = generators::grid2d(5, 7, |_, _| 1.0);
+        // H = 2 * G (every weight doubled): ratios must all be exactly 0.5.
+        let h = {
+            let edges = g
+                .edges()
+                .iter()
+                .map(|e| parsdd_graph::Edge::new(e.u, e.v, 2.0 * e.w))
+                .collect();
+            Graph::from_edges(g.n(), edges)
+        };
+        let (lo, hi) = quadratic_form_ratio_bounds(&g, &h, 25, 4);
+        assert!((lo - 0.5).abs() < 1e-12);
+        assert!((hi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subgraph_dominated_by_graph() {
+        // H = spanning tree of G: then H ⪯ G, so x'G x / x'H x >= 1.
+        let g = generators::weighted_random_graph(60, 200, 1.0, 2.0, 6);
+        let tree_edges = parsdd_graph::mst::kruskal(&g);
+        let h = g.edge_subgraph(&tree_edges);
+        let (lo, _hi) = quadratic_form_ratio_bounds(&g, &h, 30, 5);
+        assert!(lo >= 1.0 - 1e-9, "tree energy must not exceed graph energy, lo={lo}");
+    }
+}

@@ -1,0 +1,320 @@
+//! SDD matrices and Gremban's reduction to graph Laplacians.
+//!
+//! "Solving an SDD system reduces in O(m) work and O(log^{O(1)} m) depth to
+//! solving a graph Laplacian" (Section 2 of the paper, citing Gremban).
+//! [`GrembanReduction`] implements that reduction: an SDD matrix `A` with
+//! positive off-diagonals and/or diagonal excess is mapped to the Laplacian
+//! of a graph on `2n (+1)` vertices such that a solution of the Laplacian
+//! system recovers the solution of `A x = b` by antisymmetry.
+
+use parsdd_graph::{Graph, GraphBuilder};
+
+use crate::csr::CsrMatrix;
+
+/// Classification of a symmetric matrix relevant to the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SddClass {
+    /// A graph Laplacian: non-positive off-diagonals, zero row sums.
+    Laplacian,
+    /// SDD with non-positive off-diagonals but positive row sums
+    /// (a Laplacian plus a non-negative diagonal).
+    SddM,
+    /// General SDD: has positive off-diagonal entries.
+    GeneralSdd,
+    /// Not symmetric diagonally dominant.
+    NotSdd,
+}
+
+/// Classifies a symmetric matrix. `tol` is the absolute slack allowed in
+/// the dominance / row-sum checks.
+pub fn classify(a: &CsrMatrix, tol: f64) -> SddClass {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    let mut has_positive_offdiag = false;
+    let mut all_rows_zero_sum = true;
+    for i in 0..n {
+        let mut diag = 0.0;
+        let mut offdiag_abs = 0.0;
+        let mut row_sum = 0.0;
+        for (j, v) in a.row(i) {
+            row_sum += v;
+            if j as usize == i {
+                diag += v;
+            } else {
+                offdiag_abs += v.abs();
+                if v > tol {
+                    has_positive_offdiag = true;
+                }
+            }
+        }
+        if diag + tol < offdiag_abs {
+            return SddClass::NotSdd;
+        }
+        if row_sum.abs() > tol {
+            all_rows_zero_sum = false;
+        }
+    }
+    if has_positive_offdiag {
+        SddClass::GeneralSdd
+    } else if all_rows_zero_sum {
+        SddClass::Laplacian
+    } else {
+        SddClass::SddM
+    }
+}
+
+/// Gremban's reduction of an SDD system to a Laplacian system.
+///
+/// For an SDD matrix `A`, build a graph on vertices `{u_0..u_{n-1},
+/// v_0..v_{n-1}}` plus (when needed) a ground vertex `g`:
+///
+/// * `A_ij < 0` → edges `(u_i, u_j)` and `(v_i, v_j)` with weight `-A_ij`;
+/// * `A_ij > 0` → edges `(u_i, v_j)` and `(v_i, u_j)` with weight `A_ij`;
+/// * diagonal excess `e_i = A_ii − Σ_{j≠i} |A_ij| > 0` → edges `(u_i, g)`
+///   and `(v_i, g)` with weight `e_i`.
+///
+/// If `y` solves `L y = [b; -b; 0]` then `x_i = (y_{u_i} − y_{v_i}) / 2`
+/// solves `A x = b`.
+#[derive(Debug, Clone)]
+pub struct GrembanReduction {
+    n: usize,
+    graph: Graph,
+    has_ground: bool,
+}
+
+impl GrembanReduction {
+    /// Builds the reduction for a symmetric SDD matrix. Entries with
+    /// magnitude below `drop_tol` are ignored. Panics if the matrix is not
+    /// square or not SDD.
+    pub fn new(a: &CsrMatrix, drop_tol: f64) -> Self {
+        assert_eq!(a.rows(), a.cols(), "matrix must be square");
+        let class = classify(a, drop_tol.max(1e-12));
+        assert!(
+            class != SddClass::NotSdd,
+            "matrix is not symmetric diagonally dominant"
+        );
+        let n = a.rows();
+        // Decide whether a ground vertex is needed (any diagonal excess).
+        let mut excess = vec![0.0f64; n];
+        let mut has_ground = false;
+        for i in 0..n {
+            let mut diag = 0.0;
+            let mut offdiag_abs = 0.0;
+            for (j, v) in a.row(i) {
+                if j as usize == i {
+                    diag += v;
+                } else {
+                    offdiag_abs += v.abs();
+                }
+            }
+            let e = diag - offdiag_abs;
+            if e > drop_tol {
+                excess[i] = e;
+                has_ground = true;
+            }
+        }
+        let total = if has_ground { 2 * n + 1 } else { 2 * n };
+        let ground = (2 * n) as u32;
+        let mut b = GraphBuilder::new(total);
+        for i in 0..n {
+            for (j, v) in a.row(i) {
+                let j = j as usize;
+                if j <= i {
+                    continue; // handle each unordered pair once
+                }
+                if v < -drop_tol {
+                    let w = -v;
+                    b.add_edge(i as u32, j as u32, w);
+                    b.add_edge((n + i) as u32, (n + j) as u32, w);
+                } else if v > drop_tol {
+                    b.add_edge(i as u32, (n + j) as u32, v);
+                    b.add_edge((n + i) as u32, j as u32, v);
+                }
+            }
+            if excess[i] > 0.0 {
+                b.add_edge(i as u32, ground, excess[i]);
+                b.add_edge((n + i) as u32, ground, excess[i]);
+            }
+        }
+        GrembanReduction {
+            n,
+            graph: b.build(),
+            has_ground,
+        }
+    }
+
+    /// Dimension of the original SDD system.
+    pub fn original_dim(&self) -> usize {
+        self.n
+    }
+
+    /// The Laplacian graph of the reduction (`2n` or `2n+1` vertices).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether a ground vertex was added.
+    pub fn has_ground(&self) -> bool {
+        self.has_ground
+    }
+
+    /// Expands a right-hand side `b` of the SDD system into the right-hand
+    /// side `[b; -b; 0]` of the Laplacian system.
+    pub fn reduce_rhs(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let mut out = Vec::with_capacity(self.graph.n());
+        out.extend_from_slice(b);
+        out.extend(b.iter().map(|v| -v));
+        if self.has_ground {
+            out.push(0.0);
+        }
+        out
+    }
+
+    /// Recovers the SDD solution from a Laplacian solution:
+    /// `x_i = (y_{u_i} − y_{v_i}) / 2`.
+    pub fn recover_solution(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.graph.n());
+        (0..self.n).map(|i| 0.5 * (y[i] - y[self.n + i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{cg_solve, CgOptions};
+    use crate::laplacian::{laplacian_of, LaplacianOp};
+    use crate::operator::LinearOperator;
+    use crate::vector::{norm2, sub};
+
+    fn solve_via_gremban(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+        let red = GrembanReduction::new(a, 1e-14);
+        let rhs = red.reduce_rhs(b);
+        let op = LaplacianOp::new(red.graph());
+        let out = cg_solve(&op, &rhs, &CgOptions { max_iters: 20_000, tol: 1e-12 });
+        assert!(out.converged, "inner Laplacian solve did not converge");
+        red.recover_solution(&out.x)
+    }
+
+    #[test]
+    fn classify_matrices() {
+        let lap = laplacian_of(&parsdd_graph::generators::path(4, 1.0));
+        assert_eq!(classify(&lap, 1e-12), SddClass::Laplacian);
+
+        let sddm = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 3.0), (1, 1, 2.0), (0, 1, -1.0), (1, 0, -1.0)],
+        );
+        assert_eq!(classify(&sddm, 1e-12), SddClass::SddM);
+
+        let general = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)],
+        );
+        assert_eq!(classify(&general, 1e-12), SddClass::GeneralSdd);
+
+        let notsdd = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)],
+        );
+        assert_eq!(classify(&notsdd, 1e-12), SddClass::NotSdd);
+    }
+
+    #[test]
+    fn gremban_sddm_diagonal_excess() {
+        // A = [[3, -1], [-1, 2]] (strictly dominant): unique solution.
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 3.0), (1, 1, 2.0), (0, 1, -1.0), (1, 0, -1.0)],
+        );
+        let b = vec![1.0, 5.0];
+        let x = solve_via_gremban(&a, &b);
+        // Exact solution of [[3,-1],[-1,2]] x = [1,5] is x = [7/5, 16/5].
+        assert!((x[0] - 1.4).abs() < 1e-6, "x0 = {}", x[0]);
+        assert!((x[1] - 3.2).abs() < 1e-6, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn gremban_positive_offdiagonals() {
+        // A = [[2, 1], [1, 2]] is SDD with positive off-diagonal.
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)],
+        );
+        let b = vec![3.0, 0.0];
+        let x = solve_via_gremban(&a, &b);
+        // Solution: x = [2, -1].
+        assert!((x[0] - 2.0).abs() < 1e-6, "x0 = {}", x[0]);
+        assert!((x[1] + 1.0).abs() < 1e-6, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn gremban_mixed_larger_system() {
+        // Random-ish 6x6 SDD matrix with mixed off-diagonal signs and
+        // strict dominance, verified against the residual.
+        let mut trips = vec![];
+        let off: [(usize, usize, f64); 7] = [
+            (0, 1, -2.0),
+            (0, 3, 1.0),
+            (1, 2, -1.5),
+            (2, 4, 2.0),
+            (3, 4, -1.0),
+            (4, 5, 0.5),
+            (1, 5, -0.5),
+        ];
+        let n = 6;
+        let mut diag = vec![0.5f64; n]; // strict excess
+        for &(i, j, v) in &off {
+            trips.push((i as u32, j as u32, v));
+            trips.push((j as u32, i as u32, v));
+            diag[i] += v.abs();
+            diag[j] += v.abs();
+        }
+        for (i, d) in diag.iter().enumerate() {
+            trips.push((i as u32, i as u32, *d));
+        }
+        let a = CsrMatrix::from_triplets(n, n, &trips);
+        assert_eq!(classify(&a, 1e-12), SddClass::GeneralSdd);
+        let b = vec![1.0, -2.0, 0.5, 3.0, -1.0, 2.0];
+        let x = solve_via_gremban(&a, &b);
+        let r = sub(&b, &a.apply_vec(&x));
+        assert!(norm2(&r) < 1e-6 * norm2(&b), "residual {}", norm2(&r));
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (1, 1, 2.0),
+                (2, 2, 1.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+            ],
+        );
+        let red = GrembanReduction::new(&a, 1e-14);
+        assert_eq!(red.original_dim(), 3);
+        assert!(red.has_ground());
+        assert_eq!(red.graph().n(), 7);
+        let rhs = red.reduce_rhs(&[1.0, 2.0, 3.0]);
+        assert_eq!(rhs.len(), 7);
+        assert_eq!(rhs[3], -1.0);
+        assert_eq!(rhs[6], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_sdd_rejected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
+        let _ = GrembanReduction::new(&a, 1e-14);
+    }
+}

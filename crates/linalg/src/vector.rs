@@ -1,0 +1,203 @@
+//! Parallel dense vector kernels.
+//!
+//! All iterative methods in this crate (CG, PCG, Chebyshev) and in the
+//! solver crate are built from these primitives, which use rayon above a
+//! size cutoff and plain loops below it.
+
+use rayon::prelude::*;
+
+/// Below this length, vector kernels run sequentially.
+const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Dot product `xᵀ y`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.len() < SEQ_CUTOFF {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    } else {
+        x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `‖x‖∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    if x.len() < SEQ_CUTOFF {
+        x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    } else {
+        x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+    }
+}
+
+/// `y ← y + alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if x.len() < SEQ_CUTOFF {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
+            *yi += alpha * xi;
+        });
+    }
+}
+
+/// `x ← alpha * x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    if x.len() < SEQ_CUTOFF {
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+    } else {
+        x.par_iter_mut().for_each(|xi| *xi *= alpha);
+    }
+}
+
+/// Elementwise `out ← a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    if a.len() < SEQ_CUTOFF {
+        a.iter().zip(b).map(|(x, y)| x - y).collect()
+    } else {
+        a.par_iter().zip(b.par_iter()).map(|(x, y)| x - y).collect()
+    }
+}
+
+/// Elementwise `out ← a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    if a.len() < SEQ_CUTOFF {
+        a.iter().zip(b).map(|(x, y)| x + y).collect()
+    } else {
+        a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect()
+    }
+}
+
+/// `y ← x` (copy in place).
+pub fn copy_into(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Sum of all entries.
+pub fn sum(x: &[f64]) -> f64 {
+    if x.len() < SEQ_CUTOFF {
+        x.iter().sum()
+    } else {
+        x.par_iter().sum()
+    }
+}
+
+/// Projects `x` onto the subspace orthogonal to the all-ones vector, i.e.
+/// subtracts the mean. For a connected-graph Laplacian this removes the
+/// null-space component of a right-hand side or of an approximate solution.
+pub fn project_out_constant(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let mean = sum(x) / x.len() as f64;
+    if x.len() < SEQ_CUTOFF {
+        for xi in x.iter_mut() {
+            *xi -= mean;
+        }
+    } else {
+        x.par_iter_mut().for_each(|xi| *xi -= mean);
+    }
+}
+
+/// Projects `x` onto the subspace orthogonal to the indicator vector of
+/// every component: within each component (given by `labels`, values in
+/// `0..count`), subtracts that component's mean. This is the null space of
+/// a Laplacian with several connected components.
+pub fn project_out_componentwise_constant(x: &mut [f64], labels: &[u32], count: usize) {
+    assert_eq!(x.len(), labels.len());
+    let mut sums = vec![0.0f64; count];
+    let mut sizes = vec![0usize; count];
+    for (xi, &l) in x.iter().zip(labels) {
+        sums[l as usize] += *xi;
+        sizes[l as usize] += 1;
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&sizes)
+        .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+        .collect();
+    for (xi, &l) in x.iter_mut().zip(labels) {
+        *xi -= means[l as usize];
+    }
+}
+
+/// The `A`-norm `‖x‖_A = sqrt(xᵀ A x)` given `Ax` precomputed.
+pub fn a_norm_with(x: &[f64], ax: &[f64]) -> f64 {
+    dot(x, ax).max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![4.0, -5.0, 6.0];
+        assert_eq!(dot(&x, &y), 12.0);
+        assert!((norm2(&x) - 14.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(norm_inf(&y), 6.0);
+    }
+
+    #[test]
+    fn axpy_scale_add_sub() {
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 2.0, 2.5]);
+        assert_eq!(add(&x, &x), vec![2.0, 2.0, 2.0]);
+        assert_eq!(sub(&y, &x), vec![0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn large_vectors_parallel_path() {
+        let n = 100_000;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y = vec![1.0; n];
+        let expected = (n as f64 - 1.0) * n as f64 / 2.0;
+        assert!((dot(&x, &y) - expected).abs() < 1e-3);
+        assert!((sum(&x) - expected).abs() < 1e-3);
+        let mut z = x.clone();
+        scale(2.0, &mut z);
+        assert_eq!(z[1000], 2000.0);
+    }
+
+    #[test]
+    fn projection_removes_mean() {
+        let mut x = vec![1.0, 2.0, 3.0, 6.0];
+        project_out_constant(&mut x);
+        assert!(sum(&x).abs() < 1e-12);
+        assert_eq!(x[0], -2.0);
+    }
+
+    #[test]
+    fn componentwise_projection() {
+        let mut x = vec![1.0, 3.0, 10.0, 20.0, 30.0];
+        let labels = vec![0, 0, 1, 1, 1];
+        project_out_componentwise_constant(&mut x, &labels, 2);
+        assert!((x[0] + 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[2] + 10.0).abs() < 1e-12);
+        assert!((x[4] - 10.0).abs() < 1e-12);
+        assert!((x[2] + x[3] + x[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_norm_nonnegative() {
+        let x = vec![1.0, -1.0];
+        let ax = vec![2.0, -2.0];
+        assert!((a_norm_with(&x, &ax) - 2.0).abs() < 1e-12);
+    }
+}

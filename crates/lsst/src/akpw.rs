@@ -1,0 +1,277 @@
+//! The parallel AKPW low-stretch spanning tree (Algorithm 5.1,
+//! Theorem 5.1).
+//!
+//! AKPW buckets the edges geometrically by weight and proceeds in
+//! iterations. Iteration `j` considers the minor formed by all edges of the
+//! first `j` buckets that survived previous contractions, partitions it
+//! into components of hop radius `z/4` with the Section 4 `Partition`
+//! procedure, adds a BFS tree of every component to the output tree, and
+//! contracts the components. Because every bucket loses a constant (1/y)
+//! fraction of its edges per iteration, an edge of bucket `i` that is
+//! finally contracted in iteration `j` has stretch about `z^{j-i+2}` and
+//! there are at most `|E_i|/y^{j-i}` such edges — summing gives the
+//! `2^{O(√(log n log log n))}` average stretch of Theorem 5.1.
+//!
+//! The paper's parameter choices (`y = 2^{√(6 log n log log n)}`,
+//! `z = 4·c₁·y·τ·log³n`) are available as [`AkpwParams::paper`]; they are
+//! astronomically large below n ≈ 2^40, where they simply collapse the
+//! graph in one iteration (the asymptotic regime). [`AkpwParams::practical`]
+//! uses a small base so the multi-iteration behaviour — and the stretch /
+//! work trade-off — is observable at benchmark sizes; both presets run the
+//! identical code path.
+
+use parsdd_decomp::params::{CutValidation, PartitionParams};
+use parsdd_decomp::partition::partition;
+use parsdd_graph::{EdgeId, Graph, MultiGraph};
+
+use crate::buckets::assign_classes;
+
+/// Parameters of the AKPW construction.
+#[derive(Debug, Clone, Copy)]
+pub struct AkpwParams {
+    /// Geometric bucket base; the per-iteration partition radius is `z/4`.
+    pub z: f64,
+    /// RNG seed (propagated to the decomposition).
+    pub seed: u64,
+    /// Safety cap on iterations (the algorithm normally stops when the
+    /// contracted graph runs out of edges).
+    pub max_iterations: usize,
+}
+
+impl AkpwParams {
+    /// The paper's parameter schedule for an `n`-vertex graph:
+    /// `y = 2^{√(6·log₂n·log₂log₂n)}`, `τ = ⌈3·log n / log y⌉`,
+    /// `z = 4·c₁·y·τ·log³n` with `c₁ = 272`.
+    pub fn paper(n: usize) -> Self {
+        let n_f = (n.max(4)) as f64;
+        let log = n_f.log2();
+        let loglog = log.log2().max(1.0);
+        let y = 2f64.powf((6.0 * log * loglog).sqrt());
+        let tau = (3.0 * log / y.log2()).ceil().max(1.0);
+        let z = 4.0 * 272.0 * y * tau * log.powi(3);
+        AkpwParams {
+            z,
+            seed: 0xa4b_0001,
+            max_iterations: 64,
+        }
+    }
+
+    /// A practical parameter choice: bucket base `z` (radius `z/4`) chosen
+    /// small enough that multiple iterations and buckets actually occur at
+    /// laptop scale. `z = 32` (radius 8) is a good default.
+    pub fn practical(z: f64) -> Self {
+        assert!(z >= 4.0, "z must be at least 4 so the radius z/4 is >= 1");
+        AkpwParams {
+            z,
+            seed: 0xa4b_0002,
+            max_iterations: 256,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The output of AKPW.
+#[derive(Debug, Clone)]
+pub struct AkpwTree {
+    /// Edge ids (in the input graph) of the spanning forest produced.
+    pub tree_edges: Vec<EdgeId>,
+    /// Number of contraction iterations executed.
+    pub iterations: usize,
+    /// Number of weight classes (buckets) the input had.
+    pub num_classes: usize,
+    /// The bucket base actually used.
+    pub z: f64,
+    /// Whether the safety fallback (spanning forest of the remainder) was
+    /// needed; false in normal operation.
+    pub used_fallback: bool,
+}
+
+/// Partition radius for a bucket base `z`: `z/4` rounded down, at least 1,
+/// and capped to the vertex count (a radius larger than the graph is
+/// equivalent to infinite).
+fn partition_radius(z: f64, n: usize) -> u32 {
+    let r = (z / 4.0).floor();
+    let cap = (n.max(2)) as f64;
+    r.clamp(1.0, cap) as u32
+}
+
+/// Runs the AKPW low-stretch spanning tree construction (Algorithm 5.1).
+///
+/// Works on connected and disconnected graphs alike (producing a spanning
+/// forest in the latter case).
+pub fn akpw(g: &Graph, params: &AkpwParams) -> AkpwTree {
+    let classes = assign_classes(g, params.z);
+    let num_classes = classes.num_classes;
+    let mut mg = MultiGraph::from_graph(g, &classes.class_of_edge);
+    let rho = partition_radius(params.z, g.n());
+    let mut tree_edges: Vec<EdgeId> = Vec::with_capacity(g.n().saturating_sub(1));
+    let mut iterations = 0usize;
+    let mut used_fallback = false;
+
+    let mut j = 0usize;
+    while !mg.is_exhausted() && iterations < params.max_iterations {
+        iterations += 1;
+        // Active edges: buckets 0..=j.
+        let (view, kept) = mg.view(|e| (e.class as usize) <= j);
+        if view.m() == 0 {
+            // No active edges yet (gap in the bucket sequence): advance to
+            // the next bucket that has edges.
+            j += 1;
+            if j > num_classes + params.max_iterations {
+                break;
+            }
+            iterations -= 1; // this was not a real iteration
+            continue;
+        }
+        // Edge classes for Partition: use the bucket index directly.
+        let view_classes: Vec<u32> = kept.iter().map(|&i| mg.edges()[i].class).collect();
+        let k = (j + 1).max(1);
+        let part_params = PartitionParams {
+            split: parsdd_decomp::params::SplitParams::new(rho)
+                .with_seed(params.seed.wrapping_add(j as u64).wrapping_mul(0x9e37_79b9)),
+            validation: CutValidation::Paper,
+            max_retries: 8,
+        };
+        let part = partition(&view, &view_classes, k, &part_params);
+
+        // Add the BFS tree of every component, translated to original ids.
+        for view_edge in part.split.tree_edges() {
+            let mg_idx = kept[view_edge as usize];
+            tree_edges.push(mg.edges()[mg_idx].original);
+        }
+
+        // Contract the components.
+        mg = mg.contract(&part.split.labels, part.split.component_count);
+        j += 1;
+    }
+
+    if !mg.is_exhausted() {
+        // Safety fallback: finish with a spanning forest of whatever
+        // remains (only reachable if max_iterations was set very low).
+        used_fallback = true;
+        let (view, kept) = mg.view(|_| true);
+        let forest = parsdd_graph::mst::kruskal(&view);
+        for view_edge in forest {
+            let mg_idx = kept[view_edge as usize];
+            tree_edges.push(mg.edges()[mg_idx].original);
+        }
+    }
+
+    AkpwTree {
+        tree_edges,
+        iterations,
+        num_classes,
+        z: params.z,
+        used_fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stretch::stretch_over_tree;
+    use parsdd_graph::components::parallel_connected_components;
+    use parsdd_graph::generators;
+    use parsdd_graph::unionfind::UnionFind;
+
+    fn assert_spanning_forest(g: &Graph, tree_edges: &[EdgeId]) {
+        let comps = parallel_connected_components(g);
+        assert_eq!(
+            tree_edges.len(),
+            g.n() - comps.count,
+            "forest must have n - #components edges"
+        );
+        let mut uf = UnionFind::new(g.n());
+        for &e in tree_edges {
+            let edge = g.edge(e);
+            assert!(uf.unite(edge.u, edge.v), "cycle in AKPW output (edge {e})");
+        }
+        assert_eq!(uf.component_count(), comps.count);
+    }
+
+    #[test]
+    fn spanning_tree_on_unit_grid() {
+        let g = generators::grid2d(20, 20, |_, _| 1.0);
+        let t = akpw(&g, &AkpwParams::practical(32.0).with_seed(1));
+        assert_spanning_forest(&g, &t.tree_edges);
+        assert!(!t.used_fallback);
+        assert_eq!(t.num_classes, 1);
+    }
+
+    #[test]
+    fn spanning_tree_on_weighted_graph_with_spread() {
+        let base = generators::grid2d(16, 16, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 6, 3);
+        let t = akpw(&g, &AkpwParams::practical(16.0).with_seed(2));
+        assert_spanning_forest(&g, &t.tree_edges);
+        assert!(t.num_classes > 1, "spread should create several buckets");
+        assert!(t.iterations >= t.num_classes, "one iteration per bucket at least");
+    }
+
+    #[test]
+    fn paper_parameters_collapse_small_graphs() {
+        let g = generators::weighted_random_graph(300, 900, 1.0, 50.0, 4);
+        let params = AkpwParams::paper(g.n()).with_seed(3);
+        let t = akpw(&g, &params);
+        assert_spanning_forest(&g, &t.tree_edges);
+        // With the paper's astronomically large z, everything is in bucket
+        // 0 and the radius is effectively unbounded: one iteration.
+        assert_eq!(t.num_classes, 1);
+        assert!(t.iterations <= 2);
+    }
+
+    #[test]
+    fn average_stretch_is_reasonable_on_grid() {
+        let g = generators::grid2d(30, 30, |_, _| 1.0);
+        let t = akpw(&g, &AkpwParams::practical(32.0).with_seed(5));
+        let report = stretch_over_tree(&g, &t.tree_edges);
+        assert!(report.min_stretch >= 1.0 - 1e-9);
+        // The trivial bound for any spanning tree on a 30x30 grid is O(n);
+        // AKPW should do far better than the worst case. This is a sanity
+        // band, not a tight check (E4 measures the real scaling).
+        assert!(
+            report.average_stretch < 60.0,
+            "average stretch {}",
+            report.average_stretch
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_gets_forest() {
+        use parsdd_graph::{Edge, Graph};
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            edges.push(Edge::new(i, (i + 1) % 11, 1.0));
+        }
+        for i in 20..29u32 {
+            edges.push(Edge::new(i, i + 1, 2.0));
+        }
+        let g = Graph::from_edges(30, edges);
+        let t = akpw(&g, &AkpwParams::practical(8.0).with_seed(6));
+        assert_spanning_forest(&g, &t.tree_edges);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = generators::weighted_random_graph(200, 700, 1.0, 30.0, 8);
+        let a = akpw(&g, &AkpwParams::practical(16.0).with_seed(42));
+        let b = akpw(&g, &AkpwParams::practical(16.0).with_seed(42));
+        assert_eq!(a.tree_edges, b.tree_edges);
+    }
+
+    #[test]
+    fn fallback_triggers_with_tiny_iteration_cap() {
+        let base = generators::grid2d(12, 12, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 8, 9);
+        let mut params = AkpwParams::practical(8.0).with_seed(7);
+        params.max_iterations = 1;
+        let t = akpw(&g, &params);
+        assert_spanning_forest(&g, &t.tree_edges);
+        assert!(t.used_fallback);
+    }
+}

@@ -1,0 +1,118 @@
+//! Geometric weight classes ("buckets").
+//!
+//! AKPW (Algorithm 5.1, step iii) normalises edge weights so the minimum is
+//! 1 and divides the edges into classes `E_i = {e : w(e) ∈ [z^{i-1}, z^i)}`.
+//! We use 0-based classes: class `i` holds weights in `[z^i, z^{i+1})` after
+//! normalisation, which is the same partition shifted by one.
+
+use parsdd_graph::Graph;
+
+/// The weight-class assignment of a graph's edges.
+#[derive(Debug, Clone)]
+pub struct WeightClasses {
+    /// Class of each edge (0-based).
+    pub class_of_edge: Vec<u32>,
+    /// Number of classes (`max class + 1`; 0 for an empty graph).
+    pub num_classes: usize,
+    /// The normalisation factor (minimum edge weight) that was divided out.
+    pub min_weight: f64,
+    /// The geometric base `z`.
+    pub z: f64,
+}
+
+impl WeightClasses {
+    /// Number of edges in each class.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_classes];
+        for &c in &self.class_of_edge {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Assigns every edge of `g` to a geometric weight class with base `z > 1`.
+pub fn assign_classes(g: &Graph, z: f64) -> WeightClasses {
+    assert!(z > 1.0, "bucket base must exceed 1");
+    let min_weight = g.min_weight().unwrap_or(1.0);
+    let mut max_class = 0u32;
+    let class_of_edge: Vec<u32> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let normalized = e.w / min_weight;
+            let mut c = (normalized.ln() / z.ln()).floor().max(0.0) as i64;
+            // Correct for floating-point error at class boundaries so that
+            // class `c` holds exactly the weights in [z^c, z^{c+1}).
+            while c > 0 && normalized < z.powi(c as i32) {
+                c -= 1;
+            }
+            while normalized >= z.powi(c as i32 + 1) {
+                c += 1;
+            }
+            let c = c.max(0) as u32;
+            max_class = max_class.max(c);
+            c
+        })
+        .collect();
+    let num_classes = if g.m() == 0 { 0 } else { max_class as usize + 1 };
+    WeightClasses {
+        class_of_edge,
+        num_classes,
+        min_weight,
+        z,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::{Edge, Graph};
+
+    #[test]
+    fn unit_weights_single_class() {
+        let g = parsdd_graph::generators::grid2d(5, 5, |_, _| 1.0);
+        let wc = assign_classes(&g, 4.0);
+        assert_eq!(wc.num_classes, 1);
+        assert!(wc.class_of_edge.iter().all(|&c| c == 0));
+        assert_eq!(wc.sizes(), vec![g.m()]);
+    }
+
+    #[test]
+    fn geometric_classes() {
+        let g = Graph::from_edges(
+            5,
+            vec![
+                Edge::new(0, 1, 1.0),   // class 0
+                Edge::new(1, 2, 3.9),   // class 0 (z = 4)
+                Edge::new(2, 3, 4.0),   // class 1
+                Edge::new(3, 4, 17.0),  // class 2
+                Edge::new(0, 4, 64.0),  // class 3
+            ],
+        );
+        let wc = assign_classes(&g, 4.0);
+        assert_eq!(wc.class_of_edge, vec![0, 0, 1, 2, 3]);
+        assert_eq!(wc.num_classes, 4);
+        assert_eq!(wc.sizes(), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn normalisation_uses_min_weight() {
+        let g = Graph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 10.0), Edge::new(1, 2, 41.0)],
+        );
+        let wc = assign_classes(&g, 4.0);
+        assert_eq!(wc.min_weight, 10.0);
+        // 10/10 = 1 -> class 0; 41/10 = 4.1 -> class 1.
+        assert_eq!(wc.class_of_edge, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(3, vec![]);
+        let wc = assign_classes(&g, 2.0);
+        assert_eq!(wc.num_classes, 0);
+        assert!(wc.class_of_edge.is_empty());
+    }
+}

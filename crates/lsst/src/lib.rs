@@ -1,0 +1,37 @@
+//! # parsdd-lsst
+//!
+//! Parallel low-stretch spanning trees and low-stretch ultra-sparse
+//! subgraphs — Section 5 of *Near Linear-Work Parallel SDD Solvers,
+//! Low-Diameter Decomposition, and Low-Stretch Subgraphs* (SPAA 2011).
+//!
+//! * [`buckets`] — geometric weight classes (`E_i = {e : w(e) ∈ [z^{i-1},
+//!   z^i)}` after normalising the minimum weight to 1).
+//! * [`akpw`] — Algorithm 5.1: the parallel AKPW low-stretch spanning tree,
+//!   built by repeatedly running the low-diameter `Partition` of Section
+//!   4 on the first `j` weight classes, adding each component's BFS tree,
+//!   and contracting (Theorem 5.1).
+//! * [`sparse_akpw`] — Section 5.2.1: the modified AKPW that dumps each
+//!   weight class's survivors into the output after `λ` rounds, producing
+//!   an ultra-sparse *subgraph* with polylogarithmic stretch (Lemma 5.5).
+//! * [`well_spaced`] — Lemma 5.7: deleting a `θ` fraction of edges to make
+//!   the weight classes `(γ,τ)`-well-spaced, which breaks the dependence
+//!   chain across distance scales (the log Δ factor in the depth).
+//! * [`subgraph`] — Theorem 5.9: `LSSubgraph`, the full low-stretch
+//!   ultra-sparse subgraph construction combining the two.
+//! * [`stretch`] — stretch computation/verification over trees (exact, via
+//!   LCA path queries) and over subgraphs (exact Dijkstra on samples).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod akpw;
+pub mod buckets;
+pub mod sparse_akpw;
+pub mod stretch;
+pub mod subgraph;
+pub mod well_spaced;
+
+pub use akpw::{akpw, AkpwParams, AkpwTree};
+pub use sparse_akpw::{sparse_akpw, SparseAkpwParams, SparseSubgraph};
+pub use stretch::{stretch_over_subgraph_sampled, stretch_over_tree, StretchReport};
+pub use subgraph::{ls_subgraph, LsSubgraphParams};

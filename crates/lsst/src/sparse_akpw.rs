@@ -1,0 +1,291 @@
+//! `SparseAKPW` — the first modification of Section 5.2.1 (Lemma 5.5).
+//!
+//! Identical to AKPW except that a weight class only participates in the
+//! partition for `λ` iterations after it is introduced: in iteration `j`
+//! the classes `j, j−1, …, j−λ+1` are kept separate, everything older is
+//! lumped into a "generic bucket", and — crucially — the edges of class
+//! `i` that survive to iteration `i+λ` are added verbatim to the output
+//! subgraph (their stretch is then exactly 1). The output is therefore a
+//! spanning tree plus at most `m/y^λ` extra edges, with total stretch
+//! `O(m·β²·log^{3λ+3} n)` — an *ultra-sparse low-stretch subgraph* rather
+//! than a tree, which is all the solver needs.
+
+use parsdd_decomp::params::{CutValidation, PartitionParams, SplitParams};
+use parsdd_decomp::partition::partition;
+use parsdd_graph::{EdgeId, Graph, MultiGraph};
+
+use crate::buckets::assign_classes;
+
+/// Parameters of `SparseAKPW`.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseAkpwParams {
+    /// Geometric bucket base; the per-iteration partition radius is `z/4`.
+    pub z: f64,
+    /// Number of iterations a class participates before its survivors are
+    /// promoted to the output (`λ ≥ 1`).
+    pub lambda: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl SparseAkpwParams {
+    /// The paper's schedule for an `n`-vertex graph and parameters
+    /// `λ`, `β ≥ c₂·log³n`: `y = β/(c₂·log³n)`... collapsed to the derived
+    /// bucket base `z = 4·c₁·y·(λ+1)·log³n` with `c₁ = 272` and
+    /// `c₂ = 2·(4·c₁·(λ+1))^{(λ−1)/2}`.
+    pub fn paper(n: usize, lambda: u32, beta: f64) -> Self {
+        assert!(lambda >= 1);
+        let n_f = (n.max(4)) as f64;
+        let log3 = n_f.log2().powi(3);
+        let c1 = 272.0;
+        let c2 = 2.0 * (4.0 * c1 * (lambda as f64 + 1.0)).powf((lambda as f64 - 1.0) / 2.0);
+        let beta = beta.max(c2 * log3);
+        let y = beta / (c2 * log3) * c2; // = (1/c2)·β/log³n · c2² — keep ≥ 1
+        let y = y.max(2.0);
+        let z = 4.0 * c1 * y * (lambda as f64 + 1.0) * log3;
+        SparseAkpwParams {
+            z,
+            lambda,
+            seed: 0x5ba_0001,
+            max_iterations: 64,
+        }
+    }
+
+    /// Practical parameters: a small bucket base `z` (radius `z/4`) and the
+    /// promotion lag `λ`.
+    pub fn practical(z: f64, lambda: u32) -> Self {
+        assert!(z >= 4.0 && lambda >= 1);
+        SparseAkpwParams {
+            z,
+            lambda,
+            seed: 0xb4b_0001,
+            max_iterations: 256,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The output of `SparseAKPW` (and of `LSSubgraph`, which post-processes
+/// it): an ultra-sparse subgraph of the input given by original edge ids.
+#[derive(Debug, Clone)]
+pub struct SparseSubgraph {
+    /// Edges of the spanning forest part (BFS trees of the contractions).
+    pub tree_edges: Vec<EdgeId>,
+    /// Surviving class edges promoted directly into the subgraph
+    /// (stretch 1 by construction).
+    pub extra_edges: Vec<EdgeId>,
+    /// Number of contraction iterations executed.
+    pub iterations: usize,
+    /// Number of weight classes of the input.
+    pub num_classes: usize,
+}
+
+impl SparseSubgraph {
+    /// All subgraph edges (tree ∪ extras), deduplicated and sorted.
+    pub fn all_edges(&self) -> Vec<EdgeId> {
+        let mut out = self.tree_edges.clone();
+        out.extend_from_slice(&self.extra_edges);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of edges beyond a spanning forest ("ultra-sparseness").
+    pub fn extra_edge_count(&self) -> usize {
+        self.extra_edges.len()
+    }
+}
+
+fn partition_radius(z: f64, n: usize) -> u32 {
+    let r = (z / 4.0).floor();
+    let cap = (n.max(2)) as f64;
+    r.clamp(1.0, cap) as u32
+}
+
+/// Runs `SparseAKPW(G, λ, β)` (Section 5.2.1) and returns the ultra-sparse
+/// low-stretch subgraph.
+pub fn sparse_akpw(g: &Graph, params: &SparseAkpwParams) -> SparseSubgraph {
+    let classes = assign_classes(g, params.z);
+    let num_classes = classes.num_classes;
+    let lambda = params.lambda as usize;
+    let mut mg = MultiGraph::from_graph(g, &classes.class_of_edge);
+    let rho = partition_radius(params.z, g.n());
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    let mut extra_edges: Vec<EdgeId> = Vec::new();
+    let mut promoted = vec![false; g.m()];
+    let mut iterations = 0usize;
+
+    let mut j = 0usize;
+    while !mg.is_exhausted() && iterations < params.max_iterations {
+        // Promote survivors of class j − λ: they have been whittled for λ
+        // iterations; whatever is left goes straight into the output.
+        if j >= lambda {
+            let promote_class = (j - lambda) as u32;
+            for e in mg.edges() {
+                if e.class == promote_class && !promoted[e.original as usize] {
+                    promoted[e.original as usize] = true;
+                    extra_edges.push(e.original);
+                }
+            }
+        }
+
+        iterations += 1;
+        let (view, kept) = mg.view(|e| (e.class as usize) <= j);
+        if view.m() == 0 {
+            j += 1;
+            iterations -= 1;
+            if j > num_classes + params.max_iterations {
+                break;
+            }
+            continue;
+        }
+        // Partition classes: the λ newest buckets stay separate, older ones
+        // form the generic bucket 0 (Section 5.2.1, modification (2)).
+        let view_classes: Vec<u32> = kept
+            .iter()
+            .map(|&i| {
+                let c = mg.edges()[i].class as usize;
+                if j < lambda || c > j - lambda {
+                    (c + lambda - j) as u32 // in 1..=λ for the newest buckets
+                } else {
+                    0 // generic bucket
+                }
+            })
+            .collect();
+        let k = lambda + 1;
+        let part_params = PartitionParams {
+            split: SplitParams::new(rho)
+                .with_seed(params.seed.wrapping_add(j as u64).wrapping_mul(0x9e37_79b9)),
+            validation: CutValidation::Paper,
+            max_retries: 8,
+        };
+        let part = partition(&view, &view_classes, k, &part_params);
+
+        for view_edge in part.split.tree_edges() {
+            let mg_idx = kept[view_edge as usize];
+            tree_edges.push(mg.edges()[mg_idx].original);
+        }
+        mg = mg.contract(&part.split.labels, part.split.component_count);
+        j += 1;
+    }
+
+    // Anything still alive when the loop ends (only via the safety cap, or
+    // classes newer than the last iteration) is promoted so the output is a
+    // subgraph spanning every input component.
+    for e in mg.edges() {
+        if !promoted[e.original as usize] {
+            promoted[e.original as usize] = true;
+            extra_edges.push(e.original);
+        }
+    }
+
+    SparseSubgraph {
+        tree_edges,
+        extra_edges,
+        iterations,
+        num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stretch::{stretch_over_subgraph_sampled, stretch_over_tree};
+    use parsdd_graph::components::{is_connected, parallel_connected_components};
+    use parsdd_graph::generators;
+
+    fn assert_spans(g: &Graph, sub_edges: &[EdgeId]) {
+        let sub = g.edge_subgraph(sub_edges);
+        let c_orig = parallel_connected_components(g);
+        let c_sub = parallel_connected_components(&sub);
+        assert_eq!(c_orig.count, c_sub.count, "subgraph must preserve connectivity");
+    }
+
+    #[test]
+    fn unit_weight_grid_gives_connected_subgraph() {
+        let g = generators::grid2d(20, 20, |_, _| 1.0);
+        let s = sparse_akpw(&g, &SparseAkpwParams::practical(32.0, 2).with_seed(1));
+        assert_spans(&g, &s.all_edges());
+        assert!(s.all_edges().len() >= g.n() - 1);
+        assert!(s.all_edges().len() <= g.m());
+    }
+
+    #[test]
+    fn spread_graph_promotes_survivors() {
+        let base = generators::grid2d(16, 16, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 8, 5);
+        let s = sparse_akpw(&g, &SparseAkpwParams::practical(8.0, 1).with_seed(2));
+        assert_spans(&g, &s.all_edges());
+        assert!(s.num_classes > 1);
+        // With lambda = 1 and several classes, some survivors should be
+        // promoted rather than contracted.
+        assert!(
+            !s.extra_edges.is_empty(),
+            "expected some promoted edges on a high-spread graph"
+        );
+    }
+
+    #[test]
+    fn subgraph_is_sparser_than_input_but_superset_of_forest() {
+        let g = generators::weighted_random_graph(400, 3000, 1.0, 100.0, 7);
+        let s = sparse_akpw(&g, &SparseAkpwParams::practical(16.0, 2).with_seed(3));
+        let all = s.all_edges();
+        assert!(all.len() < g.m(), "subgraph should drop most edges");
+        assert!(all.len() >= g.n() - 1);
+        assert_spans(&g, &all);
+    }
+
+    #[test]
+    fn stretch_of_subgraph_beats_tree_alone() {
+        let base = generators::grid2d(14, 14, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 5, 11);
+        let s = sparse_akpw(&g, &SparseAkpwParams::practical(8.0, 1).with_seed(4));
+        assert!(is_connected(&g));
+        let all = s.all_edges();
+        // Compare against the AKPW tree with the same base.
+        let t = crate::akpw::akpw(&g, &crate::akpw::AkpwParams::practical(8.0).with_seed(4));
+        let tree_stretch = stretch_over_tree(&g, &t.tree_edges);
+        let sub_stretch = stretch_over_subgraph_sampled(&g, &all, 150, 9);
+        assert!(sub_stretch.min_stretch > 0.0);
+        // The subgraph has strictly more edges available, so its average
+        // stretch (measured on a sample) should not be dramatically worse
+        // than the tree's; typically it is significantly better.
+        assert!(
+            sub_stretch.average_stretch <= tree_stretch.average_stretch * 1.5 + 1.0,
+            "subgraph avg {} vs tree avg {}",
+            sub_stretch.average_stretch,
+            tree_stretch.average_stretch
+        );
+    }
+
+    #[test]
+    fn lambda_controls_extra_edges() {
+        let base = generators::grid2d(16, 16, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 8, 13);
+        let s1 = sparse_akpw(&g, &SparseAkpwParams::practical(8.0, 1).with_seed(5));
+        let s3 = sparse_akpw(&g, &SparseAkpwParams::practical(8.0, 3).with_seed(5));
+        // Larger λ keeps classes in play longer, so fewer edges get
+        // promoted into the output.
+        assert!(
+            s3.extra_edge_count() <= s1.extra_edge_count(),
+            "λ=3 extras {} vs λ=1 extras {}",
+            s3.extra_edge_count(),
+            s1.extra_edge_count()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::weighted_random_graph(200, 800, 1.0, 40.0, 17);
+        let a = sparse_akpw(&g, &SparseAkpwParams::practical(16.0, 2).with_seed(9));
+        let b = sparse_akpw(&g, &SparseAkpwParams::practical(16.0, 2).with_seed(9));
+        assert_eq!(a.all_edges(), b.all_edges());
+    }
+}

@@ -1,0 +1,195 @@
+//! Stretch computation and verification.
+//!
+//! The stretch of an edge `e = {u, v}` with respect to a subgraph `G'` is
+//! `str_{G'}(e) = d_{G'}(u, v) / w(e)` (Section 2), where edge weights are
+//! interpreted as lengths. For spanning *trees* the distance is a tree path
+//! and we compute it exactly for every edge with LCA queries. For general
+//! subgraphs exact all-edge stretch would require an all-pairs computation,
+//! so [`stretch_over_subgraph_sampled`] measures it exactly on a random
+//! sample of edges (plus the option of the tree-path upper bound for the
+//! rest), which is what the E5 experiment reports.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use parsdd_graph::dijkstra::dijkstra;
+use parsdd_graph::{EdgeId, Graph, RootedForest};
+
+/// Summary of the stretch of a set of edges with respect to a subgraph.
+#[derive(Debug, Clone)]
+pub struct StretchReport {
+    /// Number of edges measured.
+    pub edges_measured: usize,
+    /// Total stretch of the measured edges.
+    pub total_stretch: f64,
+    /// Average stretch.
+    pub average_stretch: f64,
+    /// Maximum stretch observed.
+    pub max_stretch: f64,
+    /// Minimum stretch observed. Note that stretch is measured against the
+    /// edge's own weight `w(e)`, not against `d_G(u,v)`, so it can be
+    /// smaller than 1 when a multi-edge path in the subgraph is shorter
+    /// than the edge itself (possible in non-metric weighted graphs).
+    pub min_stretch: f64,
+}
+
+impl StretchReport {
+    fn from_values(values: &[f64]) -> Self {
+        let edges_measured = values.len();
+        let total_stretch: f64 = values.iter().sum();
+        StretchReport {
+            edges_measured,
+            total_stretch,
+            average_stretch: if edges_measured == 0 {
+                0.0
+            } else {
+                total_stretch / edges_measured as f64
+            },
+            max_stretch: values.iter().copied().fold(0.0, f64::max),
+            min_stretch: values.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// Computes the exact stretch of *every* edge of `g` with respect to the
+/// spanning tree/forest given by `tree_edges`.
+///
+/// Edges whose endpoints fall in different trees of the forest get infinite
+/// stretch and make the totals infinite — callers on connected graphs with
+/// spanning trees never see this.
+pub fn stretch_over_tree(g: &Graph, tree_edges: &[EdgeId]) -> StretchReport {
+    let forest = RootedForest::from_tree_edges(g, tree_edges);
+    let values: Vec<f64> = g
+        .edges()
+        .par_iter()
+        .map(|e| forest.tree_distance(e.u, e.v) / e.w)
+        .collect();
+    StretchReport::from_values(&values)
+}
+
+/// Per-edge stretch over a tree (same computation as
+/// [`stretch_over_tree`], but returning the individual values). Used by the
+/// incremental sparsifier, which samples off-tree edges proportionally to
+/// their stretch.
+pub fn per_edge_stretch_over_tree(g: &Graph, tree_edges: &[EdgeId]) -> Vec<f64> {
+    let forest = RootedForest::from_tree_edges(g, tree_edges);
+    g.edges()
+        .par_iter()
+        .map(|e| forest.tree_distance(e.u, e.v) / e.w)
+        .collect()
+}
+
+/// Measures the exact stretch of a random sample of `sample_size` edges of
+/// `g` with respect to the subgraph formed by `subgraph_edges` (running one
+/// Dijkstra per sampled edge inside the subgraph). If `sample_size >= m`
+/// every edge is measured.
+pub fn stretch_over_subgraph_sampled(
+    g: &Graph,
+    subgraph_edges: &[EdgeId],
+    sample_size: usize,
+    seed: u64,
+) -> StretchReport {
+    let sub = g.edge_subgraph(subgraph_edges);
+    let m = g.m();
+    let sample: Vec<usize> = if sample_size >= m {
+        (0..m).collect()
+    } else {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..m).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(sample_size);
+        idx
+    };
+    let values: Vec<f64> = sample
+        .par_iter()
+        .map(|&i| {
+            let e = g.edge(i as EdgeId);
+            let sp = dijkstra(&sub, e.u);
+            sp.dist[e.v as usize] / e.w
+        })
+        .collect();
+    StretchReport::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+    use parsdd_graph::mst::kruskal;
+
+    #[test]
+    fn tree_stretch_of_tree_is_one() {
+        let g = generators::random_tree(200, 1.0, 3);
+        let all: Vec<EdgeId> = (0..g.m() as EdgeId).collect();
+        let r = stretch_over_tree(&g, &all);
+        assert_eq!(r.edges_measured, g.m());
+        assert!((r.average_stretch - 1.0).abs() < 1e-9);
+        assert!((r.max_stretch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_stretch_known_value() {
+        // Removing one edge of an n-cycle leaves a path; the removed edge
+        // has stretch n-1, every other edge stretch 1.
+        let n = 20;
+        let g = generators::cycle(n, 1.0);
+        let tree: Vec<EdgeId> = (0..(n - 1) as EdgeId).collect();
+        let r = stretch_over_tree(&g, &tree);
+        assert_eq!(r.edges_measured, n);
+        assert!((r.max_stretch - (n as f64 - 1.0)).abs() < 1e-9);
+        assert!((r.total_stretch - ((n - 1) as f64 + (n as f64 - 1.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_at_least_one_over_mst() {
+        let g = generators::weighted_random_graph(150, 600, 1.0, 8.0, 4);
+        let t = kruskal(&g);
+        let r = stretch_over_tree(&g, &t);
+        assert!(r.min_stretch > 0.0, "min stretch {}", r.min_stretch);
+        assert!(r.total_stretch.is_finite());
+        assert!(r.average_stretch > 0.0);
+    }
+
+    #[test]
+    fn subgraph_stretch_never_exceeds_tree_stretch() {
+        let g = generators::grid2d(12, 12, |u, v| 1.0 + ((u * 31 + v) % 5) as f64);
+        let t = kruskal(&g);
+        // Subgraph = tree + 30 extra edges (the heaviest-stretch ones would
+        // be ideal; we just add the first 30 non-tree edges).
+        let mut sub = t.clone();
+        let tree_set: std::collections::HashSet<EdgeId> = t.iter().copied().collect();
+        for e in 0..g.m() as EdgeId {
+            if !tree_set.contains(&e) {
+                sub.push(e);
+                if sub.len() >= t.len() + 30 {
+                    break;
+                }
+            }
+        }
+        let tree_report = stretch_over_tree(&g, &t);
+        let sub_report = stretch_over_subgraph_sampled(&g, &sub, g.m(), 1);
+        assert!(sub_report.total_stretch <= tree_report.total_stretch + 1e-6);
+        assert!(sub_report.min_stretch > 0.0);
+    }
+
+    #[test]
+    fn sampling_subset_of_edges() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        let t = kruskal(&g);
+        let r = stretch_over_subgraph_sampled(&g, &t, 25, 7);
+        assert_eq!(r.edges_measured, 25);
+        assert!(r.average_stretch >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn per_edge_values_match_report() {
+        let g = generators::weighted_random_graph(60, 150, 1.0, 4.0, 9);
+        let t = kruskal(&g);
+        let per_edge = per_edge_stretch_over_tree(&g, &t);
+        let report = stretch_over_tree(&g, &t);
+        let total: f64 = per_edge.iter().sum();
+        assert!((total - report.total_stretch).abs() < 1e-9);
+        assert_eq!(per_edge.len(), g.m());
+    }
+}

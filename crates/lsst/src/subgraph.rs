@@ -1,0 +1,183 @@
+//! `LSSubgraph` — Theorem 5.9: the complete low-stretch ultra-sparse
+//! subgraph construction.
+//!
+//! `LSSubgraph(G, β, λ)` = (1) make the weight classes well-spaced by
+//! setting aside a `θ = (log³n/β)^λ` fraction of edges (Lemma 5.7),
+//! (2) run `SparseAKPW` on the remainder (Lemma 5.5/5.8), and (3) return
+//! the union of the SparseAKPW output and the set-aside edges (Fact 5.6).
+//! The result has `n − 1 + m·(c_LS·log³n/β)^λ` edges and total stretch
+//! `m·β²·log^{3λ+3} n`; the solver (Section 6) consumes it through
+//! `IncrementalSparsify`.
+
+use parsdd_graph::{EdgeId, Graph};
+
+use crate::sparse_akpw::{sparse_akpw, SparseAkpwParams, SparseSubgraph};
+use crate::well_spaced::well_spaced_split;
+
+/// Parameters of `LSSubgraph`.
+#[derive(Debug, Clone, Copy)]
+pub struct LsSubgraphParams {
+    /// The `SparseAKPW` parameters (bucket base `z` and promotion lag `λ`).
+    pub sparse: SparseAkpwParams,
+    /// Number of consecutive empty classes required between independent
+    /// runs (`τ`). The paper sets `τ = 3·log n / log y`; practically 2–3.
+    pub tau: usize,
+    /// Fraction of edges that may be set aside to create the empty runs
+    /// (`θ`). The paper sets `θ = (log³n/β)^λ`.
+    pub theta: f64,
+}
+
+impl LsSubgraphParams {
+    /// Practical parameters: bucket base `z`, promotion lag `λ`, and a
+    /// modest set-aside budget.
+    pub fn practical(z: f64, lambda: u32) -> Self {
+        LsSubgraphParams {
+            sparse: SparseAkpwParams::practical(z, lambda),
+            tau: 2,
+            theta: 0.1,
+        }
+    }
+
+    /// The paper's parameters for an `n`-vertex graph given `λ` and `β`.
+    pub fn paper(n: usize, lambda: u32, beta: f64) -> Self {
+        let n_f = (n.max(4)) as f64;
+        let log3 = n_f.log2().powi(3);
+        let theta = (log3 / beta.max(log3)).powi(lambda as i32).clamp(1e-6, 1.0);
+        let sparse = SparseAkpwParams::paper(n, lambda, beta);
+        // τ = 3·log n / log y; with the paper's y this is a small constant.
+        let y = (sparse.z / (4.0 * 272.0 * (lambda as f64 + 1.0) * log3)).max(2.0);
+        let tau = ((3.0 * n_f.log2() / y.log2()).ceil() as usize).max(1);
+        LsSubgraphParams { sparse, tau, theta }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sparse = self.sparse.with_seed(seed);
+        self
+    }
+}
+
+/// The output of `LSSubgraph`: a [`SparseSubgraph`] in original edge ids
+/// plus the record of which edges were set aside and re-inserted.
+#[derive(Debug, Clone)]
+pub struct LsSubgraphOutput {
+    /// The combined subgraph result (tree edges + promoted edges +
+    /// re-inserted set-aside edges, all in input-graph edge ids).
+    pub subgraph: SparseSubgraph,
+    /// The edges that were set aside by the well-spaced split and
+    /// re-inserted verbatim.
+    pub reinserted_edges: Vec<EdgeId>,
+    /// Fraction of edges set aside.
+    pub removed_fraction: f64,
+}
+
+impl LsSubgraphOutput {
+    /// All edges of the final subgraph `Ĝ`.
+    pub fn all_edges(&self) -> Vec<EdgeId> {
+        let mut out = self.subgraph.all_edges();
+        out.extend_from_slice(&self.reinserted_edges);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Runs `LSSubgraph(G, β, λ)` (Theorem 5.9).
+pub fn ls_subgraph(g: &Graph, params: &LsSubgraphParams) -> LsSubgraphOutput {
+    // Step 1: set aside a θ fraction of edges to make the classes
+    // well-spaced.
+    let split = well_spaced_split(g, params.sparse.z, params.tau, params.theta);
+
+    // Step 2: run SparseAKPW on the retained graph. The retained graph is
+    // materialised with its own edge numbering; map results back through
+    // `split.retained_edges`.
+    let retained_graph = g.edge_subgraph(&split.retained_edges);
+    let inner = sparse_akpw(&retained_graph, &params.sparse);
+    let map_back = |ids: &[EdgeId]| -> Vec<EdgeId> {
+        ids.iter()
+            .map(|&e| split.retained_edges[e as usize])
+            .collect()
+    };
+    let subgraph = SparseSubgraph {
+        tree_edges: map_back(&inner.tree_edges),
+        extra_edges: map_back(&inner.extra_edges),
+        iterations: inner.iterations,
+        num_classes: inner.num_classes,
+    };
+
+    LsSubgraphOutput {
+        removed_fraction: split.removed_fraction(),
+        reinserted_edges: split.removed_edges,
+        subgraph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stretch::stretch_over_subgraph_sampled;
+    use parsdd_graph::components::parallel_connected_components;
+    use parsdd_graph::generators;
+
+    fn assert_spans(g: &Graph, edges: &[EdgeId]) {
+        let sub = g.edge_subgraph(edges);
+        assert_eq!(
+            parallel_connected_components(g).count,
+            parallel_connected_components(&sub).count
+        );
+    }
+
+    #[test]
+    fn unit_grid_subgraph() {
+        let g = generators::grid2d(24, 24, |_, _| 1.0);
+        let out = ls_subgraph(&g, &LsSubgraphParams::practical(32.0, 2).with_seed(1));
+        let edges = out.all_edges();
+        assert!(edges.len() >= g.n() - 1);
+        assert!(edges.len() <= g.m());
+        assert_spans(&g, &edges);
+    }
+
+    #[test]
+    fn high_spread_graph_subgraph() {
+        let base = generators::grid2d(18, 18, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 10, 7);
+        let out = ls_subgraph(&g, &LsSubgraphParams::practical(8.0, 1).with_seed(2));
+        let edges = out.all_edges();
+        assert_spans(&g, &edges);
+        // Stretch sanity: every sampled edge has stretch >= 1 and finite.
+        let rep = stretch_over_subgraph_sampled(&g, &edges, 100, 3);
+        assert!(rep.min_stretch > 0.0);
+        assert!(rep.total_stretch.is_finite());
+    }
+
+    #[test]
+    fn set_aside_fraction_bounded_by_theta() {
+        let base = generators::grid2d(20, 20, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 14, 9);
+        let mut params = LsSubgraphParams::practical(4.0, 1).with_seed(3);
+        params.theta = 0.2;
+        params.tau = 2;
+        let out = ls_subgraph(&g, &params);
+        assert!(out.removed_fraction <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn paper_parameters_run_end_to_end() {
+        let g = generators::weighted_random_graph(200, 800, 1.0, 1000.0, 5);
+        let params = LsSubgraphParams::paper(g.n(), 2, 1e6).with_seed(4);
+        let out = ls_subgraph(&g, &params);
+        assert_spans(&g, &out.all_edges());
+    }
+
+    #[test]
+    fn subgraph_edges_unique_and_valid() {
+        let g = generators::weighted_random_graph(300, 1500, 1.0, 64.0, 6);
+        let out = ls_subgraph(&g, &LsSubgraphParams::practical(16.0, 2).with_seed(5));
+        let edges = out.all_edges();
+        // all_edges deduplicates and all ids are valid.
+        let mut sorted = edges.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), edges.len());
+        assert!(edges.iter().all(|&e| (e as usize) < g.m()));
+    }
+}

@@ -1,0 +1,809 @@
+//! The preconditioner chain (Definition 6.3, Section 6.1–6.3) and the
+//! recursive preconditioned solver built on it (rPCh, Lemmas 6.6–6.8).
+//!
+//! Construction (`build_chain`): starting from `A_1 = A`,
+//!
+//! 1. `Ĝ_i  = LSSubgraph(A_i)` — low-stretch ultra-sparse subgraph
+//!    (Theorem 5.9, crate `parsdd-lsst`);
+//! 2. `B_i  = IncrementalSparsify(A_i, Ĝ_i, κ_i)` — keep `Ĝ_i`, sample the
+//!    remaining edges by stretch (Lemma 6.1, [`crate::sparsify`]);
+//! 3. `A_{i+1} = GreedyElimination(B_i)` — eliminate degree-1/2 vertices
+//!    (Lemma 6.5, [`crate::elimination`]);
+//!
+//! until the level is small enough (Section 6.3 stops at ≈ `m^{1/3}`), at
+//! which point the bottom system is factored densely (Fact 6.4) or, if it
+//! is still too large for a dense factor, solved iteratively.
+//!
+//! Solving (`SolverChain::solve`): the top level runs (flexible)
+//! preconditioned CG or preconditioned Chebyshev; each preconditioner
+//! application forwards the residual through level `i`'s elimination,
+//! solves level `i+1` recursively with a *fixed* number of Chebyshev
+//! iterations (≈ `√κ_i`, so the recursion does `∏√κ_i` bottom solves, the
+//! quantity Lemma 6.6 counts), and back-substitutes.
+
+use parsdd_graph::mst::kruskal;
+use parsdd_graph::{EdgeId, Graph};
+use parsdd_linalg::cholesky::DenseLdl;
+use parsdd_linalg::laplacian::laplacian_of;
+use parsdd_linalg::operator::Preconditioner;
+use parsdd_linalg::power::quadratic_form_ratio_bounds;
+use parsdd_linalg::vector::{dot, norm2, project_out_componentwise_constant, sub};
+use parsdd_lsst::subgraph::{ls_subgraph, LsSubgraphParams};
+use rayon::prelude::*;
+
+use crate::elimination::{greedy_elimination, EliminationResult};
+use crate::sparsify::{incremental_sparsify, SparsifyParams};
+
+/// How each level of the recursion iterates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationMethod {
+    /// Preconditioned Chebyshev with `⌈√κ⌉` iterations (the paper's rPCh).
+    Chebyshev,
+    /// Preconditioned conjugate gradient (adaptive; ablation A1).
+    ConjugateGradient,
+}
+
+/// Options controlling chain construction and the recursive solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainOptions {
+    /// When `true` (the default), the per-level condition number `κ_i` is
+    /// derived from the level's total stretch so that the expected number
+    /// of sampled off-subgraph edges is `extra_fraction · n_i` — this is
+    /// Lemma 6.2's trade-off read backwards and is what keeps each level a
+    /// constant factor smaller than the previous one. When `false`, the
+    /// fixed `kappa` below is used at every level (the paper's uniform-κ
+    /// schedule of Lemma 6.9).
+    pub auto_kappa: bool,
+    /// Desired number of extra (beyond-spanning-forest) sampled edges per
+    /// level, as a fraction of the level's vertex count (used when
+    /// `auto_kappa` is set).
+    pub extra_fraction: f64,
+    /// Target relative condition number `κ` of every level's sparsifier
+    /// (used when `auto_kappa` is `false`).
+    pub kappa: f64,
+    /// Bucket base `z` of the low-stretch subgraph construction.
+    pub subgraph_z: f64,
+    /// Promotion lag `λ` of the low-stretch subgraph construction.
+    pub subgraph_lambda: u32,
+    /// Oversampling constant of the incremental sparsifier.
+    pub oversample: f64,
+    /// Terminate the chain once a level has at most this many vertices
+    /// (combined with `bottom_exponent`, Section 6.3).
+    pub bottom_size: usize,
+    /// Terminate once a level has at most `m^bottom_exponent` vertices,
+    /// where `m` is the edge count of the *input* (Section 6.3 uses 1/3).
+    pub bottom_exponent: f64,
+    /// Largest bottom system that is factored densely; larger bottoms fall
+    /// back to an iterative bottom solver.
+    pub dense_bottom_limit: usize,
+    /// Maximum number of chain levels.
+    pub max_levels: usize,
+    /// Iteration method used inside the recursion (levels ≥ 1).
+    pub inner_method: IterationMethod,
+    /// Extra Chebyshev iterations added to `⌈√κ⌉` at inner levels.
+    pub inner_extra_iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChainOptions {
+    fn default() -> Self {
+        ChainOptions {
+            auto_kappa: true,
+            extra_fraction: 0.1,
+            kappa: 64.0,
+            subgraph_z: 32.0,
+            subgraph_lambda: 2,
+            oversample: 2.0,
+            bottom_size: 300,
+            bottom_exponent: 1.0 / 3.0,
+            dense_bottom_limit: 3000,
+            max_levels: 16,
+            inner_method: IterationMethod::Chebyshev,
+            inner_extra_iterations: 1,
+            seed: 0xcba_0001,
+        }
+    }
+}
+
+impl ChainOptions {
+    /// Sets a fixed per-level condition number target (disables the
+    /// stretch-adaptive schedule).
+    pub fn with_kappa(mut self, kappa: f64) -> Self {
+        self.kappa = kappa.max(1.0);
+        self.auto_kappa = false;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One level of the preconditioner chain.
+#[derive(Debug, Clone)]
+pub struct ChainLevel {
+    /// The level's system `A_i` (a Laplacian graph with parallel edges
+    /// merged).
+    pub graph: Graph,
+    /// Weighted degrees of `graph` (the Laplacian diagonal).
+    diag: Vec<f64>,
+    /// The elimination taking the sparsifier `B_i` to `A_{i+1}`.
+    pub elimination: EliminationResult,
+    /// Configured condition target `κ_i`.
+    pub kappa: f64,
+    /// Sampled lower/upper bounds of `xᵀA_ix / xᵀB_ix` (empirical check of
+    /// Definition 6.3's `A_i ⪯ B_i ⪯ κ_i·A_i`, up to scaling).
+    pub measured_ratio: (f64, f64),
+    /// Number of edges of the sparsifier `B_i`.
+    pub sparsifier_edges: usize,
+    /// Number of edges inherited from the low-stretch subgraph.
+    pub subgraph_edges: usize,
+    /// Fixed Chebyshev/CG iteration count used when this level is solved
+    /// recursively.
+    pub inner_iterations: usize,
+}
+
+/// The bottom-of-chain solver (Fact 6.4, with an iterative fallback for
+/// oversized bottoms).
+#[derive(Debug, Clone)]
+enum BottomSolver {
+    /// Dense LDLᵀ factorisation (the paper's choice).
+    Dense(DenseLdl),
+    /// Jacobi-preconditioned CG run to high accuracy (fallback when the
+    /// bottom is too large to densify).
+    Iterative,
+    /// The bottom graph has no edges; the solution is zero.
+    Trivial,
+}
+
+/// Statistics describing a built chain (consumed by experiments E8/E9).
+#[derive(Debug, Clone)]
+pub struct ChainStats {
+    /// Vertex count per level (including the bottom).
+    pub level_vertices: Vec<usize>,
+    /// Edge count per level (including the bottom).
+    pub level_edges: Vec<usize>,
+    /// Sparsifier edge count per level.
+    pub sparsifier_edges: Vec<usize>,
+    /// Configured `κ_i` per level.
+    pub kappas: Vec<f64>,
+    /// Product of `√κ_i` — the number of bottom-level solves the recursion
+    /// performs per top-level preconditioner application (Lemma 6.6/6.8).
+    pub recursion_leaves: f64,
+    /// Whether the bottom is solved densely.
+    pub dense_bottom: bool,
+}
+
+/// A fully constructed preconditioner chain for a Laplacian system.
+#[derive(Debug, Clone)]
+pub struct SolverChain {
+    levels: Vec<ChainLevel>,
+    bottom_graph: Graph,
+    bottom_diag: Vec<f64>,
+    bottom: BottomSolver,
+    bottom_labels: Vec<u32>,
+    bottom_components: usize,
+    options: ChainOptions,
+}
+
+/// Outcome of a chain solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The approximate solution (mean-zero on every connected component).
+    pub x: Vec<f64>,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Ax‖₂ / ‖b‖₂`.
+    pub relative_residual: f64,
+    /// Whether the requested tolerance was reached.
+    pub converged: bool,
+}
+
+/// Applies the Laplacian of `graph` (with cached diagonal) to `x`.
+fn laplacian_apply(graph: &Graph, diag: &[f64], x: &[f64], y: &mut [f64]) {
+    let kernel = |v: usize| {
+        let mut acc = diag[v] * x[v];
+        for (u, w, _e) in graph.arcs(v as u32) {
+            acc -= w * x[u as usize];
+        }
+        acc
+    };
+    if graph.n() < 1 << 13 {
+        for (v, yv) in y.iter_mut().enumerate() {
+            *yv = kernel(v);
+        }
+    } else {
+        y.par_iter_mut().enumerate().for_each(|(v, yv)| *yv = kernel(v));
+    }
+}
+
+fn weighted_degrees(graph: &Graph) -> Vec<f64> {
+    (0..graph.n())
+        .into_par_iter()
+        .map(|v| graph.weighted_degree(v as u32))
+        .collect()
+}
+
+/// Builds the preconditioner chain for the Laplacian of `g`.
+pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
+    let input_m = g.m().max(1);
+    let bottom_target = options
+        .bottom_size
+        .max((input_m as f64).powf(options.bottom_exponent).ceil() as usize);
+
+    let mut levels: Vec<ChainLevel> = Vec::new();
+    let mut current = g.simplify();
+    let mut seed = options.seed;
+
+    while current.n() > bottom_target
+        && current.m() > current.n()
+        && levels.len() < options.max_levels
+    {
+        seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+
+        // 1. Low-stretch ultra-sparse subgraph of the current level.
+        //    The level's weights are Laplacian *conductances*; the
+        //    low-stretch machinery of Section 5 works on *lengths*, so it
+        //    runs on the reciprocal-weight view (edge ids are shared).
+        let lengths = Graph::from_edges_unchecked(
+            current.n(),
+            current
+                .edges()
+                .iter()
+                .map(|e| parsdd_graph::Edge::new(e.u, e.v, 1.0 / e.w))
+                .collect(),
+        );
+        let sub_params = LsSubgraphParams::practical(options.subgraph_z, options.subgraph_lambda)
+            .with_seed(seed);
+        let sub = ls_subgraph(&lengths, &sub_params);
+        let sub_edges = sub.all_edges();
+
+        // Spanning forest of the subgraph (minimum total *length*, i.e.
+        // maximum conductance), for resistance-stretch computation.
+        let forest: Vec<EdgeId> = {
+            let sub_graph = lengths.edge_subgraph(&sub_edges);
+            kruskal(&sub_graph)
+                .into_iter()
+                .map(|local| sub_edges[local as usize])
+                .collect()
+        };
+
+        // 2. Incremental sparsification. The per-level κ is either fixed
+        //    (the paper's uniform schedule) or derived so that the expected
+        //    number of sampled off-subgraph edges is a small fraction of
+        //    n_i — which is what makes the next level shrink.
+        let (sparsifier, kappa_used) = if options.auto_kappa {
+            // The low-stretch subgraph already carries some extra edges on
+            // top of its spanning forest; budget the sampled edges so that
+            // the *total* number of extras stays near extra_fraction · n.
+            let subgraph_extras = sub_edges.len().saturating_sub(forest.len());
+            let budget = ((options.extra_fraction * current.n() as f64) as usize)
+                .saturating_sub(subgraph_extras)
+                .max(8);
+            crate::sparsify::incremental_sparsify_with_target(
+                &current,
+                &sub_edges,
+                &forest,
+                budget,
+                options.oversample,
+                seed,
+            )
+        } else {
+            (
+                incremental_sparsify(
+                    &current,
+                    &sub_edges,
+                    &forest,
+                    &SparsifyParams {
+                        kappa: options.kappa,
+                        oversample: options.oversample,
+                        seed,
+                    },
+                ),
+                options.kappa,
+            )
+        };
+
+        // Empirical check of the spectral relation (Definition 6.3).
+        let measured_ratio = quadratic_form_ratio_bounds(&current, &sparsifier.graph, 12, seed);
+
+        // 3. Greedy elimination of the sparsifier.
+        let elimination = greedy_elimination(&sparsifier.graph, seed);
+        let next = elimination.reduced_graph.simplify();
+
+        // Lemma 6.6/6.8 cost balance: the recursion multiplies the work by
+        // the per-level iteration count, so that count must not exceed the
+        // factor by which the level shrank. √κ is the accuracy-motivated
+        // ceiling (Lemma 6.7); the shrink factor is the work-motivated one.
+        let shrink = current.n() as f64 / next.n().max(1) as f64;
+        let accuracy_iters = kappa_used.sqrt().ceil() as usize + options.inner_extra_iterations;
+        let inner_iterations = accuracy_iters.min(shrink.floor() as usize).max(2);
+        let diag = weighted_degrees(&current);
+        levels.push(ChainLevel {
+            graph: current,
+            diag,
+            elimination,
+            kappa: kappa_used,
+            measured_ratio,
+            sparsifier_edges: sparsifier.edge_count(),
+            subgraph_edges: sparsifier.subgraph_edges,
+            inner_iterations,
+        });
+        current = next;
+        if shrink < 1.5 {
+            // The level barely shrank (the sparsifier was nearly the whole
+            // graph); further levels would only add recursion overhead.
+            // Stop and let the bottom solver take over.
+            break;
+        }
+    }
+
+    // Bottom solver.
+    let bottom_diag = weighted_degrees(&current);
+    let comps = parsdd_graph::components::parallel_connected_components(&current);
+    let bottom = if current.m() == 0 {
+        BottomSolver::Trivial
+    } else if current.n() <= options.dense_bottom_limit {
+        BottomSolver::Dense(DenseLdl::from_csr(&laplacian_of(&current), 1e-10))
+    } else {
+        BottomSolver::Iterative
+    };
+
+    SolverChain {
+        levels,
+        bottom_graph: current,
+        bottom_diag,
+        bottom,
+        bottom_labels: comps.labels,
+        bottom_components: comps.count,
+        options: *options,
+    }
+}
+
+impl SolverChain {
+    /// Number of levels above the bottom.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels of the chain.
+    pub fn levels(&self) -> &[ChainLevel] {
+        &self.levels
+    }
+
+    /// The bottom-level graph `A_d`.
+    pub fn bottom_graph(&self) -> &Graph {
+        &self.bottom_graph
+    }
+
+    /// Options the chain was built with.
+    pub fn options(&self) -> &ChainOptions {
+        &self.options
+    }
+
+    /// Summary statistics of the chain.
+    pub fn stats(&self) -> ChainStats {
+        let mut level_vertices: Vec<usize> = self.levels.iter().map(|l| l.graph.n()).collect();
+        let mut level_edges: Vec<usize> = self.levels.iter().map(|l| l.graph.m()).collect();
+        level_vertices.push(self.bottom_graph.n());
+        level_edges.push(self.bottom_graph.m());
+        let recursion_leaves = self
+            .levels
+            .iter()
+            .map(|l| l.kappa.sqrt())
+            .product::<f64>()
+            .max(1.0);
+        ChainStats {
+            level_vertices,
+            level_edges,
+            sparsifier_edges: self.levels.iter().map(|l| l.sparsifier_edges).collect(),
+            kappas: self.levels.iter().map(|l| l.kappa).collect(),
+            recursion_leaves,
+            dense_bottom: matches!(self.bottom, BottomSolver::Dense(_)),
+        }
+    }
+
+    /// Solves the bottom system `A_d x = b`.
+    fn bottom_solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut rhs = b.to_vec();
+        project_out_componentwise_constant(&mut rhs, &self.bottom_labels, self.bottom_components);
+        match &self.bottom {
+            BottomSolver::Trivial => vec![0.0; self.bottom_graph.n()],
+            BottomSolver::Dense(ldl) => ldl.solve(&rhs),
+            BottomSolver::Iterative => {
+                let op = parsdd_linalg::laplacian::LaplacianOp::new(&self.bottom_graph);
+                let jac = parsdd_linalg::jacobi::JacobiPreconditioner::from_laplacian(&op);
+                parsdd_linalg::cg::pcg_solve(
+                    &op,
+                    &jac,
+                    &rhs,
+                    &parsdd_linalg::cg::CgOptions {
+                        max_iters: (2 * self.bottom_graph.n()).clamp(100, 2000),
+                        tol: 1e-10,
+                    },
+                )
+                .x
+            }
+        }
+    }
+
+    /// Applies the level-`i` preconditioner `B_i⁻¹ r`: forward-eliminate,
+    /// recursively solve `A_{i+1}`, back-substitute.
+    fn precondition(&self, level: usize, r: &[f64]) -> Vec<f64> {
+        let elim = &self.levels[level].elimination;
+        let (reduced, work) = elim.forward_rhs(r);
+        let y = self.solve_level(level + 1, &reduced);
+        elim.back_substitute(&work, &y)
+    }
+
+    /// Solves `A_i x = b` approximately with the level's fixed iteration
+    /// budget (`i ≥ 1`), or exactly at the bottom.
+    fn solve_level(&self, level: usize, b: &[f64]) -> Vec<f64> {
+        if level >= self.levels.len() {
+            return self.bottom_solve(b);
+        }
+        let lvl = &self.levels[level];
+        match self.options.inner_method {
+            IterationMethod::Chebyshev => self.chebyshev_fixed(level, b, lvl.inner_iterations),
+            IterationMethod::ConjugateGradient => self.pcg_fixed(level, b, lvl.inner_iterations),
+        }
+    }
+
+    /// Fixed-iteration preconditioned Chebyshev at a given level (the rPCh
+    /// inner iteration of Lemma 6.7).
+    fn chebyshev_fixed(&self, level: usize, b: &[f64], iterations: usize) -> Vec<f64> {
+        let lvl = &self.levels[level];
+        let n = lvl.graph.n();
+        // Spectrum bounds of the preconditioned operator: the chain
+        // guarantees ≈ [1/κ, 1] up to scaling; widen the sampled ratio
+        // bounds for safety.
+        let (lo, hi) = lvl.measured_ratio;
+        let (lambda_min, lambda_max) = if lo.is_finite() && lo > 0.0 && hi > lo {
+            (lo / 2.0, hi * 2.0)
+        } else {
+            (1.0 / lvl.kappa, 1.0)
+        };
+        let theta = 0.5 * (lambda_max + lambda_min);
+        let delta = 0.5 * (lambda_max - lambda_min);
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut p = vec![0.0; n];
+        let mut ap = vec![0.0; n];
+        let mut alpha = 0.0f64;
+        for k in 0..iterations {
+            let z = self.precondition(level, &r);
+            if k == 0 {
+                p.copy_from_slice(&z);
+                alpha = 1.0 / theta;
+            } else {
+                let beta = if k == 1 {
+                    0.5 * (delta * alpha) * (delta * alpha)
+                } else {
+                    (delta * alpha / 2.0) * (delta * alpha / 2.0)
+                };
+                alpha = 1.0 / (theta - beta / alpha);
+                for i in 0..n {
+                    p[i] = z[i] + beta * p[i];
+                }
+            }
+            for i in 0..n {
+                x[i] += alpha * p[i];
+            }
+            laplacian_apply(&lvl.graph, &lvl.diag, &p, &mut ap);
+            for i in 0..n {
+                r[i] -= alpha * ap[i];
+            }
+        }
+        x
+    }
+
+    /// Fixed-iteration (flexible) PCG at a given level — the ablation
+    /// alternative to Chebyshev.
+    fn pcg_fixed(&self, level: usize, b: &[f64], iterations: usize) -> Vec<f64> {
+        let lvl = &self.levels[level];
+        let n = lvl.graph.n();
+        let mut x = vec![0.0; n];
+        let mut r = b.to_vec();
+        let mut z = self.precondition(level, &r);
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+        for _ in 0..iterations {
+            if rz.abs() < 1e-300 {
+                break;
+            }
+            laplacian_apply(&lvl.graph, &lvl.diag, &p, &mut ap);
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 || !pap.is_finite() {
+                break;
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            z = self.precondition(level, &r);
+            let rz_new = dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        x
+    }
+
+    /// Solves the top-level system `A x = b` to relative residual `tol`
+    /// using flexible preconditioned CG driven by the recursive chain
+    /// preconditioner. `b` is projected onto the range of `A` first.
+    pub fn solve(&self, b: &[f64], tol: f64, max_iterations: usize) -> SolveOutcome {
+        assert!(!self.levels.is_empty() || self.bottom_graph.n() == b.len());
+        let (top_graph, top_diag): (&Graph, &[f64]) = if let Some(l) = self.levels.first() {
+            (&l.graph, &l.diag)
+        } else {
+            (&self.bottom_graph, &self.bottom_diag)
+        };
+        let n = top_graph.n();
+        assert_eq!(b.len(), n, "right-hand side has wrong dimension");
+
+        let comps = parsdd_graph::components::parallel_connected_components(top_graph);
+        let mut rhs = b.to_vec();
+        project_out_componentwise_constant(&mut rhs, &comps.labels, comps.count);
+        let bnorm = norm2(&rhs);
+        if bnorm == 0.0 {
+            return SolveOutcome {
+                x: vec![0.0; n],
+                iterations: 0,
+                relative_residual: 0.0,
+                converged: true,
+            };
+        }
+        if self.levels.is_empty() {
+            let x = self.bottom_solve(&rhs);
+            let mut ax = vec![0.0; n];
+            laplacian_apply(top_graph, top_diag, &x, &mut ax);
+            let rel = norm2(&sub(&rhs, &ax)) / bnorm;
+            return SolveOutcome {
+                x,
+                iterations: 1,
+                relative_residual: rel,
+                converged: rel <= tol,
+            };
+        }
+
+        // Flexible PCG (Polak–Ribière beta) with the recursive chain
+        // preconditioner at level 0.
+        let mut x = vec![0.0; n];
+        let mut r = rhs.clone();
+        let mut z = self.precondition(0, &r);
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+        let mut iterations = 0usize;
+        let mut rel = 1.0;
+        for k in 0..max_iterations {
+            iterations = k;
+            rel = norm2(&r) / bnorm;
+            if rel <= tol {
+                break;
+            }
+            laplacian_apply(top_graph, top_diag, &p, &mut ap);
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 || !pap.is_finite() {
+                break;
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+            }
+            let r_old = r.clone();
+            for i in 0..n {
+                r[i] -= alpha * ap[i];
+            }
+            z = self.precondition(0, &r);
+            // Flexible (Polak–Ribière) beta tolerates the slightly varying
+            // preconditioner produced by the recursion.
+            let rz_new = dot(&r, &z);
+            let r_diff: Vec<f64> = r.iter().zip(&r_old).map(|(a, b)| a - b).collect();
+            let beta = (dot(&r_diff, &z) / rz).max(0.0);
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        // Final residual check.
+        let mut ax = vec![0.0; n];
+        laplacian_apply(top_graph, top_diag, &x, &mut ax);
+        let final_rel = norm2(&sub(&rhs, &ax)) / bnorm;
+        project_out_componentwise_constant(&mut x, &comps.labels, comps.count);
+        SolveOutcome {
+            converged: final_rel <= tol,
+            relative_residual: final_rel.min(rel),
+            iterations: iterations + 1,
+            x,
+        }
+    }
+}
+
+/// A [`Preconditioner`] view of a whole chain: one recursive preconditioner
+/// application per call. Lets external iterative methods (e.g. the CG in
+/// `parsdd-linalg`) use the chain directly.
+pub struct ChainPreconditioner<'a> {
+    chain: &'a SolverChain,
+}
+
+impl<'a> ChainPreconditioner<'a> {
+    /// Wraps a chain as a preconditioner for its own top-level system.
+    pub fn new(chain: &'a SolverChain) -> Self {
+        ChainPreconditioner { chain }
+    }
+}
+
+impl Preconditioner for ChainPreconditioner<'_> {
+    fn dim(&self) -> usize {
+        if let Some(l) = self.chain.levels.first() {
+            l.graph.n()
+        } else {
+            self.chain.bottom_graph.n()
+        }
+    }
+
+    fn precondition(&self, r: &[f64], z: &mut [f64]) {
+        let out = if self.chain.levels.is_empty() {
+            self.chain.bottom_solve(r)
+        } else {
+            self.chain.precondition(0, r)
+        };
+        z.copy_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+    use parsdd_linalg::laplacian::LaplacianOp;
+    use parsdd_linalg::operator::LinearOperator;
+    use parsdd_linalg::vector::project_out_constant;
+
+    fn random_rhs(n: usize) -> Vec<f64> {
+        let mut b: Vec<f64> = (0..n).map(|i| ((i * 37) % 23) as f64 - 11.0).collect();
+        project_out_constant(&mut b);
+        b
+    }
+
+    fn check_solve(g: &Graph, options: &ChainOptions, tol: f64) -> SolveOutcome {
+        let chain = build_chain(g, options);
+        let b = random_rhs(g.n());
+        let out = chain.solve(&b, tol, 300);
+        assert!(
+            out.converged,
+            "chain solve did not converge: rel={} iters={} levels={}",
+            out.relative_residual,
+            out.iterations,
+            chain.depth()
+        );
+        // Cross-check the residual against an independent operator.
+        let op = LaplacianOp::new(g);
+        let r = op.residual(&out.x, &b);
+        assert!(parsdd_linalg::vector::norm2(&r) <= tol * 10.0 * parsdd_linalg::vector::norm2(&b));
+        out
+    }
+
+    #[test]
+    fn small_graph_uses_bottom_solver_only() {
+        let g = generators::grid2d(8, 8, |_, _| 1.0);
+        let chain = build_chain(&g, &ChainOptions::default());
+        assert_eq!(chain.depth(), 0, "64 vertices should go straight to the bottom");
+        let b = random_rhs(g.n());
+        let out = chain.solve(&b, 1e-10, 10);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn medium_grid_builds_levels_and_solves() {
+        let g = generators::grid2d(32, 32, |_, _| 1.0);
+        let mut opts = ChainOptions::default();
+        opts.bottom_size = 200;
+        let chain = build_chain(&g, &opts);
+        assert!(chain.depth() >= 1, "1600 vertices should create at least one level");
+        let stats = chain.stats();
+        assert_eq!(stats.level_vertices.len(), chain.depth() + 1);
+        // Level sizes decrease.
+        for w in stats.level_vertices.windows(2) {
+            assert!(w[1] <= w[0], "level sizes must not grow: {:?}", stats.level_vertices);
+        }
+        check_solve(&g, &opts, 1e-8);
+    }
+
+    #[test]
+    fn weighted_random_graph_solve() {
+        let g = generators::weighted_random_graph(700, 2800, 1.0, 20.0, 5);
+        let mut opts = ChainOptions::default();
+        opts.bottom_size = 250;
+        check_solve(&g, &opts, 1e-8);
+    }
+
+    #[test]
+    fn high_spread_graph_solve() {
+        let base = generators::grid2d(30, 30, |_, _| 1.0);
+        let g = generators::with_power_law_weights(&base, 6, 7);
+        let opts = ChainOptions::default();
+        check_solve(&g, &opts, 1e-8);
+    }
+
+    #[test]
+    fn pcg_inner_method_also_converges() {
+        let g = generators::grid2d(28, 28, |_, _| 1.0);
+        let mut opts = ChainOptions::default();
+        opts.inner_method = IterationMethod::ConjugateGradient;
+        opts.bottom_size = 200;
+        check_solve(&g, &opts, 1e-8);
+    }
+
+    #[test]
+    fn disconnected_graph_solve() {
+        use parsdd_graph::{Edge, Graph};
+        // Two grids glued into one disconnected graph.
+        let g1 = generators::grid2d(12, 12, |_, _| 1.0);
+        let mut edges: Vec<Edge> = g1.edges().to_vec();
+        let off = g1.n() as u32;
+        for e in g1.edges() {
+            edges.push(Edge::new(e.u + off, e.v + off, e.w));
+        }
+        let g = Graph::from_edges(2 * g1.n(), edges);
+        let chain = build_chain(&g, &ChainOptions::default());
+        // Per-component balanced rhs.
+        let mut b = vec![0.0; g.n()];
+        b[0] = 1.0;
+        b[10] = -1.0;
+        b[g1.n()] = 2.0;
+        b[g1.n() + 5] = -2.0;
+        let out = chain.solve(&b, 1e-9, 200);
+        assert!(out.converged, "rel {}", out.relative_residual);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let g = generators::grid2d(20, 20, |_, _| 1.0);
+        let chain = build_chain(&g, &ChainOptions::default());
+        let out = chain.solve(&vec![0.0; g.n()], 1e-12, 50);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn chain_preconditioner_with_external_cg() {
+        let g = generators::grid2d(32, 32, |_, _| 1.0);
+        let mut opts = ChainOptions::default();
+        opts.bottom_size = 150;
+        let chain = build_chain(&g, &opts);
+        let op = LaplacianOp::new(&g);
+        let pre = ChainPreconditioner::new(&chain);
+        let b = random_rhs(g.n());
+        let out = parsdd_linalg::cg::pcg_solve(
+            &op,
+            &pre,
+            &b,
+            &parsdd_linalg::cg::CgOptions { max_iters: 300, tol: 1e-9 },
+        );
+        assert!(out.converged, "rel {}", out.relative_residual);
+    }
+
+    #[test]
+    fn stats_reflect_options() {
+        let g = generators::weighted_random_graph(800, 3200, 1.0, 5.0, 9);
+        let mut opts = ChainOptions::default().with_kappa(36.0);
+        opts.bottom_size = 200;
+        let chain = build_chain(&g, &opts);
+        let stats = chain.stats();
+        for k in &stats.kappas {
+            assert_eq!(*k, 36.0);
+        }
+        assert!(stats.recursion_leaves >= 1.0);
+        assert_eq!(stats.sparsifier_edges.len(), chain.depth());
+    }
+}

@@ -1,0 +1,419 @@
+//! `GreedyElimination` — partial Cholesky elimination of degree-1 and
+//! degree-2 vertices (Section 6.1, Lemma 6.5).
+//!
+//! For a Laplacian, eliminating a degree-1 vertex simply deletes it (its
+//! row determines its solution value from its neighbour's), and eliminating
+//! a degree-2 vertex replaces its two incident edges by a single edge whose
+//! weight is the series conductance `w_a·w_b/(w_a+w_b)`. The paper's
+//! parallel version finds, in each round, all degree-1 vertices plus a
+//! random independent set of degree-2 vertices — a randomised analogue of
+//! the Rake and Compress steps of parallel tree contraction — and shows
+//! that O(log n) rounds reduce an `(n, n−1+m)`-graph to at most `2m−2`
+//! vertices.
+//!
+//! The elimination is recorded step by step so that the solver can
+//! *forward-substitute* a right-hand side down to the reduced system and
+//! *back-substitute* the reduced solution up to the full one.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use parsdd_graph::{Edge, Graph, VertexId};
+
+/// One recorded elimination step.
+#[derive(Debug, Clone, Copy)]
+pub enum EliminationStep {
+    /// A degree-1 vertex `v` attached to `u` with conductance `w`.
+    Degree1 {
+        /// Eliminated vertex.
+        v: VertexId,
+        /// Its unique neighbour.
+        u: VertexId,
+        /// Conductance of the edge `{v, u}` at elimination time.
+        w: f64,
+    },
+    /// A degree-2 vertex `v` attached to `a` and `b`.
+    Degree2 {
+        /// Eliminated vertex.
+        v: VertexId,
+        /// First neighbour.
+        a: VertexId,
+        /// Second neighbour.
+        b: VertexId,
+        /// Conductance of `{v, a}` at elimination time.
+        wa: f64,
+        /// Conductance of `{v, b}` at elimination time.
+        wb: f64,
+    },
+    /// An isolated vertex (degree 0) removed from the system; its solution
+    /// coordinate is set to zero.
+    Isolated {
+        /// Eliminated vertex.
+        v: VertexId,
+    },
+}
+
+/// The result of greedy elimination: the reduced graph, the mapping between
+/// original and reduced vertex ids, and the recorded elimination trace.
+#[derive(Debug, Clone)]
+pub struct EliminationResult {
+    /// The reduced (eliminated) graph, on `kept.len()` vertices with
+    /// parallel edges merged.
+    pub reduced_graph: Graph,
+    /// Original ids of the reduced graph's vertices (reduced id → original id).
+    pub kept: Vec<VertexId>,
+    /// Original id → reduced id (`u32::MAX` for eliminated vertices).
+    pub orig_to_reduced: Vec<u32>,
+    /// The elimination steps, in the order they were applied.
+    pub steps: Vec<EliminationStep>,
+    /// Number of parallel rounds used (Lemma 6.5: O(log n) whp).
+    pub rounds: usize,
+}
+
+impl EliminationResult {
+    /// Number of eliminated vertices.
+    pub fn eliminated_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Forward-substitutes a right-hand side of the original system into a
+    /// right-hand side of the reduced system. Returns `(reduced_rhs,
+    /// working_rhs)`; the working vector (original dimension, partially
+    /// updated) is needed later by [`back_substitute`](Self::back_substitute).
+    pub fn forward_rhs(&self, b: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut work = b.to_vec();
+        for step in &self.steps {
+            match *step {
+                EliminationStep::Degree1 { v, u, .. } => {
+                    // Schur complement of a degree-1 elimination adds the
+                    // full b_v to the neighbour.
+                    work[u as usize] += work[v as usize];
+                }
+                EliminationStep::Degree2 { v, a, b: nb, wa, wb } => {
+                    let d = wa + wb;
+                    let bv = work[v as usize];
+                    work[a as usize] += (wa / d) * bv;
+                    work[nb as usize] += (wb / d) * bv;
+                }
+                EliminationStep::Isolated { .. } => {}
+            }
+        }
+        let reduced = self.kept.iter().map(|&v| work[v as usize]).collect();
+        (reduced, work)
+    }
+
+    /// Back-substitutes a solution of the reduced system into a solution of
+    /// the original system, given the working right-hand side returned by
+    /// [`forward_rhs`](Self::forward_rhs).
+    pub fn back_substitute(&self, working_rhs: &[f64], x_reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(x_reduced.len(), self.kept.len());
+        let n = self.orig_to_reduced.len();
+        let mut x = vec![0.0f64; n];
+        for (r, &orig) in self.kept.iter().enumerate() {
+            x[orig as usize] = x_reduced[r];
+        }
+        for step in self.steps.iter().rev() {
+            match *step {
+                EliminationStep::Degree1 { v, u, w } => {
+                    x[v as usize] = working_rhs[v as usize] / w + x[u as usize];
+                }
+                EliminationStep::Degree2 { v, a, b: nb, wa, wb } => {
+                    let d = wa + wb;
+                    x[v as usize] =
+                        (working_rhs[v as usize] + wa * x[a as usize] + wb * x[nb as usize]) / d;
+                }
+                EliminationStep::Isolated { v } => {
+                    x[v as usize] = 0.0;
+                }
+            }
+        }
+        x
+    }
+}
+
+/// Runs greedy elimination on the Laplacian of `g` until no vertex of
+/// degree ≤ 2 remains (or only such vertices remain in trivially small
+/// components). Parallel edges are merged before elimination.
+pub fn greedy_elimination(g: &Graph, seed: u64) -> EliminationResult {
+    let n = g.n();
+    // Working adjacency with merged parallel edges: map neighbour → weight.
+    let mut adj: Vec<std::collections::HashMap<VertexId, f64>> = vec![Default::default(); n];
+    for e in g.edges() {
+        *adj[e.u as usize].entry(e.v).or_insert(0.0) += e.w;
+        *adj[e.v as usize].entry(e.u).or_insert(0.0) += e.w;
+    }
+    let mut alive = vec![true; n];
+    let mut steps: Vec<EliminationStep> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rounds = 0usize;
+
+    loop {
+        rounds += 1;
+        // Degree-1 (and isolated) vertices are all eliminated; degree-2
+        // vertices are eliminated if selected into a random independent set
+        // (heads with probability 1/3, kept only if no coin-flipping
+        // neighbour also came up heads).
+        let mut candidates: Vec<VertexId> = Vec::new();
+        let mut coin = vec![false; n];
+        let mut flipped = vec![false; n];
+        for v in 0..n as VertexId {
+            if !alive[v as usize] {
+                continue;
+            }
+            let deg = adj[v as usize].len();
+            if deg <= 1 {
+                candidates.push(v);
+            } else if deg == 2 {
+                flipped[v as usize] = true;
+                coin[v as usize] = rng.gen_bool(1.0 / 3.0);
+            }
+        }
+        for v in 0..n as VertexId {
+            if !flipped[v as usize] || !coin[v as usize] {
+                continue;
+            }
+            let independent = adj[v as usize]
+                .keys()
+                .all(|&u| !(flipped[u as usize] && coin[u as usize]));
+            if independent {
+                candidates.push(v);
+            }
+        }
+        if candidates.is_empty() {
+            // No degree-1 eliminations and no lucky degree-2 vertices this
+            // round. If degree ≤ 2 vertices still exist we must keep going
+            // (fresh coins next round); otherwise we are done.
+            let any_low_degree = (0..n).any(|v| alive[v] && adj[v].len() <= 2 && {
+                // A cycle of length ≤ 2 supernodes can deadlock the
+                // independent-set rule only probabilistically; a lone
+                // surviving 2-cycle or triangle of degree-2 vertices is
+                // still eliminable, so keep iterating while any exist.
+                true
+            });
+            if !any_low_degree {
+                break;
+            }
+            // Guard against pathological non-progress (e.g. a single cycle
+            // where coins keep colliding): after many extra rounds, fall
+            // back to eliminating one degree-≤2 vertex deterministically.
+            if rounds > 10 * (64 - (n.max(2) as u64).leading_zeros() as usize).max(4) {
+                if let Some(v) = (0..n as VertexId).find(|&v| alive[v as usize] && adj[v as usize].len() <= 2)
+                {
+                    candidates.push(v);
+                } else {
+                    break;
+                }
+            } else {
+                continue;
+            }
+        }
+
+        // Apply the round's eliminations sequentially, re-checking degrees
+        // (an earlier elimination in the same round can change them).
+        for v in candidates {
+            if !alive[v as usize] {
+                continue;
+            }
+            let deg = adj[v as usize].len();
+            match deg {
+                0 => {
+                    alive[v as usize] = false;
+                    steps.push(EliminationStep::Isolated { v });
+                }
+                1 => {
+                    let (&u, &w) = adj[v as usize].iter().next().expect("degree 1");
+                    alive[v as usize] = false;
+                    adj[v as usize].clear();
+                    adj[u as usize].remove(&v);
+                    steps.push(EliminationStep::Degree1 { v, u, w });
+                }
+                2 => {
+                    let mut it = adj[v as usize].iter();
+                    let (&a, &wa) = it.next().expect("degree 2");
+                    let (&b, &wb) = it.next().expect("degree 2");
+                    alive[v as usize] = false;
+                    adj[v as usize].clear();
+                    adj[a as usize].remove(&v);
+                    adj[b as usize].remove(&v);
+                    // Series conductance between the two neighbours.
+                    let w_new = wa * wb / (wa + wb);
+                    *adj[a as usize].entry(b).or_insert(0.0) += w_new;
+                    *adj[b as usize].entry(a).or_insert(0.0) += w_new;
+                    steps.push(EliminationStep::Degree2 { v, a, b, wa, wb });
+                }
+                _ => { /* degree grew since selection; skip */ }
+            }
+        }
+    }
+
+    // Build the reduced graph over the surviving vertices.
+    let kept: Vec<VertexId> = (0..n as VertexId).filter(|&v| alive[v as usize]).collect();
+    let mut orig_to_reduced = vec![u32::MAX; n];
+    for (r, &v) in kept.iter().enumerate() {
+        orig_to_reduced[v as usize] = r as u32;
+    }
+    let mut edges: Vec<Edge> = Vec::new();
+    for &v in &kept {
+        for (&u, &w) in &adj[v as usize] {
+            if v < u {
+                edges.push(Edge::new(
+                    orig_to_reduced[v as usize],
+                    orig_to_reduced[u as usize],
+                    w,
+                ));
+            }
+        }
+    }
+    let reduced_graph = Graph::from_edges_unchecked(kept.len(), edges);
+
+    EliminationResult {
+        reduced_graph,
+        kept,
+        orig_to_reduced,
+        steps,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_linalg::cg::{cg_solve, CgOptions};
+    use parsdd_linalg::laplacian::LaplacianOp;
+    use parsdd_linalg::operator::LinearOperator;
+    use parsdd_linalg::vector::{norm2, project_out_constant, sub};
+    use parsdd_graph::generators;
+
+    /// Solves L_G x = b exactly via elimination + CG on the reduced system
+    /// and checks the residual on the original system.
+    fn check_elimination_solve(g: &Graph, seed: u64) {
+        let elim = greedy_elimination(g, seed);
+        let op = LaplacianOp::new(g);
+        let mut b: Vec<f64> = (0..g.n()).map(|i| ((i * 29) % 13) as f64 - 6.0).collect();
+        project_out_constant(&mut b);
+        let (reduced_b, work) = elim.forward_rhs(&b);
+        let x_reduced = if elim.reduced_graph.n() == 0 {
+            Vec::new()
+        } else if elim.reduced_graph.m() == 0 {
+            vec![0.0; elim.reduced_graph.n()]
+        } else {
+            let red_op = LaplacianOp::new(&elim.reduced_graph);
+            let out = cg_solve(&red_op, &reduced_b, &CgOptions { max_iters: 20_000, tol: 1e-12 });
+            out.x
+        };
+        let x = elim.back_substitute(&work, &x_reduced);
+        let r = op.residual(&x, &b);
+        assert!(
+            norm2(&r) <= 1e-6 * norm2(&b).max(1.0),
+            "residual {} for graph with n={} m={}",
+            norm2(&r),
+            g.n(),
+            g.m()
+        );
+    }
+
+    #[test]
+    fn tree_eliminates_fully_and_solves() {
+        let g = generators::random_tree(200, 1.0, 3);
+        let elim = greedy_elimination(&g, 1);
+        // A tree reduces to at most a couple of vertices (2m−2 with m=0
+        // extra edges means essentially everything goes).
+        assert!(elim.reduced_graph.n() <= 2, "reduced to {}", elim.reduced_graph.n());
+        check_elimination_solve(&g, 1);
+    }
+
+    #[test]
+    fn path_elimination_exact_solution() {
+        let g = generators::path(50, 2.0);
+        check_elimination_solve(&g, 2);
+    }
+
+    #[test]
+    fn ultra_sparse_graph_vertex_bound() {
+        // Lemma 6.5: a graph with n vertices and n−1+m edges reduces to at
+        // most 2m−2 vertices (here "m" is the number of extra edges).
+        let extra = 40;
+        let g = generators::ultra_sparse(1200, extra, 1.0, 3.0, 7);
+        let elim = greedy_elimination(&g, 3);
+        assert!(
+            elim.reduced_graph.n() <= 2 * extra,
+            "reduced to {} vertices, bound {}",
+            elim.reduced_graph.n(),
+            2 * extra
+        );
+        assert!(elim.rounds <= 200, "rounds {}", elim.rounds);
+        check_elimination_solve(&g, 3);
+    }
+
+    #[test]
+    fn grid_elimination_preserves_solution() {
+        let g = generators::grid2d(12, 12, |_, _| 1.0);
+        let elim = greedy_elimination(&g, 4);
+        // Interior grid vertices have degree 4, so only the boundary
+        // corners/edges shrink; the reduction is partial but the solve must
+        // stay exact.
+        assert!(elim.reduced_graph.n() <= g.n());
+        check_elimination_solve(&g, 4);
+    }
+
+    #[test]
+    fn weighted_random_graph_solve() {
+        let g = generators::ultra_sparse(500, 60, 0.5, 10.0, 11);
+        check_elimination_solve(&g, 5);
+    }
+
+    #[test]
+    fn cycle_graph_is_fully_eliminable() {
+        let g = generators::cycle(64, 1.5);
+        let elim = greedy_elimination(&g, 6);
+        assert!(elim.reduced_graph.n() <= 3);
+        check_elimination_solve(&g, 6);
+    }
+
+    #[test]
+    fn disconnected_graph_elimination() {
+        use parsdd_graph::{Edge, Graph};
+        let mut edges = Vec::new();
+        for i in 0..20u32 {
+            edges.push(Edge::new(i, i + 1, 1.0));
+        }
+        for i in 30..45u32 {
+            edges.push(Edge::new(i, i + 1, 2.0));
+        }
+        let g = Graph::from_edges(50, edges);
+        let elim = greedy_elimination(&g, 7);
+        // Isolated vertices (21..30, 46..49) are eliminated as Isolated steps.
+        assert!(elim
+            .steps
+            .iter()
+            .any(|s| matches!(s, EliminationStep::Isolated { .. })));
+        // Forward/backward on a component-wise balanced rhs.
+        let op = LaplacianOp::new(&g);
+        let mut b = vec![0.0f64; 50];
+        b[0] = 1.0;
+        b[20] = -1.0;
+        b[30] = 2.0;
+        b[45] = -2.0;
+        let (reduced_b, work) = elim.forward_rhs(&b);
+        let x_reduced = if elim.reduced_graph.m() == 0 {
+            vec![0.0; elim.reduced_graph.n()]
+        } else {
+            let red_op = LaplacianOp::new(&elim.reduced_graph);
+            cg_solve(&red_op, &reduced_b, &CgOptions::default()).x
+        };
+        let x = elim.back_substitute(&work, &x_reduced);
+        let r = sub(&b, &op.apply_vec(&x));
+        assert!(norm2(&r) < 1e-6);
+    }
+
+    #[test]
+    fn elimination_counts_are_consistent() {
+        let g = generators::ultra_sparse(800, 100, 1.0, 2.0, 13);
+        let elim = greedy_elimination(&g, 8);
+        assert_eq!(elim.eliminated_count() + elim.reduced_graph.n(), g.n());
+        // orig_to_reduced and kept are inverse mappings.
+        for (r, &v) in elim.kept.iter().enumerate() {
+            assert_eq!(elim.orig_to_reduced[v as usize] as usize, r);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # parsdd-solver
+//!
+//! The parallel SDD solver — Section 6 of *Near Linear-Work Parallel SDD
+//! Solvers, Low-Diameter Decomposition, and Low-Stretch Subgraphs*
+//! (SPAA 2011), Theorem 1.1.
+//!
+//! The solver follows the Spielman–Teng / Koutis–Miller–Peng
+//! preconditioner-chain framework, with the paper's two parallel
+//! ingredients: a *low-stretch ultra-sparse subgraph* (instead of a
+//! low-stretch tree) feeding the incremental sparsifier, and a parallel
+//! greedy elimination.
+//!
+//! * [`sparsify`] — `IncrementalSparsify` (Lemma 6.1/6.2): keep the
+//!   low-stretch subgraph, sample the remaining edges by stretch.
+//! * [`elimination`] — `GreedyElimination` (Lemma 6.5): partial Cholesky
+//!   elimination of degree-1/2 vertices with a recorded trace for
+//!   forward/backward substitution.
+//! * [`chain`] — the preconditioner chain (Definition 6.3) and the
+//!   recursive preconditioned Chebyshev/CG solver (Lemmas 6.6–6.8,
+//!   Section 6.3's `m^{1/3}` termination).
+//! * [`sdd_solve`] — `SDDSolve` (Theorem 1.1): the public solver for graph
+//!   Laplacians and general SDD matrices (via Gremban's reduction).
+//! * [`baseline`] — CG / Jacobi-PCG / MST-preconditioned CG / dense
+//!   baselines used by the experiments.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baseline;
+pub mod chain;
+pub mod elimination;
+pub mod sdd_solve;
+pub mod sparsify;
+
+pub use chain::{
+    build_chain, ChainOptions, ChainPreconditioner, ChainStats, IterationMethod, SolveOutcome,
+    SolverChain,
+};
+pub use elimination::{greedy_elimination, EliminationResult, EliminationStep};
+pub use sdd_solve::{SddSolver, SddSolverOptions};
+pub use sparsify::{incremental_sparsify, Sparsifier, SparsifyParams};

@@ -1,0 +1,245 @@
+//! `SDDSolve` — the top-level solver of Theorem 1.1.
+//!
+//! [`SddSolver`] accepts either a graph Laplacian (given as a
+//! [`parsdd_graph::Graph`]) or a general SDD matrix (given as a
+//! [`parsdd_linalg::CsrMatrix`], reduced to a Laplacian by Gremban's
+//! reduction), builds the preconditioner chain once, and then answers any
+//! number of right-hand sides to the requested accuracy
+//! `‖x̃ − A⁺b‖_A ≤ ε·‖A⁺b‖_A`.
+
+use parsdd_graph::Graph;
+use parsdd_linalg::csr::CsrMatrix;
+use parsdd_linalg::sdd::GrembanReduction;
+
+use crate::chain::{build_chain, ChainOptions, ChainStats, SolveOutcome, SolverChain};
+
+/// Options of the top-level solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SddSolverOptions {
+    /// Chain construction options.
+    pub chain: ChainOptions,
+    /// Relative residual tolerance (a practical surrogate for the
+    /// `A`-norm bound of Theorem 1.1; the two are within a factor of the
+    /// square root of the condition number).
+    pub tolerance: f64,
+    /// Maximum number of outer (top-level) iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for SddSolverOptions {
+    fn default() -> Self {
+        SddSolverOptions {
+            chain: ChainOptions::default(),
+            tolerance: 1e-8,
+            max_iterations: 200,
+        }
+    }
+}
+
+impl SddSolverOptions {
+    /// Sets the tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Sets the chain options.
+    pub fn with_chain(mut self, chain: ChainOptions) -> Self {
+        self.chain = chain;
+        self
+    }
+}
+
+/// How the input system was given.
+enum Problem {
+    /// A Laplacian system on a graph.
+    Laplacian,
+    /// A general SDD system, reduced to a Laplacian via Gremban.
+    Sdd(GrembanReduction),
+}
+
+/// The top-level SDD solver (Theorem 1.1): build once, solve many.
+pub struct SddSolver {
+    problem: Problem,
+    chain: SolverChain,
+    options: SddSolverOptions,
+    original_dim: usize,
+}
+
+impl SddSolver {
+    /// Builds a solver for the Laplacian of `g`.
+    pub fn new_laplacian(g: &Graph, options: SddSolverOptions) -> Self {
+        let chain = build_chain(g, &options.chain);
+        SddSolver {
+            problem: Problem::Laplacian,
+            chain,
+            options,
+            original_dim: g.n(),
+        }
+    }
+
+    /// Builds a solver for a general SDD matrix via Gremban's reduction.
+    ///
+    /// Panics if the matrix is not symmetric diagonally dominant.
+    pub fn new_sdd(a: &CsrMatrix, options: SddSolverOptions) -> Self {
+        let reduction = GrembanReduction::new(a, 1e-14);
+        let chain = build_chain(reduction.graph(), &options.chain);
+        SddSolver {
+            original_dim: a.rows(),
+            problem: Problem::Sdd(reduction),
+            chain,
+            options,
+        }
+    }
+
+    /// Dimension of the original system.
+    pub fn dim(&self) -> usize {
+        self.original_dim
+    }
+
+    /// The underlying preconditioner chain.
+    pub fn chain(&self) -> &SolverChain {
+        &self.chain
+    }
+
+    /// Chain statistics (level sizes, κ's, recursion width).
+    pub fn stats(&self) -> ChainStats {
+        self.chain.stats()
+    }
+
+    /// Solves `A x = b` to the configured tolerance.
+    pub fn solve(&self, b: &[f64]) -> SolveOutcome {
+        assert_eq!(b.len(), self.original_dim, "rhs dimension mismatch");
+        match &self.problem {
+            Problem::Laplacian => {
+                self.chain
+                    .solve(b, self.options.tolerance, self.options.max_iterations)
+            }
+            Problem::Sdd(reduction) => {
+                let rhs = reduction.reduce_rhs(b);
+                let inner =
+                    self.chain
+                        .solve(&rhs, self.options.tolerance, self.options.max_iterations);
+                SolveOutcome {
+                    x: reduction.recover_solution(&inner.x),
+                    iterations: inner.iterations,
+                    relative_residual: inner.relative_residual,
+                    converged: inner.converged,
+                }
+            }
+        }
+    }
+
+    /// Solves with an explicit tolerance override.
+    pub fn solve_with_tolerance(&self, b: &[f64], tol: f64) -> SolveOutcome {
+        let mut opts = self.options;
+        opts.tolerance = tol;
+        match &self.problem {
+            Problem::Laplacian => self.chain.solve(b, tol, opts.max_iterations),
+            Problem::Sdd(reduction) => {
+                let rhs = reduction.reduce_rhs(b);
+                let inner = self.chain.solve(&rhs, tol, opts.max_iterations);
+                SolveOutcome {
+                    x: reduction.recover_solution(&inner.x),
+                    iterations: inner.iterations,
+                    relative_residual: inner.relative_residual,
+                    converged: inner.converged,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+    use parsdd_linalg::laplacian::LaplacianOp;
+    use parsdd_linalg::operator::LinearOperator;
+    use parsdd_linalg::vector::{norm2, project_out_constant, sub};
+
+    #[test]
+    fn laplacian_solver_grid() {
+        let g = generators::grid2d(30, 30, |_, _| 1.0);
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        let mut b: Vec<f64> = (0..g.n()).map(|i| ((i * 17) % 31) as f64 - 15.0).collect();
+        project_out_constant(&mut b);
+        let out = solver.solve(&b);
+        assert!(out.converged, "rel {}", out.relative_residual);
+        let op = LaplacianOp::new(&g);
+        let r = op.residual(&out.x, &b);
+        assert!(norm2(&r) <= 1e-6 * norm2(&b));
+    }
+
+    #[test]
+    fn multiple_right_hand_sides_reuse_chain() {
+        let g = generators::weighted_random_graph(500, 2000, 1.0, 10.0, 3);
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        for seed in 0..3u64 {
+            let mut b: Vec<f64> = (0..g.n())
+                .map(|i| (((i as u64).wrapping_mul(seed + 7) % 19) as f64) - 9.0)
+                .collect();
+            project_out_constant(&mut b);
+            let out = solver.solve(&b);
+            assert!(out.converged, "seed {seed}: rel {}", out.relative_residual);
+        }
+    }
+
+    #[test]
+    fn sdd_matrix_with_positive_offdiagonals() {
+        // Build an SDD matrix: Laplacian of a graph plus diagonal slack and
+        // a few positive off-diagonal entries.
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        let lap = parsdd_linalg::laplacian::laplacian_of(&g);
+        let n = g.n();
+        let mut trips: Vec<(u32, u32, f64)> = Vec::new();
+        for r in 0..n {
+            for (c, v) in lap.row(r) {
+                trips.push((r as u32, c, v));
+            }
+        }
+        // Diagonal slack makes it strictly dominant (and nonsingular).
+        for i in 0..n as u32 {
+            trips.push((i, i, 0.5));
+        }
+        // A couple of positive couplings.
+        trips.push((0, 55, 0.2));
+        trips.push((55, 0, 0.2));
+        trips.push((0, 0, 0.2));
+        trips.push((55, 55, 0.2));
+        let a = CsrMatrix::from_triplets(n, n, &trips);
+        let solver = SddSolver::new_sdd(&a, SddSolverOptions::default());
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let out = solver.solve(&b);
+        let r = sub(&b, &a.apply_vec(&out.x));
+        assert!(
+            norm2(&r) <= 1e-5 * norm2(&b).max(1.0),
+            "residual {} (converged={}, rel={})",
+            norm2(&r),
+            out.converged,
+            out.relative_residual
+        );
+    }
+
+    #[test]
+    fn tolerance_override() {
+        let g = generators::grid2d(25, 25, |_, _| 1.0);
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        let mut b: Vec<f64> = (0..g.n()).map(|i| (i % 7) as f64).collect();
+        project_out_constant(&mut b);
+        let loose = solver.solve_with_tolerance(&b, 1e-3);
+        let tight = solver.solve_with_tolerance(&b, 1e-10);
+        assert!(loose.converged && tight.converged);
+        assert!(tight.relative_residual <= 1e-10);
+        assert!(loose.iterations <= tight.iterations);
+    }
+
+    #[test]
+    fn stats_available() {
+        let g = generators::weighted_random_graph(600, 2400, 1.0, 4.0, 8);
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        let stats = solver.stats();
+        assert_eq!(stats.level_vertices.len(), solver.chain().depth() + 1);
+        assert!(stats.level_vertices[0] <= g.n());
+    }
+}

@@ -1,0 +1,69 @@
+//! Low-diameter decomposition and low-stretch structures demo.
+//!
+//! Shows the two graph-theoretic contributions of the paper on their own:
+//! Section 4's `Partition` (low-diameter decomposition with few cut edges)
+//! and Section 5's AKPW spanning tree / ultra-sparse low-stretch subgraph.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example decomposition
+//! ```
+
+use parsdd::prelude::*;
+use parsdd_decomp::partition::partition_single_class;
+use parsdd_decomp::stats::decomposition_stats;
+use parsdd_lsst::stretch::{stretch_over_subgraph_sampled, stretch_over_tree};
+use parsdd_graph::mst::kruskal;
+
+fn main() {
+    // A weighted grid with large spread so several weight classes exist.
+    let base = parsdd::graph::generators::grid2d(120, 120, |_, _| 1.0);
+    let graph = parsdd::graph::generators::with_power_law_weights(&base, 6, 42);
+    println!(
+        "Input: {} vertices, {} edges, weight spread {:.1e}",
+        graph.n(),
+        graph.m(),
+        graph.spread()
+    );
+
+    // --- Section 4: low-diameter decomposition ------------------------------
+    println!("\n== Low-diameter decomposition (Partition, Theorem 4.1) ==");
+    println!("{:>6} {:>12} {:>12} {:>14}", "rho", "components", "max radius", "cut fraction");
+    for rho in [8u32, 16, 32, 64] {
+        let result = partition_single_class(&graph, &PartitionParams::new(rho).with_seed(7));
+        let stats = decomposition_stats(&graph, &result.split, false);
+        println!(
+            "{rho:>6} {:>12} {:>12} {:>14.4}",
+            stats.components, stats.max_radius, stats.cut_fraction
+        );
+    }
+
+    // --- Section 5.1: AKPW low-stretch spanning tree -------------------------
+    println!("\n== Low-stretch spanning trees (AKPW, Theorem 5.1) ==");
+    let mst = kruskal(&graph);
+    let mst_stretch = stretch_over_tree(&graph, &mst);
+    println!(
+        "MST baseline        : avg stretch {:>8.2}, max {:>10.1}",
+        mst_stretch.average_stretch, mst_stretch.max_stretch
+    );
+    let tree = akpw(&graph, &AkpwParams::practical(32.0).with_seed(7));
+    let akpw_stretch = stretch_over_tree(&graph, &tree.tree_edges);
+    println!(
+        "AKPW (z = 32)       : avg stretch {:>8.2}, max {:>10.1}, {} iterations",
+        akpw_stretch.average_stretch, akpw_stretch.max_stretch, tree.iterations
+    );
+
+    // --- Section 5.2: low-stretch ultra-sparse subgraph ----------------------
+    println!("\n== Low-stretch subgraphs (LSSubgraph, Theorem 5.9) ==");
+    for (z, lambda) in [(32.0, 1u32), (32.0, 2), (16.0, 2)] {
+        let sub = ls_subgraph(&graph, &LsSubgraphParams::practical(z, lambda).with_seed(7));
+        let edges = sub.all_edges();
+        let extra = edges.len() as isize - (graph.n() as isize - 1);
+        let report = stretch_over_subgraph_sampled(&graph, &edges, 400, 11);
+        println!(
+            "z = {z:>4}, lambda = {lambda}: {} edges ({extra:+} vs spanning tree), sampled avg stretch {:.2}",
+            edges.len(),
+            report.average_stretch
+        );
+    }
+}

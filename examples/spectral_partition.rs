@@ -1,0 +1,88 @@
+//! Spectral partitioning with the solver: Fiedler vectors by inverse power
+//! iteration, spectral bisection, and effective-resistance sparsification.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example spectral_partition
+//! ```
+
+use parsdd::prelude::*;
+use parsdd_apps::resistance::approximate_effective_resistances;
+use parsdd_apps::sparsifier::spectral_sparsify;
+use parsdd_apps::spectral::{cut_conductance, fiedler_vector, spectral_bisection};
+use parsdd_linalg::power::quadratic_form_ratio_bounds;
+
+fn main() {
+    // A "two communities" graph: two dense random blocks joined by a few
+    // bridges — the canonical spectral-partitioning input.
+    let block = 300usize;
+    let mut builder = GraphBuilder::new(2 * block);
+    let g1 = parsdd::graph::generators::erdos_renyi_gnm(block, 2400, 1);
+    let g2 = parsdd::graph::generators::erdos_renyi_gnm(block, 2400, 2);
+    for e in g1.edges() {
+        builder.add_edge(e.u, e.v, 1.0);
+    }
+    for e in g2.edges() {
+        builder.add_edge(e.u + block as u32, e.v + block as u32, 1.0);
+    }
+    for i in 0..6u32 {
+        builder.add_edge(i * 37 % block as u32, block as u32 + (i * 53 % block as u32), 1.0);
+    }
+    let graph = builder.build();
+    println!(
+        "Two-community graph: {} vertices, {} edges, 6 bridge edges",
+        graph.n(),
+        graph.m()
+    );
+
+    let solver = SddSolver::new_laplacian(&graph, SddSolverOptions::default().with_tolerance(1e-9));
+
+    // --- Fiedler vector and bisection ----------------------------------------
+    let t0 = std::time::Instant::now();
+    let fiedler = fiedler_vector(&graph, &solver, 40, 3);
+    let (side, conductance) = spectral_bisection(&graph, &fiedler);
+    let community_a_in_s = side.iter().take(block).filter(|&&s| s).count();
+    let community_b_in_s = side.iter().skip(block).filter(|&&s| s).count();
+    println!("\n== Spectral bisection (Fiedler vector via {} solves) ==", fiedler.iterations);
+    println!("  time                  : {:.2?}", t0.elapsed());
+    println!("  lambda_2 estimate     : {:.5}", fiedler.lambda2);
+    println!("  cut conductance       : {:.5}", conductance);
+    println!(
+        "  community split       : side S holds {community_a_in_s}/{block} of A and {community_b_in_s}/{block} of B"
+    );
+    println!(
+        "  (a perfect split keeps one community on each side; random would be ~50/50 of both)"
+    );
+
+    // --- Effective resistances and sparsification -----------------------------
+    println!("\n== Spectral sparsification by effective resistances [SS08] ==");
+    let t1 = std::time::Instant::now();
+    let reff = approximate_effective_resistances(&graph, &solver, 40, 9);
+    let bridges_high_reff = graph
+        .edges()
+        .iter()
+        .zip(&reff)
+        .filter(|(e, &r)| {
+            let cross = (e.u as usize) < block && (e.v as usize) >= block
+                || (e.v as usize) < block && (e.u as usize) >= block;
+            cross && r > 0.2
+        })
+        .count();
+    println!("  resistance estimation : {:.2?} (40 projections)", t1.elapsed());
+    println!("  bridge edges with R_eff > 0.2: {bridges_high_reff} / 6 (bridges are spectrally critical)");
+
+    let sp = spectral_sparsify(&graph, &solver, 15 * graph.n(), 40, 17);
+    let (lo, hi) = quadratic_form_ratio_bounds(&graph, &sp.graph, 30, 23);
+    println!(
+        "  sparsifier            : {} -> {} edges, quadratic-form ratio in [{:.2}, {:.2}]",
+        graph.m(),
+        sp.distinct_edges,
+        lo,
+        hi
+    );
+    let sparsified_cut = cut_conductance(&sp.graph, &side);
+    println!(
+        "  conductance of the spectral cut in the sparsifier: {:.5} (vs {:.5} in the original)",
+        sparsified_cut, conductance
+    );
+}

@@ -1,0 +1,8 @@
+//! Root reproduction package for *Near Linear-Work Parallel SDD Solvers,
+//! Low-Diameter Decomposition, and Low-Stretch Subgraphs* (SPAA 2011).
+//!
+//! This crate only hosts the repository-level examples and integration
+//! tests; the actual library lives in the [`parsdd`] facade crate and the
+//! per-subsystem crates it re-exports. See `README.md` and `DESIGN.md`.
+
+pub use parsdd::*;

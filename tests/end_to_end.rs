@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: the full pipeline of the paper, from
+//! low-diameter decomposition through low-stretch subgraphs to the solver
+//! and its applications, exercised together on shared workloads.
+
+use parsdd::prelude::*;
+use parsdd_decomp::partition::partition_single_class;
+use parsdd_decomp::stats::decomposition_stats;
+use parsdd_linalg::laplacian::LaplacianOp;
+use parsdd_linalg::operator::LinearOperator;
+use parsdd_linalg::vector::{norm2, project_out_constant};
+use parsdd_lsst::stretch::{stretch_over_subgraph_sampled, stretch_over_tree};
+use parsdd_solver::baseline;
+
+fn balanced_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| (((i as u64).wrapping_mul(seed.wrapping_add(13)) % 101) as f64) - 50.0)
+        .collect();
+    project_out_constant(&mut b);
+    b
+}
+
+#[test]
+fn decomposition_feeds_akpw_feeds_solver_on_weighted_grid() {
+    // One workload flowing through all three layers of the paper.
+    let base = parsdd::graph::generators::grid2d(40, 40, |_, _| 1.0);
+    let graph = parsdd::graph::generators::with_power_law_weights(&base, 4, 99);
+
+    // Section 4: decomposition quality.
+    let part = partition_single_class(&graph, &PartitionParams::new(24).with_seed(1));
+    let stats = decomposition_stats(&graph, &part.split, false);
+    assert!(stats.max_radius <= 24, "radius {} > rho", stats.max_radius);
+    assert!(stats.cut_fraction < 1.0);
+
+    // Section 5: AKPW tree and LSSubgraph built on the same graph.
+    let tree = akpw(&graph, &AkpwParams::practical(32.0).with_seed(1));
+    assert_eq!(tree.tree_edges.len(), graph.n() - 1);
+    let tree_report = stretch_over_tree(&graph, &tree.tree_edges);
+    assert!(tree_report.total_stretch.is_finite());
+
+    let sub = ls_subgraph(&graph, &LsSubgraphParams::practical(32.0, 2).with_seed(1));
+    let sub_edges = sub.all_edges();
+    assert!(sub_edges.len() >= graph.n() - 1);
+    assert!(sub_edges.len() <= graph.m());
+
+    // Section 6: the solver built from those ingredients answers a system.
+    let solver = SddSolver::new_laplacian(&graph, SddSolverOptions::default());
+    let b = balanced_rhs(graph.n(), 7);
+    let out = solver.solve(&b);
+    assert!(out.converged, "solver failed: rel {}", out.relative_residual);
+    let op = LaplacianOp::new(&graph);
+    assert!(norm2(&op.residual(&out.x, &b)) <= 1e-6 * norm2(&b));
+}
+
+#[test]
+fn solver_agrees_with_cg_baseline() {
+    let graph = parsdd::graph::generators::weighted_random_graph(600, 2400, 1.0, 8.0, 5);
+    let b = balanced_rhs(graph.n(), 3);
+
+    let solver = SddSolver::new_laplacian(&graph, SddSolverOptions::default().with_tolerance(1e-10));
+    let chain_out = solver.solve(&b);
+    let cg_out = baseline::solve_cg(&graph, &b, 1e-10, 20_000);
+    assert!(chain_out.converged && cg_out.converged);
+
+    // Both are solutions of the same singular system: they agree up to a
+    // constant shift per component (here the graph is connected).
+    let mut x1 = chain_out.x.clone();
+    let mut x2 = cg_out.x.clone();
+    project_out_constant(&mut x1);
+    project_out_constant(&mut x2);
+    let diff: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a - b).collect();
+    assert!(
+        norm2(&diff) <= 1e-5 * norm2(&x2).max(1.0),
+        "solutions differ by {}",
+        norm2(&diff)
+    );
+}
+
+#[test]
+fn low_stretch_subgraph_beats_mst_as_preconditioner_substrate() {
+    // The reason the paper builds low-stretch subgraphs: their total
+    // stretch (which controls the sparsifier's sample count, Lemma 6.1) is
+    // much lower than a generic spanning structure on stretched graphs.
+    let base = parsdd::graph::generators::grid2d(36, 36, |_, _| 1.0);
+    let graph = parsdd::graph::generators::with_power_law_weights(&base, 6, 21);
+
+    let mst = parsdd::graph::mst::kruskal(&graph);
+    let mst_report = stretch_over_tree(&graph, &mst);
+
+    let sub = ls_subgraph(&graph, &LsSubgraphParams::practical(16.0, 2).with_seed(5));
+    let sub_edges = sub.all_edges();
+    let sub_report = stretch_over_subgraph_sampled(&graph, &sub_edges, 500, 9);
+
+    // The subgraph has a few more edges than the tree but its average
+    // stretch should not exceed the MST's (usually it is far lower).
+    assert!(
+        sub_report.average_stretch <= mst_report.average_stretch * 1.2 + 1.0,
+        "subgraph avg stretch {} vs MST {}",
+        sub_report.average_stretch,
+        mst_report.average_stretch
+    );
+}
+
+#[test]
+fn sdd_system_via_gremban_end_to_end() {
+    use parsdd_linalg::vector::sub;
+    // An SDD matrix assembled from a graph Laplacian + diagonal + positive
+    // couplings, solved through the Gremban reduction.
+    let g = parsdd::graph::generators::grid2d(12, 12, |_, _| 1.0);
+    let lap = parsdd::linalg::laplacian::laplacian_of(&g);
+    let n = g.n();
+    let mut trips: Vec<(u32, u32, f64)> = Vec::new();
+    for r in 0..n {
+        for (c, v) in lap.row(r) {
+            trips.push((r as u32, c, v));
+        }
+    }
+    for i in 0..n as u32 {
+        trips.push((i, i, 1.0));
+    }
+    trips.push((3, 77, 0.4));
+    trips.push((77, 3, 0.4));
+    trips.push((3, 3, 0.4));
+    trips.push((77, 77, 0.4));
+    let a = CsrMatrix::from_triplets(n, n, &trips);
+
+    let solver = SddSolver::new_sdd(&a, SddSolverOptions::default().with_tolerance(1e-10));
+    let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
+    let out = solver.solve(&b);
+    let r = sub(&b, &a.apply_vec(&out.x));
+    assert!(norm2(&r) <= 1e-5 * norm2(&b), "residual {}", norm2(&r));
+}
+
+#[test]
+fn applications_share_one_solver_instance() {
+    use parsdd_apps::electrical::electrical_flow;
+    use parsdd_apps::resistance::pair_effective_resistance;
+    use parsdd_apps::spectral::fiedler_vector;
+
+    let graph = parsdd::graph::generators::grid2d(15, 15, |_, _| 1.0);
+    let solver = SddSolver::new_laplacian(&graph, SddSolverOptions::default().with_tolerance(1e-9));
+
+    let flow = electrical_flow(&graph, &solver, 0, (graph.n() - 1) as u32);
+    assert!(flow.converged);
+    let reff = pair_effective_resistance(&graph, &solver, 0, (graph.n() - 1) as u32);
+    assert!((reff - flow.effective_resistance).abs() < 1e-8);
+
+    let fiedler = fiedler_vector(&graph, &solver, 30, 3);
+    assert!(fiedler.lambda2 > 0.0);
+    // λ₂ of an n x n grid is small (≈ 2(1−cos(π/15)) ≈ 0.044).
+    assert!(fiedler.lambda2 < 0.2, "lambda2 {}", fiedler.lambda2);
+}
