@@ -141,7 +141,11 @@ mod tests {
         );
         let solver = solver_for(&g);
         let f = electrical_flow(&g, &solver, 0, 3);
-        assert!(f.edge_flow[4].abs() < 1e-6, "bridge current {}", f.edge_flow[4]);
+        assert!(
+            f.edge_flow[4].abs() < 1e-6,
+            "bridge current {}",
+            f.edge_flow[4]
+        );
         assert!((f.effective_resistance - 1.0).abs() < 1e-6);
     }
 }

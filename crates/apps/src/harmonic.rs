@@ -184,7 +184,11 @@ mod tests {
         use parsdd_graph::{Edge, Graph};
         let g = Graph::from_edges(
             5,
-            vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0), Edge::new(3, 4, 1.0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(2, 3, 1.0),
+                Edge::new(3, 4, 1.0),
+            ],
         );
         let mut boundary = HashMap::new();
         boundary.insert(0u32, 2.0);

@@ -7,7 +7,7 @@
 //!   random projections (Spielman–Srivastava), the primitive behind
 //!   spectral sparsification.
 //! * [`sparsifier`] — spectral/cut sparsifiers by sampling edges with
-//!   probability proportional to `w_e · R_eff(e)` [SS08].
+//!   probability proportional to `w_e · R_eff(e)` \[SS08\].
 //! * [`electrical`] — electrical flows / potentials (one solve per flow),
 //!   the inner loop of the Christiano–Kelner–Mądry–Spielman–Teng
 //!   approximate max-flow algorithm [CKM+10].

@@ -57,9 +57,7 @@ pub fn exact_max_flow(g: &Graph, s: VertexId, t: VertexId) -> f64 {
                 break;
             }
             for &u in &adj[v as usize] {
-                if parent[u as usize] == u32::MAX
-                    && *cap.get(&(v, u)).unwrap_or(&0.0) > 1e-12
-                {
+                if parent[u as usize] == u32::MAX && *cap.get(&(v, u)).unwrap_or(&0.0) > 1e-12 {
                     parent[u as usize] = v;
                     queue.push_back(u);
                 }
@@ -288,7 +286,11 @@ mod tests {
         }
         for v in 0..g.n() as u32 {
             if v != s && v != t {
-                assert!(net[v as usize].abs() < 1e-4, "conservation at {v}: {}", net[v as usize]);
+                assert!(
+                    net[v as usize].abs() < 1e-4,
+                    "conservation at {v}: {}",
+                    net[v as usize]
+                );
             }
         }
     }
@@ -296,13 +298,14 @@ mod tests {
     #[test]
     fn approx_flow_two_disjoint_paths() {
         // Two vertex-disjoint unit paths from s to t: max flow 2.
-        let mut edges = Vec::new();
-        edges.push(Edge::new(0, 1, 1.0));
-        edges.push(Edge::new(1, 2, 1.0));
-        edges.push(Edge::new(2, 5, 1.0));
-        edges.push(Edge::new(0, 3, 1.0));
-        edges.push(Edge::new(3, 4, 1.0));
-        edges.push(Edge::new(4, 5, 1.0));
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(2, 5, 1.0),
+            Edge::new(0, 3, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+        ];
         let g = Graph::from_edges(6, edges);
         let exact = exact_max_flow(&g, 0, 5);
         assert!((exact - 2.0).abs() < 1e-9);

@@ -8,8 +8,8 @@
 //! the paper targets.
 
 use parsdd_graph::{generators, Graph};
-use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
 use parsdd_linalg::vector::project_out_constant;
+use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
 
 /// A discrete Poisson problem on a 2-D grid.
 #[derive(Debug, Clone)]
@@ -32,7 +32,12 @@ impl PoissonProblem {
         let mut rhs = vec![0.0; rows * cols];
         rhs[0] = 1.0;
         rhs[rows * cols - 1] = -1.0;
-        PoissonProblem { graph, rows, cols, rhs }
+        PoissonProblem {
+            graph,
+            rows,
+            cols,
+            rhs,
+        }
     }
 
     /// A grid with smoothly varying conductances (a synthetic "image") and
@@ -50,7 +55,12 @@ impl PoissonProblem {
             })
             .collect();
         project_out_constant(&mut rhs);
-        PoissonProblem { graph, rows, cols, rhs }
+        PoissonProblem {
+            graph,
+            rows,
+            cols,
+            rhs,
+        }
     }
 
     /// Solves the problem with default solver options; returns the
@@ -81,8 +91,14 @@ mod tests {
         // Potential at the source is the maximum, at the sink the minimum.
         let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!((x[0] - max).abs() < 1e-9, "source potential should be the max");
-        assert!((x[p.rows * p.cols - 1] - min).abs() < 1e-9, "sink potential should be the min");
+        assert!(
+            (x[0] - max).abs() < 1e-9,
+            "source potential should be the max"
+        );
+        assert!(
+            (x[p.rows * p.cols - 1] - min).abs() < 1e-9,
+            "sink potential should be the min"
+        );
     }
 
     #[test]

@@ -110,12 +110,11 @@ mod tests {
         let g = generators::cycle(12, 1.0);
         let solver = solver_for(&g);
         let exact = exact_effective_resistances(&g, &solver);
-        let total: f64 = exact
-            .iter()
-            .zip(g.edges())
-            .map(|(r, e)| r * e.w)
-            .sum();
-        assert!((total - (g.n() as f64 - 1.0)).abs() < 1e-5, "Foster sum {total}");
+        let total: f64 = exact.iter().zip(g.edges()).map(|(r, e)| r * e.w).sum();
+        assert!(
+            (total - (g.n() as f64 - 1.0)).abs() < 1e-5,
+            "Foster sum {total}"
+        );
     }
 
     #[test]
@@ -127,10 +126,7 @@ mod tests {
         // With 200 projections the relative error should be comfortably
         // below 30% for every edge (JL concentration).
         for (a, e) in approx.iter().zip(&exact) {
-            assert!(
-                (a - e).abs() <= 0.3 * e + 1e-6,
-                "approx {a} vs exact {e}"
-            );
+            assert!((a - e).abs() <= 0.3 * e + 1e-6, "approx {a} vs exact {e}");
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Spectral sparsification by effective resistances [SS08].
+//! Spectral sparsification by effective resistances \[SS08\].
 //!
 //! Sample `q` edges with replacement with probability proportional to
 //! `w_e·R_eff(e)` and weight each sampled copy by `w_e/(q·p_e)`; the

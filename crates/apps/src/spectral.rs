@@ -29,7 +29,12 @@ pub struct FiedlerResult {
 
 /// Computes an approximate Fiedler vector of `g` by inverse power iteration
 /// with the given solver (one solve per iteration).
-pub fn fiedler_vector(g: &Graph, solver: &SddSolver, iterations: usize, seed: u64) -> FiedlerResult {
+pub fn fiedler_vector(
+    g: &Graph,
+    solver: &SddSolver,
+    iterations: usize,
+    seed: u64,
+) -> FiedlerResult {
     let n = g.n();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -85,9 +90,9 @@ pub fn cut_conductance(g: &Graph, side: &[bool]) -> f64 {
     }
     let mut vol_s = 0.0;
     let mut vol_rest = 0.0;
-    for v in 0..g.n() {
+    for (v, &s) in side.iter().enumerate() {
         let d = g.weighted_degree(v as u32);
-        if side[v] {
+        if s {
             vol_s += d;
         } else {
             vol_rest += d;
@@ -136,13 +141,13 @@ mod tests {
         let (side, conductance) = spectral_bisection(&g, &f);
         // The two cliques end up on opposite sides.
         let clique_a_side = side[0];
-        for v in 1..8 {
-            assert_eq!(side[v], clique_a_side, "clique A split by spectral cut");
+        for &s in &side[1..8] {
+            assert_eq!(s, clique_a_side, "clique A split by spectral cut");
         }
         let clique_b_start = 8 + 2;
         let clique_b_side = side[clique_b_start];
-        for v in clique_b_start..clique_b_start + 8 {
-            assert_eq!(side[v], clique_b_side, "clique B split by spectral cut");
+        for &s in &side[clique_b_start..clique_b_start + 8] {
+            assert_eq!(s, clique_b_side, "clique B split by spectral cut");
         }
         assert_ne!(clique_a_side, clique_b_side);
         assert!(conductance < 0.1, "conductance {conductance}");
@@ -151,7 +156,7 @@ mod tests {
     #[test]
     fn conductance_of_trivial_cuts() {
         let g = generators::cycle(10, 1.0);
-        assert_eq!(cut_conductance(&g, &vec![false; 10]), 1.0);
+        assert_eq!(cut_conductance(&g, &[false; 10]), 1.0);
         let mut half = vec![false; 10];
         for item in half.iter_mut().take(5) {
             *item = true;

@@ -22,25 +22,45 @@ const TOL: f64 = 1e-8;
 fn quality_table() {
     report_header(
         "A1a: inner iteration and kappa schedule ablation (solve time / outer iterations)",
-        &["graph", "configuration", "build (ms)", "solve (ms)", "outer iters", "converged"],
+        &[
+            "graph",
+            "configuration",
+            "build (ms)",
+            "solve (ms)",
+            "outer iters",
+            "converged",
+        ],
     );
     for wl in workloads::small_suite().into_iter().take(1) {
         let b = workloads::rhs(wl.graph.n(), 11);
         let configs: Vec<(&str, ChainOptions)> = vec![
-            ("chebyshev + adaptive kappa (default)", ChainOptions::default()),
-            ("pcg inner + adaptive kappa", {
-                let mut o = ChainOptions::default();
-                o.inner_method = IterationMethod::ConjugateGradient;
-                o
-            }),
-            ("chebyshev + uniform kappa=64 (Lemma 6.9)", ChainOptions::default().with_kappa(64.0)),
-            ("chebyshev + uniform kappa=16", ChainOptions::default().with_kappa(16.0)),
+            (
+                "chebyshev + adaptive kappa (default)",
+                ChainOptions::default(),
+            ),
+            (
+                "pcg inner + adaptive kappa",
+                ChainOptions {
+                    inner_method: IterationMethod::ConjugateGradient,
+                    ..Default::default()
+                },
+            ),
+            (
+                "chebyshev + uniform kappa=64 (Lemma 6.9)",
+                ChainOptions::default().with_kappa(64.0),
+            ),
+            (
+                "chebyshev + uniform kappa=16",
+                ChainOptions::default().with_kappa(16.0),
+            ),
         ];
         for (name, chain) in configs {
             let t0 = Instant::now();
             let solver = SddSolver::new_laplacian(
                 &wl.graph,
-                SddSolverOptions::default().with_tolerance(TOL).with_chain(chain),
+                SddSolverOptions::default()
+                    .with_tolerance(TOL)
+                    .with_chain(chain),
             );
             let build = t0.elapsed().as_secs_f64() * 1000.0;
             let t1 = Instant::now();
@@ -70,7 +90,12 @@ fn quality_table() {
 
     report_header(
         "A1b: AKPW constants — paper schedule vs practical bucket bases (average stretch)",
-        &["graph", "z (practical) / paper", "avg stretch", "iterations"],
+        &[
+            "graph",
+            "z (practical) / paper",
+            "avg stretch",
+            "iterations",
+        ],
     );
     let g = parsdd_graph::generators::with_power_law_weights(
         &parsdd_graph::generators::grid2d(48, 48, |_, _| 1.0),
@@ -104,13 +129,19 @@ fn bench(c: &mut Criterion) {
         ("chebyshev", IterationMethod::Chebyshev),
         ("pcg", IterationMethod::ConjugateGradient),
     ] {
-        let mut chain = ChainOptions::default();
-        chain.inner_method = method;
+        let chain = ChainOptions {
+            inner_method: method,
+            ..Default::default()
+        };
         let solver = SddSolver::new_laplacian(
             &g,
-            SddSolverOptions::default().with_tolerance(TOL).with_chain(chain),
+            SddSolverOptions::default()
+                .with_tolerance(TOL)
+                .with_chain(chain),
         );
-        group.bench_function(name, |bch| bch.iter(|| black_box(solver.solve(&b).iterations)));
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(solver.solve(&b).iterations))
+        });
     }
     group.finish();
 }

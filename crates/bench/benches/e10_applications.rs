@@ -19,11 +19,21 @@ fn quality_table() {
     // Spectral sparsification.
     report_header(
         "E10a: spectral sparsifier quality (Spielman–Srivastava via the solver)",
-        &["graph", "m", "samples", "distinct edges", "quadratic-form band", "time (ms)"],
+        &[
+            "graph",
+            "m",
+            "samples",
+            "distinct edges",
+            "quadratic-form band",
+            "time (ms)",
+        ],
     );
     let cases = vec![
         ("complete-100", generators::complete(100, 1.0)),
-        ("erdos-renyi (n=1000, m=12000)", generators::erdos_renyi_gnm(1000, 12_000, 3)),
+        (
+            "erdos-renyi (n=1000, m=12000)",
+            generators::erdos_renyi_gnm(1000, 12_000, 3),
+        ),
     ];
     for (name, g) in &cases {
         let solver = SddSolver::new_laplacian(g, SddSolverOptions::default().with_tolerance(1e-8));
@@ -44,11 +54,22 @@ fn quality_table() {
     // Approximate max-flow vs exact.
     report_header(
         "E10b: approximate max-flow via electrical flows (CKM+10 inner loop)",
-        &["graph", "eps", "exact flow", "approx flow", "ratio", "electrical flows", "time (ms)"],
+        &[
+            "graph",
+            "eps",
+            "exact flow",
+            "approx flow",
+            "ratio",
+            "electrical flows",
+            "time (ms)",
+        ],
     );
     let flow_cases = vec![
         ("grid-8x8", generators::grid2d(8, 8, |_, _| 1.0)),
-        ("grid-10x10-weighted", generators::grid2d(10, 10, |u, v| 1.0 + ((u + v) % 3) as f64)),
+        (
+            "grid-10x10-weighted",
+            generators::grid2d(10, 10, |u, v| 1.0 + ((u + v) % 3) as f64),
+        ),
     ];
     for (name, g) in &flow_cases {
         let s = 0u32;

@@ -19,7 +19,16 @@ const RHOS: [u32; 4] = [8, 16, 32, 64];
 fn quality_table() {
     report_header(
         "E1: strong radius vs rho (Theorem 4.1(2))",
-        &["graph", "n", "m", "rho", "components", "max radius", "strong diameter", "radius <= rho"],
+        &[
+            "graph",
+            "n",
+            "m",
+            "rho",
+            "components",
+            "max radius",
+            "strong diameter",
+            "radius <= rho",
+        ],
     );
     for wl in workloads::small_suite() {
         for rho in RHOS {
@@ -37,7 +46,11 @@ fn quality_table() {
                 format!(
                     "{}{}",
                     stats.max_radius <= rho,
-                    if paper_regime { "" } else { " (below paper regime)" }
+                    if paper_regime {
+                        ""
+                    } else {
+                        " (below paper regime)"
+                    }
                 ),
             ]);
             let _ = fmt(0.0);

@@ -35,7 +35,13 @@ fn quality_table() {
 
     report_header(
         "E2b: per-class cut fractions with k = 2 classes (light/heavy edges)",
-        &["graph", "rho", "light-class fraction", "heavy-class fraction", "attempts"],
+        &[
+            "graph",
+            "rho",
+            "light-class fraction",
+            "heavy-class fraction",
+            "attempts",
+        ],
     );
     for wl in workloads::small_suite() {
         let median = {
@@ -50,7 +56,12 @@ fn quality_table() {
             .map(|e| (e.w > median) as u32)
             .collect();
         for rho in [12u32, 48] {
-            let res = partition(&wl.graph, &classes, 2, &PartitionParams::new(rho).with_seed(5));
+            let res = partition(
+                &wl.graph,
+                &classes,
+                2,
+                &PartitionParams::new(rho).with_seed(5),
+            );
             report_row(&[
                 wl.name.to_string(),
                 rho.to_string(),
@@ -69,9 +80,19 @@ fn bench(c: &mut Criterion) {
     let suite = workloads::small_suite();
     let wl = &suite[1];
     group.bench_function("two_class_partition_rho24", |b| {
-        let classes: Vec<u32> = wl.graph.edges().iter().map(|e| (e.w > 10.0) as u32).collect();
+        let classes: Vec<u32> = wl
+            .graph
+            .edges()
+            .iter()
+            .map(|e| (e.w > 10.0) as u32)
+            .collect();
         b.iter(|| {
-            let res = partition(&wl.graph, &classes, 2, &PartitionParams::new(24).with_seed(5));
+            let res = partition(
+                &wl.graph,
+                &classes,
+                2,
+                &PartitionParams::new(24).with_seed(5),
+            );
             black_box(res.cut_per_class.clone())
         })
     });

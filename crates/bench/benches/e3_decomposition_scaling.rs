@@ -17,7 +17,14 @@ use parsdd_graph::parutil::with_threads;
 fn quality_table() {
     report_header(
         "E3a: work scaling with graph size (expect ~linear in m)",
-        &["n", "m", "time (ms)", "time / m (us)", "BFS rounds (depth proxy)", "arcs traversed / m"],
+        &[
+            "n",
+            "m",
+            "time (ms)",
+            "time / m (us)",
+            "BFS rounds (depth proxy)",
+            "arcs traversed / m",
+        ],
     );
     for (n, graph) in workloads::grid_scaling_suite() {
         let t0 = Instant::now();

@@ -19,7 +19,16 @@ use parsdd_lsst::{akpw, AkpwParams};
 fn quality_table() {
     report_header(
         "E4: average stretch of AKPW trees vs baselines (Theorem 5.1)",
-        &["graph", "n", "m", "MST avg", "BFS-tree avg", "AKPW avg", "AKPW max", "iterations"],
+        &[
+            "graph",
+            "n",
+            "m",
+            "MST avg",
+            "BFS-tree avg",
+            "AKPW avg",
+            "AKPW max",
+            "iterations",
+        ],
     );
     let mut cases: Vec<(String, parsdd_graph::Graph)> = Vec::new();
     for side in [24usize, 48, 96] {
@@ -28,7 +37,8 @@ fn quality_table() {
             generators::grid2d(side, side, |_, _| 1.0),
         ));
     }
-    for side in [48usize] {
+    {
+        let side = 48usize;
         cases.push((
             format!("weighted-grid-{side}"),
             generators::with_power_law_weights(&generators::grid2d(side, side, |_, _| 1.0), 5, 3),
@@ -66,7 +76,13 @@ fn bench(c: &mut Criterion) {
     for side in [32usize, 64, 96] {
         let g = generators::grid2d(side, side, |_, _| 1.0);
         group.bench_with_input(BenchmarkId::new("grid", side * side), &g, |b, g| {
-            b.iter(|| black_box(akpw(g, &AkpwParams::practical(32.0).with_seed(5)).tree_edges.len()))
+            b.iter(|| {
+                black_box(
+                    akpw(g, &AkpwParams::practical(32.0).with_seed(5))
+                        .tree_edges
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -17,7 +17,15 @@ use parsdd_lsst::{akpw, ls_subgraph, AkpwParams, LsSubgraphParams};
 fn quality_table() {
     report_header(
         "E5: edges vs stretch trade-off of LSSubgraph (Theorem 5.9)",
-        &["graph", "z", "lambda", "edges", "extra vs tree", "avg stretch (sampled)", "AKPW tree avg stretch"],
+        &[
+            "graph",
+            "z",
+            "lambda",
+            "edges",
+            "extra vs tree",
+            "avg stretch (sampled)",
+            "AKPW tree avg stretch",
+        ],
     );
     let cases = vec![
         (

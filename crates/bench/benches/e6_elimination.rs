@@ -14,7 +14,14 @@ use parsdd_solver::elimination::greedy_elimination;
 fn quality_table() {
     report_header(
         "E6: greedy elimination on ultra-sparse graphs (Lemma 6.5)",
-        &["n", "extra edges j", "reduced vertices", "bound 2j", "rounds", "log2 n"],
+        &[
+            "n",
+            "extra edges j",
+            "reduced vertices",
+            "bound 2j",
+            "rounds",
+            "log2 n",
+        ],
     );
     for (n, extra, g) in workloads::ultra_sparse_suite() {
         let elim = greedy_elimination(&g, 7);

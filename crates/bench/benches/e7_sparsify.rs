@@ -16,7 +16,14 @@ use parsdd_solver::sparsify::{incremental_sparsify, SparsifyParams};
 fn quality_table() {
     report_header(
         "E7: sparsifier size and spectral spread vs kappa (Lemma 6.1/6.2)",
-        &["graph", "kappa", "subgraph edges", "sampled edges", "total", "ratio spread hi/lo"],
+        &[
+            "graph",
+            "kappa",
+            "subgraph edges",
+            "sampled edges",
+            "total",
+            "ratio spread hi/lo",
+        ],
     );
     let cases = vec![
         (
@@ -33,7 +40,10 @@ fn quality_table() {
         let sub_edges = sub.all_edges();
         let forest: Vec<u32> = {
             let sg = g.edge_subgraph(&sub_edges);
-            kruskal(&sg).into_iter().map(|e| sub_edges[e as usize]).collect()
+            kruskal(&sg)
+                .into_iter()
+                .map(|e| sub_edges[e as usize])
+                .collect()
         };
         for kappa in [4.0f64, 16.0, 64.0, 256.0, 1024.0] {
             let sp = incremental_sparsify(
@@ -66,19 +76,27 @@ fn bench(c: &mut Criterion) {
     let g = generators::weighted_random_graph(1500, 7_500, 1.0, 8.0, 5);
     let tree = kruskal(&g);
     for kappa in [16.0f64, 256.0] {
-        group.bench_with_input(BenchmarkId::new("kappa", kappa as u64), &kappa, |b, &kappa| {
-            b.iter(|| {
-                black_box(
-                    incremental_sparsify(
-                        &g,
-                        &tree,
-                        &tree,
-                        &SparsifyParams { kappa, oversample: 2.0, seed: 11 },
+        group.bench_with_input(
+            BenchmarkId::new("kappa", kappa as u64),
+            &kappa,
+            |b, &kappa| {
+                b.iter(|| {
+                    black_box(
+                        incremental_sparsify(
+                            &g,
+                            &tree,
+                            &tree,
+                            &SparsifyParams {
+                                kappa,
+                                oversample: 2.0,
+                                seed: 11,
+                            },
+                        )
+                        .edge_count(),
                     )
-                    .edge_count(),
-                )
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -20,8 +20,15 @@ fn quality_table() {
     report_header(
         "E8: solver vs baselines at eps = 1e-8 (Theorem 1.1, work)",
         &[
-            "graph", "n", "m", "chain build (ms)", "chain solve (ms)", "chain iters",
-            "CG (ms/iters)", "Jacobi-PCG (ms/iters)", "Tree-PCG (ms/iters)",
+            "graph",
+            "n",
+            "m",
+            "chain build (ms)",
+            "chain solve (ms)",
+            "chain iters",
+            "CG (ms/iters)",
+            "Jacobi-PCG (ms/iters)",
+            "Tree-PCG (ms/iters)",
         ],
     );
     for wl in workloads::small_suite() {
@@ -59,7 +66,14 @@ fn quality_table() {
 
     report_header(
         "E8b: solve-time scaling with size (grids; expect ~linear in m)",
-        &["n", "m", "build (ms)", "solve (ms)", "solve time / m (us)", "chain levels"],
+        &[
+            "n",
+            "m",
+            "build (ms)",
+            "solve (ms)",
+            "solve time / m (us)",
+            "chain levels",
+        ],
     );
     for (n, g) in workloads::grid_scaling_suite() {
         let b = workloads::rhs(g.n(), 5);

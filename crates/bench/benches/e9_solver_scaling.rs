@@ -14,7 +14,15 @@ fn quality_table() {
     // Chain shape (Section 6.3).
     report_header(
         "E9a: chain shape (Definition 6.3 / Section 6.3 termination)",
-        &["graph", "level vertices", "level edges", "kappas", "recursion width", "dense bottom", "m^(1/3)"],
+        &[
+            "graph",
+            "level vertices",
+            "level edges",
+            "kappas",
+            "recursion width",
+            "dense bottom",
+            "m^(1/3)",
+        ],
     );
     for wl in workloads::small_suite() {
         let solver =
@@ -24,7 +32,10 @@ fn quality_table() {
             wl.name.to_string(),
             format!("{:?}", stats.level_vertices),
             format!("{:?}", stats.level_edges),
-            format!("{:?}", stats.kappas.iter().map(|k| k.round()).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                stats.kappas.iter().map(|k| k.round()).collect::<Vec<_>>()
+            ),
             fmt(stats.recursion_leaves),
             stats.dense_bottom.to_string(),
             fmt((wl.graph.m() as f64).powf(1.0 / 3.0)),
@@ -70,9 +81,13 @@ fn bench(c: &mut Criterion) {
     let b = workloads::rhs(g.n(), 7);
     let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default().with_tolerance(1e-8));
     for threads in [1usize, 8] {
-        group.bench_with_input(BenchmarkId::new("solve", threads), &threads, |bch, &threads| {
-            bch.iter(|| with_threads(threads, || black_box(solver.solve(&b).iterations)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("solve", threads),
+            &threads,
+            |bch, &threads| {
+                bch.iter(|| with_threads(threads, || black_box(solver.solve(&b).iterations)))
+            },
+        );
     }
     group.finish();
 }

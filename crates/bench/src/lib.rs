@@ -21,7 +21,10 @@ pub fn report_row(cols: &[String]) {
 pub fn report_header(title: &str, cols: &[&str]) {
     eprintln!("\n### {title}");
     eprintln!("| {} |", cols.join(" | "));
-    eprintln!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    eprintln!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Formats a float compactly.

@@ -50,7 +50,12 @@ impl PartitionResult {
 
 /// Counts, for every class, how many edges cross between components of the
 /// given decomposition.
-fn count_cuts(g: &Graph, classes: &[u32], k: usize, split: &SplitResult) -> (Vec<usize>, Vec<usize>) {
+fn count_cuts(
+    g: &Graph,
+    classes: &[u32],
+    k: usize,
+    split: &SplitResult,
+) -> (Vec<usize>, Vec<usize>) {
     let mut class_sizes = vec![0usize; k];
     for &c in classes {
         class_sizes[c as usize] += 1;
@@ -77,29 +82,35 @@ fn count_cuts(g: &Graph, classes: &[u32], k: usize, split: &SplitResult) -> (Vec
 /// Returns the first decomposition whose per-class cut counts satisfy the
 /// validation rule, or — if `max_retries` attempts all fail — the attempt
 /// with the smallest maximum cut fraction (flagged `validated = false`).
-pub fn partition(g: &Graph, classes: &[u32], k: usize, params: &PartitionParams) -> PartitionResult {
+pub fn partition(
+    g: &Graph,
+    classes: &[u32],
+    k: usize,
+    params: &PartitionParams,
+) -> PartitionResult {
     assert_eq!(classes.len(), g.m(), "one class per edge required");
-    assert!(classes.iter().all(|&c| (c as usize) < k), "class out of range");
+    assert!(
+        classes.iter().all(|&c| (c as usize) < k),
+        "class out of range"
+    );
     assert!(k >= 1);
 
     let mut best: Option<PartitionResult> = None;
     for attempt in 0..params.max_retries.max(1) {
-        let split_params = params
-            .split
-            .with_seed(
-                params
-                    .split
-                    .seed
-                    .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-            );
+        let split_params = params.split.with_seed(
+            params
+                .split
+                .seed
+                .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
         let split = split_graph(g, &split_params);
         let (cut_per_class, class_sizes) = count_cuts(g, classes, k, &split);
 
         let ok = match params.validation {
             CutValidation::None => true,
-            CutValidation::Fraction(f) => (0..k).all(|i| {
-                cut_per_class[i] as f64 <= f * class_sizes[i] as f64 + 1e-12
-            }),
+            CutValidation::Fraction(f) => {
+                (0..k).all(|i| cut_per_class[i] as f64 <= f * class_sizes[i] as f64 + 1e-12)
+            }
             CutValidation::Paper => (0..k).all(|i| {
                 cut_per_class[i] as f64
                     <= paper_cut_threshold(class_sizes[i], k, g.n(), params.split.rho)
@@ -139,9 +150,7 @@ pub fn cut_edge_ids(g: &Graph, result: &PartitionResult) -> Vec<EdgeId> {
     g.edges()
         .par_iter()
         .enumerate()
-        .filter(|(_, e)| {
-            result.split.labels[e.u as usize] != result.split.labels[e.v as usize]
-        })
+        .filter(|(_, e)| result.split.labels[e.u as usize] != result.split.labels[e.v as usize])
         .map(|(i, _)| i as EdgeId)
         .collect()
 }

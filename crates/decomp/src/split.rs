@@ -128,9 +128,8 @@ pub fn split_graph(g: &Graph, params: &SplitParams) -> SplitResult {
         // Sample σ_t centers uniformly from the alive vertices (or take
         // all of them when the sample exceeds the population).
         let sigma = sample_size(n, alive_count, t, rounds, params.sample_multiplier);
-        let alive_vertices: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&v| alive[v as usize])
-            .collect();
+        let alive_vertices: Vec<VertexId> =
+            (0..n as VertexId).filter(|&v| alive[v as usize]).collect();
         let mut sampled: Vec<VertexId> = if sigma >= alive_vertices.len() {
             alive_vertices
         } else {

@@ -32,7 +32,11 @@ pub struct DecompositionStats {
 /// Computes decomposition statistics. `exact_diameter` additionally runs a
 /// BFS per component (from the component's center) to measure the strong
 /// diameter exactly; for large graphs pass `false` to skip it.
-pub fn decomposition_stats(g: &Graph, split: &SplitResult, exact_diameter: bool) -> DecompositionStats {
+pub fn decomposition_stats(
+    g: &Graph,
+    split: &SplitResult,
+    exact_diameter: bool,
+) -> DecompositionStats {
     let n = g.n();
     let cut_edges = g
         .edges()

@@ -131,7 +131,7 @@ pub fn shifted_multi_source_bfs(
 ) -> ShiftedBfsResult {
     let n = g.n();
     assert!(sources.len() < NO_OWNER as usize, "too many sources");
-    let is_alive = |v: VertexId| alive.map_or(true, |a| a[v as usize]);
+    let is_alive = |v: VertexId| alive.is_none_or(|a| a[v as usize]);
 
     // Per-vertex claim state, packed as (owner: high 32 bits, edge: low 32
     // bits) so that `fetch_min` resolves ties by owner index then edge id.
@@ -148,7 +148,8 @@ pub fn shifted_multi_source_bfs(
 
     // Sources grouped by delay for O(1) injection per round.
     let max_delay = sources.iter().map(|s| s.delay).max().unwrap_or(0);
-    let mut by_delay: Vec<Vec<u32>> = vec![Vec::new(); (max_delay as usize).min(max_radius as usize) + 1];
+    let mut by_delay: Vec<Vec<u32>> =
+        vec![Vec::new(); (max_delay as usize).min(max_radius as usize) + 1];
     for (i, s) in sources.iter().enumerate() {
         if s.delay <= max_radius && is_alive(s.vertex) {
             by_delay[s.delay as usize].push(i as u32);
@@ -255,7 +256,12 @@ pub fn shifted_multi_source_bfs(
         }
         frontier = next_frontier;
         rounds = level + 1;
-        if frontier.is_empty() && by_delay.iter().skip(level as usize + 1).all(|v| v.is_empty()) {
+        if frontier.is_empty()
+            && by_delay
+                .iter()
+                .skip(level as usize + 1)
+                .all(|v| v.is_empty())
+        {
             break;
         }
     }
@@ -276,7 +282,10 @@ pub fn shifted_multi_source_bfs(
 pub fn parallel_bfs(g: &Graph, source: VertexId) -> BfsResult {
     let res = shifted_multi_source_bfs(
         g,
-        &[ShiftedSource { vertex: source, delay: 0 }],
+        &[ShiftedSource {
+            vertex: source,
+            delay: 0,
+        }],
         // The eccentricity is at most n-1; n is a safe radius bound.
         g.n().max(1) as u32,
         None,
@@ -301,7 +310,10 @@ pub fn parallel_bfs(g: &Graph, source: VertexId) -> BfsResult {
 pub fn ball(g: &Graph, source: VertexId, radius: u32) -> Vec<VertexId> {
     let res = shifted_multi_source_bfs(
         g,
-        &[ShiftedSource { vertex: source, delay: 0 }],
+        &[ShiftedSource {
+            vertex: source,
+            delay: 0,
+        }],
         radius,
         None,
     );
@@ -371,15 +383,24 @@ mod tests {
         // index (source 0).
         let g = path_graph(11);
         let sources = vec![
-            ShiftedSource { vertex: 0, delay: 0 },
-            ShiftedSource { vertex: 10, delay: 0 },
+            ShiftedSource {
+                vertex: 0,
+                delay: 0,
+            },
+            ShiftedSource {
+                vertex: 10,
+                delay: 0,
+            },
         ];
         let r = shifted_multi_source_bfs(&g, &sources, 100, None);
         assert_eq!(r.owner[0], 0);
         assert_eq!(r.owner[10], 1);
         assert_eq!(r.owner[4], 0);
         assert_eq!(r.owner[6], 1);
-        assert_eq!(r.owner[5], 0, "tie must break toward the smaller source index");
+        assert_eq!(
+            r.owner[5], 0,
+            "tie must break toward the smaller source index"
+        );
         assert_eq!(r.dist[5], 5);
     }
 
@@ -389,8 +410,14 @@ mod tests {
         // vertices it reaches strictly earlier than source 1.
         let g = path_graph(11);
         let sources = vec![
-            ShiftedSource { vertex: 0, delay: 4 },
-            ShiftedSource { vertex: 10, delay: 0 },
+            ShiftedSource {
+                vertex: 0,
+                delay: 4,
+            },
+            ShiftedSource {
+                vertex: 10,
+                delay: 0,
+            },
         ];
         let r = shifted_multi_source_bfs(&g, &sources, 100, None);
         // Vertex v is owned by 0 iff v + 4 < (10 - v)  =>  v < 3, tie at v=3
@@ -406,7 +433,10 @@ mod tests {
     #[test]
     fn shifted_radius_limits_coverage() {
         let g = path_graph(21);
-        let sources = vec![ShiftedSource { vertex: 10, delay: 1 }];
+        let sources = vec![ShiftedSource {
+            vertex: 10,
+            delay: 1,
+        }];
         let r = shifted_multi_source_bfs(&g, &sources, 4, None);
         // Effective reach: delay + dist <= 4 => dist <= 3.
         for v in 0..21usize {
@@ -425,7 +455,10 @@ mod tests {
         let g = path_graph(7);
         let mut alive = vec![true; 7];
         alive[3] = false; // cut the path in half
-        let sources = vec![ShiftedSource { vertex: 0, delay: 0 }];
+        let sources = vec![ShiftedSource {
+            vertex: 0,
+            delay: 0,
+        }];
         let r = shifted_multi_source_bfs(&g, &sources, 100, Some(&alive));
         assert_eq!(r.owner[2], 0);
         assert_eq!(r.owner[3], NO_OWNER);
@@ -438,8 +471,14 @@ mod tests {
         let mut alive = vec![true; 5];
         alive[0] = false;
         let sources = vec![
-            ShiftedSource { vertex: 0, delay: 0 },
-            ShiftedSource { vertex: 4, delay: 0 },
+            ShiftedSource {
+                vertex: 0,
+                delay: 0,
+            },
+            ShiftedSource {
+                vertex: 4,
+                delay: 0,
+            },
         ];
         let r = shifted_multi_source_bfs(&g, &sources, 100, Some(&alive));
         assert_eq!(r.owner[0], NO_OWNER);
@@ -450,9 +489,18 @@ mod tests {
     fn shifted_parent_edges_form_per_owner_trees() {
         let g = generators::grid2d(12, 12, |_, _| 1.0);
         let sources = vec![
-            ShiftedSource { vertex: 0, delay: 0 },
-            ShiftedSource { vertex: 143, delay: 1 },
-            ShiftedSource { vertex: 77, delay: 2 },
+            ShiftedSource {
+                vertex: 0,
+                delay: 0,
+            },
+            ShiftedSource {
+                vertex: 143,
+                delay: 1,
+            },
+            ShiftedSource {
+                vertex: 77,
+                delay: 2,
+            },
         ];
         let r = shifted_multi_source_bfs(&g, &sources, 1000, None);
         for v in 0..g.n() {
@@ -472,7 +520,10 @@ mod tests {
     fn shifted_deterministic_across_runs() {
         let g = generators::grid2d(20, 20, |_, _| 1.0);
         let sources: Vec<ShiftedSource> = (0..10)
-            .map(|i| ShiftedSource { vertex: (i * 37) % 400, delay: (i % 3) as u32 })
+            .map(|i| ShiftedSource {
+                vertex: (i * 37) % 400,
+                delay: (i % 3),
+            })
             .collect();
         let a = shifted_multi_source_bfs(&g, &sources, 50, None);
         let b = shifted_multi_source_bfs(&g, &sources, 50, None);

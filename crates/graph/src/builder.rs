@@ -15,7 +15,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with capacity for `m` edges.
@@ -46,7 +49,10 @@ impl GraphBuilder {
     /// Panics on self-loops, invalid weights, or out-of-range endpoints.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: f64) -> EdgeId {
         assert!(u != v, "self-loop {u}");
-        assert!((u as usize) < self.n && (v as usize) < self.n, "endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "endpoint out of range"
+        );
         assert!(w.is_finite() && w > 0.0, "invalid weight {w}");
         let id = self.edges.len() as EdgeId;
         self.edges.push(Edge::new(u, v, w));

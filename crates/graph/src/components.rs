@@ -87,7 +87,11 @@ mod tests {
     fn multiple_components() {
         let g = Graph::from_edges(
             6,
-            vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0), Edge::new(3, 4, 1.0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(2, 3, 1.0),
+                Edge::new(3, 4, 1.0),
+            ],
         );
         let c = connected_components(&g);
         assert_eq!(c.count, 3); // {0,1}, {2,3,4}, {5}

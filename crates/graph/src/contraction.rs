@@ -104,7 +104,7 @@ mod tests {
         assert_eq!(cut, listed.len());
         assert!(cut > 0);
         // All-same labels cut nothing.
-        assert_eq!(count_cut_edges(&g, &vec![0u32; 16]), 0);
+        assert_eq!(count_cut_edges(&g, &[0u32; 16]), 0);
     }
 
     #[test]

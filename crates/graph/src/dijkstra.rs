@@ -51,7 +51,10 @@ pub fn dijkstra(g: &Graph, source: VertexId) -> ShortestPaths {
     let mut parent = vec![INVALID_VERTEX; n];
     let mut heap = BinaryHeap::new();
     dist[source as usize] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, vertex: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        vertex: source,
+    });
     while let Some(HeapEntry { dist: d, vertex: v }) = heap.pop() {
         if d > dist[v as usize] {
             continue;
@@ -61,7 +64,10 @@ pub fn dijkstra(g: &Graph, source: VertexId) -> ShortestPaths {
             if nd < dist[u as usize] {
                 dist[u as usize] = nd;
                 parent[u as usize] = v;
-                heap.push(HeapEntry { dist: nd, vertex: u });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    vertex: u,
+                });
             }
         }
     }

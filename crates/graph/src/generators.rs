@@ -106,7 +106,12 @@ pub fn grid2d(rows: usize, cols: usize, weight: impl Fn(VertexId, VertexId) -> f
 }
 
 /// 3-D grid graph with `nx × ny × nz` vertices and unit-or-custom weights.
-pub fn grid3d(nx: usize, ny: usize, nz: usize, weight: impl Fn(VertexId, VertexId) -> f64) -> Graph {
+pub fn grid3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    weight: impl Fn(VertexId, VertexId) -> f64,
+) -> Graph {
     let n = nx * ny * nz;
     let mut b = GraphBuilder::with_capacity(n, 3 * n);
     let idx = |x: usize, y: usize, z: usize| (x * ny * nz + y * nz + z) as VertexId;
@@ -153,7 +158,10 @@ pub fn torus2d(rows: usize, cols: usize, weight: f64) -> Graph {
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n >= 2 || m == 0);
     let max_edges = n * (n - 1) / 2;
-    assert!(m <= max_edges, "requested more edges than a simple graph allows");
+    assert!(
+        m <= max_edges,
+        "requested more edges than a simple graph allows"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut b = GraphBuilder::with_capacity(n, m);
@@ -176,10 +184,10 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
 /// vertices may end up with degree slightly below `d`; parallel edges are
 /// kept. `n * d` must be even.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n * d must be even");
+    assert!((n * d).is_multiple_of(2), "n * d must be even");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut stubs: Vec<VertexId> = (0..n)
-        .flat_map(|v| std::iter::repeat(v as VertexId).take(d))
+        .flat_map(|v| std::iter::repeat_n(v as VertexId, d))
         .collect();
     stubs.shuffle(&mut rng);
     let mut b = GraphBuilder::with_capacity(n, n * d / 2);
@@ -340,7 +348,7 @@ mod tests {
         let g = random_regular(200, 4, 3);
         assert!(g.m() <= 400);
         assert!(g.max_degree() <= 4 + 4); // parallel edges possible but bounded in practice
-        // Average degree close to 4.
+                                          // Average degree close to 4.
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
         assert!(avg > 3.5 && avg <= 4.0);
     }

@@ -189,18 +189,12 @@ impl Graph {
 
     /// Minimum edge weight (`None` for the empty graph).
     pub fn min_weight(&self) -> Option<f64> {
-        self.edges
-            .par_iter()
-            .map(|e| e.w)
-            .reduce_with(f64::min)
+        self.edges.par_iter().map(|e| e.w).reduce_with(f64::min)
     }
 
     /// Maximum edge weight (`None` for the empty graph).
     pub fn max_weight(&self) -> Option<f64> {
-        self.edges
-            .par_iter()
-            .map(|e| e.w)
-            .reduce_with(f64::max)
+        self.edges.par_iter().map(|e| e.w).reduce_with(f64::max)
     }
 
     /// The *spread* Δ = max weight / min weight (1.0 for the empty graph).
@@ -350,7 +344,11 @@ mod tests {
     fn simplify_merges_parallel_edges() {
         let g = Graph::from_edges(
             2,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 0, 2.5), Edge::new(0, 1, 0.5)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 0, 2.5),
+                Edge::new(0, 1, 0.5),
+            ],
         );
         assert!(!g.is_simple());
         let s = g.simplify();

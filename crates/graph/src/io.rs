@@ -100,7 +100,9 @@ pub fn read_edge_list<R: BufRead>(input: R) -> Result<Graph, IoError> {
         max_vertex = max_vertex.max(u).max(v);
         edges.push((u, v, w));
     }
-    let n = declared_n.unwrap_or(max_vertex as usize + 1).max(max_vertex as usize + 1);
+    let n = declared_n
+        .unwrap_or(max_vertex as usize + 1)
+        .max(max_vertex as usize + 1);
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v, w) in edges {
         b.add_edge(u, v, w);
@@ -135,9 +137,7 @@ pub fn write_matrix_market_laplacian<W: Write>(g: &Graph, mut out: W) -> Result<
 /// with weight `|value|`; diagonal entries are ignored. 1-based indices.
 pub fn read_matrix_market_graph<R: BufRead>(input: R) -> Result<Graph, IoError> {
     let mut lines = input.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     if !header.starts_with("%%MatrixMarket") {
         return Err(parse_err("missing MatrixMarket header"));
     }

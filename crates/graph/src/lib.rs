@@ -52,6 +52,6 @@ pub mod tree;
 pub mod unionfind;
 
 pub use builder::GraphBuilder;
-pub use graph::{Edge, Graph, VertexId, EdgeId, INVALID_VERTEX};
+pub use graph::{Edge, EdgeId, Graph, VertexId, INVALID_VERTEX};
 pub use multigraph::{ClassedEdge, MultiGraph};
 pub use tree::RootedForest;

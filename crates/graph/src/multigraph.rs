@@ -86,7 +86,12 @@ impl MultiGraph {
     /// Number of edges in each class (indexed by class id, up to the
     /// largest class present).
     pub fn class_sizes(&self) -> Vec<usize> {
-        let max_class = self.edges.iter().map(|e| e.class).max().map_or(0, |c| c as usize + 1);
+        let max_class = self
+            .edges
+            .iter()
+            .map(|e| e.class)
+            .max()
+            .map_or(0, |c| c as usize + 1);
         let mut sizes = vec![0usize; max_class];
         for e in &self.edges {
             sizes[e.class as usize] += 1;
@@ -152,12 +157,7 @@ impl MultiGraph {
     where
         F: Fn(&ClassedEdge) -> bool + Sync,
     {
-        let edges = self
-            .edges
-            .par_iter()
-            .copied()
-            .filter(|e| keep(e))
-            .collect();
+        let edges = self.edges.par_iter().copied().filter(|e| keep(e)).collect();
         MultiGraph { n: self.n, edges }
     }
 }
@@ -198,7 +198,10 @@ mod tests {
         let c = mg.contract(&[0, 0, 1, 1], 2);
         assert_eq!(c.n(), 2);
         assert_eq!(c.m(), 2);
-        assert!(c.edges().iter().all(|e| (e.u, e.v) == (0, 1) || (e.u, e.v) == (1, 0)));
+        assert!(c
+            .edges()
+            .iter()
+            .all(|e| (e.u, e.v) == (0, 1) || (e.u, e.v) == (1, 0)));
         // Original ids preserved.
         let mut originals: Vec<EdgeId> = c.edges().iter().map(|e| e.original).collect();
         originals.sort_unstable();

@@ -40,19 +40,16 @@ pub fn exclusive_prefix_sum(input: &[usize]) -> Vec<usize> {
     out.resize(n + 1, 0);
     out[n] = acc;
     let out_ptr = SyncMutPtr(out.as_mut_ptr());
-    input
-        .par_chunks(block)
-        .enumerate()
-        .for_each(|(bi, chunk)| {
-            let mut local = block_offsets[bi];
-            let base = bi * block;
-            for (i, &x) in chunk.iter().enumerate() {
-                // SAFETY: each (bi, i) pair maps to a distinct index < n,
-                // and index n was written before the parallel loop.
-                unsafe { out_ptr.write(base + i, local) };
-                local += x;
-            }
-        });
+    input.par_chunks(block).enumerate().for_each(|(bi, chunk)| {
+        let mut local = block_offsets[bi];
+        let base = bi * block;
+        for (i, &x) in chunk.iter().enumerate() {
+            // SAFETY: each (bi, i) pair maps to a distinct index < n,
+            // and index n was written before the parallel loop.
+            unsafe { out_ptr.write(base + i, local) };
+            local += x;
+        }
+    });
     out
 }
 
@@ -83,11 +80,7 @@ where
     if items.len() < SEQ_CUTOFF {
         return items.iter().copied().filter(|x| keep(x)).collect();
     }
-    items
-        .par_iter()
-        .copied()
-        .filter(|x| keep(x))
-        .collect()
+    items.par_iter().copied().filter(|x| keep(x)).collect()
 }
 
 /// Counts how many items satisfy a predicate, in parallel.
@@ -152,7 +145,7 @@ mod tests {
 
     #[test]
     fn with_threads_runs_closure() {
-        let r = with_threads(2, || rayon::current_num_threads());
+        let r = with_threads(2, rayon::current_num_threads);
         assert_eq!(r, 2);
     }
 }

@@ -151,8 +151,7 @@ impl RootedForest {
         match self.lca(u, v) {
             None => f64::INFINITY,
             Some(a) => {
-                self.wdepth[u as usize] + self.wdepth[v as usize]
-                    - 2.0 * self.wdepth[a as usize]
+                self.wdepth[u as usize] + self.wdepth[v as usize] - 2.0 * self.wdepth[a as usize]
             }
         }
     }
@@ -162,18 +161,13 @@ impl RootedForest {
     pub fn tree_hops(&self, u: VertexId, v: VertexId) -> u32 {
         match self.lca(u, v) {
             None => u32::MAX,
-            Some(a) => {
-                self.depth[u as usize] + self.depth[v as usize] - 2 * self.depth[a as usize]
-            }
+            Some(a) => self.depth[u as usize] + self.depth[v as usize] - 2 * self.depth[a as usize],
         }
     }
 
     /// Number of trees (connected components) in the forest.
     pub fn tree_count(&self) -> usize {
-        self.parent
-            .iter()
-            .filter(|&&p| p == INVALID_VERTEX)
-            .count()
+        self.parent.iter().filter(|&&p| p == INVALID_VERTEX).count()
     }
 }
 

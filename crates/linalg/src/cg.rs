@@ -151,7 +151,14 @@ mod tests {
         let op = LaplacianOp::new(&g);
         let mut b: Vec<f64> = (0..g.n()).map(|i| ((i % 13) as f64) - 6.0).collect();
         project_out_constant(&mut b);
-        let out = cg_solve(&op, &b, &CgOptions { max_iters: 2000, tol: 1e-10 });
+        let out = cg_solve(
+            &op,
+            &b,
+            &CgOptions {
+                max_iters: 2000,
+                tol: 1e-10,
+            },
+        );
         assert!(out.converged, "rel residual {}", out.relative_residual);
         let r = op.residual(&out.x, &b);
         assert!(norm2(&r) <= 1e-8 * norm2(&b));
@@ -160,15 +167,14 @@ mod tests {
     #[test]
     fn jacobi_pcg_converges_faster_on_weighted_graph() {
         // Strongly heterogeneous weights make plain CG slow; Jacobi helps.
-        let g = generators::with_power_law_weights(
-            &generators::grid2d(12, 12, |_, _| 1.0),
-            5,
-            3,
-        );
+        let g = generators::with_power_law_weights(&generators::grid2d(12, 12, |_, _| 1.0), 5, 3);
         let op = LaplacianOp::new(&g);
         let mut b: Vec<f64> = (0..g.n()).map(|i| (i as f64 * 0.7).cos()).collect();
         project_out_constant(&mut b);
-        let opts = CgOptions { max_iters: 4000, tol: 1e-8 };
+        let opts = CgOptions {
+            max_iters: 4000,
+            tol: 1e-8,
+        };
         let plain = cg_solve(&op, &b, &opts);
         let jac = JacobiPreconditioner::from_laplacian(&op);
         let pre = pcg_solve(&op, &jac, &b, &opts);
@@ -197,7 +203,14 @@ mod tests {
         let op = LaplacianOp::new(&g);
         let mut b: Vec<f64> = (0..g.n()).map(|i| i as f64).collect();
         project_out_constant(&mut b);
-        let out = cg_solve(&op, &b, &CgOptions { max_iters: 3, tol: 1e-14 });
+        let out = cg_solve(
+            &op,
+            &b,
+            &CgOptions {
+                max_iters: 3,
+                tol: 1e-14,
+            },
+        );
         assert!(!out.converged);
         assert!(out.iterations <= 4);
     }

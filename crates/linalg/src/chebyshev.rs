@@ -154,7 +154,12 @@ mod tests {
         };
         let x = chebyshev_solve(&op, &ident, &b, &vec![0.0; 40], &opts);
         let r = op.residual(&x, &b);
-        assert!(norm2(&r) < 0.2 * norm2(&b), "residual {} of {}", norm2(&r), norm2(&b));
+        assert!(
+            norm2(&r) < 0.2 * norm2(&b),
+            "residual {} of {}",
+            norm2(&r),
+            norm2(&b)
+        );
     }
 
     #[test]
@@ -171,7 +176,10 @@ mod tests {
             lambda_max: 2.0,
         };
         let (x, iters, rel) = chebyshev_to_tolerance(&op, &jac, &b, &opts, 1e-8, 40);
-        assert!(rel <= 1e-8, "relative residual {rel} after {iters} iterations");
+        assert!(
+            rel <= 1e-8,
+            "relative residual {rel} after {iters} iterations"
+        );
         let r = op.residual(&x, &b);
         assert!(norm2(&r) <= 1e-7 * norm2(&b));
     }
@@ -192,7 +200,11 @@ mod tests {
         let g = generators::path(5, 1.0);
         let op = LaplacianOp::new(&g);
         let ident = IdentityPreconditioner::new(5);
-        let opts = ChebyshevOptions { iterations: 0, lambda_min: 0.1, lambda_max: 1.0 };
+        let opts = ChebyshevOptions {
+            iterations: 0,
+            lambda_min: 0.1,
+            lambda_max: 1.0,
+        };
         let x0 = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let x = chebyshev_solve(&op, &ident, &[0.0; 5], &x0, &opts);
         assert_eq!(x, x0);

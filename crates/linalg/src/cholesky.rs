@@ -35,7 +35,10 @@ impl DenseLdl {
         for row in a {
             assert_eq!(row.len(), n, "matrix must be square");
         }
-        let max_diag = (0..n).map(|i| a[i][i].abs()).fold(0.0f64, f64::max).max(1e-300);
+        let max_diag = (0..n)
+            .map(|i| a[i][i].abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
         let tol = rel_tol * max_diag;
         let mut l = vec![0.0f64; n * n];
         let mut d = vec![0.0f64; n];
@@ -84,6 +87,9 @@ impl DenseLdl {
 
     /// Solves `A x = b` (in the least-squares / particular-solution sense
     /// when `A` is singular and `b` is in the range).
+    // Triangular solves index `l` with row/column strides; explicit indices
+    // are clearer than iterator chains here.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n);
         let n = self.n;
@@ -160,7 +166,11 @@ mod tests {
         // Check A x = b.
         let ax = l.apply_vec(&x);
         let r = sub(&b, &ax);
-        assert!(norm2(&r) < 1e-8 * norm2(&b).max(1.0), "residual too large: {}", norm2(&r));
+        assert!(
+            norm2(&r) < 1e-8 * norm2(&b).max(1.0),
+            "residual too large: {}",
+            norm2(&r)
+        );
     }
 
     #[test]
@@ -178,10 +188,7 @@ mod tests {
     #[test]
     fn disconnected_graph_two_null_dirs() {
         use parsdd_graph::{Edge, Graph};
-        let g = Graph::from_edges(
-            4,
-            vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 2.0)],
-        );
+        let g = Graph::from_edges(4, vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 2.0)]);
         let l = laplacian_of(&g);
         let f = DenseLdl::from_csr(&l, 1e-10);
         assert_eq!(f.null_dim(), 2);

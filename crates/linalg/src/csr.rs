@@ -26,7 +26,10 @@ impl CsrMatrix {
     /// entries are summed. Triplet order does not matter.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of range");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet out of range"
+            );
         }
         // Count entries per row after deduplication within (row, col).
         let mut sorted: Vec<(u32, u32, f64)> = triplets.to_vec();
@@ -134,7 +137,9 @@ impl CsrMatrix {
                 *yr = kernel(r);
             }
         } else {
-            y.par_iter_mut().enumerate().for_each(|(r, yr)| *yr = kernel(r));
+            y.par_iter_mut()
+                .enumerate()
+                .for_each(|(r, yr)| *yr = kernel(r));
         }
     }
 
@@ -144,8 +149,7 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.rows);
         assert_eq!(y.len(), self.cols);
         y.iter_mut().for_each(|v| *v = 0.0);
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -160,9 +164,9 @@ impl CsrMatrix {
     /// Converts to a dense row-major matrix (tests / small systems only).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; self.cols]; self.rows];
-        for r in 0..self.rows {
+        for (r, row) in d.iter_mut().enumerate() {
             for (c, v) in self.row(r) {
-                d[r][c as usize] += v;
+                row[c as usize] += v;
             }
         }
         d

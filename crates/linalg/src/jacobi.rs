@@ -73,7 +73,11 @@ mod tests {
 
     #[test]
     fn from_csr_matches_matrix_diagonal() {
-        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 5.0), (1, 1, 10.0), (0, 1, -1.0), (1, 0, -1.0)]);
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 5.0), (1, 1, 10.0), (0, 1, -1.0), (1, 0, -1.0)],
+        );
         let p = JacobiPreconditioner::from_csr(&a);
         let z = p.precondition_vec(&[5.0, 10.0]);
         assert_eq!(z, vec![1.0, 1.0]);

@@ -113,7 +113,9 @@ impl LinearOperator for LaplacianOp<'_> {
                 *yv = kernel(v);
             }
         } else {
-            y.par_iter_mut().enumerate().for_each(|(v, yv)| *yv = kernel(v));
+            y.par_iter_mut()
+                .enumerate()
+                .for_each(|(v, yv)| *yv = kernel(v));
         }
     }
 }
@@ -196,7 +198,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn positive_offdiagonal_rejected() {
-        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 0.5), (1, 0, 0.5)]);
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 0.5), (1, 0, 0.5)]);
         let _ = graph_of_laplacian(&m, 0.0);
     }
 }

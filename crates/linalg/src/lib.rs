@@ -9,8 +9,8 @@
 //!
 //! * [`vector`] — parallel dense vector kernels (dot, axpy, norms,
 //!   projections onto `1⊥`).
-//! * [`operator`] — the [`LinearOperator`](operator::LinearOperator) and
-//!   [`Preconditioner`](operator::Preconditioner) abstractions shared by
+//! * [`operator`] — the [`LinearOperator`] and
+//!   [`Preconditioner`] abstractions shared by
 //!   every iterative method and by the recursive solver chain.
 //! * [`csr`] — symmetric sparse matrices in CSR form with parallel
 //!   matrix–vector products.

@@ -68,12 +68,7 @@ pub fn largest_eigenvalue(
 /// If `H` satisfies `G ⪯ H ⪯ κ·G`, every ratio lies in `[1/κ, 1]` up to a
 /// global scaling — the experiments check the *observed* ratio spread
 /// against the chain's target `κ`.
-pub fn quadratic_form_ratio_bounds(
-    g: &Graph,
-    h: &Graph,
-    samples: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn quadratic_form_ratio_bounds(g: &Graph, h: &Graph, samples: usize, seed: u64) -> (f64, f64) {
     assert_eq!(g.n(), h.n(), "graphs must share a vertex set");
     let n = g.n();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -149,6 +144,9 @@ mod tests {
         let tree_edges = parsdd_graph::mst::kruskal(&g);
         let h = g.edge_subgraph(&tree_edges);
         let (lo, _hi) = quadratic_form_ratio_bounds(&g, &h, 30, 5);
-        assert!(lo >= 1.0 - 1e-9, "tree energy must not exceed graph energy, lo={lo}");
+        assert!(
+            lo >= 1.0 - 1e-9,
+            "tree energy must not exceed graph energy, lo={lo}"
+        );
     }
 }

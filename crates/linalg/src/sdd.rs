@@ -97,7 +97,7 @@ impl GrembanReduction {
         // Decide whether a ground vertex is needed (any diagonal excess).
         let mut excess = vec![0.0f64; n];
         let mut has_ground = false;
-        for i in 0..n {
+        for (i, exc) in excess.iter_mut().enumerate() {
             let mut diag = 0.0;
             let mut offdiag_abs = 0.0;
             for (j, v) in a.row(i) {
@@ -109,14 +109,14 @@ impl GrembanReduction {
             }
             let e = diag - offdiag_abs;
             if e > drop_tol {
-                excess[i] = e;
+                *exc = e;
                 has_ground = true;
             }
         }
         let total = if has_ground { 2 * n + 1 } else { 2 * n };
         let ground = (2 * n) as u32;
         let mut b = GraphBuilder::new(total);
-        for i in 0..n {
+        for (i, &exc) in excess.iter().enumerate() {
             for (j, v) in a.row(i) {
                 let j = j as usize;
                 if j <= i {
@@ -131,9 +131,9 @@ impl GrembanReduction {
                     b.add_edge((n + i) as u32, j as u32, v);
                 }
             }
-            if excess[i] > 0.0 {
-                b.add_edge(i as u32, ground, excess[i]);
-                b.add_edge((n + i) as u32, ground, excess[i]);
+            if exc > 0.0 {
+                b.add_edge(i as u32, ground, exc);
+                b.add_edge((n + i) as u32, ground, exc);
             }
         }
         GrembanReduction {
@@ -191,7 +191,14 @@ mod tests {
         let red = GrembanReduction::new(a, 1e-14);
         let rhs = red.reduce_rhs(b);
         let op = LaplacianOp::new(red.graph());
-        let out = cg_solve(&op, &rhs, &CgOptions { max_iters: 20_000, tol: 1e-12 });
+        let out = cg_solve(
+            &op,
+            &rhs,
+            &CgOptions {
+                max_iters: 20_000,
+                tol: 1e-12,
+            },
+        );
         assert!(out.converged, "inner Laplacian solve did not converge");
         red.recover_solution(&out.x)
     }
@@ -208,18 +215,12 @@ mod tests {
         );
         assert_eq!(classify(&sddm, 1e-12), SddClass::SddM);
 
-        let general = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)],
-        );
+        let general =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)]);
         assert_eq!(classify(&general, 1e-12), SddClass::GeneralSdd);
 
-        let notsdd = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)],
-        );
+        let notsdd =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
         assert_eq!(classify(&notsdd, 1e-12), SddClass::NotSdd);
     }
 
@@ -241,11 +242,8 @@ mod tests {
     #[test]
     fn gremban_positive_offdiagonals() {
         // A = [[2, 1], [1, 2]] is SDD with positive off-diagonal.
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)]);
         let b = vec![3.0, 0.0];
         let x = solve_via_gremban(&a, &b);
         // Solution: x = [2, -1].
@@ -314,7 +312,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_sdd_rejected() {
-        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
         let _ = GrembanReduction::new(&a, 1e-14);
     }
 }

@@ -14,8 +14,9 @@
 //!
 //! The paper's parameter choices (`y = 2^{√(6 log n log log n)}`,
 //! `z = 4·c₁·y·τ·log³n`) are available as [`AkpwParams::paper`]; they are
-//! astronomically large below n ≈ 2^40, where they simply collapse the
-//! graph in one iteration (the asymptotic regime). [`AkpwParams::practical`]
+//! astronomically large below n ≈ 2^40, where they put every edge in one
+//! bucket and collapse the graph in a few contraction iterations (the
+//! asymptotic regime). [`AkpwParams::practical`]
 //! uses a small base so the multi-iteration behaviour — and the stretch /
 //! work trade-off — is observable at benchmark sizes; both presets run the
 //! identical code path.
@@ -210,7 +211,10 @@ mod tests {
         let t = akpw(&g, &AkpwParams::practical(16.0).with_seed(2));
         assert_spanning_forest(&g, &t.tree_edges);
         assert!(t.num_classes > 1, "spread should create several buckets");
-        assert!(t.iterations >= t.num_classes, "one iteration per bucket at least");
+        assert!(
+            t.iterations >= t.num_classes,
+            "one iteration per bucket at least"
+        );
     }
 
     #[test]
@@ -220,9 +224,18 @@ mod tests {
         let t = akpw(&g, &params);
         assert_spanning_forest(&g, &t.tree_edges);
         // With the paper's astronomically large z, everything is in bucket
-        // 0 and the radius is effectively unbounded: one iteration.
+        // 0 and the ball radius is effectively unbounded. Each splitGraph
+        // call still samples sigma_1 ~ 12 n^{1/T} log n centers in its first
+        // round, so the contraction needs a handful of iterations (not one)
+        // to reach a single vertex; what matters is that it stays far below
+        // the multi-bucket schedule of practical parameters.
         assert_eq!(t.num_classes, 1);
-        assert!(t.iterations <= 2);
+        assert!(
+            t.iterations <= 4,
+            "paper params should collapse in a few iterations, took {}",
+            t.iterations
+        );
+        assert!(!t.used_fallback);
     }
 
     #[test]

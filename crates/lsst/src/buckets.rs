@@ -55,7 +55,11 @@ pub fn assign_classes(g: &Graph, z: f64) -> WeightClasses {
             c
         })
         .collect();
-    let num_classes = if g.m() == 0 { 0 } else { max_class as usize + 1 };
+    let num_classes = if g.m() == 0 {
+        0
+    } else {
+        max_class as usize + 1
+    };
     WeightClasses {
         class_of_edge,
         num_classes,
@@ -83,11 +87,11 @@ mod tests {
         let g = Graph::from_edges(
             5,
             vec![
-                Edge::new(0, 1, 1.0),   // class 0
-                Edge::new(1, 2, 3.9),   // class 0 (z = 4)
-                Edge::new(2, 3, 4.0),   // class 1
-                Edge::new(3, 4, 17.0),  // class 2
-                Edge::new(0, 4, 64.0),  // class 3
+                Edge::new(0, 1, 1.0),  // class 0
+                Edge::new(1, 2, 3.9),  // class 0 (z = 4)
+                Edge::new(2, 3, 4.0),  // class 1
+                Edge::new(3, 4, 17.0), // class 2
+                Edge::new(0, 4, 64.0), // class 3
             ],
         );
         let wc = assign_classes(&g, 4.0);
@@ -98,10 +102,7 @@ mod tests {
 
     #[test]
     fn normalisation_uses_min_weight() {
-        let g = Graph::from_edges(
-            3,
-            vec![Edge::new(0, 1, 10.0), Edge::new(1, 2, 41.0)],
-        );
+        let g = Graph::from_edges(3, vec![Edge::new(0, 1, 10.0), Edge::new(1, 2, 41.0)]);
         let wc = assign_classes(&g, 4.0);
         assert_eq!(wc.min_weight, 10.0);
         // 10/10 = 1 -> class 0; 41/10 = 4.1 -> class 1.

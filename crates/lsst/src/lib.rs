@@ -6,11 +6,13 @@
 //!
 //! * [`buckets`] — geometric weight classes (`E_i = {e : w(e) ∈ [z^{i-1},
 //!   z^i)}` after normalising the minimum weight to 1).
-//! * [`akpw`] — Algorithm 5.1: the parallel AKPW low-stretch spanning tree,
+//! * [`akpw`](mod@akpw) — Algorithm 5.1: the parallel AKPW low-stretch
+//!   spanning tree,
 //!   built by repeatedly running the low-diameter `Partition` of Section
 //!   4 on the first `j` weight classes, adding each component's BFS tree,
 //!   and contracting (Theorem 5.1).
-//! * [`sparse_akpw`] — Section 5.2.1: the modified AKPW that dumps each
+//! * [`sparse_akpw`](mod@sparse_akpw) — Section 5.2.1: the modified AKPW
+//!   that dumps each
 //!   weight class's survivors into the output after `λ` rounds, producing
 //!   an ultra-sparse *subgraph* with polylogarithmic stretch (Lemma 5.5).
 //! * [`well_spaced`] — Lemma 5.7: deleting a `θ` fraction of edges to make

@@ -205,7 +205,10 @@ mod tests {
         let sub = g.edge_subgraph(sub_edges);
         let c_orig = parallel_connected_components(g);
         let c_sub = parallel_connected_components(&sub);
-        assert_eq!(c_orig.count, c_sub.count, "subgraph must preserve connectivity");
+        assert_eq!(
+            c_orig.count, c_sub.count,
+            "subgraph must preserve connectivity"
+        );
     }
 
     #[test]

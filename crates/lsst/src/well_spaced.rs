@@ -81,9 +81,7 @@ pub fn well_spaced_split(g: &Graph, z: f64, tau: usize, theta: f64) -> WellSpace
             // full length); remove those classes regardless — the caller
             // sees the exact removed fraction.
             let _ = group_total;
-            for c in best_start..best_start + tau {
-                remove_class[c] = true;
-            }
+            remove_class[best_start..best_start + tau].fill(true);
         }
         start = end;
     }

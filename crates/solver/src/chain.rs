@@ -14,14 +14,17 @@
 //! which point the bottom system is factored densely (Fact 6.4) or, if it
 //! is still too large for a dense factor, solved iteratively.
 //!
-//! Solving (`SolverChain::solve`): the top level runs (flexible)
-//! preconditioned CG or preconditioned Chebyshev; each preconditioner
-//! application forwards the residual through level `i`'s elimination,
-//! solves level `i+1` recursively with a *fixed* number of Chebyshev
-//! iterations (≈ `√κ_i`, so the recursion does `∏√κ_i` bottom solves, the
-//! quantity Lemma 6.6 counts), and back-substitutes.
+//! Solving (`SolverChain::solve`): the top level runs flexible
+//! preconditioned CG; each preconditioner application forwards the
+//! residual through level `i`'s elimination, solves level `i+1` with a
+//! *fixed* number of preconditioned Chebyshev iterations (a linear
+//! operator, as rPCh requires), and back-substitutes. The Chebyshev
+//! interval of every level is calibrated after construction by power
+//! iteration on the *effective* preconditioned operator (see
+//! [`SolverChain`] internals): Chebyshev polynomials explode outside
+//! their interval, so sampled-quadratic-form bounds alone make deep
+//! chains diverge.
 
-use parsdd_graph::mst::kruskal;
 use parsdd_graph::{EdgeId, Graph};
 use parsdd_linalg::cholesky::DenseLdl;
 use parsdd_linalg::laplacian::laplacian_of;
@@ -47,16 +50,15 @@ pub enum IterationMethod {
 #[derive(Debug, Clone, Copy)]
 pub struct ChainOptions {
     /// When `true` (the default), the per-level condition number `κ_i` is
-    /// derived from the level's total stretch so that the expected number
-    /// of sampled off-subgraph edges is `extra_fraction · n_i` — this is
-    /// Lemma 6.2's trade-off read backwards and is what keeps each level a
-    /// constant factor smaller than the previous one. When `false`, the
-    /// fixed `kappa` below is used at every level (the paper's uniform-κ
-    /// schedule of Lemma 6.9).
+    /// derived from the level's total stretch so that the sparsifier
+    /// samples an `extra_fraction` of the off-subgraph edges in expectation
+    /// — Lemma 6.2's trade-off read backwards. When `false`, the fixed
+    /// `kappa` below is used at every level (the paper's uniform-κ schedule
+    /// of Lemma 6.9).
     pub auto_kappa: bool,
-    /// Desired number of extra (beyond-spanning-forest) sampled edges per
-    /// level, as a fraction of the level's vertex count (used when
-    /// `auto_kappa` is set).
+    /// Fraction of the level's *off-subgraph* edges the sparsifier samples
+    /// in expectation (used when `auto_kappa` is set). Larger values give a
+    /// spectrally stronger (but denser) preconditioner.
     pub extra_fraction: f64,
     /// Target relative condition number `κ` of every level's sparsifier
     /// (used when `auto_kappa` is `false`).
@@ -90,15 +92,22 @@ impl Default for ChainOptions {
     fn default() -> Self {
         ChainOptions {
             auto_kappa: true,
-            extra_fraction: 0.1,
+            extra_fraction: 0.35,
             kappa: 64.0,
             subgraph_z: 32.0,
             subgraph_lambda: 2,
             oversample: 2.0,
             bottom_size: 300,
             bottom_exponent: 1.0 / 3.0,
-            dense_bottom_limit: 3000,
-            max_levels: 16,
+            dense_bottom_limit: 4000,
+            // Each level multiplies the recursion's work by its inner
+            // iteration count (≈ √κ_eff of that level), while laptop-scale
+            // levels only shrink ~2×: the paper's asymptotic work balance
+            // (Lemma 6.6) does not hold at these sizes, so deep chains cost
+            // exponentially more per outer iteration than they save. Two
+            // levels + a direct/iterative bottom is the sweet spot; see
+            // DESIGN.md and the E8/E9 experiments.
+            max_levels: 2,
             inner_method: IterationMethod::Chebyshev,
             inner_extra_iterations: 1,
             seed: 0xcba_0001,
@@ -144,6 +153,16 @@ pub struct ChainLevel {
     /// Fixed Chebyshev/CG iteration count used when this level is solved
     /// recursively.
     pub inner_iterations: usize,
+    /// Spectrum bounds `[λ_min, λ_max]` of the *effective* preconditioned
+    /// operator `M_i⁻¹A_i` (where `M_i` is the whole recursive
+    /// preconditioner below this level, inexact inner solves included).
+    /// For levels ≥ 1 these are calibrated bottom-up by power iteration
+    /// after the chain is built: the inner Chebyshev iteration is only
+    /// stable when its interval really brackets this operator's spectrum,
+    /// and the sampled `measured_ratio` of the sparsifier alone misses the
+    /// extremes. Level 0 keeps the provisional (ratio-derived) value — the
+    /// top level is driven by adaptive flexible PCG, which needs no bounds.
+    pub cheb_bounds: (f64, f64),
 }
 
 /// The bottom-of-chain solver (Fact 6.4, with an iterative fallback for
@@ -170,8 +189,10 @@ pub struct ChainStats {
     pub sparsifier_edges: Vec<usize>,
     /// Configured `κ_i` per level.
     pub kappas: Vec<f64>,
-    /// Product of `√κ_i` — the number of bottom-level solves the recursion
-    /// performs per top-level preconditioner application (Lemma 6.6/6.8).
+    /// Number of bottom-level solves the recursion performs per top-level
+    /// preconditioner application — the product of the calibrated inner
+    /// iteration counts below the top (the quantity Lemma 6.6/6.8 bounds
+    /// by `∏√κ_i`).
     pub recursion_leaves: f64,
     /// Whether the bottom is solved densely.
     pub dense_bottom: bool,
@@ -216,7 +237,9 @@ fn laplacian_apply(graph: &Graph, diag: &[f64], x: &[f64], y: &mut [f64]) {
             *yv = kernel(v);
         }
     } else {
-        y.par_iter_mut().enumerate().for_each(|(v, yv)| *yv = kernel(v));
+        y.par_iter_mut()
+            .enumerate()
+            .for_each(|(v, yv)| *yv = kernel(v));
     }
 }
 
@@ -261,14 +284,42 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         let sub = ls_subgraph(&lengths, &sub_params);
         let sub_edges = sub.all_edges();
 
-        // Spanning forest of the subgraph (minimum total *length*, i.e.
-        // maximum conductance), for resistance-stretch computation.
+        // Spanning forest of the subgraph for resistance-stretch
+        // computation. This must be the *low-stretch* AKPW forest the
+        // subgraph was built around — a generic MST (e.g. Kruskal on a
+        // unit-weight grid, where ties make the tree arbitrary) can have
+        // orders-of-magnitude larger stretch, which inflates every κ
+        // estimate and starves the sampler. Complete it with remaining
+        // subgraph edges in case the well-spacing set-aside disconnected
+        // the SparseAKPW input.
         let forest: Vec<EdgeId> = {
-            let sub_graph = lengths.edge_subgraph(&sub_edges);
-            kruskal(&sub_graph)
-                .into_iter()
-                .map(|local| sub_edges[local as usize])
-                .collect()
+            let mut uf = parsdd_graph::unionfind::UnionFind::new(current.n());
+            let mut forest = Vec::with_capacity(current.n().saturating_sub(1));
+            for &e in &sub.subgraph.tree_edges {
+                let edge = lengths.edge(e);
+                if uf.unite(edge.u, edge.v) {
+                    forest.push(e);
+                }
+            }
+            let mut rest: Vec<EdgeId> = sub_edges
+                .iter()
+                .copied()
+                .filter(|&e| !uf.same(lengths.edge(e).u, lengths.edge(e).v))
+                .collect();
+            rest.sort_by(|&a, &b| {
+                lengths
+                    .edge(a)
+                    .w
+                    .partial_cmp(&lengths.edge(b).w)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for e in rest {
+                let edge = lengths.edge(e);
+                if uf.unite(edge.u, edge.v) {
+                    forest.push(e);
+                }
+            }
+            forest
         };
 
         // 2. Incremental sparsification. The per-level κ is either fixed
@@ -276,13 +327,14 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         //    number of sampled off-subgraph edges is a small fraction of
         //    n_i — which is what makes the next level shrink.
         let (sparsifier, kappa_used) = if options.auto_kappa {
-            // The low-stretch subgraph already carries some extra edges on
-            // top of its spanning forest; budget the sampled edges so that
-            // the *total* number of extras stays near extra_fraction · n.
-            let subgraph_extras = sub_edges.len().saturating_sub(forest.len());
-            let budget = ((options.extra_fraction * current.n() as f64) as usize)
-                .saturating_sub(subgraph_extras)
-                .max(8);
+            // Budget the sample count as a fraction of the *off-subgraph*
+            // edges. (An earlier schedule budgeted `extra_fraction · n`
+            // minus the subgraph's own extras, which routinely collapsed to
+            // ~0 samples; the subgraph alone is a κ ≈ 10³ preconditioner at
+            // bench sizes — the sampled tail of the stretch distribution is
+            // what caps λ_max of `B⁻¹A`.)
+            let off_subgraph = current.m().saturating_sub(sub_edges.len());
+            let budget = ((options.extra_fraction * off_subgraph as f64) as usize).max(8);
             crate::sparsify::incremental_sparsify_with_target(
                 &current,
                 &sub_edges,
@@ -314,14 +366,26 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         let elimination = greedy_elimination(&sparsifier.graph, seed);
         let next = elimination.reduced_graph.simplify();
 
-        // Lemma 6.6/6.8 cost balance: the recursion multiplies the work by
-        // the per-level iteration count, so that count must not exceed the
-        // factor by which the level shrank. √κ is the accuracy-motivated
-        // ceiling (Lemma 6.7); the shrink factor is the work-motivated one.
+        // A level whose sparsifier kept (nearly) the whole graph and whose
+        // elimination removed (nearly) nothing is a pure wrapper: it solves
+        // the same system through extra inner iterations. Stop and hand the
+        // current system to the bottom solver instead.
+        if kappa_used <= 1.5 && next.n() as f64 > 0.85 * current.n() as f64 {
+            break;
+        }
+
+        // Provisional iteration budget from the configured κ; replaced by
+        // the calibration pass below with √κ_eff of the *measured* effective
+        // preconditioned spectrum (the paper's asymptotic work balance of
+        // Lemma 6.6 assumes shrink factors that small inputs do not reach,
+        // and under-iterating makes the recursion compound its own error).
         let shrink = current.n() as f64 / next.n().max(1) as f64;
-        let accuracy_iters = kappa_used.sqrt().ceil() as usize + options.inner_extra_iterations;
-        let inner_iterations = accuracy_iters.min(shrink.floor() as usize).max(2);
+        let inner_iterations =
+            (kappa_used.sqrt().ceil() as usize + options.inner_extra_iterations).clamp(2, 12);
         let diag = weighted_degrees(&current);
+        // Provisional bounds from the sampled ratio; replaced by the
+        // power-iteration calibration below once the chain is complete.
+        let cheb_bounds = provisional_bounds(measured_ratio, kappa_used);
         levels.push(ChainLevel {
             graph: current,
             diag,
@@ -331,6 +395,7 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
             sparsifier_edges: sparsifier.edge_count(),
             subgraph_edges: sparsifier.subgraph_edges,
             inner_iterations,
+            cheb_bounds,
         });
         current = next;
         if shrink < 1.5 {
@@ -352,7 +417,7 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         BottomSolver::Iterative
     };
 
-    SolverChain {
+    let mut chain = SolverChain {
         levels,
         bottom_graph: current,
         bottom_diag,
@@ -360,6 +425,18 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         bottom_labels: comps.labels,
         bottom_components: comps.count,
         options: *options,
+    };
+    chain.calibrate_chebyshev_bounds();
+    chain
+}
+
+/// Fallback Chebyshev interval from the sampled quadratic-form ratio.
+fn provisional_bounds(measured_ratio: (f64, f64), kappa: f64) -> (f64, f64) {
+    let (lo, hi) = measured_ratio;
+    if lo.is_finite() && lo > 0.0 && hi > lo {
+        (lo / 2.0, hi * 2.0)
+    } else {
+        (1.0 / kappa.clamp(1.0, 1e12), 1.0)
     }
 }
 
@@ -390,10 +467,16 @@ impl SolverChain {
         let mut level_edges: Vec<usize> = self.levels.iter().map(|l| l.graph.m()).collect();
         level_vertices.push(self.bottom_graph.n());
         level_edges.push(self.bottom_graph.m());
+        // Bottom solves per top-level preconditioner application: level 0's
+        // elimination feeds one solve of level 1, which runs its fixed inner
+        // iteration count, and so on down — so the product of the calibrated
+        // per-level counts below the top, not the configured ∏√κ_i (the two
+        // differ once calibration clamps the budgets).
         let recursion_leaves = self
             .levels
             .iter()
-            .map(|l| l.kappa.sqrt())
+            .skip(1)
+            .map(|l| l.inner_iterations as f64)
             .product::<f64>()
             .max(1.0);
         ChainStats {
@@ -406,8 +489,12 @@ impl SolverChain {
         }
     }
 
-    /// Solves the bottom system `A_d x = b`.
-    fn bottom_solve(&self, b: &[f64]) -> Vec<f64> {
+    /// Tolerance for iterative bottom solves that feed a preconditioner
+    /// application (the outer flexible PCG absorbs this inexactness).
+    const PRECOND_BOTTOM_TOL: f64 = 1e-8;
+
+    /// Solves the bottom system `A_d x = b` (to `tol` when iterative).
+    fn bottom_solve(&self, b: &[f64], tol: f64) -> Vec<f64> {
         let mut rhs = b.to_vec();
         project_out_componentwise_constant(&mut rhs, &self.bottom_labels, self.bottom_components);
         match &self.bottom {
@@ -421,8 +508,8 @@ impl SolverChain {
                     &jac,
                     &rhs,
                     &parsdd_linalg::cg::CgOptions {
-                        max_iters: (2 * self.bottom_graph.n()).clamp(100, 2000),
-                        tol: 1e-10,
+                        max_iters: (2 * self.bottom_graph.n()).clamp(100, 4000),
+                        tol,
                     },
                 )
                 .x
@@ -443,7 +530,7 @@ impl SolverChain {
     /// budget (`i ≥ 1`), or exactly at the bottom.
     fn solve_level(&self, level: usize, b: &[f64]) -> Vec<f64> {
         if level >= self.levels.len() {
-            return self.bottom_solve(b);
+            return self.bottom_solve(b, Self::PRECOND_BOTTOM_TOL);
         }
         let lvl = &self.levels[level];
         match self.options.inner_method {
@@ -452,20 +539,155 @@ impl SolverChain {
         }
     }
 
+    /// Calibrates every level's Chebyshev interval bottom-up.
+    ///
+    /// Chebyshev polynomials are bounded on `[λ_min, λ_max]` but grow
+    /// exponentially outside it, so the inner iteration *amplifies* any
+    /// spectral mass of the effective preconditioned operator that escapes
+    /// the assumed interval — with two or more levels the amplification
+    /// compounds and the outer solve diverges. The effective operator at
+    /// level `i` (elimination + inexact recursive solve of `A_{i+1}` +
+    /// back-substitution) depends only on levels below `i`, so calibrating
+    /// deepest-first is well defined: estimate `λ_max` by power iteration
+    /// on `v ↦ M_i⁻¹ A_i v`, estimate `λ_min` by power iteration on the
+    /// shifted operator `s·I − M_i⁻¹A_i`, then widen both ends.
+    fn calibrate_chebyshev_bounds(&mut self) {
+        const POWER_ITERS: usize = 14;
+        // Level 0 is driven by the adaptive outer flexible PCG, which needs
+        // no spectrum interval — only levels >= 1 run the fixed Chebyshev/CG
+        // inner iteration. Skipping level 0 avoids the most expensive
+        // calibration pass (two power iterations through the full recursion
+        // on the largest graph); its cheb_bounds keep the provisional value.
+        for level in (1..self.levels.len()).rev() {
+            let lvl = &self.levels[level];
+            let n = lvl.graph.n();
+            if n == 0 {
+                continue;
+            }
+            let comps = parsdd_graph::components::parallel_connected_components(&lvl.graph);
+            let seed = self
+                .options
+                .seed
+                .wrapping_add(0x51ab_0000 + level as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            // Deterministic pseudo-random start vector (SplitMix64 bits).
+            let mut state = seed;
+            let mut v: Vec<f64> = (0..n)
+                .map(|_| {
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    ((z >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+                })
+                .collect();
+            let project = |x: &mut Vec<f64>| {
+                project_out_componentwise_constant(x, &comps.labels, comps.count);
+            };
+            let normalize = |x: &mut Vec<f64>| -> f64 {
+                let nrm = norm2(x);
+                if nrm > 0.0 {
+                    let inv = 1.0 / nrm;
+                    for xi in x.iter_mut() {
+                        *xi *= inv;
+                    }
+                }
+                nrm
+            };
+            project(&mut v);
+            normalize(&mut v);
+
+            // λ_max of M⁻¹A by plain power iteration.
+            let mut lambda_max = 0.0f64;
+            let mut av = vec![0.0; n];
+            for _ in 0..POWER_ITERS {
+                laplacian_apply(
+                    &self.levels[level].graph,
+                    &self.levels[level].diag,
+                    &v,
+                    &mut av,
+                );
+                let mut w = self.precondition(level, &av);
+                project(&mut w);
+                let growth = normalize(&mut w);
+                if !growth.is_finite() || growth == 0.0 {
+                    lambda_max = 0.0;
+                    break;
+                }
+                lambda_max = growth;
+                v = w;
+            }
+            if !(lambda_max.is_finite() && lambda_max > 0.0) {
+                // Degenerate level (e.g. edgeless): keep provisional bounds.
+                continue;
+            }
+
+            // λ_min via the shifted operator s·I − M⁻¹A, whose dominant
+            // eigenvalue is s − λ_min. Fresh random start: the λ_max
+            // eigenvector has essentially no overlap with the λ_min one.
+            let shift = lambda_max * 1.05;
+            let mut u: Vec<f64> = (0..n)
+                .map(|_| {
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    ((z >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+                })
+                .collect();
+            project(&mut u);
+            normalize(&mut u);
+            let mut shifted_max = 0.0f64;
+            for _ in 0..POWER_ITERS {
+                laplacian_apply(
+                    &self.levels[level].graph,
+                    &self.levels[level].diag,
+                    &u,
+                    &mut av,
+                );
+                let pu = self.precondition(level, &av);
+                let mut w: Vec<f64> = u.iter().zip(&pu).map(|(ui, pi)| shift * ui - pi).collect();
+                project(&mut w);
+                let growth = normalize(&mut w);
+                if !growth.is_finite() || growth == 0.0 {
+                    shifted_max = 0.0;
+                    break;
+                }
+                shifted_max = growth;
+                u = w;
+            }
+            let lambda_min = if shifted_max > 0.0 && shifted_max.is_finite() {
+                (shift - shifted_max).max(lambda_max * 1e-8)
+            } else {
+                lambda_max * 1e-4
+            };
+            // Widen both ends: power iteration underestimates extremes, and
+            // an interval that over-covers only slows Chebyshev down while
+            // one that under-covers makes it diverge.
+            let bounds = (lambda_min * 0.5, lambda_max * 1.4);
+            self.levels[level].cheb_bounds = bounds;
+            // Re-derive this level's iteration budget from the *measured*
+            // effective condition number: Chebyshev needs ≈ √κ_eff steps to
+            // be a constant-factor solve (Lemma 6.7), and κ_eff here — the
+            // sparsifier quality composed with the inexact recursion below —
+            // is what the configured κ target only approximates. Must happen
+            // before the level above is calibrated, since its effective
+            // operator includes this level's solve.
+            let kappa_eff = bounds.1 / bounds.0;
+            self.levels[level].inner_iterations = (kappa_eff.sqrt().ceil() as usize
+                + self.options.inner_extra_iterations)
+                .clamp(2, 12);
+        }
+    }
+
     /// Fixed-iteration preconditioned Chebyshev at a given level (the rPCh
     /// inner iteration of Lemma 6.7).
     fn chebyshev_fixed(&self, level: usize, b: &[f64], iterations: usize) -> Vec<f64> {
         let lvl = &self.levels[level];
         let n = lvl.graph.n();
-        // Spectrum bounds of the preconditioned operator: the chain
-        // guarantees ≈ [1/κ, 1] up to scaling; widen the sampled ratio
-        // bounds for safety.
-        let (lo, hi) = lvl.measured_ratio;
-        let (lambda_min, lambda_max) = if lo.is_finite() && lo > 0.0 && hi > lo {
-            (lo / 2.0, hi * 2.0)
-        } else {
-            (1.0 / lvl.kappa, 1.0)
-        };
+        // Spectrum bounds of the effective preconditioned operator,
+        // calibrated at build time (see `calibrate_chebyshev_bounds`).
+        let (lambda_min, lambda_max) = lvl.cheb_bounds;
         let theta = 0.5 * (lambda_max + lambda_min);
         let delta = 0.5 * (lambda_max - lambda_min);
         let mut x = vec![0.0; n];
@@ -562,7 +784,10 @@ impl SolverChain {
             };
         }
         if self.levels.is_empty() {
-            let x = self.bottom_solve(&rhs);
+            // No chain above the bottom: this result IS the final answer, so
+            // an iterative bottom must target the caller's tolerance, not the
+            // looser preconditioner-application tolerance.
+            let x = self.bottom_solve(&rhs, (tol * 0.1).clamp(1e-14, Self::PRECOND_BOTTOM_TOL));
             let mut ax = vec![0.0; n];
             laplacian_apply(top_graph, top_diag, &x, &mut ax);
             let rel = norm2(&sub(&rhs, &ax)) / bnorm;
@@ -653,7 +878,7 @@ impl Preconditioner for ChainPreconditioner<'_> {
 
     fn precondition(&self, r: &[f64], z: &mut [f64]) {
         let out = if self.chain.levels.is_empty() {
-            self.chain.bottom_solve(r)
+            self.chain.bottom_solve(r, SolverChain::PRECOND_BOTTOM_TOL)
         } else {
             self.chain.precondition(0, r)
         };
@@ -697,7 +922,11 @@ mod tests {
     fn small_graph_uses_bottom_solver_only() {
         let g = generators::grid2d(8, 8, |_, _| 1.0);
         let chain = build_chain(&g, &ChainOptions::default());
-        assert_eq!(chain.depth(), 0, "64 vertices should go straight to the bottom");
+        assert_eq!(
+            chain.depth(),
+            0,
+            "64 vertices should go straight to the bottom"
+        );
         let b = random_rhs(g.n());
         let out = chain.solve(&b, 1e-10, 10);
         assert!(out.converged);
@@ -706,15 +935,24 @@ mod tests {
     #[test]
     fn medium_grid_builds_levels_and_solves() {
         let g = generators::grid2d(32, 32, |_, _| 1.0);
-        let mut opts = ChainOptions::default();
-        opts.bottom_size = 200;
+        let opts = ChainOptions {
+            bottom_size: 200,
+            ..Default::default()
+        };
         let chain = build_chain(&g, &opts);
-        assert!(chain.depth() >= 1, "1600 vertices should create at least one level");
+        assert!(
+            chain.depth() >= 1,
+            "1600 vertices should create at least one level"
+        );
         let stats = chain.stats();
         assert_eq!(stats.level_vertices.len(), chain.depth() + 1);
         // Level sizes decrease.
         for w in stats.level_vertices.windows(2) {
-            assert!(w[1] <= w[0], "level sizes must not grow: {:?}", stats.level_vertices);
+            assert!(
+                w[1] <= w[0],
+                "level sizes must not grow: {:?}",
+                stats.level_vertices
+            );
         }
         check_solve(&g, &opts, 1e-8);
     }
@@ -722,8 +960,10 @@ mod tests {
     #[test]
     fn weighted_random_graph_solve() {
         let g = generators::weighted_random_graph(700, 2800, 1.0, 20.0, 5);
-        let mut opts = ChainOptions::default();
-        opts.bottom_size = 250;
+        let opts = ChainOptions {
+            bottom_size: 250,
+            ..Default::default()
+        };
         check_solve(&g, &opts, 1e-8);
     }
 
@@ -738,9 +978,11 @@ mod tests {
     #[test]
     fn pcg_inner_method_also_converges() {
         let g = generators::grid2d(28, 28, |_, _| 1.0);
-        let mut opts = ChainOptions::default();
-        opts.inner_method = IterationMethod::ConjugateGradient;
-        opts.bottom_size = 200;
+        let opts = ChainOptions {
+            inner_method: IterationMethod::ConjugateGradient,
+            bottom_size: 200,
+            ..Default::default()
+        };
         check_solve(&g, &opts, 1e-8);
     }
 
@@ -778,8 +1020,10 @@ mod tests {
     #[test]
     fn chain_preconditioner_with_external_cg() {
         let g = generators::grid2d(32, 32, |_, _| 1.0);
-        let mut opts = ChainOptions::default();
-        opts.bottom_size = 150;
+        let opts = ChainOptions {
+            bottom_size: 150,
+            ..Default::default()
+        };
         let chain = build_chain(&g, &opts);
         let op = LaplacianOp::new(&g);
         let pre = ChainPreconditioner::new(&chain);
@@ -788,7 +1032,10 @@ mod tests {
             &op,
             &pre,
             &b,
-            &parsdd_linalg::cg::CgOptions { max_iters: 300, tol: 1e-9 },
+            &parsdd_linalg::cg::CgOptions {
+                max_iters: 300,
+                tol: 1e-9,
+            },
         );
         assert!(out.converged, "rel {}", out.relative_residual);
     }

@@ -89,7 +89,13 @@ impl EliminationResult {
                     // full b_v to the neighbour.
                     work[u as usize] += work[v as usize];
                 }
-                EliminationStep::Degree2 { v, a, b: nb, wa, wb } => {
+                EliminationStep::Degree2 {
+                    v,
+                    a,
+                    b: nb,
+                    wa,
+                    wb,
+                } => {
                     let d = wa + wb;
                     let bv = work[v as usize];
                     work[a as usize] += (wa / d) * bv;
@@ -117,7 +123,13 @@ impl EliminationResult {
                 EliminationStep::Degree1 { v, u, w } => {
                     x[v as usize] = working_rhs[v as usize] / w + x[u as usize];
                 }
-                EliminationStep::Degree2 { v, a, b: nb, wa, wb } => {
+                EliminationStep::Degree2 {
+                    v,
+                    a,
+                    b: nb,
+                    wa,
+                    wb,
+                } => {
                     let d = wa + wb;
                     x[v as usize] =
                         (working_rhs[v as usize] + wa * x[a as usize] + wb * x[nb as usize]) / d;
@@ -183,12 +195,14 @@ pub fn greedy_elimination(g: &Graph, seed: u64) -> EliminationResult {
             // No degree-1 eliminations and no lucky degree-2 vertices this
             // round. If degree ≤ 2 vertices still exist we must keep going
             // (fresh coins next round); otherwise we are done.
-            let any_low_degree = (0..n).any(|v| alive[v] && adj[v].len() <= 2 && {
-                // A cycle of length ≤ 2 supernodes can deadlock the
-                // independent-set rule only probabilistically; a lone
-                // surviving 2-cycle or triangle of degree-2 vertices is
-                // still eliminable, so keep iterating while any exist.
-                true
+            let any_low_degree = (0..n).any(|v| {
+                alive[v] && adj[v].len() <= 2 && {
+                    // A cycle of length ≤ 2 supernodes can deadlock the
+                    // independent-set rule only probabilistically; a lone
+                    // surviving 2-cycle or triangle of degree-2 vertices is
+                    // still eliminable, so keep iterating while any exist.
+                    true
+                }
             });
             if !any_low_degree {
                 break;
@@ -197,7 +211,8 @@ pub fn greedy_elimination(g: &Graph, seed: u64) -> EliminationResult {
             // where coins keep colliding): after many extra rounds, fall
             // back to eliminating one degree-≤2 vertex deterministically.
             if rounds > 10 * (64 - (n.max(2) as u64).leading_zeros() as usize).max(4) {
-                if let Some(v) = (0..n as VertexId).find(|&v| alive[v as usize] && adj[v as usize].len() <= 2)
+                if let Some(v) =
+                    (0..n as VertexId).find(|&v| alive[v as usize] && adj[v as usize].len() <= 2)
                 {
                     candidates.push(v);
                 } else {
@@ -278,11 +293,11 @@ pub fn greedy_elimination(g: &Graph, seed: u64) -> EliminationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parsdd_graph::generators;
     use parsdd_linalg::cg::{cg_solve, CgOptions};
     use parsdd_linalg::laplacian::LaplacianOp;
     use parsdd_linalg::operator::LinearOperator;
     use parsdd_linalg::vector::{norm2, project_out_constant, sub};
-    use parsdd_graph::generators;
 
     /// Solves L_G x = b exactly via elimination + CG on the reduced system
     /// and checks the residual on the original system.
@@ -298,7 +313,14 @@ mod tests {
             vec![0.0; elim.reduced_graph.n()]
         } else {
             let red_op = LaplacianOp::new(&elim.reduced_graph);
-            let out = cg_solve(&red_op, &reduced_b, &CgOptions { max_iters: 20_000, tol: 1e-12 });
+            let out = cg_solve(
+                &red_op,
+                &reduced_b,
+                &CgOptions {
+                    max_iters: 20_000,
+                    tol: 1e-12,
+                },
+            );
             out.x
         };
         let x = elim.back_substitute(&work, &x_reduced);
@@ -318,7 +340,11 @@ mod tests {
         let elim = greedy_elimination(&g, 1);
         // A tree reduces to at most a couple of vertices (2m−2 with m=0
         // extra edges means essentially everything goes).
-        assert!(elim.reduced_graph.n() <= 2, "reduced to {}", elim.reduced_graph.n());
+        assert!(
+            elim.reduced_graph.n() <= 2,
+            "reduced to {}",
+            elim.reduced_graph.n()
+        );
         check_elimination_solve(&g, 1);
     }
 

@@ -9,7 +9,7 @@
 //! (matching Lemma 6.1's edge count), and the observed relative condition
 //! number grows linearly with `κ` — experiment E7 measures it directly.
 //!
-//! This follows the stretch-proportional oversampling of [KMP10] with
+//! This follows the stretch-proportional oversampling of \[KMP10\] with
 //! independent per-edge sampling in place of sampling with replacement
 //! (documented in DESIGN.md); stretches are computed against the spanning
 //! forest part of `Ĝ`, which upper-bounds the true subgraph stretch.
@@ -123,10 +123,17 @@ pub fn incremental_sparsify_with_target(
         .filter(|&i| !in_subgraph[i] && stretch[i].is_finite())
         .map(|i| stretch[i])
         .sum();
-    let kappa = if target_samples == 0 || total <= 0.0 {
-        f64::MAX / 4.0
+    let kappa = if total <= 0.0 {
+        // No off-subgraph edge has finite stretch: the subgraph already
+        // carries every edge that matters and the sparsifier equals the
+        // input, so the honest condition number is 1.
+        1.0
+    } else if target_samples == 0 {
+        // "Sample nothing" — keep only the subgraph. Large but finite so
+        // downstream √κ / 1/κ arithmetic stays meaningful.
+        1e12
     } else {
-        (oversample * total * log_n / target_samples as f64).max(1.0)
+        (oversample * total * log_n / target_samples as f64).clamp(1.0, 1e12)
     };
     let params = SparsifyParams {
         kappa,

@@ -12,8 +12,8 @@
 use parsdd::prelude::*;
 use parsdd_decomp::partition::partition_single_class;
 use parsdd_decomp::stats::decomposition_stats;
-use parsdd_lsst::stretch::{stretch_over_subgraph_sampled, stretch_over_tree};
 use parsdd_graph::mst::kruskal;
+use parsdd_lsst::stretch::{stretch_over_subgraph_sampled, stretch_over_tree};
 
 fn main() {
     // A weighted grid with large spread so several weight classes exist.
@@ -28,7 +28,10 @@ fn main() {
 
     // --- Section 4: low-diameter decomposition ------------------------------
     println!("\n== Low-diameter decomposition (Partition, Theorem 4.1) ==");
-    println!("{:>6} {:>12} {:>12} {:>14}", "rho", "components", "max radius", "cut fraction");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "rho", "components", "max radius", "cut fraction"
+    );
     for rho in [8u32, 16, 32, 64] {
         let result = partition_single_class(&graph, &PartitionParams::new(rho).with_seed(7));
         let stats = decomposition_stats(&graph, &result.split, false);

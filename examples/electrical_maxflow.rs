@@ -30,24 +30,37 @@ fn main() {
     let t = (graph.n() - 1) as u32;
     println!(
         "Capacitated {}x{} grid: {} vertices, {} edges",
-        rows, cols, graph.n(), graph.m()
+        rows,
+        cols,
+        graph.n(),
+        graph.m()
     );
 
     // --- Electrical flow (one SDD solve) -------------------------------------
-    let solver = SddSolver::new_laplacian(&graph, SddSolverOptions::default().with_tolerance(1e-10));
+    let solver =
+        SddSolver::new_laplacian(&graph, SddSolverOptions::default().with_tolerance(1e-10));
     let t0 = std::time::Instant::now();
     let flow = electrical_flow(&graph, &solver, s, t);
     println!("\n== Electrical flow (unit current from corner to corner) ==");
     println!("  solve time              : {:.2?}", t0.elapsed());
-    println!("  effective resistance    : {:.4}", flow.effective_resistance);
+    println!(
+        "  effective resistance    : {:.4}",
+        flow.effective_resistance
+    );
     println!("  flow energy             : {:.4}", flow.energy);
-    println!("  conservation violation  : {:.2e}", conservation_violation(&graph, &flow, s, t));
+    println!(
+        "  conservation violation  : {:.2e}",
+        conservation_violation(&graph, &flow, s, t)
+    );
 
     // --- Approximate max-flow -------------------------------------------------
     println!("\n== Approximate max-flow (multiplicative weights over electrical flows) ==");
     let t1 = std::time::Instant::now();
     let exact = exact_max_flow(&graph, s, t);
-    println!("  exact max-flow (Edmonds–Karp)  : {exact:.3} ({:.2?})", t1.elapsed());
+    println!(
+        "  exact max-flow (Edmonds–Karp)  : {exact:.3} ({:.2?})",
+        t1.elapsed()
+    );
     for eps in [0.3, 0.15] {
         let t2 = std::time::Instant::now();
         let approx = approx_max_flow(&graph, s, t, eps, 8);

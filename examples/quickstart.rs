@@ -12,10 +12,12 @@ use parsdd_linalg::operator::LinearOperator;
 use parsdd_linalg::vector::{norm2, project_out_constant};
 
 fn main() {
-    // A 200 x 200 grid — the discrete Poisson problem that motivates SDD
-    // solvers in vision/graphics applications.
-    let rows = 200;
-    let cols = 200;
+    // A 120 x 120 grid — the discrete Poisson problem that motivates SDD
+    // solvers in vision/graphics applications. (Large enough that the
+    // preconditioner chain matters, small enough that the demo finishes in
+    // seconds; scaling behaviour is measured by the E8/E9 benches.)
+    let rows = 120;
+    let cols = 120;
     println!("Building a {rows}x{cols} grid Laplacian ...");
     let graph = parsdd::graph::generators::grid2d(rows, cols, |_, _| 1.0);
     println!("  n = {} vertices, m = {} edges", graph.n(), graph.m());

@@ -26,7 +26,11 @@ fn main() {
         builder.add_edge(e.u + block as u32, e.v + block as u32, 1.0);
     }
     for i in 0..6u32 {
-        builder.add_edge(i * 37 % block as u32, block as u32 + (i * 53 % block as u32), 1.0);
+        builder.add_edge(
+            i * 37 % block as u32,
+            block as u32 + (i * 53 % block as u32),
+            1.0,
+        );
     }
     let graph = builder.build();
     println!(
@@ -43,7 +47,10 @@ fn main() {
     let (side, conductance) = spectral_bisection(&graph, &fiedler);
     let community_a_in_s = side.iter().take(block).filter(|&&s| s).count();
     let community_b_in_s = side.iter().skip(block).filter(|&&s| s).count();
-    println!("\n== Spectral bisection (Fiedler vector via {} solves) ==", fiedler.iterations);
+    println!(
+        "\n== Spectral bisection (Fiedler vector via {} solves) ==",
+        fiedler.iterations
+    );
     println!("  time                  : {:.2?}", t0.elapsed());
     println!("  lambda_2 estimate     : {:.5}", fiedler.lambda2);
     println!("  cut conductance       : {:.5}", conductance);
@@ -68,7 +75,10 @@ fn main() {
             cross && r > 0.2
         })
         .count();
-    println!("  resistance estimation : {:.2?} (40 projections)", t1.elapsed());
+    println!(
+        "  resistance estimation : {:.2?} (40 projections)",
+        t1.elapsed()
+    );
     println!("  bridge edges with R_eff > 0.2: {bridges_high_reff} / 6 (bridges are spectrally critical)");
 
     let sp = spectral_sparsify(&graph, &solver, 15 * graph.n(), 40, 17);

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the measurement API surface the experiment benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and [`black_box`] —
+//! with a deliberately simple measurement loop: per benchmark it runs one
+//! warm-up batch, then `sample_size` timed batches, and prints
+//! median/min/max wall-clock times per iteration to stdout. There is no
+//! statistical analysis, HTML report, or saved baseline; the point is that
+//! `cargo bench` compiles and produces honest first-order numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark: a function name plus an optional
+/// parameter rendering.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id with only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(name: &String) -> Self {
+        Self {
+            name: name.clone(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    /// Number of timed samples to record.
+    samples: usize,
+    /// Recorded per-iteration durations.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `samples` measurements of one call each
+    /// (after a single warm-up call whose result is black-boxed).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// No-op compatibility knob.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id, &mut bencher.recorded);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.report(&id, &mut bencher.recorded);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, recorded: &mut [Duration]) {
+        if recorded.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id.render());
+            return;
+        }
+        recorded.sort_unstable();
+        let median = recorded[recorded.len() / 2];
+        let min = recorded[0];
+        let max = recorded[recorded.len() - 1];
+        println!(
+            "{}/{}: median {} (min {}, max {}, {} samples)",
+            self.name,
+            id.render(),
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            recorded.len()
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Finishes the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Compatibility no-op (the real crate parses CLI flags here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_string(),
+            sample_size: 10,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_runs_and_counts() {
+        benches();
+        let mut c = Criterion::default();
+        trivial(&mut c);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

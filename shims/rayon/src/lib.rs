@@ -1,0 +1,427 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of rayon's API that the `parsdd` crates use, with the same
+//! types-and-traits shape but *sequential* execution. Every `par_*` entry
+//! point is semantically identical to its rayon counterpart (same results,
+//! same ordering guarantees for the deterministic combinators), which keeps
+//! the algorithm code written against rayon idioms compiling unchanged.
+//! Swapping in the real crate later is a one-line Cargo.toml change.
+//!
+//! Implemented surface:
+//! - `prelude::*` with `par_iter`, `par_iter_mut`, `par_chunks`,
+//!   `into_par_iter`, and the `par_sort_unstable*` family;
+//! - the iterator adaptors the codebase chains on those entry points
+//!   (`map`, `filter`, `zip`, `enumerate`, `for_each`, `sum`, `reduce`, …);
+//! - `current_num_threads`, `ThreadPoolBuilder` / `ThreadPool::install`
+//!   (the configured thread count is tracked thread-locally so scaling
+//!   harness code observes the value it configured);
+//! - `join` / `spawn`-free subset only: nothing in the tree uses scoped
+//!   tasks.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Returns the number of threads in the "current pool": the value
+/// configured by an enclosing [`ThreadPool::install`], else the hardware
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(hardware_threads)
+}
+
+/// Runs both closures and returns both results (sequentially, `a` first).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    let ra = a();
+    let rb = b();
+    (ra, rb)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (hardware) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count; `0` means "hardware default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A "thread pool" that records its configured width and runs closures on
+/// the calling thread.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with [`current_num_threads`] reporting this pool's width.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// The "parallel" iterator: a thin wrapper over a std iterator exposing
+/// rayon's method names.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Applies `f` to each item.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keeps items satisfying `pred`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(pred))
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Maps each item to an iterable and flattens.
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Maps each item to a *serial* iterable and flattens (rayon's
+    /// `flat_map_iter`; identical to `flat_map` in this shim).
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Rayon-style reduce without an identity; `None` on empty input.
+    pub fn reduce_with<OP>(self, op: OP) -> Option<I::Item>
+    where
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.reduce(op)
+    }
+
+    /// Pairs items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zips with another parallel iterator.
+    pub fn zip<J>(
+        self,
+        other: J,
+    ) -> ParIter<std::iter::Zip<I, <J as IntoParallelIterator>::IntoIter>>
+    where
+        J: IntoParallelIterator,
+    {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce with an identity constructor.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Minimum item, if any.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum item, if any.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum by a comparator.
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    /// Maximum by a comparator.
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    /// Tests whether all items satisfy `pred`.
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, mut pred: F) -> bool {
+        self.0.all(&mut pred)
+    }
+
+    /// Tests whether any item satisfies `pred`.
+    pub fn any<F: FnMut(I::Item) -> bool>(mut self, mut pred: F) -> bool {
+        self.0.any(&mut pred)
+    }
+
+    /// No-op chunking hint (rayon tuning knob).
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// No-op chunking hint (rayon tuning knob).
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Copies out of references.
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Clones out of references.
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}
+
+/// Conversion into a [`ParIter`]; blanket-implemented for everything
+/// iterable so ranges, vectors, and `ParIter` itself all work.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying iterator type.
+    type IntoIter: Iterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type IntoIter = I::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Shared-slice parallel entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over chunks of up to `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    /// Parallel iterator over overlapping windows of `size` items.
+    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+        ParIter(self.windows(size))
+    }
+}
+
+/// Mutable-slice parallel entry points (`par_iter_mut`, sorts).
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Parallel iterator over mutable chunks of up to `size` items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Unstable sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort with a comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
+    /// Unstable sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// Stable sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Stable sort with a comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
+    /// Stable sort by key.
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
+        self.sort_unstable_by(cmp)
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key)
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort()
+    }
+    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
+        self.sort_by(cmp)
+    }
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key)
+    }
+}
+
+/// The usual `use rayon::prelude::*` import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_combinators_match_sequential() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled[999], 1998);
+        let total: u32 = xs.par_iter().copied().sum();
+        assert_eq!(total, 499_500);
+        let evens = xs.par_iter().filter(|x| **x % 2 == 0).count();
+        assert_eq!(evens, 500);
+        let max = xs.par_iter().copied().reduce(|| 0, u32::max);
+        assert_eq!(max, 999);
+    }
+
+    #[test]
+    fn range_into_par_iter_and_zip() {
+        let squares: Vec<usize> = (0usize..10).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[3], 9);
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [4.0f64, 5.0, 6.0];
+        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(dot, 32.0);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_sorts() {
+        let mut xs = vec![5, 1, 4, 2, 3];
+        xs.par_sort_unstable();
+        assert_eq!(xs, vec![1, 2, 3, 4, 5]);
+        xs.par_sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(xs, vec![5, 4, 3, 2, 1]);
+    }
+}

@@ -46,7 +46,11 @@ fn decomposition_feeds_akpw_feeds_solver_on_weighted_grid() {
     let solver = SddSolver::new_laplacian(&graph, SddSolverOptions::default());
     let b = balanced_rhs(graph.n(), 7);
     let out = solver.solve(&b);
-    assert!(out.converged, "solver failed: rel {}", out.relative_residual);
+    assert!(
+        out.converged,
+        "solver failed: rel {}",
+        out.relative_residual
+    );
     let op = LaplacianOp::new(&graph);
     assert!(norm2(&op.residual(&out.x, &b)) <= 1e-6 * norm2(&b));
 }
@@ -56,7 +60,8 @@ fn solver_agrees_with_cg_baseline() {
     let graph = parsdd::graph::generators::weighted_random_graph(600, 2400, 1.0, 8.0, 5);
     let b = balanced_rhs(graph.n(), 3);
 
-    let solver = SddSolver::new_laplacian(&graph, SddSolverOptions::default().with_tolerance(1e-10));
+    let solver =
+        SddSolver::new_laplacian(&graph, SddSolverOptions::default().with_tolerance(1e-10));
     let chain_out = solver.solve(&b);
     let cg_out = baseline::solve_cg(&graph, &b, 1e-10, 20_000);
     assert!(chain_out.converged && cg_out.converged);

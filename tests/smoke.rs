@@ -1,0 +1,45 @@
+//! Fast end-to-end smoke test: the full paper pipeline — low-diameter
+//! decomposition (§4), AKPW tree and low-stretch subgraph (§5), the SDD
+//! solver (§6), and a residual check — on a small 2-D grid. This is the
+//! regression canary for the build surface: it must stay cheap enough
+//! (well under a second) that every CI run and local `cargo test` exercises
+//! the whole crate stack even when the heavier integration tests are
+//! filtered out.
+
+use parsdd::prelude::*;
+use parsdd_linalg::laplacian::LaplacianOp;
+use parsdd_linalg::operator::LinearOperator;
+use parsdd_linalg::vector::{norm2, project_out_constant};
+
+#[test]
+fn grid2d_pipeline_end_to_end_small() {
+    // Section 2: the classic SDD benchmark graph, small enough to be fast.
+    let g = parsdd::graph::generators::grid2d(12, 12, |_, _| 1.0);
+    assert_eq!(g.n(), 144);
+
+    // Section 4: low-diameter decomposition partitions every vertex and
+    // produces a spanning forest of the components.
+    let split = split_graph(&g, &SplitParams::new(6).with_seed(1));
+    assert!(split.component_count >= 1);
+    assert_eq!(split.labels.len(), g.n());
+    assert_eq!(split.tree_edges().len(), g.n() - split.component_count);
+
+    // Section 5: AKPW spans the (connected) grid; the subgraph keeps at
+    // least the tree and at most all edges.
+    let tree = akpw(&g, &AkpwParams::practical(16.0).with_seed(2));
+    assert_eq!(tree.tree_edges.len(), g.n() - 1);
+    let sub = ls_subgraph(&g, &LsSubgraphParams::practical(16.0, 2).with_seed(3));
+    let sub_edges = sub.all_edges();
+    assert!(sub_edges.len() >= g.n() - 1);
+    assert!(sub_edges.len() <= g.m());
+
+    // Section 6 / Theorem 1.1: the solver drives the relative residual
+    // below tolerance on a balanced right-hand side.
+    let mut b: Vec<f64> = (0..g.n()).map(|i| ((i % 7) as f64) - 3.0).collect();
+    project_out_constant(&mut b);
+    let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+    let out = solver.solve(&b);
+    assert!(out.converged, "relative residual {}", out.relative_residual);
+    let op = LaplacianOp::new(&g);
+    assert!(norm2(&op.residual(&out.x, &b)) <= 1e-4 * norm2(&b));
+}
