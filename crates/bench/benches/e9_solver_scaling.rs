@@ -7,7 +7,6 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use parsdd_bench::{fmt, report_header, report_row, workloads};
-use parsdd_graph::parutil::with_threads;
 use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
 
 fn quality_table() {
@@ -43,15 +42,26 @@ fn quality_table() {
     }
 
     // Thread scaling.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     report_header(
-        "E9b: solve-time speedup with threads (fixed 160x160 grid)",
+        &format!(
+            "E9b: solve-time speedup with threads (fixed 96x96 grid; {cpus} hardware threads)"
+        ),
         &["threads", "build (ms)", "solve (ms)", "speedup vs 1 thread"],
     );
     let g = parsdd_graph::generators::grid2d(96, 96, |_, _| 1.0);
     let b = workloads::rhs(g.n(), 7);
     let mut base = None;
     for threads in [1usize, 2, 4, 8, 16] {
-        let (build_ms, solve_ms) = with_threads(threads, || {
+        // One pool per width, reused for build and solve; pool
+        // construction (OS thread spawning) stays outside the timing.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let (build_ms, solve_ms) = pool.install(|| {
             let t0 = Instant::now();
             let solver =
                 SddSolver::new_laplacian(&g, SddSolverOptions::default().with_tolerance(1e-8));
@@ -81,12 +91,16 @@ fn bench(c: &mut Criterion) {
     let b = workloads::rhs(g.n(), 7);
     let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default().with_tolerance(1e-8));
     for threads in [1usize, 8] {
+        // Build the pool once; `with_threads` inside `bch.iter` would
+        // spawn and join 8 OS threads per measured iteration.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
         group.bench_with_input(
             BenchmarkId::new("solve", threads),
             &threads,
-            |bch, &threads| {
-                bch.iter(|| with_threads(threads, || black_box(solver.solve(&b).iterations)))
-            },
+            |bch, &_threads| bch.iter(|| pool.install(|| black_box(solver.solve(&b).iterations))),
         );
     }
     group.finish();

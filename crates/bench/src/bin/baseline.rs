@@ -1,0 +1,265 @@
+//! Regenerates `BENCH_BASELINE.json`: one headline timing per experiment
+//! (E1–E10, A1), each measured at 1 thread and at the widest pool, plus
+//! machine info — the fixed reference point perf PRs diff against.
+//!
+//! Usage (run in release or the numbers are meaningless):
+//!
+//! ```text
+//! cargo run --release -p parsdd_bench --bin baseline [-- OUTPUT_PATH]
+//! ```
+//!
+//! Timing protocol: one warm-up run, then [`SAMPLES`] timed runs per
+//! (experiment, width); the JSON records the minimum (the least-noise
+//! estimator on a shared machine) and the mean. The thread sweep uses one
+//! [`rayon::ThreadPool`] per width, reused across samples.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use parsdd_bench::workloads;
+use parsdd_decomp::partition::partition_single_class;
+use parsdd_decomp::{split_graph, PartitionParams, SplitParams};
+use parsdd_graph::mst::kruskal;
+use parsdd_lsst::stretch::stretch_over_tree;
+use parsdd_lsst::{akpw, ls_subgraph, AkpwParams, LsSubgraphParams};
+use parsdd_solver::chain::{build_chain, ChainOptions};
+use parsdd_solver::elimination::greedy_elimination;
+use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
+use parsdd_solver::sparsify::{incremental_sparsify, SparsifyParams};
+
+const SAMPLES: usize = 3;
+
+struct Measurement {
+    name: &'static str,
+    /// `(threads, min_ms, mean_ms)` per measured width.
+    timings: Vec<(usize, f64, f64)>,
+    /// Free-form quality metric pinning down *what* was computed.
+    metric: String,
+}
+
+fn time_at<R>(threads: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    pool.install(|| {
+        std::hint::black_box(f());
+    });
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        pool.install(|| {
+            std::hint::black_box(f());
+        });
+        times.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    (min, mean)
+}
+
+fn measure<R>(
+    name: &'static str,
+    widths: &[usize],
+    mut f: impl FnMut() -> R,
+    metric: impl FnOnce(&R) -> String,
+) -> Measurement {
+    let mut timings = Vec::new();
+    for &w in widths {
+        let (min, mean) = time_at(w, &mut f);
+        timings.push((w, min, mean));
+    }
+    let out = f();
+    Measurement {
+        name,
+        timings,
+        metric: metric(&out),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_BASELINE.json".to_string());
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Always include a ≥4-thread point so speedup-at-4 is on record even
+    // when the hardware has fewer cores (the JSON carries `cpus` so the
+    // reader can tell a real speedup from time-slicing).
+    let wide = hw.max(4);
+    let widths = [1usize, wide];
+
+    let grid96 = parsdd_graph::generators::grid2d(96, 96, |_, _| 1.0);
+    let grid64 = parsdd_graph::generators::grid2d(64, 64, |_, _| 1.0);
+    let grid48 = parsdd_graph::generators::grid2d(48, 48, |_, _| 1.0);
+    let ultra = parsdd_graph::generators::ultra_sparse(10_000, 200, 1.0, 4.0, 17);
+    let b96 = workloads::rhs(grid96.n(), 7);
+
+    let mut results: Vec<Measurement> = Vec::new();
+
+    results.push(measure(
+        "e1_decomposition_radius",
+        &widths,
+        || split_graph(&grid96, &SplitParams::new(24).with_seed(1)),
+        |s| {
+            format!(
+                "components={} bfs_rounds={}",
+                s.component_count, s.bfs_rounds_total
+            )
+        },
+    ));
+    results.push(measure(
+        "e2_decomposition_cut",
+        &widths,
+        || partition_single_class(&grid64, &PartitionParams::new(24).with_seed(2)),
+        |p| format!("cut_fraction={:.4}", p.max_cut_fraction()),
+    ));
+    results.push(measure(
+        "e3_decomposition_scaling",
+        &widths,
+        || split_graph(&grid96, &SplitParams::new(24).with_seed(1)).bfs_rounds_total,
+        |r| format!("bfs_rounds={r}"),
+    ));
+    results.push(measure(
+        "e4_akpw_stretch",
+        &widths,
+        || {
+            let t = akpw(&grid96, &AkpwParams::practical(16.0).with_seed(2));
+            stretch_over_tree(&grid96, &t.tree_edges).average_stretch
+        },
+        |s| format!("avg_stretch={s:.3}"),
+    ));
+    results.push(measure(
+        "e5_subgraph_tradeoff",
+        &widths,
+        || ls_subgraph(&grid96, &LsSubgraphParams::practical(16.0, 2).with_seed(3)),
+        |s| format!("subgraph_edges={}", s.all_edges().len()),
+    ));
+    results.push(measure(
+        "e6_elimination",
+        &widths,
+        || greedy_elimination(&ultra, 5),
+        |e| format!("kept={}", e.kept.len()),
+    ));
+    results.push(measure(
+        "e7_sparsify",
+        &widths,
+        || {
+            let sub = ls_subgraph(&grid96, &LsSubgraphParams::practical(16.0, 2).with_seed(3));
+            let sub_edges = sub.all_edges();
+            let forest: Vec<u32> = {
+                let sg = grid96.edge_subgraph(&sub_edges);
+                kruskal(&sg)
+                    .into_iter()
+                    .map(|e| sub_edges[e as usize])
+                    .collect()
+            };
+            incremental_sparsify(
+                &grid96,
+                &sub_edges,
+                &forest,
+                &SparsifyParams {
+                    kappa: 64.0,
+                    oversample: 2.0,
+                    seed: 11,
+                },
+            )
+        },
+        |sp| format!("sparsifier_edges={}", sp.graph.m()),
+    ));
+    results.push(measure(
+        "e8_solver_work",
+        &widths,
+        || {
+            let solver =
+                SddSolver::new_laplacian(&grid96, SddSolverOptions::default().with_tolerance(1e-8));
+            solver.solve(&b96)
+        },
+        |o| {
+            format!(
+                "iterations={} residual={:.3e}",
+                o.iterations, o.relative_residual
+            )
+        },
+    ));
+    results.push(measure(
+        "e9_solver_scaling",
+        &widths,
+        || {
+            // Solve only (chain prebuilt per sample set would hide the
+            // dominant cost on this workload; E9's headline is the solve).
+            let solver =
+                SddSolver::new_laplacian(&grid96, SddSolverOptions::default().with_tolerance(1e-8));
+            solver.solve(&b96).iterations
+        },
+        |i| format!("iterations={i}"),
+    ));
+    results.push(measure(
+        "e10_applications",
+        &widths,
+        || {
+            let solver =
+                SddSolver::new_laplacian(&grid48, SddSolverOptions::default().with_tolerance(1e-6));
+            parsdd_apps::electrical::electrical_flow(&grid48, &solver, 0, (grid48.n() - 1) as u32)
+        },
+        |f| format!("effective_resistance={:.4}", f.effective_resistance),
+    ));
+    results.push(measure(
+        "a1_ablation",
+        &widths,
+        || build_chain(&grid96, &ChainOptions::default()),
+        |c| format!("levels={}", c.stats().level_vertices.len()),
+    ));
+
+    // ----- JSON (hand-rolled; the workspace has no serde) -----
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v1\",");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p parsdd_bench --bin baseline\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"machine\": {{ \"cpus\": {hw}, \"os\": \"{}\", \"arch\": \"{}\", \"profile\": \"{}\" }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    let _ = writeln!(json, "  \"samples_per_point\": {SAMPLES},");
+    let _ = writeln!(json, "  \"thread_widths\": [1, {wide}],");
+    json.push_str("  \"experiments\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let t1 = m.timings.first().expect("width 1 timing");
+        let tn = m.timings.last().expect("wide timing");
+        let speedup = t1.1 / tn.1;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(json, "      \"metric\": \"{}\",", m.metric);
+        let _ = writeln!(
+            json,
+            "      \"t1\": {{ \"threads\": {}, \"min_ms\": {:.3}, \"mean_ms\": {:.3} }},",
+            t1.0, t1.1, t1.2
+        );
+        let _ = writeln!(
+            json,
+            "      \"tN\": {{ \"threads\": {}, \"min_ms\": {:.3}, \"mean_ms\": {:.3} }},",
+            tn.0, tn.1, tn.2
+        );
+        let _ = writeln!(json, "      \"speedup_min\": {speedup:.3}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+        eprintln!(
+            "{:28} 1t {:9.2} ms | {}t {:9.2} ms | speedup {:.2}x | {}",
+            m.name, t1.1, tn.0, tn.1, speedup, m.metric
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("write baseline json");
+    eprintln!("wrote {out_path} (cpus={hw}, wide width={wide})");
+}

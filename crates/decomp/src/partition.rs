@@ -60,19 +60,31 @@ fn count_cuts(
     for &c in classes {
         class_sizes[c as usize] += 1;
     }
-    let cut_per_class = (0..k)
-        .into_par_iter()
-        .map(|class| {
-            g.edges()
-                .iter()
-                .enumerate()
-                .filter(|(id, e)| {
-                    classes[*id] as usize == class
-                        && split.labels[e.u as usize] != split.labels[e.v as usize]
-                })
-                .count()
+    // One parallel pass over the edge list with a per-leaf histogram of
+    // `k` counters, merged pairwise — O(m + k·leaves) work instead of the
+    // former one-full-scan-per-class O(k·m).
+    let chunk = g.m().div_ceil(64).max(1 << 12);
+    let cut_per_class = g
+        .edges()
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, edges)| {
+            let base = ci * chunk;
+            let mut counts = vec![0usize; k];
+            for (j, e) in edges.iter().enumerate() {
+                if split.labels[e.u as usize] != split.labels[e.v as usize] {
+                    counts[classes[base + j] as usize] += 1;
+                }
+            }
+            counts
         })
-        .collect();
+        .reduce_with(|mut a, b| {
+            for (ai, bi) in a.iter_mut().zip(&b) {
+                *ai += bi;
+            }
+            a
+        })
+        .unwrap_or_else(|| vec![0usize; k]);
     (cut_per_class, class_sizes)
 }
 

@@ -23,9 +23,12 @@ pub fn exclusive_prefix_sum(input: &[usize]) -> Vec<usize> {
         }
         return out;
     }
-    // Block-wise parallel scan.
+    // Block-wise parallel scan. 4 blocks per worker leaves the runtime
+    // stealing slack without shrinking blocks below the dispatch cost;
+    // block sums are exact integers, so the blocking (unlike an f64
+    // reduction tree) has no effect on the result.
     let threads = rayon::current_num_threads().max(1);
-    let block = n.div_ceil(threads);
+    let block = n.div_ceil(threads * 4).max(SEQ_CUTOFF / 4);
     let block_sums: Vec<usize> = input
         .par_chunks(block)
         .map(|chunk| chunk.iter().sum::<usize>())
@@ -98,6 +101,11 @@ where
 /// Runs `f` on a rayon pool with exactly `threads` worker threads. Used by
 /// the scaling experiments (E3/E9) to measure parallel speedup without
 /// touching the global pool.
+///
+/// Since the shim gained a real runtime this *spawns OS threads* (and
+/// joins them on return): fine around a whole experiment, wasteful inside
+/// a tight loop — build one [`rayon::ThreadPool`] and `install` per
+/// iteration instead.
 pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)

@@ -9,6 +9,13 @@ use rayon::prelude::*;
 
 use crate::operator::LinearOperator;
 
+/// Below this many rows, `spmv` runs sequentially (the fork costs more
+/// than the row loop).
+const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Minimum rows per parallel leaf task in `spmv`.
+const MIN_LEN: usize = 1 << 9;
+
 /// A sparse matrix in CSR format. Rows are stored contiguously; the matrix
 /// need not be symmetric, but [`LinearOperator`] is only meaningful for
 /// symmetric matrices.
@@ -132,12 +139,15 @@ impl CsrMatrix {
             }
             acc
         };
-        if self.rows < 1 << 13 {
+        if self.rows < SEQ_CUTOFF {
             for (r, yr) in y.iter_mut().enumerate() {
                 *yr = kernel(r);
             }
         } else {
+            // Rows are the split coordinate; a 512-row leaf amortises task
+            // dispatch even for very sparse rows (~2 nnz each).
             y.par_iter_mut()
+                .with_min_len(MIN_LEN)
                 .enumerate()
                 .for_each(|(r, yr)| *yr = kernel(r));
         }

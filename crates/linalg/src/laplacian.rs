@@ -107,13 +107,15 @@ impl LinearOperator for LaplacianOp<'_> {
             acc
         };
         // Parallel dispatch only pays off for systems large enough to
-        // amortise the fork-join overhead.
+        // amortise the fork-join overhead; 512-vertex leaves keep each
+        // task at several microseconds of adjacency traversal.
         if self.graph.n() < 1 << 13 {
             for (v, yv) in y.iter_mut().enumerate() {
                 *yv = kernel(v);
             }
         } else {
             y.par_iter_mut()
+                .with_min_len(1 << 9)
                 .enumerate()
                 .for_each(|(v, yv)| *yv = kernel(v));
         }
@@ -126,6 +128,7 @@ pub fn laplacian_quadratic_form(g: &Graph, x: &[f64]) -> f64 {
     assert_eq!(x.len(), g.n());
     g.edges()
         .par_iter()
+        .with_min_len(1 << 11)
         .map(|e| {
             let d = x[e.u as usize] - x[e.v as usize];
             e.w * d * d

@@ -3,11 +3,24 @@
 //! All iterative methods in this crate (CG, PCG, Chebyshev) and in the
 //! solver crate are built from these primitives, which use rayon above a
 //! size cutoff and plain loops below it.
+//!
+//! Grain sizes: `SEQ_CUTOFF` gates parallel dispatch entirely (below it a
+//! plain loop wins — the fork costs more than the work), and `MIN_LEN`
+//! lower-bounds the per-task leaf so the runtime never splits a cheap
+//! elementwise loop into sub-microsecond jobs. Both are length-only
+//! constants, never thread-count-dependent, which keeps every `f64`
+//! reduction tree — and therefore the solver's residuals — bitwise
+//! identical at 1 and N threads.
 
 use rayon::prelude::*;
 
 /// Below this length, vector kernels run sequentially.
 const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Minimum number of elements a parallel leaf task processes. At ~1 ns per
+/// fused multiply-add, a 2048-element leaf is a few microseconds of work —
+/// comfortably above the runtime's per-task cost.
+const MIN_LEN: usize = 1 << 11;
 
 /// Dot product `xᵀ y`.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
@@ -15,7 +28,11 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     if x.len() < SEQ_CUTOFF {
         x.iter().zip(y).map(|(a, b)| a * b).sum()
     } else {
-        x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+        x.par_iter()
+            .zip(y.par_iter())
+            .with_min_len(MIN_LEN)
+            .map(|(a, b)| a * b)
+            .sum()
     }
 }
 
@@ -29,7 +46,10 @@ pub fn norm_inf(x: &[f64]) -> f64 {
     if x.len() < SEQ_CUTOFF {
         x.iter().fold(0.0, |m, &v| m.max(v.abs()))
     } else {
-        x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+        x.par_iter()
+            .with_min_len(MIN_LEN)
+            .map(|v| v.abs())
+            .reduce(|| 0.0, f64::max)
     }
 }
 
@@ -41,9 +61,12 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
             *yi += alpha * xi;
         }
     } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
-            *yi += alpha * xi;
-        });
+        y.par_iter_mut()
+            .zip(x.par_iter())
+            .with_min_len(MIN_LEN)
+            .for_each(|(yi, xi)| {
+                *yi += alpha * xi;
+            });
     }
 }
 
@@ -54,7 +77,9 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
             *xi *= alpha;
         }
     } else {
-        x.par_iter_mut().for_each(|xi| *xi *= alpha);
+        x.par_iter_mut()
+            .with_min_len(MIN_LEN)
+            .for_each(|xi| *xi *= alpha);
     }
 }
 
@@ -64,7 +89,11 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.len() < SEQ_CUTOFF {
         a.iter().zip(b).map(|(x, y)| x - y).collect()
     } else {
-        a.par_iter().zip(b.par_iter()).map(|(x, y)| x - y).collect()
+        a.par_iter()
+            .zip(b.par_iter())
+            .with_min_len(MIN_LEN)
+            .map(|(x, y)| x - y)
+            .collect()
     }
 }
 
@@ -74,7 +103,11 @@ pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.len() < SEQ_CUTOFF {
         a.iter().zip(b).map(|(x, y)| x + y).collect()
     } else {
-        a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect()
+        a.par_iter()
+            .zip(b.par_iter())
+            .with_min_len(MIN_LEN)
+            .map(|(x, y)| x + y)
+            .collect()
     }
 }
 
@@ -88,7 +121,7 @@ pub fn sum(x: &[f64]) -> f64 {
     if x.len() < SEQ_CUTOFF {
         x.iter().sum()
     } else {
-        x.par_iter().sum()
+        x.par_iter().with_min_len(MIN_LEN).copied().sum()
     }
 }
 
@@ -105,7 +138,9 @@ pub fn project_out_constant(x: &mut [f64]) {
             *xi -= mean;
         }
     } else {
-        x.par_iter_mut().for_each(|xi| *xi -= mean);
+        x.par_iter_mut()
+            .with_min_len(MIN_LEN)
+            .for_each(|xi| *xi -= mean);
     }
 }
 

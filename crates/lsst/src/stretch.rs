@@ -36,18 +36,25 @@ pub struct StretchReport {
 
 impl StretchReport {
     fn from_values(values: &[f64]) -> Self {
-        let edges_measured = values.len();
-        let total_stretch: f64 = values.iter().sum();
+        Self::from_stats(
+            values.len(),
+            values.iter().sum(),
+            values.iter().copied().fold(0.0, f64::max),
+            values.iter().copied().fold(f64::INFINITY, f64::min),
+        )
+    }
+
+    fn from_stats(edges_measured: usize, total: f64, max: f64, min: f64) -> Self {
         StretchReport {
             edges_measured,
-            total_stretch,
+            total_stretch: total,
             average_stretch: if edges_measured == 0 {
                 0.0
             } else {
-                total_stretch / edges_measured as f64
+                total / edges_measured as f64
             },
-            max_stretch: values.iter().copied().fold(0.0, f64::max),
-            min_stretch: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max_stretch: max,
+            min_stretch: min,
         }
     }
 }
@@ -60,12 +67,21 @@ impl StretchReport {
 /// spanning trees never see this.
 pub fn stretch_over_tree(g: &Graph, tree_edges: &[EdgeId]) -> StretchReport {
     let forest = RootedForest::from_tree_edges(g, tree_edges);
-    let values: Vec<f64> = g
+    // Fused map+reduce: the per-edge stretch values are folded into
+    // (total, max, min) directly instead of materialising an m-element
+    // vector that is immediately thrown away.
+    let (total, max, min) = g
         .edges()
         .par_iter()
-        .map(|e| forest.tree_distance(e.u, e.v) / e.w)
-        .collect();
-    StretchReport::from_values(&values)
+        .map(|e| {
+            let s = forest.tree_distance(e.u, e.v) / e.w;
+            (s, s, s)
+        })
+        .reduce(
+            || (0.0, 0.0, f64::INFINITY),
+            |a, b| (a.0 + b.0, a.1.max(b.1), a.2.min(b.2)),
+        );
+    StretchReport::from_stats(g.m(), total, max, min)
 }
 
 /// Per-edge stretch over a tree (same computation as

@@ -238,6 +238,7 @@ fn laplacian_apply(graph: &Graph, diag: &[f64], x: &[f64], y: &mut [f64]) {
         }
     } else {
         y.par_iter_mut()
+            .with_min_len(1 << 9)
             .enumerate()
             .for_each(|(v, yv)| *yv = kernel(v));
     }

@@ -149,7 +149,12 @@ impl EliminationResult {
 pub fn greedy_elimination(g: &Graph, seed: u64) -> EliminationResult {
     let n = g.n();
     // Working adjacency with merged parallel edges: map neighbour → weight.
-    let mut adj: Vec<std::collections::HashMap<VertexId, f64>> = vec![Default::default(); n];
+    // BTreeMap, not HashMap: neighbour enumeration order decides which
+    // neighbour a degree-1 step attaches to and the order of degree-2
+    // Schur updates, so a randomly seeded hash order would make the
+    // elimination (and every f64 downstream of it) differ from build to
+    // build. Degrees here are ≤ a few dozen, where the B-tree is as fast.
+    let mut adj: Vec<std::collections::BTreeMap<VertexId, f64>> = vec![Default::default(); n];
     for e in g.edges() {
         *adj[e.u as usize].entry(e.v).or_insert(0.0) += e.w;
         *adj[e.v as usize].entry(e.u).or_insert(0.0) += e.w;

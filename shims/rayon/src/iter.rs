@@ -1,0 +1,1191 @@
+//! The parallel-iterator layer: splittable producers, the recursive
+//! split-at-midpoint driver, and the `ParIter` combinator surface.
+//!
+//! Unlike the old sequential shim (a thin wrapper over `std` iterators),
+//! every pipeline here is a tree of [`Producer`]s that can be **split at an
+//! index**: sources (slices, ranges, vectors) split structurally, adaptors
+//! (`map`, `filter`, `zip`, …) split their base and share their closure via
+//! an `Arc`. A terminal operation recursively halves the pipeline down to a
+//! leaf size, runs leaves sequentially on whatever worker the runtime's
+//! [`crate::join`] lands them on, and combines partial results up the same
+//! tree.
+//!
+//! **Determinism contract.** The split tree depends only on the input
+//! length and the caller's [`ParIter::with_min_len`] hint — *never* on the
+//! pool width or on which worker stole what. Leaf results are combined in
+//! tree (left-to-right) order. Consequences:
+//!
+//! * ordered combinators (`map`+`collect`, `filter`+`collect`, `enumerate`)
+//!   preserve input order exactly, like real rayon;
+//! * non-associative reductions (`f64` `sum`/`reduce`) produce **bitwise
+//!   identical** results at every pool width and on every run, which is a
+//!   *stronger* guarantee than real rayon (whose adaptive splitting varies
+//!   with stealing) — the solver pipeline relies on it for 1-vs-N-thread
+//!   reproducibility.
+//!
+//! This module contains no `unsafe`; mutable-slice parallelism is expressed
+//! entirely through `split_at_mut`.
+
+use std::cmp::Ordering;
+use std::iter::Sum;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use crate::registry;
+
+/// Target fan-out of the automatic splitter: inputs split into ~64 leaves
+/// until the [`MAX_AUTO_LEAF`] cap bites (beyond 64·8192 items the leaf
+/// size stays at 8192 and the leaf *count* grows instead, which is the
+/// right trade for balance). Fixed — not width-dependent — to keep split
+/// trees deterministic; 64 keeps a 16-wide pool busy with stealing slack.
+const MAX_LEAVES: usize = 64;
+
+/// Upper bound on the automatically chosen leaf size: above this the
+/// driver prefers more leaves (up to [`MAX_LEAVES`]) for better balance.
+const MAX_AUTO_LEAF: usize = 8192;
+
+/// The leaf size for an input of `total` items: the caller's `min_len`
+/// hint, but never more than [`MAX_LEAVES`] leaves and never leaves larger
+/// than [`MAX_AUTO_LEAF`] unless the hint forces them. Depends only on the
+/// input shape — see the module docs on determinism.
+fn leaf_len(total: usize, min_len: usize) -> usize {
+    (total / MAX_LEAVES).min(MAX_AUTO_LEAF).max(min_len).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Producer trait and the driver
+// ---------------------------------------------------------------------------
+
+/// A splittable, sequentially drainable source of items: the internal
+/// representation of every parallel-iterator pipeline stage.
+pub trait Producer: Sized + Send {
+    /// The item type this pipeline yields.
+    type Item: Send;
+    /// The sequential iterator a leaf drains.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// The number of *base* positions this producer can be split over. For
+    /// sources this is the exact item count; adaptors that drop or expand
+    /// items (`filter`, `flat_map`) report their base's length — it is a
+    /// splitting coordinate, not a size promise.
+    fn split_len(&self) -> usize;
+
+    /// Splits into the first `mid` base positions and the rest.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Converts into a sequential iterator over the items.
+    fn into_seq(self) -> Self::IntoIter;
+}
+
+/// Recursively splits `p` to leaves of at most `leaf`, running `leaf_op` on
+/// each leaf and merging with `combine` in tree order.
+fn run_tree<P, R, L, C>(p: P, len: usize, leaf: usize, leaf_op: &L, combine: &C) -> R
+where
+    P: Producer,
+    R: Send,
+    L: Fn(P) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    if len <= leaf {
+        return leaf_op(p);
+    }
+    let mid = len / 2;
+    let (a, b) = p.split_at(mid);
+    let (ra, rb) = crate::join(
+        || run_tree(a, mid, leaf, leaf_op, combine),
+        || run_tree(b, len - mid, leaf, leaf_op, combine),
+    );
+    combine(ra, rb)
+}
+
+/// Top-level drive: computes the (width-independent) leaf size, short-cuts
+/// single-leaf inputs inline, and otherwise hops onto a worker thread of
+/// the current pool so `join` can schedule the tree.
+fn drive<P, R, L, C>(p: P, min_len: usize, leaf_op: L, combine: C) -> R
+where
+    P: Producer,
+    R: Send,
+    L: Fn(P) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    let total = p.split_len();
+    let leaf = leaf_len(total, min_len);
+    if total <= leaf {
+        return leaf_op(p);
+    }
+    registry::in_parallel_context(|| run_tree(p, total, leaf, &leaf_op, &combine))
+}
+
+// ---------------------------------------------------------------------------
+// ParIter: the user-facing combinator surface
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over a splittable pipeline (rayon's `par_iter`
+/// surface). Terminal operations execute on the current pool.
+pub struct ParIter<P> {
+    producer: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    pub(crate) fn new(producer: P) -> Self {
+        ParIter {
+            producer,
+            min_len: 1,
+        }
+    }
+
+    /// Applies `f` to each item.
+    pub fn map<R, F>(self, f: F) -> ParIter<MapProducer<P, F, R>>
+    where
+        F: Fn(P::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        ParIter {
+            producer: MapProducer {
+                base: self.producer,
+                f: Arc::new(f),
+                _marker: PhantomData,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Keeps items satisfying `pred`.
+    pub fn filter<F>(self, pred: F) -> ParIter<FilterProducer<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Send + Sync,
+    {
+        ParIter {
+            producer: FilterProducer {
+                base: self.producer,
+                f: Arc::new(pred),
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<FilterMapProducer<P, F, R>>
+    where
+        F: Fn(P::Item) -> Option<R> + Send + Sync,
+        R: Send,
+    {
+        ParIter {
+            producer: FilterMapProducer {
+                base: self.producer,
+                f: Arc::new(f),
+                _marker: PhantomData,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Maps each item to an iterable and flattens.
+    pub fn flat_map<U, F>(self, f: F) -> ParIter<FlatMapProducer<P, F, U>>
+    where
+        F: Fn(P::Item) -> U + Send + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        ParIter {
+            producer: FlatMapProducer {
+                base: self.producer,
+                f: Arc::new(f),
+                _marker: PhantomData,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Maps each item to a *serial* iterable and flattens (rayon's
+    /// `flat_map_iter`; the inner iterables are drained sequentially inside
+    /// a leaf, only the outer items are split across workers).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<FlatMapProducer<P, F, U>>
+    where
+        F: Fn(P::Item) -> U + Send + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        self.flat_map(f)
+    }
+
+    /// Pairs items with their index (indices follow input order).
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter {
+            producer: EnumerateProducer {
+                base: self.producer,
+                offset: 0,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Zips with another parallel iterator, truncating to the shorter.
+    pub fn zip<J>(self, other: J) -> ParIter<ZipProducer<P, J::Producer>>
+    where
+        J: IntoParallelIterator,
+    {
+        ParIter {
+            producer: ZipProducer {
+                a: self.producer,
+                b: other.into_par_iter().producer,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().for_each(&f),
+            |(), ()| (),
+        )
+    }
+
+    /// Sums the items (fixed reduction tree; see module docs).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + Sum<P::Item> + Sum<S>,
+    {
+        drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().sum::<S>(),
+            |a, b| [a, b].into_iter().sum(),
+        )
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().count(),
+            |a, b| a + b,
+        )
+    }
+
+    /// Collects into any `FromIterator` container, preserving input order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let parts = drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().collect::<Vec<_>>(),
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        parts.into_iter().collect()
+    }
+
+    /// Rayon-style reduce with an identity constructor.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().fold(identity(), &op),
+            &op,
+        )
+    }
+
+    /// Rayon-style reduce without an identity; `None` on empty input.
+    pub fn reduce_with<OP>(self, op: OP) -> Option<P::Item>
+    where
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().reduce(&op),
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => Some(op(a, b)),
+                (x, None) | (None, x) => x,
+            },
+        )
+    }
+
+    /// Minimum item, if any (first of equals, like `Iterator::min`).
+    pub fn min(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.min_by(P::Item::cmp)
+    }
+
+    /// Maximum item, if any (last of equals, like `Iterator::max`).
+    pub fn max(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.max_by(P::Item::cmp)
+    }
+
+    /// Minimum by a comparator.
+    pub fn min_by<F>(self, f: F) -> Option<P::Item>
+    where
+        F: Fn(&P::Item, &P::Item) -> Ordering + Send + Sync,
+    {
+        drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().min_by(&f),
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => {
+                    if f(&b, &a) == Ordering::Less {
+                        Some(b)
+                    } else {
+                        Some(a)
+                    }
+                }
+                (x, None) | (None, x) => x,
+            },
+        )
+    }
+
+    /// Maximum by a comparator.
+    pub fn max_by<F>(self, f: F) -> Option<P::Item>
+    where
+        F: Fn(&P::Item, &P::Item) -> Ordering + Send + Sync,
+    {
+        drive(
+            self.producer,
+            self.min_len,
+            |p| p.into_seq().max_by(&f),
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => {
+                    if f(&b, &a) == Ordering::Less {
+                        Some(a)
+                    } else {
+                        Some(b)
+                    }
+                }
+                (x, None) | (None, x) => x,
+            },
+        )
+    }
+
+    /// Tests whether all items satisfy `pred`. Leaves started after a
+    /// counterexample is found are skipped.
+    pub fn all<F>(self, pred: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Send + Sync,
+    {
+        let failed = AtomicBool::new(false);
+        drive(
+            self.producer,
+            self.min_len,
+            |p| {
+                if failed.load(AtomicOrdering::Relaxed) {
+                    return true; // moot: some other leaf already failed
+                }
+                let ok = p.into_seq().all(&pred);
+                if !ok {
+                    failed.store(true, AtomicOrdering::Relaxed);
+                }
+                ok
+            },
+            |a, b| a && b,
+        )
+    }
+
+    /// Tests whether any item satisfies `pred`. Leaves started after a
+    /// witness is found are skipped.
+    pub fn any<F>(self, pred: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Send + Sync,
+    {
+        let found = AtomicBool::new(false);
+        drive(
+            self.producer,
+            self.min_len,
+            |p| {
+                if found.load(AtomicOrdering::Relaxed) {
+                    return false; // moot: some other leaf already matched
+                }
+                let hit = p.into_seq().any(&pred);
+                if hit {
+                    found.store(true, AtomicOrdering::Relaxed);
+                }
+                hit
+            },
+            |a, b| a || b,
+        )
+    }
+
+    /// Lower-bounds the number of items a leaf task processes (rayon's
+    /// tuning knob; raises the sequential cutoff for cheap per-item work).
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_len = self.min_len.max(len.max(1));
+        self
+    }
+
+    /// Accepted for API compatibility; the driver's fixed fan-out already
+    /// bounds task counts, so this is a no-op.
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+impl<'a, T, P> ParIter<P>
+where
+    T: 'a + Copy + Send + Sync,
+    P: Producer<Item = &'a T>,
+{
+    /// Copies out of references.
+    pub fn copied(self) -> ParIter<CopiedProducer<P>> {
+        ParIter {
+            producer: CopiedProducer(self.producer),
+            min_len: self.min_len,
+        }
+    }
+}
+
+impl<'a, T, P> ParIter<P>
+where
+    T: 'a + Clone + Send + Sync,
+    P: Producer<Item = &'a T>,
+{
+    /// Clones out of references.
+    pub fn cloned(self) -> ParIter<ClonedProducer<P>> {
+        ParIter {
+            producer: ClonedProducer(self.producer),
+            min_len: self.min_len,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source producers
+// ---------------------------------------------------------------------------
+
+/// Producer over `&[T]` (from `par_iter`).
+pub struct SliceProducer<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn split_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (SliceProducer(a), SliceProducer(b))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Producer over `&mut [T]` (from `par_iter_mut`).
+pub struct SliceMutProducer<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn split_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(mid);
+        (SliceMutProducer(a), SliceMutProducer(b))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+/// Producer over non-overlapping chunks of a slice (from `par_chunks`).
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn split_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(cut);
+        (
+            ChunksProducer {
+                slice: a,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Producer over non-overlapping mutable chunks (from `par_chunks_mut`).
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn split_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(cut);
+        (
+            ChunksMutProducer {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Producer over overlapping windows of a slice (from `par_windows`).
+pub struct WindowsProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for WindowsProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Windows<'a, T>;
+    fn split_len(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        // Window i starts at i; the left half keeps windows [0, mid), which
+        // need elements [0, mid + size - 1); halves overlap by design.
+        let left_end = (mid + self.size - 1).min(self.slice.len());
+        (
+            WindowsProducer {
+                slice: &self.slice[..left_end],
+                size: self.size,
+            },
+            WindowsProducer {
+                slice: &self.slice[mid..],
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.windows(self.size)
+    }
+}
+
+/// Producer over an integer range (from `(a..b).into_par_iter()`).
+pub struct RangeProducer<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            type IntoIter = std::ops::Range<$t>;
+            fn split_len(&self) -> usize {
+                if self.range.start >= self.range.end {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let cut = self.range.start + mid as $t;
+                (
+                    RangeProducer { range: self.range.start..cut },
+                    RangeProducer { range: cut..self.range.end },
+                )
+            }
+            fn into_seq(self) -> Self::IntoIter {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Producer = RangeProducer<$t>;
+            fn into_par_iter(self) -> ParIter<RangeProducer<$t>> {
+                ParIter::new(RangeProducer { range: self })
+            }
+        }
+    )*};
+}
+
+range_producer!(usize, u32, u64, i32, i64);
+
+/// Producer that owns a `Vec` (from `vec.into_par_iter()`).
+pub struct VecProducer<T>(Vec<T>);
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn split_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.0.split_off(mid);
+        (self, VecProducer(tail))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptor producers and their sequential iterators
+// ---------------------------------------------------------------------------
+
+/// `map` adaptor: shares the closure across splits via `Arc`.
+pub struct MapProducer<P, F, R> {
+    base: P,
+    f: Arc<F>,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F, R>
+where
+    P: Producer,
+    F: Fn(P::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type IntoIter = MapSeqIter<P::IntoIter, F, R>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            MapProducer {
+                base: a,
+                f: Arc::clone(&self.f),
+                _marker: PhantomData,
+            },
+            MapProducer {
+                base: b,
+                f: self.f,
+                _marker: PhantomData,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        MapSeqIter {
+            base: self.base.into_seq(),
+            f: self.f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Sequential side of [`MapProducer`].
+pub struct MapSeqIter<I, F, R> {
+    base: I,
+    f: Arc<F>,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<I, F, R> Iterator for MapSeqIter<I, F, R>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+/// `filter` adaptor.
+pub struct FilterProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F> Producer for FilterProducer<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    type IntoIter = FilterSeqIter<P::IntoIter, F>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            FilterProducer {
+                base: a,
+                f: Arc::clone(&self.f),
+            },
+            FilterProducer { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FilterSeqIter {
+            base: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential side of [`FilterProducer`].
+pub struct FilterSeqIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F> Iterator for FilterSeqIter<I, F>
+where
+    I: Iterator,
+    F: Fn(&I::Item) -> bool,
+{
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.base.find(|x| (self.f)(x))
+    }
+}
+
+/// `filter_map` adaptor.
+pub struct FilterMapProducer<P, F, R> {
+    base: P,
+    f: Arc<F>,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<P, F, R> Producer for FilterMapProducer<P, F, R>
+where
+    P: Producer,
+    F: Fn(P::Item) -> Option<R> + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type IntoIter = FilterMapSeqIter<P::IntoIter, F, R>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            FilterMapProducer {
+                base: a,
+                f: Arc::clone(&self.f),
+                _marker: PhantomData,
+            },
+            FilterMapProducer {
+                base: b,
+                f: self.f,
+                _marker: PhantomData,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FilterMapSeqIter {
+            base: self.base.into_seq(),
+            f: self.f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Sequential side of [`FilterMapProducer`].
+pub struct FilterMapSeqIter<I, F, R> {
+    base: I,
+    f: Arc<F>,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<I, F, R> Iterator for FilterMapSeqIter<I, F, R>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> Option<R>,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        loop {
+            let x = self.base.next()?;
+            if let Some(r) = (self.f)(x) {
+                return Some(r);
+            }
+        }
+    }
+}
+
+/// `flat_map` / `flat_map_iter` adaptor: splits over the *outer* items.
+pub struct FlatMapProducer<P, F, U> {
+    base: P,
+    f: Arc<F>,
+    _marker: PhantomData<fn() -> U>,
+}
+
+impl<P, F, U> Producer for FlatMapProducer<P, F, U>
+where
+    P: Producer,
+    F: Fn(P::Item) -> U + Send + Sync,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+    type IntoIter = FlatMapSeqIter<P::IntoIter, F, U>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            FlatMapProducer {
+                base: a,
+                f: Arc::clone(&self.f),
+                _marker: PhantomData,
+            },
+            FlatMapProducer {
+                base: b,
+                f: self.f,
+                _marker: PhantomData,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FlatMapSeqIter {
+            base: self.base.into_seq(),
+            f: self.f,
+            front: None,
+        }
+    }
+}
+
+/// Sequential side of [`FlatMapProducer`].
+pub struct FlatMapSeqIter<I, F, U: IntoIterator> {
+    base: I,
+    f: Arc<F>,
+    front: Option<U::IntoIter>,
+}
+
+impl<I, F, U> Iterator for FlatMapSeqIter<I, F, U>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> U,
+    U: IntoIterator,
+{
+    type Item = U::Item;
+    fn next(&mut self) -> Option<U::Item> {
+        loop {
+            if let Some(inner) = &mut self.front {
+                if let Some(x) = inner.next() {
+                    return Some(x);
+                }
+            }
+            let outer = self.base.next()?;
+            self.front = Some((self.f)(outer).into_iter());
+        }
+    }
+}
+
+/// `enumerate` adaptor: tracks the base offset across splits so indices
+/// follow input order. Meaningful on exact-length pipelines (sources and
+/// item-preserving adaptors), matching rayon's `IndexedParallelIterator`.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateSeqIter<P::IntoIter>;
+    fn split_len(&self) -> usize {
+        self.base.split_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            EnumerateProducer {
+                base: a,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        EnumerateSeqIter {
+            base: self.base.into_seq(),
+            index: self.offset,
+        }
+    }
+}
+
+/// Sequential side of [`EnumerateProducer`].
+pub struct EnumerateSeqIter<I> {
+    base: I,
+    index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeqIter<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<(usize, I::Item)> {
+        let x = self.base.next()?;
+        let i = self.index;
+        self.index += 1;
+        Some((i, x))
+    }
+}
+
+/// `zip` adaptor: splits both sides at the same index.
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn split_len(&self) -> usize {
+        self.a.split_len().min(self.b.split_len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        (ZipProducer { a: a1, b: b1 }, ZipProducer { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// `copied` adaptor.
+pub struct CopiedProducer<P>(P);
+
+impl<'a, T, P> Producer for CopiedProducer<P>
+where
+    T: 'a + Copy + Send + Sync,
+    P: Producer<Item = &'a T>,
+{
+    type Item = T;
+    type IntoIter = std::iter::Copied<P::IntoIter>;
+    fn split_len(&self) -> usize {
+        self.0.split_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (CopiedProducer(a), CopiedProducer(b))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_seq().copied()
+    }
+}
+
+/// `cloned` adaptor.
+pub struct ClonedProducer<P>(P);
+
+impl<'a, T, P> Producer for ClonedProducer<P>
+where
+    T: 'a + Clone + Send + Sync,
+    P: Producer<Item = &'a T>,
+{
+    type Item = T;
+    type IntoIter = std::iter::Cloned<P::IntoIter>;
+    fn split_len(&self) -> usize {
+        self.0.split_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (ClonedProducer(a), ClonedProducer(b))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_seq().cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// Conversion into a [`ParIter`]. Implemented for integer ranges, vectors,
+/// slices, and `ParIter` itself (so `zip` accepts either).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Pipeline type backing the iterator.
+    type Producer: Producer<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl<P: Producer> IntoParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Producer = P;
+    fn into_par_iter(self) -> ParIter<P> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
+        ParIter::new(VecProducer(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter::new(SliceProducer(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter::new(SliceProducer(self))
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Producer = SliceMutProducer<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceMutProducer<'a, T>> {
+        ParIter::new(SliceMutProducer(self))
+    }
+}
+
+/// Shared-slice parallel entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+    /// Parallel iterator over chunks of up to `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>>;
+    /// Parallel iterator over overlapping windows of `size` items.
+    fn par_windows(&self, size: usize) -> ParIter<WindowsProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter::new(SliceProducer(self))
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter::new(ChunksProducer { slice: self, size })
+    }
+    fn par_windows(&self, size: usize) -> ParIter<WindowsProducer<'_, T>> {
+        assert!(size != 0, "window size must be non-zero");
+        ParIter::new(WindowsProducer { slice: self, size })
+    }
+}
+
+/// Mutable-slice parallel entry points (`par_iter_mut`, sorts).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+    /// Parallel iterator over mutable chunks of up to `size` items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+    /// Unstable sort (parallel merge sort above the cutoff).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort with a comparator.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+    /// Unstable sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    /// Stable sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Stable sort with a comparator.
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+    /// Stable sort by key.
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+        ParIter::new(SliceMutProducer(self))
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter::new(ChunksMutProducer { slice: self, size })
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        crate::sort::par_sort_by(self, false, &T::cmp);
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        crate::sort::par_sort_by(self, false, &cmp);
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_sort_by(self, false, &|a: &T, b: &T| key(a).cmp(&key(b)));
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        crate::sort::par_sort_by(self, true, &T::cmp);
+    }
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        crate::sort::par_sort_by(self, true, &cmp);
+    }
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_sort_by(self, true, &|a: &T, b: &T| key(a).cmp(&key(b)));
+    }
+}

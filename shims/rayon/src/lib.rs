@@ -1,55 +1,57 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with a real multi-threaded
+//! runtime.
 //!
 //! The build environment has no access to crates.io, so this shim provides
-//! the subset of rayon's API that the `parsdd` crates use, with the same
-//! types-and-traits shape but *sequential* execution. Every `par_*` entry
-//! point is semantically identical to its rayon counterpart (same results,
-//! same ordering guarantees for the deterministic combinators), which keeps
-//! the algorithm code written against rayon idioms compiling unchanged.
-//! Swapping in the real crate later is a one-line Cargo.toml change.
+//! the subset of rayon's API that the `parsdd` crates use. Unlike the
+//! original types-only shim, execution is now genuinely parallel: a global
+//! lazily initialized worker pool with per-worker deques and work stealing
+//! runs every `par_*` entry point, `join(a, b)` really executes its two
+//! closures on different workers when a thief is available, and
+//! `ThreadPool::install` scopes parallel dispatch to a pool of the
+//! configured width. Swapping in the real crate remains a one-line
+//! Cargo.toml change.
 //!
-//! Implemented surface:
-//! - `prelude::*` with `par_iter`, `par_iter_mut`, `par_chunks`,
-//!   `into_par_iter`, and the `par_sort_unstable*` family;
-//! - the iterator adaptors the codebase chains on those entry points
-//!   (`map`, `filter`, `zip`, `enumerate`, `for_each`, `sum`, `reduce`, …);
-//! - `current_num_threads`, `ThreadPoolBuilder` / `ThreadPool::install`
-//!   (the configured thread count is tracked thread-locally so scaling
-//!   harness code observes the value it configured);
-//! - `join` / `spawn`-free subset only: nothing in the tree uses scoped
-//!   tasks.
+//! Layout:
+//! - `registry` — the runtime: worker threads, mutex deques, stealing,
+//!   latches, the blocking [`join`]. All of the shim's `unsafe` lives
+//!   there (the classic stack-job pattern).
+//! - `iter` — splittable producers and the [`ParIter`] combinator surface
+//!   (`par_iter`, `par_iter_mut`, `par_chunks`, `into_par_iter`, zips,
+//!   maps, reductions, collects).
+//! - `sort` — parallel merge sort (std sorts at the leaves, in-place
+//!   SymMerge above them) behind `par_sort_unstable*` / `par_sort*`.
+//!
+//! Guarantees the algorithm crates rely on:
+//! - **Ordering:** the ordered combinators (`map`/`filter` + `collect`,
+//!   `enumerate`, sorts) produce exactly the sequential result, like real
+//!   rayon.
+//! - **Determinism:** split trees depend only on input length (never on
+//!   pool width or stealing), so even non-associative `f64` reductions are
+//!   bitwise reproducible run-to-run *and* across thread counts — stronger
+//!   than real rayon; see `iter` module docs.
+//! - **Thread counts:** the global pool width comes from
+//!   `RAYON_NUM_THREADS` (falling back to the hardware count);
+//!   [`current_num_threads`] reports the worker's own pool from inside a
+//!   pool, and the innermost `install` elsewhere, restored panic-safely by
+//!   an RAII guard.
 
-use std::cell::Cell;
-use std::cmp::Ordering;
+mod iter;
+mod registry;
+mod sort;
 
-thread_local! {
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
+pub use iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut, Producer};
+pub use registry::join;
 
-fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+use registry::{PoolOverrideGuard, Registry};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-/// Returns the number of threads in the "current pool": the value
-/// configured by an enclosing [`ThreadPool::install`], else the hardware
-/// parallelism.
+/// Returns the number of threads parallel work dispatched from this thread
+/// would run on: the current worker's pool, else the innermost
+/// [`ThreadPool::install`], else the global pool (`RAYON_NUM_THREADS` or
+/// the hardware parallelism).
 pub fn current_num_threads() -> usize {
-    POOL_THREADS
-        .with(|c| c.get())
-        .unwrap_or_else(hardware_threads)
-}
-
-/// Runs both closures and returns both results (sequentially, `a` first).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    let ra = a();
-    let rb = b();
-    (ra, rb)
+    registry::current_width()
 }
 
 /// Error type returned by [`ThreadPoolBuilder::build`]; never produced.
@@ -82,295 +84,57 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool. Infallible in this shim.
+    /// Builds the pool, spawning its worker threads (none for width 1).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
-            hardware_threads()
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads })
+        let (registry, workers) = Registry::new(threads);
+        Ok(ThreadPool { registry, workers })
     }
 }
 
-/// A "thread pool" that records its configured width and runs closures on
-/// the calling thread.
+/// A pool of worker threads. Parallel work dispatched inside
+/// [`ThreadPool::install`] executes on this pool's workers (a width-1 pool
+/// runs everything inline on the installing thread).
 pub struct ThreadPool {
-    threads: usize,
+    registry: Arc<Registry>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Runs `f` with [`current_num_threads`] reporting this pool's width.
+    /// Runs `f` with this pool as the target of parallel dispatch:
+    /// `join`/`par_*` calls inside `f` execute on the pool's workers, and
+    /// [`current_num_threads`] reports the pool's width.
+    ///
+    /// The dispatch override is restored by an RAII guard, so it is
+    /// panic-safe: an unwinding `f` cannot leave the thread pointing at
+    /// this pool (the old thread-local-width shim leaked its override on
+    /// panic).
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
-        let out = f();
-        POOL_THREADS.with(|c| c.set(prev));
-        out
+        let _guard = PoolOverrideGuard::push(Arc::clone(&self.registry));
+        f()
     }
 
     /// The configured thread count.
     pub fn current_num_threads(&self) -> usize {
-        self.threads
+        self.registry.width()
     }
 }
 
-/// The "parallel" iterator: a thin wrapper over a std iterator exposing
-/// rayon's method names.
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> ParIter<I> {
-    /// Applies `f` to each item.
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Keeps items satisfying `pred`.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(pred))
-    }
-
-    /// Maps and filters in one pass.
-    pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
-    }
-
-    /// Maps each item to an iterable and flattens.
-    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
-        ParIter(self.0.flat_map(f))
-    }
-
-    /// Maps each item to a *serial* iterable and flattens (rayon's
-    /// `flat_map_iter`; identical to `flat_map` in this shim).
-    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
-        ParIter(self.0.flat_map(f))
-    }
-
-    /// Rayon-style reduce without an identity; `None` on empty input.
-    pub fn reduce_with<OP>(self, op: OP) -> Option<I::Item>
-    where
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.reduce(op)
-    }
-
-    /// Pairs items with their index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Zips with another parallel iterator.
-    pub fn zip<J>(
-        self,
-        other: J,
-    ) -> ParIter<std::iter::Zip<I, <J as IntoParallelIterator>::IntoIter>>
-    where
-        J: IntoParallelIterator,
-    {
-        ParIter(self.0.zip(other.into_par_iter().0))
-    }
-
-    /// Runs `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Sums the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Counts the items.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    /// Collects into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Rayon-style reduce with an identity constructor.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Minimum item, if any.
-    pub fn min(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.min()
-    }
-
-    /// Maximum item, if any.
-    pub fn max(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.max()
-    }
-
-    /// Minimum by a comparator.
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
-        self.0.min_by(f)
-    }
-
-    /// Maximum by a comparator.
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
-        self.0.max_by(f)
-    }
-
-    /// Tests whether all items satisfy `pred`.
-    pub fn all<F: FnMut(I::Item) -> bool>(mut self, mut pred: F) -> bool {
-        self.0.all(&mut pred)
-    }
-
-    /// Tests whether any item satisfies `pred`.
-    pub fn any<F: FnMut(I::Item) -> bool>(mut self, mut pred: F) -> bool {
-        self.0.any(&mut pred)
-    }
-
-    /// No-op chunking hint (rayon tuning knob).
-    pub fn with_min_len(self, _len: usize) -> Self {
-        self
-    }
-
-    /// No-op chunking hint (rayon tuning knob).
-    pub fn with_max_len(self, _len: usize) -> Self {
-        self
-    }
-}
-
-impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
-    /// Copies out of references.
-    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
-        ParIter(self.0.copied())
-    }
-}
-
-impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> ParIter<I> {
-    /// Clones out of references.
-    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
-        ParIter(self.0.cloned())
-    }
-}
-
-/// Conversion into a [`ParIter`]; blanket-implemented for everything
-/// iterable so ranges, vectors, and `ParIter` itself all work.
-pub trait IntoParallelIterator {
-    /// Item type.
-    type Item;
-    /// Underlying iterator type.
-    type IntoIter: Iterator<Item = Self::Item>;
-    /// Converts into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::IntoIter>;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type IntoIter = I::IntoIter;
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
-    }
-}
-
-impl<I: Iterator> IntoIterator for ParIter<I> {
-    type Item = I::Item;
-    type IntoIter = I;
-    fn into_iter(self) -> I {
-        self.0
-    }
-}
-
-/// Shared-slice parallel entry points (`par_iter`, `par_chunks`).
-pub trait ParallelSlice<T> {
-    /// Parallel iterator over `&T`.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// Parallel iterator over chunks of up to `size` items.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-    /// Parallel iterator over overlapping windows of `size` items.
-    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
-    }
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(size))
-    }
-    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
-        ParIter(self.windows(size))
-    }
-}
-
-/// Mutable-slice parallel entry points (`par_iter_mut`, sorts).
-pub trait ParallelSliceMut<T> {
-    /// Parallel iterator over `&mut T`.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    /// Parallel iterator over mutable chunks of up to `size` items.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-    /// Unstable sort.
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-    /// Unstable sort with a comparator.
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
-    /// Unstable sort by key.
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-    /// Stable sort.
-    fn par_sort(&mut self)
-    where
-        T: Ord;
-    /// Stable sort with a comparator.
-    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
-    /// Stable sort by key.
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
-    }
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(size))
-    }
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort_unstable()
-    }
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
-        self.sort_unstable_by(cmp)
-    }
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key)
-    }
-    fn par_sort(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort()
-    }
-    fn par_sort_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
-        self.sort_by(cmp)
-    }
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_by_key(key)
+impl Drop for ThreadPool {
+    /// Shuts the workers down. All parallel entry points block until their
+    /// work completes, so no jobs can be outstanding here; workers exit as
+    /// soon as they observe the terminate flag.
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -382,6 +146,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn slice_combinators_match_sequential() {
@@ -417,11 +182,81 @@ mod tests {
     }
 
     #[test]
+    fn install_restores_thread_count_after_panic() {
+        let outside = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| -> usize { panic!("boom") })
+        }));
+        assert!(result.is_err());
+        // The RAII guard must have popped the override despite the panic.
+        assert_eq!(crate::current_num_threads(), outside);
+    }
+
+    #[test]
     fn par_sorts() {
         let mut xs = vec![5, 1, 4, 2, 3];
         xs.par_sort_unstable();
         assert_eq!(xs, vec![1, 2, 3, 4, 5]);
         xs.par_sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(xs, vec![5, 4, 3, 2, 1]);
+        let mut big: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b9) % 4096)
+            .collect();
+        let mut expect = big.clone();
+        expect.sort_unstable();
+        big.par_sort_unstable();
+        assert_eq!(big, expect);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panic() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!((a, b.as_str()), (2, "xy"));
+        let caught = std::panic::catch_unwind(|| crate::join(|| (), || panic!("right side")));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn join_executes_on_pool_workers() {
+        // With a 2-wide pool, both join arms must be able to run
+        // concurrently: rendezvous through a pair of atomic counters with a
+        // timeout (plain spinning would deadlock if join were sequential).
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let arrived = AtomicUsize::new(0);
+        let rendezvous = || {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while arrived.load(Ordering::SeqCst) < 2 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "join arms never overlapped"
+                );
+                std::thread::yield_now();
+            }
+        };
+        pool.install(|| crate::join(rendezvous, rendezvous));
+        assert_eq!(arrived.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn collect_preserves_order_on_wide_pool() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let xs: Vec<usize> = (0..200_000).collect();
+        let out: Vec<usize> = pool.install(|| xs.par_iter().map(|&x| x * 3).collect());
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+        let odds: Vec<usize> =
+            pool.install(|| xs.par_iter().copied().filter(|x| x % 2 == 1).collect());
+        assert_eq!(odds.len(), 100_000);
+        assert!(odds.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -1,0 +1,596 @@
+//! The work-stealing runtime behind the shim: worker registries, job
+//! references, latches, and the blocking [`join`].
+//!
+//! This module is the only place in the shim (and, by policy, in the whole
+//! workspace outside `parutil::SyncMutPtr`) that uses `unsafe`. The unsafety
+//! is the classic rayon pattern: a [`StackJob`] lives on the stack of the
+//! thread that posts it, a type-erased [`JobRef`] pointing into that stack
+//! frame is pushed onto a deque, and the poster *always* blocks until the
+//! job's latch is set before letting the frame die — so the pointer can
+//! never dangle. Everything else (deques, sleeping, stealing) is ordinary
+//! mutex-and-condvar code.
+//!
+//! Design notes:
+//!
+//! * **Deques.** Each worker owns a `Mutex<VecDeque<JobRef>>`. The owner
+//!   pushes and pops at the back (LIFO, depth-first, cache-friendly);
+//!   thieves steal from the front (FIFO — the oldest job is the largest
+//!   unsplit subtree). A mutex deque is deliberately chosen over Chase-Lev:
+//!   at the job granularities the iterator layer produces (thousands of
+//!   items per leaf) the lock is not the bottleneck, and it keeps this file
+//!   auditable. The deque type is an implementation detail of
+//!   [`Registry::push_local`]/[`Registry::find_work`], so a lock-free deque
+//!   can be swapped in without touching anything else.
+//! * **Width-1 registries spawn no threads.** A pool of width 1 (the
+//!   default on single-core machines, or `RAYON_NUM_THREADS=1`) executes
+//!   everything inline on the calling thread; `join` degenerates to
+//!   `(a(), b())`.
+//! * **Sleeping.** Idle workers park on a condvar guarded by an epoch
+//!   counter; every push bumps the epoch under the lock, so a worker can
+//!   never sleep through a job that was pushed between its failed scan and
+//!   its park. A short timeout bounds the damage of any future bug here.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// How long an idle worker sleeps before re-scanning even without a wakeup.
+/// The epoch-under-lock protocol means wakeups are never actually lost, so
+/// this is purely belt-and-braces against a future bug there; it is kept
+/// long so that an idle pool costs ~1 wake per worker per second instead
+/// of busy-polling.
+const IDLE_SLEEP: Duration = Duration::from_secs(1);
+
+// ---------------------------------------------------------------------------
+// Jobs and latches
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job waiting to run. The pointee is a
+/// [`StackJob`] pinned on some thread's stack; see the module docs for the
+/// liveness argument.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the StackJob it points
+// to synchronizes handoff through its latch.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job.
+    ///
+    /// # Safety
+    /// `self.data` must still be live (guaranteed by the poster blocking on
+    /// the latch) and the job must not have been executed before.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute)(self.data)
+    }
+}
+
+/// Completion signal for a job. Implementations differ in how the waiter
+/// blocks: workers spin-and-steal, external threads park on a condvar.
+pub(crate) trait Latch {
+    /// Marks the job complete and wakes any waiter.
+    fn set(&self);
+}
+
+/// Latch for waiters that keep stealing while they wait (worker threads).
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Latch for external (non-worker) threads: parks on a condvar.
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().expect("latch poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("latch poisoned");
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock().expect("latch poisoned");
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Outcome slot of a [`StackJob`].
+pub(crate) enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job pinned on the posting thread's stack: the closure, a slot for its
+/// result (or panic payload), and the latch the poster waits on.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+// SAFETY: access to `func`/`result` is handed off through `latch`: the
+// executor is the only toucher before `set`, the poster the only one after.
+unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    pub(crate) fn new(latch: L, func: F) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// Type-erases a pointer to this job.
+    ///
+    /// # Safety
+    /// The caller must keep `self` alive and pinned until the latch is set,
+    /// and must ensure the returned ref is executed at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    /// Identity used to recognise our own job at the back of the deque.
+    pub(crate) fn id(&self) -> *const () {
+        self as *const Self as *const ()
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let outcome = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panicked(payload),
+        };
+        *this.result.get() = outcome;
+        this.latch.set();
+    }
+
+    /// Extracts the outcome after the latch has been observed set.
+    ///
+    /// # Safety
+    /// Must only be called after the latch is set (i.e. the executor is
+    /// done writing) and at most once.
+    pub(crate) unsafe fn take_outcome(&self) -> JobResult<R> {
+        std::mem::replace(&mut *self.result.get(), JobResult::Pending)
+    }
+
+    /// Extracts the result after the latch has been observed set,
+    /// propagating a panic from the job onto the calling thread.
+    ///
+    /// # Safety
+    /// Same contract as [`StackJob::take_outcome`].
+    pub(crate) unsafe fn take_result(&self) -> R {
+        match self.take_outcome() {
+            JobResult::Ok(r) => r,
+            JobResult::Panicked(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("latch set but job result missing"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A set of worker threads with their deques: one per [`crate::ThreadPool`],
+/// plus a lazily created global one.
+pub(crate) struct Registry {
+    width: usize,
+    /// Per-worker deques; owner pushes/pops back, thieves pop front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Jobs injected by non-worker threads.
+    injected: Mutex<VecDeque<JobRef>>,
+    /// Epoch counter + condvar for sleeping workers.
+    sleep_epoch: Mutex<u64>,
+    sleep_cv: Condvar,
+    /// Number of workers currently parked (fast-path check for notify).
+    idle: AtomicUsize,
+    terminate: AtomicBool,
+}
+
+thread_local! {
+    /// Set on worker threads: the registry they belong to and their index.
+    static WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+    /// Stack of `ThreadPool::install` overrides on non-worker threads.
+    static POOL_OVERRIDE: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Reads the `RAYON_NUM_THREADS` equivalent: explicit positive value wins,
+/// anything else falls back to the hardware parallelism.
+fn default_width() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry::new(default_width()).0)
+}
+
+/// The width the *current* context would run parallel work at: the worker's
+/// own registry, an enclosing `install`, or the (maybe not yet spawned)
+/// global pool.
+pub(crate) fn current_width() -> usize {
+    if let Some((reg, _)) = WORKER.with(|w| w.get()) {
+        // SAFETY: the registry outlives its worker threads (each holds an
+        // Arc), and we are on one of them.
+        return unsafe { (*reg).width };
+    }
+    if let Some(w) = POOL_OVERRIDE.with(|s| s.borrow().last().map(|r| r.width)) {
+        return w;
+    }
+    static GLOBAL_WIDTH: OnceLock<usize> = OnceLock::new();
+    *GLOBAL_WIDTH.get_or_init(default_width)
+}
+
+/// RAII guard that makes `registry` the target of parallel dispatch on this
+/// thread for its lifetime. Restoration happens in `Drop`, so an unwinding
+/// panic inside `ThreadPool::install` cannot leave the override stack stale
+/// (the bug the old thread-local `POOL_THREADS` hack had).
+pub(crate) struct PoolOverrideGuard;
+
+impl PoolOverrideGuard {
+    pub(crate) fn push(registry: Arc<Registry>) -> Self {
+        POOL_OVERRIDE.with(|s| s.borrow_mut().push(registry));
+        PoolOverrideGuard
+    }
+}
+
+impl Drop for PoolOverrideGuard {
+    fn drop(&mut self) {
+        POOL_OVERRIDE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+impl Registry {
+    /// Creates a registry of the given width and spawns its workers
+    /// (none for width ≤ 1). Returns the registry and the worker handles.
+    pub(crate) fn new(width: usize) -> (Arc<Registry>, Vec<thread::JoinHandle<()>>) {
+        let width = width.max(1);
+        let registry = Arc::new(Registry {
+            width,
+            deques: (0..width).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injected: Mutex::new(VecDeque::new()),
+            sleep_epoch: Mutex::new(0),
+            sleep_cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+        });
+        let mut handles = Vec::new();
+        if width > 1 {
+            for index in 0..width {
+                let reg = Arc::clone(&registry);
+                handles.push(
+                    thread::Builder::new()
+                        .name(format!("parsdd-rayon-{index}"))
+                        .spawn(move || worker_main(reg, index))
+                        .expect("failed to spawn worker thread"),
+                );
+            }
+        }
+        (registry, handles)
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Signals workers to exit once their deques drain.
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+        self.notify();
+    }
+
+    /// True when the calling thread is one of this registry's workers.
+    fn on_worker(&self) -> bool {
+        WORKER.with(|w| w.get()).map(|(reg, _)| reg) == Some(self as *const Registry)
+    }
+
+    /// Bumps the sleep epoch and wakes parked workers. Called after every
+    /// push so a concurrent "scan failed, about to park" worker re-scans.
+    fn notify(&self) {
+        {
+            let mut epoch = self.sleep_epoch.lock().expect("sleep lock poisoned");
+            *epoch += 1;
+        }
+        if self.idle.load(Ordering::Relaxed) > 0 {
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    /// Pushes a job onto worker `index`'s deque (LIFO end).
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index]
+            .lock()
+            .expect("deque poisoned")
+            .push_back(job);
+        self.notify();
+    }
+
+    /// Pops the back of worker `index`'s deque iff it is the job `id`.
+    /// Returns true when the caller got its own job back.
+    fn pop_local_if(&self, index: usize, id: *const ()) -> bool {
+        let mut dq = self.deques[index].lock().expect("deque poisoned");
+        if dq.back().map(|j| j.data) == Some(id) {
+            dq.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queues a job from outside the pool.
+    fn inject(&self, job: JobRef) {
+        self.injected
+            .lock()
+            .expect("inject queue poisoned")
+            .push_back(job);
+        self.notify();
+    }
+
+    /// Finds a runnable job for worker `index`: own deque (back), then the
+    /// inject queue, then the other workers' deques (front).
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index]
+            .lock()
+            .expect("deque poisoned")
+            .pop_back()
+        {
+            return Some(job);
+        }
+        if let Some(job) = self
+            .injected
+            .lock()
+            .expect("inject queue poisoned")
+            .pop_front()
+        {
+            return Some(job);
+        }
+        self.steal(index)
+    }
+
+    /// Steals the oldest job from some other worker's deque.
+    fn steal(&self, index: usize) -> Option<JobRef> {
+        let width = self.width;
+        for offset in 1..width {
+            let victim = (index + offset) % width;
+            if let Some(job) = self.deques[victim]
+                .lock()
+                .expect("deque poisoned")
+                .pop_front()
+            {
+                return Some(job);
+            }
+        }
+        // Non-workers inject; check again so a waiter can also drain those.
+        self.injected
+            .lock()
+            .expect("inject queue poisoned")
+            .pop_front()
+    }
+
+    /// Runs `op` on a thread where work-stealing `join` is available: inline
+    /// when already on one of this registry's workers (or when the pool is
+    /// width 1), otherwise injected into the pool while the caller blocks.
+    pub(crate) fn in_worker<F, R>(self: &Arc<Self>, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if self.width <= 1 || self.on_worker() {
+            return op();
+        }
+        let job = StackJob::new(LockLatch::new(), op);
+        // SAFETY: `job` stays pinned on this stack frame and we block on its
+        // latch below before returning; the ref is injected exactly once.
+        unsafe {
+            self.inject(job.as_job_ref());
+            job.latch().wait();
+            job.take_result()
+        }
+    }
+}
+
+/// Main loop of a worker thread.
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
+    let mut seen_epoch = 0u64;
+    loop {
+        if registry.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(job) = registry.find_work(index) {
+            // SAFETY: every queued JobRef's poster is blocked on its latch,
+            // so the pointee is live; each ref is queued (hence run) once.
+            unsafe { job.execute() };
+            continue;
+        }
+        // Park until the epoch moves (i.e. something was pushed).
+        let mut epoch = registry.sleep_epoch.lock().expect("sleep lock poisoned");
+        if *epoch == seen_epoch {
+            registry.idle.fetch_add(1, Ordering::Relaxed);
+            let (guard, _) = registry
+                .sleep_cv
+                .wait_timeout(epoch, IDLE_SLEEP)
+                .expect("sleep lock poisoned");
+            epoch = guard;
+            registry.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+        seen_epoch = *epoch;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// On a worker thread this is the real work-stealing protocol: `b` is
+/// published on the local deque for thieves, `a` runs inline, and the worker
+/// then either reclaims `b` (the common, steal-free case — executed inline
+/// with zero synchronization beyond the deque lock) or helps execute other
+/// jobs until the thief finishes `b`. Off the pool, the whole call is
+/// shipped to a worker first. With an effective width of 1 it is exactly
+/// `(a(), b())`.
+///
+/// Panic semantics match rayon: if either closure panics the panic is
+/// propagated, but only after both closures have come to rest (so no
+/// stolen-job pointer can outlive its stack frame).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if let Some((reg, index)) = WORKER.with(|w| w.get()) {
+        // SAFETY: we are on a live worker of `reg` (the worker's Arc keeps
+        // the registry alive for the duration of this call).
+        return unsafe { join_on_worker(&*reg, index, a, b) };
+    }
+    let registry = POOL_OVERRIDE.with(|s| s.borrow().last().cloned());
+    let registry = match registry {
+        Some(r) => r,
+        None if current_width() <= 1 => return (a(), b()),
+        None => Arc::clone(global_registry()),
+    };
+    if registry.width() <= 1 {
+        return (a(), b());
+    }
+    registry.in_worker(move || join(a, b))
+}
+
+/// The worker-side join protocol. See [`join`].
+///
+/// # Safety
+/// Must be called on worker `index` of `registry`.
+unsafe fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let b_job = StackJob::new(SpinLatch::new(), b);
+    // SAFETY: b_job is pinned on this frame; below we always wait until it
+    // has run (inline or by a thief) before the frame can unwind.
+    registry.push_local(index, b_job.as_job_ref());
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+    if registry.pop_local_if(index, b_job.id()) {
+        // Nobody stole it: run inline.
+        b_job.as_job_ref().execute();
+    } else {
+        // Stolen (or about to be): keep useful while the thief works. Only
+        // other deques and the inject queue are touched — popping our own
+        // deque here could run an *ancestor* join's pending job out of
+        // order on this stack.
+        let mut spins = 0u32;
+        while !b_job.latch().probe() {
+            if let Some(job) = registry.steal(index) {
+                job.execute();
+                spins = 0;
+            } else {
+                spins += 1;
+                if spins < 64 {
+                    thread::yield_now();
+                } else {
+                    thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    let rb = b_job.take_outcome();
+    match (ra, rb) {
+        (Ok(ra), JobResult::Ok(rb)) => (ra, rb),
+        // a's panic takes precedence; b's payload (if any) is dropped.
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, JobResult::Panicked(payload)) => panic::resume_unwind(payload),
+        (_, JobResult::Pending) => unreachable!("latch set but join job never ran"),
+    }
+}
+
+/// Dispatches `op` to a context where [`join`] can actually run in
+/// parallel: the current worker, an `install`ed pool, or the global pool.
+/// Used by the iterator layer for its top-level drives.
+pub(crate) fn in_parallel_context<F, R>(op: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    if WORKER.with(|w| w.get()).is_some() {
+        return op();
+    }
+    let registry = POOL_OVERRIDE.with(|s| s.borrow().last().cloned());
+    let registry = match registry {
+        Some(r) => r,
+        None if current_width() <= 1 => return op(),
+        None => Arc::clone(global_registry()),
+    };
+    registry.in_worker(op)
+}

@@ -1,0 +1,204 @@
+//! Parallel merge sort backing the `par_sort*` family.
+//!
+//! Shape: split the slice at midpoints down to [`SORT_LEAF`]-sized leaves,
+//! sort leaves with the std sorts (pattern-defeating quicksort / timsort),
+//! and merge sibling runs bottom-up. Merging is done **in place** with the
+//! SymMerge algorithm (Kim & Kutzner 2004, the same scheme Go's
+//! `sort.Stable` uses): O(log n) recursion with block rotations, no scratch
+//! buffer and no `unsafe`. The two sub-merges SymMerge produces operate on
+//! disjoint subslices, so they also run under `join`.
+//!
+//! Determinism: the recursion tree depends only on the slice length, and
+//! every constituent (std sorts, SymMerge) is deterministic, so the result
+//! — including the relative order of equal elements under the "unstable"
+//! entry points — is identical at every pool width. Leaves are sorted
+//! stably (`sort_by`) or unstably (`sort_unstable_by`) to match the entry
+//! point; SymMerge itself is stable, so `par_sort*` is a true stable sort.
+
+use std::cmp::Ordering;
+
+use crate::registry;
+
+/// Below this length a slice is sorted directly with the std sorts; above
+/// it, halves are sorted under `join` and merged in place.
+const SORT_LEAF: usize = 1 << 13;
+
+/// Sorts `v` with the comparator, in parallel above [`SORT_LEAF`].
+pub(crate) fn par_sort_by<T, F>(v: &mut [T], stable: bool, cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() <= SORT_LEAF {
+        leaf_sort(v, stable, cmp);
+        return;
+    }
+    registry::in_parallel_context(|| sort_rec(v, stable, cmp));
+}
+
+fn leaf_sort<T, F>(v: &mut [T], stable: bool, cmp: &F)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    if stable {
+        v.sort_by(cmp);
+    } else {
+        v.sort_unstable_by(cmp);
+    }
+}
+
+fn sort_rec<T, F>(v: &mut [T], stable: bool, cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    if len <= SORT_LEAF {
+        leaf_sort(v, stable, cmp);
+        return;
+    }
+    let mid = len / 2;
+    {
+        let (a, b) = v.split_at_mut(mid);
+        crate::join(|| sort_rec(a, stable, cmp), || sort_rec(b, stable, cmp));
+    }
+    sym_merge(v, mid, cmp);
+}
+
+/// Merges the sorted runs `v[..m]` and `v[m..]` in place (SymMerge).
+/// Stable: on ties, elements of the left run precede elements of the right.
+fn sym_merge<T, F>(v: &mut [T], m: usize, cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    if m == 0 || m == len {
+        return;
+    }
+    if m == 1 {
+        // Binary-insert v[0] into the sorted v[1..].
+        let mut lo = 1;
+        let mut hi = len;
+        while lo < hi {
+            let h = (lo + hi) / 2;
+            if cmp(&v[h], &v[0]) == Ordering::Less {
+                lo = h + 1;
+            } else {
+                hi = h;
+            }
+        }
+        v[..lo].rotate_left(1);
+        return;
+    }
+    if m == len - 1 {
+        // Binary-insert v[m] into the sorted v[..m].
+        let mut lo = 0;
+        let mut hi = m;
+        while lo < hi {
+            let h = (lo + hi) / 2;
+            if cmp(&v[m], &v[h]) == Ordering::Less {
+                hi = h;
+            } else {
+                lo = h + 1;
+            }
+        }
+        v[lo..].rotate_right(1);
+        return;
+    }
+
+    // Symmetric decomposition: find the longest suffix of the left run and
+    // prefix of the right run that can be exchanged by one rotation so that
+    // both halves of the slice become independent merge problems.
+    let mid = len / 2;
+    let n = mid + m;
+    let (mut lo, mut hi) = if m > mid { (n - len, mid) } else { (0, m) };
+    let p = n - 1;
+    while lo < hi {
+        let c = (lo + hi) / 2;
+        if cmp(&v[p - c], &v[c]) != Ordering::Less {
+            lo = c + 1;
+        } else {
+            hi = c;
+        }
+    }
+    let start = lo;
+    let end = n - start;
+    if start < m && m < end {
+        v[start..end].rotate_left(m - start);
+    }
+
+    let (left, right) = v.split_at_mut(mid);
+    let go_left = start > 0 && start < mid;
+    let go_right = end > mid && end < len;
+    let local_end = end - mid;
+    if len > SORT_LEAF {
+        crate::join(
+            || {
+                if go_left {
+                    sym_merge(left, start, cmp);
+                }
+            },
+            || {
+                if go_right {
+                    sym_merge(right, local_end, cmp);
+                }
+            },
+        );
+    } else {
+        if go_left {
+            sym_merge(left, start, cmp);
+        }
+        if go_right {
+            sym_merge(right, local_end, cmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorted(mut v: Vec<i64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sort_by(&mut v, false, &i64::cmp);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn small_and_edge_cases() {
+        check_sorted(vec![]);
+        check_sorted(vec![1]);
+        check_sorted(vec![2, 1]);
+        check_sorted(vec![3, 1, 2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn large_pseudorandom() {
+        // Deterministic LCG, length above SORT_LEAF to exercise merging.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let v: Vec<i64> = (0..100_000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as i64 % 1000
+            })
+            .collect();
+        check_sorted(v);
+    }
+
+    #[test]
+    fn stability_preserved() {
+        // Pairs sorted by key only; payload order among equal keys must be
+        // the input order.
+        let mut v: Vec<(u32, u32)> = (0..50_000u32).map(|i| (i % 7, i)).collect();
+        par_sort_by(&mut v, true, &|a: &(u32, u32), b: &(u32, u32)| {
+            a.0.cmp(&b.0)
+        });
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+}
