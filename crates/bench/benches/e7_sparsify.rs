@@ -53,6 +53,7 @@ fn quality_table() {
                 &SparsifyParams {
                     kappa,
                     oversample: 2.0,
+                    tree_scale: 1.0,
                     seed: 11,
                 },
             );
@@ -89,6 +90,7 @@ fn bench(c: &mut Criterion) {
                             &SparsifyParams {
                                 kappa,
                                 oversample: 2.0,
+                                tree_scale: 1.0,
                                 seed: 11,
                             },
                         )

@@ -1,12 +1,16 @@
 //! Regenerates `BENCH_BASELINE.json`: one headline timing per experiment
 //! (E1–E10, A1), each measured at 1 thread and at the widest pool, plus
-//! machine info — the fixed reference point perf PRs diff against.
+//! machine info and the default chain's per-level work accounting — the
+//! fixed reference point perf PRs diff against.
 //!
 //! Usage (run in release or the numbers are meaningless):
 //!
 //! ```text
-//! cargo run --release -p parsdd_bench --bin baseline [-- OUTPUT_PATH]
+//! cargo run --release -p parsdd_bench --bin baseline [-- [--quick] OUTPUT_PATH]
 //! ```
+//!
+//! `--quick` takes a single timed sample per point (a CI smoke mode that
+//! only proves the binary still runs end to end; don't commit its output).
 //!
 //! Timing protocol: one warm-up run, then [`SAMPLES`] timed runs per
 //! (experiment, width); the JSON records the minimum (the least-noise
@@ -14,6 +18,7 @@
 //! [`rayon::ThreadPool`] per width, reused across samples.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parsdd_bench::workloads;
@@ -28,6 +33,9 @@ use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
 use parsdd_solver::sparsify::{incremental_sparsify, SparsifyParams};
 
 const SAMPLES: usize = 3;
+
+/// Timed samples per (experiment, width); `SAMPLES`, or 1 with `--quick`.
+static SAMPLES_PER_POINT: AtomicUsize = AtomicUsize::new(SAMPLES);
 
 struct Measurement {
     name: &'static str,
@@ -45,8 +53,9 @@ fn time_at<R>(threads: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
     pool.install(|| {
         std::hint::black_box(f());
     });
-    let mut times = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let samples = SAMPLES_PER_POINT.load(Ordering::Relaxed);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let t0 = Instant::now();
         pool.install(|| {
             std::hint::black_box(f());
@@ -77,10 +86,38 @@ fn measure<R>(
     }
 }
 
+/// Non-finite f64s have no JSON encoding; emit them as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_usize_array(vs: &[usize]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_BASELINE.json".to_string());
+    let mut quick = false;
+    let mut out_path = "BENCH_BASELINE.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    if quick {
+        SAMPLES_PER_POINT.store(1, Ordering::Relaxed);
+    }
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -162,6 +199,7 @@ fn main() {
                 &SparsifyParams {
                     kappa: 64.0,
                     oversample: 2.0,
+                    tree_scale: 1.0,
                     seed: 11,
                 },
             )
@@ -215,7 +253,7 @@ fn main() {
     // ----- JSON (hand-rolled; the workspace has no serde) -----
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v2\",");
     let _ = writeln!(
         json,
         "  \"generated_by\": \"cargo run --release -p parsdd_bench --bin baseline\","
@@ -258,7 +296,77 @@ fn main() {
             m.name, t1.1, tn.0, tn.1, speedup, m.metric
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Per-level work balance of the default chain on the E8/E9 workload
+    // (the quantity the deep-chain refactor optimises): future PRs diff
+    // these arrays to see where the W-cycle spends its flops, not just how
+    // long the wall clock ran.
+    let chain = build_chain(&grid96, &ChainOptions::default());
+    let stats = chain.stats();
+    json.push_str("  \"chain\": {\n");
+    let _ = writeln!(json, "    \"workload\": \"grid2d 96x96 unit weights\",");
+    let _ = writeln!(json, "    \"depth\": {},", chain.depth());
+    let _ = writeln!(
+        json,
+        "    \"level_vertices\": {},",
+        json_usize_array(&stats.level_vertices)
+    );
+    let _ = writeln!(
+        json,
+        "    \"level_edges\": {},",
+        json_usize_array(&stats.level_edges)
+    );
+    let _ = writeln!(
+        json,
+        "    \"sparsifier_edges\": {},",
+        json_usize_array(&stats.sparsifier_edges)
+    );
+    let _ = writeln!(json, "    \"kappas\": {},", json_f64_array(&stats.kappas));
+    let _ = writeln!(
+        json,
+        "    \"tree_scales\": {},",
+        json_f64_array(&stats.tree_scales)
+    );
+    let _ = writeln!(
+        json,
+        "    \"kappa_eff\": {},",
+        json_f64_array(&stats.kappa_eff)
+    );
+    let _ = writeln!(
+        json,
+        "    \"inner_iterations\": {},",
+        json_usize_array(&stats.inner_iterations)
+    );
+    let _ = writeln!(
+        json,
+        "    \"level_applications\": {},",
+        json_f64_array(&stats.level_applications)
+    );
+    let _ = writeln!(
+        json,
+        "    \"level_work\": {},",
+        json_f64_array(&stats.level_work)
+    );
+    let _ = writeln!(
+        json,
+        "    \"work_per_application\": {},",
+        json_f64(stats.work_per_application)
+    );
+    let _ = writeln!(
+        json,
+        "    \"recursion_leaves\": {},",
+        json_f64(stats.recursion_leaves)
+    );
+    let _ = writeln!(json, "    \"dense_bottom\": {}", stats.dense_bottom);
+    json.push_str("  }\n}\n");
+    eprintln!(
+        "chain: depth={} k={:?} work/app={:.3e} leaves={}",
+        chain.depth(),
+        stats.inner_iterations,
+        stats.work_per_application,
+        stats.recursion_leaves
+    );
 
     std::fs::write(&out_path, json).expect("write baseline json");
     eprintln!("wrote {out_path} (cpus={hw}, wide width={wide})");

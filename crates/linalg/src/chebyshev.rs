@@ -29,12 +29,34 @@ impl ChebyshevOptions {
     /// `⌈√κ⌉ + 1` iterations give a constant-factor error reduction
     /// (Lemma 6.7).
     pub fn for_condition_number(kappa: f64) -> Self {
-        let kappa = kappa.max(1.0 + 1e-9);
+        let kappa = if kappa.is_finite() {
+            kappa.max(1.0 + 1e-9)
+        } else {
+            1.0 + 1e-9
+        };
         ChebyshevOptions {
             iterations: kappa.sqrt().ceil() as usize + 1,
             lambda_min: 1.0 / kappa,
             lambda_max: 1.0,
         }
+    }
+
+    /// Options for a *tree-scaled* preconditioner in the KMP10 style: the
+    /// preconditioner `B` carries its spanning forest scaled up by
+    /// `tree_scale`, so the certified relation is
+    /// `A ⪯ B ⪯ (tree_scale · kappa) · A` up to sampling noise — the forest
+    /// absorbs a `tree_scale` factor of condition number and the sampled
+    /// off-forest edges only need to cover the remaining `kappa`. The
+    /// preconditioned spectrum therefore lies in
+    /// `[1/(tree_scale·kappa), 1]` and the iteration count is
+    /// `⌈√(tree_scale·kappa)⌉ + 1`.
+    pub fn for_scaled_condition_number(kappa: f64, tree_scale: f64) -> Self {
+        let tree_scale = if tree_scale.is_finite() {
+            tree_scale.max(1.0)
+        } else {
+            1.0
+        };
+        Self::for_condition_number(kappa.max(1.0) * tree_scale)
     }
 }
 
@@ -193,6 +215,20 @@ mod tests {
         // Degenerate kappa <= 1 still valid.
         let o1 = ChebyshevOptions::for_condition_number(0.5);
         assert!(o1.lambda_min <= o1.lambda_max);
+        // Non-finite kappa clamps instead of poisoning the interval.
+        let o2 = ChebyshevOptions::for_condition_number(f64::NAN);
+        assert!(o2.lambda_min.is_finite() && o2.lambda_min > 0.0);
+    }
+
+    #[test]
+    fn scaled_condition_number_options() {
+        // tree_scale · kappa = 16: identical to the unscaled κ = 16 case.
+        let o = ChebyshevOptions::for_scaled_condition_number(4.0, 4.0);
+        assert_eq!(o.iterations, 5);
+        assert!((o.lambda_min - 1.0 / 16.0).abs() < 1e-12);
+        // Degenerate scale falls back to the plain schedule.
+        let o1 = ChebyshevOptions::for_scaled_condition_number(9.0, f64::INFINITY);
+        assert!((o1.lambda_min - 1.0 / 9.0).abs() < 1e-12);
     }
 
     #[test]

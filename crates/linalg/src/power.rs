@@ -61,6 +61,104 @@ pub fn largest_eigenvalue(
     lambda.max(0.0)
 }
 
+/// Deterministic pseudo-random start vector for power iteration
+/// (SplitMix64 bits, mean-free only after the caller's projection).
+fn splitmix_vector(n: usize, state: &mut u64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// Estimates the spectrum interval `[λ_min, λ_max]` of a symmetric(izable)
+/// positive map given only as a closure `apply: v ↦ M v`, restricted to the
+/// subspace the caller's `project` keeps (e.g. the complement of a
+/// Laplacian's per-component constant null space).
+///
+/// `λ_max` comes from plain power iteration; `λ_min` from power iteration
+/// on the shifted map `s·I − M` with `s = 1.05·λ_max`, whose dominant
+/// eigenvalue is `s − λ_min`. Both passes start from deterministic
+/// SplitMix64 vectors derived from `seed`, so the result is reproducible
+/// (and, when `apply` is built from width-independent parallel reductions,
+/// bitwise identical at every thread count).
+///
+/// Returns `None` when the map is degenerate on the projected subspace
+/// (zero or non-finite growth), in which case the caller should keep
+/// whatever provisional bounds it has. This is the calibration primitive
+/// behind the solver chain's per-level Chebyshev intervals: Chebyshev
+/// polynomials grow exponentially *outside* their interval, so intervals
+/// must bracket the spectrum of the *effective* (inexactly preconditioned)
+/// operator, which only a measurement like this can provide.
+pub fn spectrum_bounds_of_map(
+    n: usize,
+    mut apply: impl FnMut(&[f64]) -> Vec<f64>,
+    project: impl Fn(&mut Vec<f64>),
+    iterations: usize,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    if n == 0 {
+        return None;
+    }
+    let normalize = |x: &mut Vec<f64>| -> f64 {
+        let nrm = norm2(x);
+        if nrm > 0.0 {
+            scale(1.0 / nrm, x);
+        }
+        nrm
+    };
+    let mut state = seed;
+    let mut v = splitmix_vector(n, &mut state);
+    project(&mut v);
+    normalize(&mut v);
+
+    let mut lambda_max = 0.0f64;
+    for _ in 0..iterations {
+        let mut w = apply(&v);
+        project(&mut w);
+        let growth = normalize(&mut w);
+        if !growth.is_finite() || growth == 0.0 {
+            lambda_max = 0.0;
+            break;
+        }
+        lambda_max = growth;
+        v = w;
+    }
+    if !(lambda_max.is_finite() && lambda_max > 0.0) {
+        return None;
+    }
+
+    // λ_min via the shifted map. Fresh random start: the λ_max eigenvector
+    // has essentially no overlap with the λ_min one.
+    let shift = lambda_max * 1.05;
+    let mut u = splitmix_vector(n, &mut state);
+    project(&mut u);
+    normalize(&mut u);
+    let mut shifted_max = 0.0f64;
+    for _ in 0..iterations {
+        let mu = apply(&u);
+        let mut w: Vec<f64> = u.iter().zip(&mu).map(|(ui, mi)| shift * ui - mi).collect();
+        project(&mut w);
+        let growth = normalize(&mut w);
+        if !growth.is_finite() || growth == 0.0 {
+            shifted_max = 0.0;
+            break;
+        }
+        shifted_max = growth;
+        u = w;
+    }
+    let lambda_min = if shifted_max > 0.0 && shifted_max.is_finite() {
+        (shift - shifted_max).max(lambda_max * 1e-8)
+    } else {
+        lambda_max * 1e-4
+    };
+    Some((lambda_min, lambda_max))
+}
+
 /// Samples `samples` random vectors orthogonal to the all-ones vector and
 /// returns the minimum and maximum observed ratio
 /// `xᵀ L_G x / xᵀ L_H x` over samples where the denominator is non-zero.
@@ -110,6 +208,37 @@ mod tests {
         let op = LaplacianOp::new(&g);
         let l = largest_eigenvalue(&op, 300, true, 2);
         assert!((l - 8.0).abs() < 1e-4, "estimate {l}");
+    }
+
+    #[test]
+    fn spectrum_bounds_of_diagonal_map() {
+        let d = [0.5f64, 2.0, 7.0, 1.0];
+        let bounds = spectrum_bounds_of_map(
+            4,
+            |v| v.iter().zip(d.iter()).map(|(x, di)| di * x).collect(),
+            |_| {},
+            200,
+            42,
+        )
+        .expect("non-degenerate map");
+        assert!((bounds.1 - 7.0).abs() < 1e-6, "λ_max {}", bounds.1);
+        assert!((bounds.0 - 0.5).abs() < 1e-3, "λ_min {}", bounds.0);
+    }
+
+    #[test]
+    fn spectrum_bounds_degenerate_zero_map() {
+        let bounds = spectrum_bounds_of_map(5, |v| vec![0.0; v.len()], |_| {}, 20, 1);
+        assert!(bounds.is_none());
+    }
+
+    #[test]
+    fn spectrum_bounds_respect_projection() {
+        // The identity on the mean-zero subspace: projecting out the
+        // constant leaves λ_min = λ_max = 1.
+        let bounds = spectrum_bounds_of_map(6, |v| v.to_vec(), |x| project_out_constant(x), 50, 9)
+            .expect("non-degenerate");
+        assert!((bounds.1 - 1.0).abs() < 1e-9);
+        assert!(bounds.0 <= bounds.1 + 1e-12);
     }
 
     #[test]

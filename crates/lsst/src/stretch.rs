@@ -73,6 +73,7 @@ pub fn stretch_over_tree(g: &Graph, tree_edges: &[EdgeId]) -> StretchReport {
     let (total, max, min) = g
         .edges()
         .par_iter()
+        .with_min_len(512)
         .map(|e| {
             let s = forest.tree_distance(e.u, e.v) / e.w;
             (s, s, s)
@@ -90,8 +91,13 @@ pub fn stretch_over_tree(g: &Graph, tree_edges: &[EdgeId]) -> StretchReport {
 /// their stretch.
 pub fn per_edge_stretch_over_tree(g: &Graph, tree_edges: &[EdgeId]) -> Vec<f64> {
     let forest = RootedForest::from_tree_edges(g, tree_edges);
+    // 512-edge grains: each element is an O(log n) LCA query, so this is
+    // SpMV-shaped work (same grain as the csr/laplacian kernels). The split
+    // tree depends only on `m`, keeping the values bitwise reproducible at
+    // every pool width.
     g.edges()
         .par_iter()
+        .with_min_len(512)
         .map(|e| forest.tree_distance(e.u, e.v) / e.w)
         .collect()
 }

@@ -1,35 +1,52 @@
 //! The preconditioner chain (Definition 6.3, Section 6.1–6.3) and the
-//! recursive preconditioned solver built on it (rPCh, Lemmas 6.6–6.8).
+//! recursive W-cycle solver built on it (rPCh, Lemmas 6.6–6.8).
 //!
 //! Construction (`build_chain`): starting from `A_1 = A`,
 //!
 //! 1. `Ĝ_i  = LSSubgraph(A_i)` — low-stretch ultra-sparse subgraph
 //!    (Theorem 5.9, crate `parsdd-lsst`);
-//! 2. `B_i  = IncrementalSparsify(A_i, Ĝ_i, κ_i)` — keep `Ĝ_i`, sample the
-//!    remaining edges by stretch (Lemma 6.1, [`crate::sparsify`]);
-//! 3. `A_{i+1} = GreedyElimination(B_i)` — eliminate degree-1/2 vertices
+//! 2. `B_i  = IncrementalSparsify(A_i, Ĝ_i, κ_i, t_i)` — keep `Ĝ_i` with
+//!    its forest scaled up by `t_i`, sample the remaining edges by scaled
+//!    stretch (Lemma 6.1 + KMP10 tree scaling, [`crate::sparsify`]);
+//! 3. `A_{i+1} = GreedyElimination(B_i)` — partial Cholesky of low-degree,
+//!    bounded-fill-star, and weighted-degree-dominated vertices
 //!    (Lemma 6.5, [`crate::elimination`]);
 //!
-//! until the level is small enough (Section 6.3 stops at ≈ `m^{1/3}`), at
-//! which point the bottom system is factored densely (Fact 6.4) or, if it
-//! is still too large for a dense factor, solved iteratively.
+//! until the level is small enough (Section 6.3 stops at ≈ `m^{1/3}`) *or*
+//! the levels stop shrinking (a data-driven cutoff on both `n` and `m` —
+//! deeper levels that do not shrink only add recursion overhead), at which
+//! point the bottom system is factored densely (Fact 6.4) or, if it is
+//! still too large for a dense factor, solved iteratively.
 //!
 //! Solving (`SolverChain::solve`): the top level runs flexible
-//! preconditioned CG; each preconditioner application forwards the
-//! residual through level `i`'s elimination, solves level `i+1` with a
-//! *fixed* number of preconditioned Chebyshev iterations (a linear
-//! operator, as rPCh requires), and back-substitutes. The Chebyshev
-//! interval of every level is calibrated after construction by power
-//! iteration on the *effective* preconditioned operator (see
-//! [`SolverChain`] internals): Chebyshev polynomials explode outside
-//! their interval, so sampled-quadratic-form bounds alone make deep
-//! chains diverge.
+//! preconditioned CG; below it the chain is a uniform recursive **W-cycle**
+//! — each preconditioner application forwards the residual through level
+//! `i`'s elimination, solves level `i+1` with that level's *fixed* number
+//! `k_{i+1}` of preconditioned Chebyshev iterations (a linear operator, as
+//! rPCh requires; `k ≥ 2` makes the recursion tree a W shape), and
+//! back-substitutes, down to the bottom solver. Per-level iteration counts
+//! are derived from the *measured* effective condition number of the
+//! scaled preconditioner: the Chebyshev interval of every level is
+//! calibrated after construction by power iteration on the effective
+//! preconditioned operator
+//! ([`parsdd_linalg::power::spectrum_bounds_of_map`]): Chebyshev
+//! polynomials explode outside their interval, so sampled-quadratic-form
+//! bounds alone make deep chains diverge.
+//!
+//! The work balance that lets the chain go deep (DESIGN.md §2.1): with the
+//! forest of level `i` scaled by `t_i`, the level's condition target is
+//! `t_i·κ_i` *with certainty*, so `k_i ≈ √(t_i·κ_i)` stays small and the
+//! off-forest sample budget `c·S_i·log n/(t_i·κ_i)` shrinks geometrically
+//! as the levels (and their total stretch `S_i`) shrink; the stronger
+//! elimination keeps the per-level vertex shrink at or above `k_i`, which
+//! is the condition for `Σ_i (∏_{j≤i} k_j)·m_i` — the W-cycle's work — to
+//! stay near-linear.
 
 use parsdd_graph::{EdgeId, Graph};
 use parsdd_linalg::cholesky::DenseLdl;
 use parsdd_linalg::laplacian::laplacian_of;
 use parsdd_linalg::operator::Preconditioner;
-use parsdd_linalg::power::quadratic_form_ratio_bounds;
+use parsdd_linalg::power::{quadratic_form_ratio_bounds, spectrum_bounds_of_map};
 use parsdd_linalg::vector::{dot, norm2, project_out_componentwise_constant, sub};
 use parsdd_lsst::subgraph::{ls_subgraph, LsSubgraphParams};
 use rayon::prelude::*;
@@ -47,6 +64,11 @@ pub enum IterationMethod {
 }
 
 /// Options controlling chain construction and the recursive solver.
+///
+/// Call [`ChainOptions::sanitized`] (done automatically by
+/// [`build_chain`]) to clamp out-of-range values, or
+/// [`ChainOptions::validate`] to reject them loudly at construction time
+/// instead of diverging deep inside the build.
 #[derive(Debug, Clone, Copy)]
 pub struct ChainOptions {
     /// When `true` (the default), the per-level condition number `κ_i` is
@@ -60,9 +82,16 @@ pub struct ChainOptions {
     /// in expectation (used when `auto_kappa` is set). Larger values give a
     /// spectrally stronger (but denser) preconditioner.
     pub extra_fraction: f64,
-    /// Target relative condition number `κ` of every level's sparsifier
-    /// (used when `auto_kappa` is `false`).
+    /// Target relative condition number `κ` carried by every level's
+    /// sampled edges (used when `auto_kappa` is `false`; the level's full
+    /// condition target is `tree_scale · κ`).
     pub kappa: f64,
+    /// Per-level forest scale factor `t` (KMP10 tree scaling): each level's
+    /// spanning forest is scaled up by this factor inside the sparsifier,
+    /// absorbing a factor `t` of condition number deterministically so the
+    /// off-forest sample budget shrinks. `1.0` disables scaling. Scaling
+    /// compounds across levels because each level re-scales its own forest.
+    pub tree_scale: f64,
     /// Bucket base `z` of the low-stretch subgraph construction.
     pub subgraph_z: f64,
     /// Promotion lag `λ` of the low-stretch subgraph construction.
@@ -78,12 +107,24 @@ pub struct ChainOptions {
     /// Largest bottom system that is factored densely; larger bottoms fall
     /// back to an iterative bottom solver.
     pub dense_bottom_limit: usize,
-    /// Maximum number of chain levels.
+    /// Maximum number of chain levels (a backstop; the data-driven
+    /// `min_shrink` cutoff is what normally terminates the chain).
     pub max_levels: usize,
+    /// Data-driven depth cutoff: stop recursing when a level's vertex
+    /// count shrinks by less than this factor (or its edge count stops
+    /// shrinking at all) — such levels only add recursion overhead.
+    pub min_shrink: f64,
     /// Iteration method used inside the recursion (levels ≥ 1).
     pub inner_method: IterationMethod,
-    /// Extra Chebyshev iterations added to `⌈√κ⌉` at inner levels.
+    /// Extra Chebyshev iterations added to `⌈√κ_eff⌉` at inner levels.
     pub inner_extra_iterations: usize,
+    /// Hard cap on the per-level W-cycle width `k_i` (the calibrated
+    /// `⌈√κ_eff⌉` budget is clamped to `[2, max_inner_iterations]`). The
+    /// recursion's work multiplies by `k_i` per level while the levels
+    /// shrink by the elimination's factor, so the cap is what keeps deep
+    /// chains cheaper than the κ_eff tail would dictate — the adaptive
+    /// outer PCG absorbs the slightly weaker inner solves.
+    pub max_inner_iterations: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -94,22 +135,20 @@ impl Default for ChainOptions {
             auto_kappa: true,
             extra_fraction: 0.35,
             kappa: 64.0,
+            tree_scale: 8.0,
             subgraph_z: 32.0,
             subgraph_lambda: 2,
             oversample: 2.0,
             bottom_size: 300,
             bottom_exponent: 1.0 / 3.0,
             dense_bottom_limit: 4000,
-            // Each level multiplies the recursion's work by its inner
-            // iteration count (≈ √κ_eff of that level), while laptop-scale
-            // levels only shrink ~2×: the paper's asymptotic work balance
-            // (Lemma 6.6) does not hold at these sizes, so deep chains cost
-            // exponentially more per outer iteration than they save. Two
-            // levels + a direct/iterative bottom is the sweet spot; see
-            // DESIGN.md and the E8/E9 experiments.
-            max_levels: 2,
+            // Depth is data-driven (min_shrink); this is only a backstop
+            // against pathological non-shrinking inputs.
+            max_levels: 32,
+            min_shrink: 1.3,
             inner_method: IterationMethod::Chebyshev,
             inner_extra_iterations: 1,
+            max_inner_iterations: 4,
             seed: 0xcba_0001,
         }
     }
@@ -129,6 +168,109 @@ impl ChainOptions {
         self.seed = seed;
         self
     }
+
+    /// Sets the per-level forest scale factor.
+    pub fn with_tree_scale(mut self, tree_scale: f64) -> Self {
+        self.tree_scale = tree_scale;
+        self
+    }
+
+    /// Checks every field for values that would make `build_chain` diverge
+    /// or loop; returns a description of the first violation. Use this when
+    /// options come from an untrusted source and should be *rejected*;
+    /// [`Self::sanitized`] is the clamping alternative.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pos_finite(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive and finite, got {v}"))
+            }
+        }
+        pos_finite("extra_fraction", self.extra_fraction)?;
+        if self.extra_fraction > 1.0 {
+            return Err(format!(
+                "extra_fraction must be ≤ 1, got {}",
+                self.extra_fraction
+            ));
+        }
+        if !(self.kappa.is_finite() && self.kappa >= 1.0) {
+            return Err(format!("kappa must be finite and ≥ 1, got {}", self.kappa));
+        }
+        if !(self.tree_scale.is_finite() && self.tree_scale >= 1.0) {
+            return Err(format!(
+                "tree_scale must be finite and ≥ 1, got {}",
+                self.tree_scale
+            ));
+        }
+        pos_finite("oversample", self.oversample)?;
+        if !(self.subgraph_z.is_finite() && self.subgraph_z > 1.0) {
+            return Err(format!(
+                "subgraph_z must be finite and > 1, got {}",
+                self.subgraph_z
+            ));
+        }
+        if self.bottom_size == 0 {
+            return Err("bottom_size must be ≥ 1".to_string());
+        }
+        pos_finite("bottom_exponent", self.bottom_exponent)?;
+        if self.bottom_exponent > 1.0 {
+            return Err(format!(
+                "bottom_exponent must be ≤ 1, got {}",
+                self.bottom_exponent
+            ));
+        }
+        if !(self.min_shrink.is_finite() && self.min_shrink > 1.0) {
+            return Err(format!(
+                "min_shrink must be finite and > 1, got {}",
+                self.min_shrink
+            ));
+        }
+        if self.max_inner_iterations < 2 {
+            return Err(format!(
+                "max_inner_iterations must be ≥ 2, got {}",
+                self.max_inner_iterations
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with every out-of-range field clamped to a safe
+    /// value (the rejecting alternative is [`Self::validate`]).
+    /// `build_chain` applies this automatically, so invalid options can no
+    /// longer make the build diverge or hang.
+    pub fn sanitized(&self) -> Self {
+        let mut o = *self;
+        let d = ChainOptions::default();
+        if !(o.extra_fraction.is_finite() && o.extra_fraction > 0.0) {
+            o.extra_fraction = d.extra_fraction;
+        }
+        o.extra_fraction = o.extra_fraction.min(1.0);
+        if !o.kappa.is_finite() {
+            o.kappa = d.kappa;
+        }
+        o.kappa = o.kappa.max(1.0);
+        if !o.tree_scale.is_finite() {
+            o.tree_scale = d.tree_scale;
+        }
+        o.tree_scale = o.tree_scale.max(1.0);
+        if !(o.oversample.is_finite() && o.oversample > 0.0) {
+            o.oversample = d.oversample;
+        }
+        if !(o.subgraph_z.is_finite() && o.subgraph_z > 1.0) {
+            o.subgraph_z = d.subgraph_z;
+        }
+        o.bottom_size = o.bottom_size.max(1);
+        if !(o.bottom_exponent.is_finite() && o.bottom_exponent > 0.0) {
+            o.bottom_exponent = d.bottom_exponent;
+        }
+        o.bottom_exponent = o.bottom_exponent.min(1.0);
+        if !(o.min_shrink.is_finite() && o.min_shrink > 1.0) {
+            o.min_shrink = d.min_shrink;
+        }
+        o.max_inner_iterations = o.max_inner_iterations.max(2);
+        o
+    }
 }
 
 /// One level of the preconditioner chain.
@@ -141,8 +283,11 @@ pub struct ChainLevel {
     diag: Vec<f64>,
     /// The elimination taking the sparsifier `B_i` to `A_{i+1}`.
     pub elimination: EliminationResult,
-    /// Configured condition target `κ_i`.
+    /// Sampling condition target `κ_i` carried by the sampled edges (the
+    /// level's full target is `tree_scale · κ_i`).
     pub kappa: f64,
+    /// Forest scale factor `t_i` of this level's sparsifier.
+    pub tree_scale: f64,
     /// Sampled lower/upper bounds of `xᵀA_ix / xᵀB_ix` (empirical check of
     /// Definition 6.3's `A_i ⪯ B_i ⪯ κ_i·A_i`, up to scaling).
     pub measured_ratio: (f64, f64),
@@ -151,7 +296,7 @@ pub struct ChainLevel {
     /// Number of edges inherited from the low-stretch subgraph.
     pub subgraph_edges: usize,
     /// Fixed Chebyshev/CG iteration count used when this level is solved
-    /// recursively.
+    /// recursively (the W-cycle width `k_i` at this level).
     pub inner_iterations: usize,
     /// Spectrum bounds `[λ_min, λ_max]` of the *effective* preconditioned
     /// operator `M_i⁻¹A_i` (where `M_i` is the whole recursive
@@ -163,6 +308,18 @@ pub struct ChainLevel {
     /// extremes. Level 0 keeps the provisional (ratio-derived) value — the
     /// top level is driven by adaptive flexible PCG, which needs no bounds.
     pub cheb_bounds: (f64, f64),
+}
+
+impl ChainLevel {
+    /// Measured effective condition number of the level's preconditioned
+    /// operator (`λ_max/λ_min` of the calibrated interval).
+    pub fn kappa_eff(&self) -> f64 {
+        if self.cheb_bounds.0 > 0.0 {
+            self.cheb_bounds.1 / self.cheb_bounds.0
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// The bottom-of-chain solver (Fact 6.4, with an iterative fallback for
@@ -178,7 +335,15 @@ enum BottomSolver {
     Trivial,
 }
 
-/// Statistics describing a built chain (consumed by experiments E8/E9).
+/// Statistics describing a built chain (consumed by experiments E8/E9 and
+/// the bench baseline's work-balance tracking).
+///
+/// The per-level work model: one top-level preconditioner application
+/// solves level 1 once; a solve of level `i` runs `k_i` inner iterations,
+/// each applying `A_i` (≈ `m_i` flops) and recursing into one solve of
+/// level `i+1` — so level `i` is solved `∏_{j<i} k_j` times and costs
+/// `k_i · m_i` per solve. `level_work[0]` is the top application's own
+/// forward/back-substitution pass (≈ `m_0`).
 #[derive(Debug, Clone)]
 pub struct ChainStats {
     /// Vertex count per level (including the bottom).
@@ -187,8 +352,28 @@ pub struct ChainStats {
     pub level_edges: Vec<usize>,
     /// Sparsifier edge count per level.
     pub sparsifier_edges: Vec<usize>,
-    /// Configured `κ_i` per level.
+    /// Configured sampling `κ_i` per level.
     pub kappas: Vec<f64>,
+    /// Forest scale factor per level.
+    pub tree_scales: Vec<f64>,
+    /// Effective condition number per level: the ratio of the calibrated
+    /// Chebyshev interval for levels ≥ 1; level 0 (driven by the adaptive
+    /// outer PCG, never calibrated) reports the ratio of its provisional
+    /// sampled-quadratic-form bounds — an estimate, not a measurement.
+    pub kappa_eff: Vec<f64>,
+    /// Calibrated inner iteration count (W-cycle width) per level.
+    pub inner_iterations: Vec<usize>,
+    /// Number of times each level is *solved* per top-level preconditioner
+    /// application (`1` for level 1, `∏ k_j` below; index 0 is the top
+    /// application itself, so `1.0`).
+    pub level_applications: Vec<f64>,
+    /// Estimated flops spent at each level per top-level preconditioner
+    /// application (see the struct docs for the model; the last entry is
+    /// the bottom solver's share).
+    pub level_work: Vec<f64>,
+    /// Total estimated flops per top-level preconditioner application
+    /// (`Σ level_work`).
+    pub work_per_application: f64,
     /// Number of bottom-level solves the recursion performs per top-level
     /// preconditioner application — the product of the calibrated inner
     /// iteration counts below the top (the quantity Lemma 6.6/6.8 bounds
@@ -251,8 +436,11 @@ fn weighted_degrees(graph: &Graph) -> Vec<f64> {
         .collect()
 }
 
-/// Builds the preconditioner chain for the Laplacian of `g`.
+/// Builds the preconditioner chain for the Laplacian of `g`. The options
+/// are [`ChainOptions::sanitized`] first, so out-of-range values are
+/// clamped instead of diverging mid-build.
 pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
+    let options = options.sanitized();
     let input_m = g.m().max(1);
     let bottom_target = options
         .bottom_size
@@ -272,27 +460,20 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         //    The level's weights are Laplacian *conductances*; the
         //    low-stretch machinery of Section 5 works on *lengths*, so it
         //    runs on the reciprocal-weight view (edge ids are shared).
-        let lengths = Graph::from_edges_unchecked(
-            current.n(),
-            current
-                .edges()
-                .iter()
-                .map(|e| parsdd_graph::Edge::new(e.u, e.v, 1.0 / e.w))
-                .collect(),
-        );
+        let lengths = crate::sparsify::length_view(&current);
         let sub_params = LsSubgraphParams::practical(options.subgraph_z, options.subgraph_lambda)
             .with_seed(seed);
         let sub = ls_subgraph(&lengths, &sub_params);
         let sub_edges = sub.all_edges();
 
         // Spanning forest of the subgraph for resistance-stretch
-        // computation. This must be the *low-stretch* AKPW forest the
-        // subgraph was built around — a generic MST (e.g. Kruskal on a
-        // unit-weight grid, where ties make the tree arbitrary) can have
-        // orders-of-magnitude larger stretch, which inflates every κ
-        // estimate and starves the sampler. Complete it with remaining
-        // subgraph edges in case the well-spacing set-aside disconnected
-        // the SparseAKPW input.
+        // computation and tree scaling. This must be the *low-stretch*
+        // AKPW forest the subgraph was built around — a generic MST (e.g.
+        // Kruskal on a unit-weight grid, where ties make the tree
+        // arbitrary) can have orders-of-magnitude larger stretch, which
+        // inflates every κ estimate and starves the sampler. Complete it
+        // with remaining subgraph edges in case the well-spacing set-aside
+        // disconnected the SparseAKPW input.
         let forest: Vec<EdgeId> = {
             let mut uf = parsdd_graph::unionfind::UnionFind::new(current.n());
             let mut forest = Vec::with_capacity(current.n().saturating_sub(1));
@@ -323,10 +504,12 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
             forest
         };
 
-        // 2. Incremental sparsification. The per-level κ is either fixed
-        //    (the paper's uniform schedule) or derived so that the expected
-        //    number of sampled off-subgraph edges is a small fraction of
-        //    n_i — which is what makes the next level shrink.
+        // 2. Incremental sparsification with tree scaling. The per-level κ
+        //    is either fixed (the paper's uniform schedule) or derived so
+        //    that the expected number of sampled off-subgraph edges is a
+        //    fraction of the off-subgraph edge count — which is what makes
+        //    the next level shrink. The scaled forest absorbs a further
+        //    `tree_scale` factor of condition number with certainty.
         let (sparsifier, kappa_used) = if options.auto_kappa {
             // Budget the sample count as a fraction of the *off-subgraph*
             // edges. (An earlier schedule budgeted `extra_fraction · n`
@@ -342,6 +525,7 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
                 &forest,
                 budget,
                 options.oversample,
+                options.tree_scale,
                 seed,
             )
         } else {
@@ -353,6 +537,7 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
                     &SparsifyParams {
                         kappa: options.kappa,
                         oversample: options.oversample,
+                        tree_scale: options.tree_scale,
                         seed,
                     },
                 ),
@@ -363,35 +548,41 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         // Empirical check of the spectral relation (Definition 6.3).
         let measured_ratio = quadratic_form_ratio_bounds(&current, &sparsifier.graph, 12, seed);
 
-        // 3. Greedy elimination of the sparsifier.
+        // 3. Partial Cholesky elimination of the sparsifier.
         let elimination = greedy_elimination(&sparsifier.graph, seed);
         let next = elimination.reduced_graph.simplify();
 
         // A level whose sparsifier kept (nearly) the whole graph and whose
         // elimination removed (nearly) nothing is a pure wrapper: it solves
         // the same system through extra inner iterations. Stop and hand the
-        // current system to the bottom solver instead.
+        // current system to the bottom solver instead. The sampling κ — not
+        // the tree-scaled target — is the wrapper signal: κ_used ≈ 1 means
+        // the sampler kept every off-subgraph edge.
+        let kappa_target = kappa_used * sparsifier.tree_scale;
         if kappa_used <= 1.5 && next.n() as f64 > 0.85 * current.n() as f64 {
             break;
         }
 
-        // Provisional iteration budget from the configured κ; replaced by
-        // the calibration pass below with √κ_eff of the *measured* effective
-        // preconditioned spectrum (the paper's asymptotic work balance of
-        // Lemma 6.6 assumes shrink factors that small inputs do not reach,
-        // and under-iterating makes the recursion compound its own error).
-        let shrink = current.n() as f64 / next.n().max(1) as f64;
-        let inner_iterations =
-            (kappa_used.sqrt().ceil() as usize + options.inner_extra_iterations).clamp(2, 12);
+        // Provisional iteration budget from the configured κ target
+        // (sampling κ × tree scale); replaced by the calibration pass below
+        // with √κ_eff of the *measured* effective preconditioned spectrum
+        // (under-iterating makes the recursion compound its own error,
+        // over-iterating breaks the work balance).
+        let shrink_n = current.n() as f64 / next.n().max(1) as f64;
+        let shrink_m = current.m() as f64 / next.m().max(1) as f64;
+        let inner_iterations = (kappa_target.sqrt().ceil() as usize
+            + options.inner_extra_iterations)
+            .clamp(2, options.max_inner_iterations);
         let diag = weighted_degrees(&current);
         // Provisional bounds from the sampled ratio; replaced by the
         // power-iteration calibration below once the chain is complete.
-        let cheb_bounds = provisional_bounds(measured_ratio, kappa_used);
+        let cheb_bounds = provisional_bounds(measured_ratio, kappa_target);
         levels.push(ChainLevel {
             graph: current,
             diag,
             elimination,
             kappa: kappa_used,
+            tree_scale: sparsifier.tree_scale,
             measured_ratio,
             sparsifier_edges: sparsifier.edge_count(),
             subgraph_edges: sparsifier.subgraph_edges,
@@ -399,10 +590,10 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
             cheb_bounds,
         });
         current = next;
-        if shrink < 1.5 {
-            // The level barely shrank (the sparsifier was nearly the whole
-            // graph); further levels would only add recursion overhead.
-            // Stop and let the bottom solver take over.
+        // Data-driven depth cutoff: recursing past a level that stopped
+        // shrinking (in vertices *or* edges) only multiplies the W-cycle's
+        // work without reducing the bottom; hand over to the bottom solver.
+        if shrink_n < options.min_shrink || shrink_m < 1.05 {
             break;
         }
     }
@@ -425,7 +616,7 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         bottom,
         bottom_labels: comps.labels,
         bottom_components: comps.count,
-        options: *options,
+        options,
     };
     chain.calibrate_chebyshev_bounds();
     chain
@@ -462,17 +653,47 @@ impl SolverChain {
         &self.options
     }
 
-    /// Summary statistics of the chain.
+    /// Estimated flops of one bottom solve (dense back-substitution or the
+    /// iterative fallback's worst-case budget).
+    fn bottom_solve_cost(&self) -> f64 {
+        let n = self.bottom_graph.n() as f64;
+        let m = self.bottom_graph.m() as f64;
+        match &self.bottom {
+            BottomSolver::Trivial => 0.0,
+            BottomSolver::Dense(_) => n * n,
+            BottomSolver::Iterative => m * (2 * self.bottom_graph.n()).clamp(100, 4000) as f64,
+        }
+    }
+
+    /// Summary statistics of the chain, including the per-level work
+    /// accounting of the W-cycle (see [`ChainStats`] for the model).
     pub fn stats(&self) -> ChainStats {
         let mut level_vertices: Vec<usize> = self.levels.iter().map(|l| l.graph.n()).collect();
         let mut level_edges: Vec<usize> = self.levels.iter().map(|l| l.graph.m()).collect();
         level_vertices.push(self.bottom_graph.n());
         level_edges.push(self.bottom_graph.m());
-        // Bottom solves per top-level preconditioner application: level 0's
-        // elimination feeds one solve of level 1, which runs its fixed inner
-        // iteration count, and so on down — so the product of the calibrated
-        // per-level counts below the top, not the configured ∏√κ_i (the two
-        // differ once calibration clamps the budgets).
+
+        // Applications and work, level by level: level 0 hosts the top
+        // preconditioner application itself (one forward/back pass); level
+        // i ≥ 1 is solved ∏_{1≤j<i} k_j times at k_i·m_i flops per solve;
+        // the bottom is solved ∏ k_j times.
+        let mut level_applications: Vec<f64> = Vec::with_capacity(self.levels.len() + 1);
+        let mut level_work: Vec<f64> = Vec::with_capacity(self.levels.len() + 1);
+        let mut solves = 1.0f64;
+        for (i, l) in self.levels.iter().enumerate() {
+            if i == 0 {
+                level_applications.push(1.0);
+                level_work.push(l.graph.m() as f64);
+            } else {
+                level_applications.push(solves);
+                level_work.push(solves * l.inner_iterations as f64 * l.graph.m() as f64);
+                solves *= l.inner_iterations as f64;
+            }
+        }
+        level_applications.push(solves);
+        level_work.push(solves * self.bottom_solve_cost());
+        let work_per_application: f64 = level_work.iter().sum();
+
         let recursion_leaves = self
             .levels
             .iter()
@@ -485,6 +706,12 @@ impl SolverChain {
             level_edges,
             sparsifier_edges: self.levels.iter().map(|l| l.sparsifier_edges).collect(),
             kappas: self.levels.iter().map(|l| l.kappa).collect(),
+            tree_scales: self.levels.iter().map(|l| l.tree_scale).collect(),
+            kappa_eff: self.levels.iter().map(|l| l.kappa_eff()).collect(),
+            inner_iterations: self.levels.iter().map(|l| l.inner_iterations).collect(),
+            level_applications,
+            level_work,
+            work_per_application,
             recursion_leaves,
             dense_bottom: matches!(self.bottom, BottomSolver::Dense(_)),
         }
@@ -519,17 +746,19 @@ impl SolverChain {
     }
 
     /// Applies the level-`i` preconditioner `B_i⁻¹ r`: forward-eliminate,
-    /// recursively solve `A_{i+1}`, back-substitute.
+    /// recursively solve `A_{i+1}` with the W-cycle, back-substitute.
     fn precondition(&self, level: usize, r: &[f64]) -> Vec<f64> {
         let elim = &self.levels[level].elimination;
         let (reduced, work) = elim.forward_rhs(r);
-        let y = self.solve_level(level + 1, &reduced);
+        let y = self.w_cycle(level + 1, &reduced);
         elim.back_substitute(&work, &y)
     }
 
-    /// Solves `A_i x = b` approximately with the level's fixed iteration
-    /// budget (`i ≥ 1`), or exactly at the bottom.
-    fn solve_level(&self, level: usize, b: &[f64]) -> Vec<f64> {
+    /// One W-cycle solve of `A_i x = b`: the level's fixed `k_i`-iteration
+    /// Chebyshev/CG sweep (each iteration recursing into level `i+1`), or
+    /// the bottom solver below the last level. Uniform at every level —
+    /// the top level's adaptive outer PCG is the only special case.
+    fn w_cycle(&self, level: usize, b: &[f64]) -> Vec<f64> {
         if level >= self.levels.len() {
             return self.bottom_solve(b, Self::PRECOND_BOTTOM_TOL);
         }
@@ -549,9 +778,8 @@ impl SolverChain {
     /// compounds and the outer solve diverges. The effective operator at
     /// level `i` (elimination + inexact recursive solve of `A_{i+1}` +
     /// back-substitution) depends only on levels below `i`, so calibrating
-    /// deepest-first is well defined: estimate `λ_max` by power iteration
-    /// on `v ↦ M_i⁻¹ A_i v`, estimate `λ_min` by power iteration on the
-    /// shifted operator `s·I − M_i⁻¹A_i`, then widen both ends.
+    /// deepest-first is well defined; the measurement itself is
+    /// [`spectrum_bounds_of_map`] on `v ↦ M_i⁻¹ A_i v`.
     fn calibrate_chebyshev_bounds(&mut self) {
         const POWER_ITERS: usize = 14;
         // Level 0 is driven by the adaptive outer flexible PCG, which needs
@@ -560,107 +788,39 @@ impl SolverChain {
         // calibration pass (two power iterations through the full recursion
         // on the largest graph); its cheb_bounds keep the provisional value.
         for level in (1..self.levels.len()).rev() {
-            let lvl = &self.levels[level];
-            let n = lvl.graph.n();
+            let n = self.levels[level].graph.n();
             if n == 0 {
                 continue;
             }
-            let comps = parsdd_graph::components::parallel_connected_components(&lvl.graph);
+            let comps =
+                parsdd_graph::components::parallel_connected_components(&self.levels[level].graph);
             let seed = self
                 .options
                 .seed
                 .wrapping_add(0x51ab_0000 + level as u64)
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            // Deterministic pseudo-random start vector (SplitMix64 bits).
-            let mut state = seed;
-            let mut v: Vec<f64> = (0..n)
-                .map(|_| {
-                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                    let mut z = state;
-                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                    ((z >> 11) as f64) / (1u64 << 53) as f64 - 0.5
-                })
-                .collect();
-            let project = |x: &mut Vec<f64>| {
-                project_out_componentwise_constant(x, &comps.labels, comps.count);
+            let bounds = {
+                let this: &SolverChain = self;
+                let mut av = vec![0.0; n];
+                spectrum_bounds_of_map(
+                    n,
+                    |v| {
+                        laplacian_apply(
+                            &this.levels[level].graph,
+                            &this.levels[level].diag,
+                            v,
+                            &mut av,
+                        );
+                        this.precondition(level, &av)
+                    },
+                    |x| project_out_componentwise_constant(x, &comps.labels, comps.count),
+                    POWER_ITERS,
+                    seed,
+                )
             };
-            let normalize = |x: &mut Vec<f64>| -> f64 {
-                let nrm = norm2(x);
-                if nrm > 0.0 {
-                    let inv = 1.0 / nrm;
-                    for xi in x.iter_mut() {
-                        *xi *= inv;
-                    }
-                }
-                nrm
-            };
-            project(&mut v);
-            normalize(&mut v);
-
-            // λ_max of M⁻¹A by plain power iteration.
-            let mut lambda_max = 0.0f64;
-            let mut av = vec![0.0; n];
-            for _ in 0..POWER_ITERS {
-                laplacian_apply(
-                    &self.levels[level].graph,
-                    &self.levels[level].diag,
-                    &v,
-                    &mut av,
-                );
-                let mut w = self.precondition(level, &av);
-                project(&mut w);
-                let growth = normalize(&mut w);
-                if !growth.is_finite() || growth == 0.0 {
-                    lambda_max = 0.0;
-                    break;
-                }
-                lambda_max = growth;
-                v = w;
-            }
-            if !(lambda_max.is_finite() && lambda_max > 0.0) {
+            let Some((lambda_min, lambda_max)) = bounds else {
                 // Degenerate level (e.g. edgeless): keep provisional bounds.
                 continue;
-            }
-
-            // λ_min via the shifted operator s·I − M⁻¹A, whose dominant
-            // eigenvalue is s − λ_min. Fresh random start: the λ_max
-            // eigenvector has essentially no overlap with the λ_min one.
-            let shift = lambda_max * 1.05;
-            let mut u: Vec<f64> = (0..n)
-                .map(|_| {
-                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                    let mut z = state;
-                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                    ((z >> 11) as f64) / (1u64 << 53) as f64 - 0.5
-                })
-                .collect();
-            project(&mut u);
-            normalize(&mut u);
-            let mut shifted_max = 0.0f64;
-            for _ in 0..POWER_ITERS {
-                laplacian_apply(
-                    &self.levels[level].graph,
-                    &self.levels[level].diag,
-                    &u,
-                    &mut av,
-                );
-                let pu = self.precondition(level, &av);
-                let mut w: Vec<f64> = u.iter().zip(&pu).map(|(ui, pi)| shift * ui - pi).collect();
-                project(&mut w);
-                let growth = normalize(&mut w);
-                if !growth.is_finite() || growth == 0.0 {
-                    shifted_max = 0.0;
-                    break;
-                }
-                shifted_max = growth;
-                u = w;
-            }
-            let lambda_min = if shifted_max > 0.0 && shifted_max.is_finite() {
-                (shift - shifted_max).max(lambda_max * 1e-8)
-            } else {
-                lambda_max * 1e-4
             };
             // Widen both ends: power iteration underestimates extremes, and
             // an interval that over-covers only slows Chebyshev down while
@@ -670,14 +830,15 @@ impl SolverChain {
             // Re-derive this level's iteration budget from the *measured*
             // effective condition number: Chebyshev needs ≈ √κ_eff steps to
             // be a constant-factor solve (Lemma 6.7), and κ_eff here — the
-            // sparsifier quality composed with the inexact recursion below —
-            // is what the configured κ target only approximates. Must happen
-            // before the level above is calibrated, since its effective
-            // operator includes this level's solve.
+            // scaled sparsifier quality composed with the inexact recursion
+            // below — is what the configured `tree_scale · κ` target only
+            // approximates. Must happen before the level above is
+            // calibrated, since its effective operator includes this
+            // level's solve.
             let kappa_eff = bounds.1 / bounds.0;
             self.levels[level].inner_iterations = (kappa_eff.sqrt().ceil() as usize
                 + self.options.inner_extra_iterations)
-                .clamp(2, 12);
+                .clamp(2, self.options.max_inner_iterations.max(2));
         }
     }
 
@@ -760,7 +921,7 @@ impl SolverChain {
     }
 
     /// Solves the top-level system `A x = b` to relative residual `tol`
-    /// using flexible preconditioned CG driven by the recursive chain
+    /// using flexible preconditioned CG driven by the recursive W-cycle
     /// preconditioner. `b` is projected onto the range of `A` first.
     pub fn solve(&self, b: &[f64], tol: f64, max_iterations: usize) -> SolveOutcome {
         assert!(!self.levels.is_empty() || self.bottom_graph.n() == b.len());
@@ -988,6 +1149,18 @@ mod tests {
     }
 
     #[test]
+    fn unscaled_chain_still_converges() {
+        // tree_scale = 1 recovers the pre-KMP10 behaviour.
+        let g = generators::grid2d(30, 30, |_, _| 1.0);
+        let opts = ChainOptions {
+            tree_scale: 1.0,
+            bottom_size: 200,
+            ..Default::default()
+        };
+        check_solve(&g, &opts, 1e-8);
+    }
+
+    #[test]
     fn disconnected_graph_solve() {
         use parsdd_graph::{Edge, Graph};
         // Two grids glued into one disconnected graph.
@@ -1053,5 +1226,59 @@ mod tests {
         }
         assert!(stats.recursion_leaves >= 1.0);
         assert_eq!(stats.sparsifier_edges.len(), chain.depth());
+        // The new accounting is shape-consistent with the chain.
+        assert_eq!(stats.level_applications.len(), chain.depth() + 1);
+        assert_eq!(stats.level_work.len(), chain.depth() + 1);
+        assert_eq!(stats.tree_scales.len(), chain.depth());
+        assert_eq!(stats.kappa_eff.len(), chain.depth());
+        assert!(stats.work_per_application > 0.0);
+        assert_eq!(
+            *stats.level_applications.last().unwrap(),
+            stats.recursion_leaves
+        );
+    }
+
+    #[test]
+    fn options_validation_rejects_bad_fields() {
+        let good = ChainOptions::default();
+        assert!(good.validate().is_ok());
+        let mut bad = good;
+        bad.kappa = 0.5;
+        assert!(bad.validate().is_err());
+        bad = good;
+        bad.extra_fraction = f64::NAN;
+        assert!(bad.validate().is_err());
+        bad = good;
+        bad.tree_scale = f64::INFINITY;
+        assert!(bad.validate().is_err());
+        bad = good;
+        bad.bottom_size = 0;
+        assert!(bad.validate().is_err());
+        bad = good;
+        bad.min_shrink = 1.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn sanitized_options_are_valid_and_build_safely() {
+        let bad = ChainOptions {
+            kappa: 0.0,
+            extra_fraction: f64::INFINITY,
+            tree_scale: f64::NAN,
+            oversample: -3.0,
+            bottom_size: 0,
+            bottom_exponent: 7.5,
+            min_shrink: f64::NAN,
+            ..Default::default()
+        };
+        let clean = bad.sanitized();
+        assert!(clean.validate().is_ok(), "{:?}", clean.validate());
+        // build_chain sanitizes internally: garbage options still converge
+        // instead of diverging deep inside the build.
+        let g = generators::grid2d(24, 24, |_, _| 1.0);
+        let chain = build_chain(&g, &bad);
+        let b = random_rhs(g.n());
+        let out = chain.solve(&b, 1e-8, 300);
+        assert!(out.converged, "rel {}", out.relative_residual);
     }
 }

@@ -10,14 +10,16 @@
 //! low-stretch tree) feeding the incremental sparsifier, and a parallel
 //! greedy elimination.
 //!
-//! * [`sparsify`] — `IncrementalSparsify` (Lemma 6.1/6.2): keep the
-//!   low-stretch subgraph, sample the remaining edges by stretch.
+//! * [`sparsify`] — `IncrementalSparsify` (Lemma 6.1/6.2) with KMP10-style
+//!   tree scaling: keep the low-stretch subgraph, scale its forest up so it
+//!   absorbs condition number, sample the remaining edges by stretch.
 //! * [`elimination`] — `GreedyElimination` (Lemma 6.5): partial Cholesky
-//!   elimination of degree-1/2 vertices with a recorded trace for
+//!   elimination of degree-1/2 vertices, bounded-fill stars, and
+//!   weighted-degree-dominated vertices, with a recorded trace for
 //!   forward/backward substitution.
 //! * [`chain`] — the preconditioner chain (Definition 6.3) and the
-//!   recursive preconditioned Chebyshev/CG solver (Lemmas 6.6–6.8,
-//!   Section 6.3's `m^{1/3}` termination).
+//!   recursive W-cycle Chebyshev/CG solver (Lemmas 6.6–6.8, Section 6.3's
+//!   `m^{1/3}` termination, depth driven by measured shrink).
 //! * [`sdd_solve`] — `SDDSolve` (Theorem 1.1): the public solver for graph
 //!   Laplacians and general SDD matrices (via Gremban's reduction).
 //! * [`baseline`] — CG / Jacobi-PCG / MST-preconditioned CG / dense
@@ -36,6 +38,11 @@ pub use chain::{
     build_chain, ChainOptions, ChainPreconditioner, ChainStats, IterationMethod, SolveOutcome,
     SolverChain,
 };
-pub use elimination::{greedy_elimination, EliminationResult, EliminationStep};
+pub use elimination::{
+    greedy_elimination, greedy_elimination_with_params, EliminationParams, EliminationResult,
+    EliminationStep,
+};
 pub use sdd_solve::{SddSolver, SddSolverOptions};
-pub use sparsify::{incremental_sparsify, Sparsifier, SparsifyParams};
+pub use sparsify::{
+    incremental_sparsify, incremental_sparsify_with_target, Sparsifier, SparsifyParams,
+};

@@ -48,6 +48,23 @@ impl SddSolverOptions {
         self.chain = chain;
         self
     }
+
+    /// Returns a copy with every out-of-range field clamped: non-finite or
+    /// negative tolerances fall back to the default (`0.0` stays legal —
+    /// it means "run the full iteration budget"), a zero iteration budget
+    /// becomes one, and the chain options are
+    /// [`ChainOptions::sanitized`]. Solver construction applies this, so
+    /// bad options are caught here instead of diverging deep in
+    /// `build_chain`.
+    pub fn sanitized(&self) -> Self {
+        let mut o = *self;
+        if !o.tolerance.is_finite() || o.tolerance < 0.0 {
+            o.tolerance = SddSolverOptions::default().tolerance;
+        }
+        o.max_iterations = o.max_iterations.max(1);
+        o.chain = o.chain.sanitized();
+        o
+    }
 }
 
 /// How the input system was given.
@@ -67,8 +84,10 @@ pub struct SddSolver {
 }
 
 impl SddSolver {
-    /// Builds a solver for the Laplacian of `g`.
+    /// Builds a solver for the Laplacian of `g`. Options are
+    /// [`SddSolverOptions::sanitized`] first.
     pub fn new_laplacian(g: &Graph, options: SddSolverOptions) -> Self {
+        let options = options.sanitized();
         let chain = build_chain(g, &options.chain);
         SddSolver {
             problem: Problem::Laplacian,
@@ -82,6 +101,7 @@ impl SddSolver {
     ///
     /// Panics if the matrix is not symmetric diagonally dominant.
     pub fn new_sdd(a: &CsrMatrix, options: SddSolverOptions) -> Self {
+        let options = options.sanitized();
         let reduction = GrembanReduction::new(a, 1e-14);
         let chain = build_chain(reduction.graph(), &options.chain);
         SddSolver {
@@ -232,6 +252,32 @@ mod tests {
         assert!(loose.converged && tight.converged);
         assert!(tight.relative_residual <= 1e-10);
         assert!(loose.iterations <= tight.iterations);
+    }
+
+    #[test]
+    fn bad_options_are_sanitized_at_construction() {
+        // NaN tolerance, zero iteration budget, and a κ ≤ 1 chain target
+        // must be clamped at construction instead of diverging later.
+        let zero_budget = SddSolverOptions {
+            max_iterations: 0,
+            ..Default::default()
+        };
+        assert_eq!(zero_budget.sanitized().max_iterations, 1);
+        let g = generators::grid2d(20, 20, |_, _| 1.0);
+        let opts = SddSolverOptions {
+            tolerance: f64::NAN,
+            chain: ChainOptions {
+                kappa: 0.0,
+                extra_fraction: f64::NEG_INFINITY,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let solver = SddSolver::new_laplacian(&g, opts);
+        let mut b: Vec<f64> = (0..g.n()).map(|i| (i % 3) as f64 - 1.0).collect();
+        project_out_constant(&mut b);
+        let out = solver.solve(&b);
+        assert!(out.converged, "rel {}", out.relative_residual);
     }
 
     #[test]

@@ -1,18 +1,35 @@
-//! `IncrementalSparsify` — Lemma 6.1 / Lemma 6.2.
+//! `IncrementalSparsify` — Lemma 6.1 / Lemma 6.2, with KMP10-style tree
+//! scaling.
 //!
 //! Given a graph `G` and a low-stretch subgraph `Ĝ` (from `LSSubgraph`,
-//! Theorem 5.9), the incremental sparsifier keeps every edge of `Ĝ` and
-//! samples each remaining edge `e` independently with probability
-//! `p_e = min(1, c·str(e)·log n / κ)`, re-weighting kept edges by `1/p_e`.
-//! The expected Laplacian of the output equals `L_G`, the expected number
-//! of extra edges is `O(S·log n / κ)` where `S` is the total stretch
-//! (matching Lemma 6.1's edge count), and the observed relative condition
-//! number grows linearly with `κ` — experiment E7 measures it directly.
+//! Theorem 5.9), the incremental sparsifier keeps every edge of `Ĝ`,
+//! scales the spanning-forest part of `Ĝ` up by `tree_scale`, and samples
+//! each remaining edge `e` independently with probability
+//! `p_e = min(1, c·str̃(e)·log n / κ)`, re-weighting kept edges by `1/p_e`
+//! — where `str̃(e) = str(e)/tree_scale` is the stretch measured against
+//! the *scaled* forest.
+//!
+//! **Tree scaling** is the work-balance lever of \[KMP10\] ("Approaching
+//! Optimality for Solving SDD Linear Systems"): the output `B` spectrally
+//! approximates `Ĝ_t = G + (t−1)·F` (the input with its forest `F` scaled
+//! by `t = tree_scale`), and `G ⪯ Ĝ_t ⪯ t·G` holds *deterministically* —
+//! the forest absorbs a factor `t` of condition number with certainty,
+//! instead of relying on the sampled tail of the stretch distribution to
+//! cap `λ_max(B⁻¹G)`. The price is a `t×` heavier forest; the prize is
+//! that the off-forest sample budget needed for a given per-level κ
+//! shrinks by `t`, which is what lets a deep preconditioner chain shrink
+//! geometrically (see `crate::chain` and DESIGN.md §2.1).
+//!
+//! The expected number of sampled edges is `O(S·log n / (t·κ))` where `S`
+//! is the total (unscaled) stretch; the observed relative condition
+//! number grows linearly with `t·κ` — experiment E7 measures it directly.
 //!
 //! This follows the stretch-proportional oversampling of \[KMP10\] with
 //! independent per-edge sampling in place of sampling with replacement
-//! (documented in DESIGN.md); stretches are computed against the spanning
-//! forest part of `Ĝ`, which upper-bounds the true subgraph stretch.
+//! (documented in DESIGN.md). Sampling decisions use a counter-based hash
+//! of `(seed, edge id)` rather than a sequential RNG stream, so the
+//! sampling/weight pass runs as a parallel map whose output is bitwise
+//! identical at every pool width.
 //!
 //! **Weight conventions.** In the solver pipeline the graph's weights are
 //! Laplacian *conductances*; the stretch that controls the sparsifier's
@@ -21,48 +38,81 @@
 //! reciprocal-weight (length) graph. This module builds that reciprocal
 //! view internally, so callers pass conductance graphs throughout.
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use parsdd_graph::{Edge, EdgeId, Graph};
 use parsdd_lsst::stretch::per_edge_stretch_over_tree;
 
 /// The reciprocal-weight ("length") view of a conductance graph, used for
-/// resistance-stretch computation. Edge ids are preserved.
-fn length_view(g: &Graph) -> Graph {
+/// resistance-stretch computation (and by the chain for the low-stretch
+/// subgraph construction). Edge ids are preserved.
+pub(crate) fn length_view(g: &Graph) -> Graph {
     let edges = g
         .edges()
-        .iter()
+        .par_iter()
+        .with_min_len(2048)
         .map(|e| Edge::new(e.u, e.v, 1.0 / e.w))
         .collect();
     Graph::from_edges_unchecked(g.n(), edges)
 }
 
 /// Per-edge *resistance* stretch of every edge of the conductance graph `g`
-/// with respect to the spanning forest `forest_edges`:
-/// `w_e · Σ_{f ∈ path} 1/w_f`.
-pub fn per_edge_resistance_stretch(g: &Graph, forest_edges: &[EdgeId]) -> Vec<f64> {
-    per_edge_stretch_over_tree(&length_view(g), forest_edges)
+/// with respect to the spanning forest `forest_edges` scaled up by
+/// `tree_scale`: `w_e · Σ_{f ∈ path} 1/(t·w_f) = str(e)/t`. Pass
+/// `tree_scale = 1.0` for the classic unscaled stretch.
+pub fn per_edge_resistance_stretch(
+    g: &Graph,
+    forest_edges: &[EdgeId],
+    tree_scale: f64,
+) -> Vec<f64> {
+    let inv_scale = 1.0 / tree_scale.max(1.0);
+    let mut stretch = per_edge_stretch_over_tree(&length_view(g), forest_edges);
+    if inv_scale != 1.0 {
+        stretch
+            .par_iter_mut()
+            .with_min_len(2048)
+            .for_each(|s| *s *= inv_scale);
+    }
+    stretch
+}
+
+/// Counter-based per-edge coin in `[0, 1)`: two SplitMix64 finalisation
+/// rounds over `(seed, edge id)`. Order-independent by construction, which
+/// is what makes the sampling pass a parallel map (DESIGN.md §3.1's
+/// determinism contract) instead of a sequential RNG stream.
+fn edge_coin(seed: u64, id: u64) -> f64 {
+    let mut z = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    ((z >> 11) as f64) / (1u64 << 53) as f64
 }
 
 /// Parameters of the incremental sparsifier.
 #[derive(Debug, Clone, Copy)]
 pub struct SparsifyParams {
-    /// Target relative condition number `κ` between the input and the
-    /// sparsifier (Definition 6.3's `κ_i`).
+    /// Target relative condition number `κ` carried by the *sampled*
+    /// off-forest edges (Definition 6.3's `κ_i` is `tree_scale · κ`).
     pub kappa: f64,
-    /// Oversampling constant `c` in `p_e = min(1, c·str(e)·log n/κ)`.
+    /// Oversampling constant `c` in `p_e = min(1, c·str̃(e)·log n/κ)`.
     pub oversample: f64,
+    /// Factor by which the spanning-forest edges of the subgraph are scaled
+    /// up in the output (`t` of \[KMP10\]; `1.0` disables scaling).
+    pub tree_scale: f64,
     /// RNG seed.
     pub seed: u64,
 }
 
 impl SparsifyParams {
-    /// Default parameters for a target condition number.
+    /// Default parameters for a target condition number (no tree scaling).
     pub fn new(kappa: f64) -> Self {
         SparsifyParams {
             kappa: kappa.max(1.0),
             oversample: 4.0,
+            tree_scale: 1.0,
             seed: 0x1bc_0001,
         }
     }
@@ -70,6 +120,16 @@ impl SparsifyParams {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the forest scale factor.
+    pub fn with_tree_scale(mut self, tree_scale: f64) -> Self {
+        self.tree_scale = if tree_scale.is_finite() {
+            tree_scale.max(1.0)
+        } else {
+            1.0
+        };
         self
     }
 }
@@ -83,8 +143,11 @@ pub struct Sparsifier {
     pub subgraph_edges: usize,
     /// Number of sampled off-subgraph edges.
     pub sampled_edges: usize,
-    /// Total stretch of the off-subgraph edges (the `m·S` of Lemma 6.1).
+    /// Total *scaled* stretch of the off-subgraph edges (the `m·S` of
+    /// Lemma 6.1, divided by `tree_scale`).
     pub total_offsubgraph_stretch: f64,
+    /// Forest scale factor the sparsifier was built with.
+    pub tree_scale: f64,
 }
 
 impl Sparsifier {
@@ -96,37 +159,32 @@ impl Sparsifier {
 
 /// Like [`incremental_sparsify`], but instead of a condition number takes a
 /// *target number of sampled off-subgraph edges* and derives the κ that
-/// achieves it in expectation (`κ = c·log n·S / target`). This is how the
-/// chain picks its per-level κ in practice: the expected sample count is
-/// what controls how much the next level shrinks (Lemma 6.2's trade-off
-/// read backwards). Returns the sparsifier and the κ that was used.
+/// achieves it in expectation (`κ = c·log n·(S/t) / target`). This is how
+/// the chain picks its per-level κ in practice: the expected sample count
+/// is what controls how much the next level shrinks (Lemma 6.2's trade-off
+/// read backwards), while the scaled forest absorbs a further factor `t`
+/// of condition number deterministically. Returns the sparsifier and the
+/// sampled-edge κ that was used (the level's full condition target is
+/// `t · κ`).
 pub fn incremental_sparsify_with_target(
     g: &Graph,
     subgraph_edges: &[EdgeId],
     forest_edges: &[EdgeId],
     target_samples: usize,
     oversample: f64,
+    tree_scale: f64,
     seed: u64,
 ) -> (Sparsifier, f64) {
     let n = g.n();
     let log_n = (n.max(2) as f64).ln();
-    // Total off-subgraph resistance stretch (over the forest).
-    let stretch = per_edge_resistance_stretch(g, forest_edges);
-    let in_subgraph = {
-        let mut flag = vec![false; g.m()];
-        for &e in subgraph_edges {
-            flag[e as usize] = true;
-        }
-        flag
-    };
-    let total: f64 = (0..g.m())
-        .filter(|&i| !in_subgraph[i] && stretch[i].is_finite())
-        .map(|i| stretch[i])
-        .sum();
+    // Total off-subgraph resistance stretch over the scaled forest.
+    let stretch = per_edge_resistance_stretch(g, forest_edges, tree_scale);
+    let in_subgraph = subgraph_flags(g.m(), subgraph_edges);
+    let total = total_finite_offsubgraph_stretch(&stretch, &in_subgraph);
     let kappa = if total <= 0.0 {
         // No off-subgraph edge has finite stretch: the subgraph already
         // carries every edge that matters and the sparsifier equals the
-        // input, so the honest condition number is 1.
+        // input (plus forest scaling), so the honest sampling κ is 1.
         1.0
     } else if target_samples == 0 {
         // "Sample nothing" — keep only the subgraph. Large but finite so
@@ -138,6 +196,7 @@ pub fn incremental_sparsify_with_target(
     let params = SparsifyParams {
         kappa,
         oversample,
+        tree_scale,
         seed,
     };
     (
@@ -146,11 +205,30 @@ pub fn incremental_sparsify_with_target(
     )
 }
 
+fn subgraph_flags(m: usize, subgraph_edges: &[EdgeId]) -> Vec<bool> {
+    let mut flag = vec![false; m];
+    for &e in subgraph_edges {
+        flag[e as usize] = true;
+    }
+    flag
+}
+
+/// Width-independent parallel sum of the finite off-subgraph stretches.
+fn total_finite_offsubgraph_stretch(stretch: &[f64], in_subgraph: &[bool]) -> f64 {
+    stretch
+        .par_iter()
+        .with_min_len(2048)
+        .zip(in_subgraph.par_iter())
+        .map(|(&s, &sub)| if !sub && s.is_finite() { s } else { 0.0 })
+        .sum()
+}
+
 /// Builds the incremental sparsifier `H` of `g` with respect to the
 /// subgraph given by `subgraph_edges` (edge ids of `g`), whose spanning
-/// forest part is `forest_edges` (used for stretch computation; typically
-/// the `tree_edges` of the `LSSubgraph` output plus, when the subgraph is
-/// disconnected on some component, any spanning forest of it).
+/// forest part is `forest_edges` (used for stretch computation *and* tree
+/// scaling; typically the `tree_edges` of the `LSSubgraph` output plus,
+/// when the subgraph is disconnected on some component, any spanning
+/// forest of it).
 pub fn incremental_sparsify(
     g: &Graph,
     subgraph_edges: &[EdgeId],
@@ -158,47 +236,66 @@ pub fn incremental_sparsify(
     params: &SparsifyParams,
 ) -> Sparsifier {
     let n = g.n();
+    let m = g.m();
     let log_n = (n.max(2) as f64).ln();
-    let stretch = per_edge_resistance_stretch(g, forest_edges);
-
-    let in_subgraph = {
-        let mut flag = vec![false; g.m()];
-        for &e in subgraph_edges {
-            flag[e as usize] = true;
-        }
-        flag
+    let tree_scale = if params.tree_scale.is_finite() {
+        params.tree_scale.max(1.0)
+    } else {
+        1.0
     };
+    let stretch = per_edge_resistance_stretch(g, forest_edges, tree_scale);
 
-    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let in_subgraph = subgraph_flags(m, subgraph_edges);
+    let in_forest = subgraph_flags(m, forest_edges);
+    let total_stretch = total_finite_offsubgraph_stretch(&stretch, &in_subgraph);
+
+    // Sampling/weight pass as an order-preserving parallel map: each edge's
+    // fate is a pure function of (seed, edge id, stretch), so the pass is
+    // embarrassingly parallel and — with the shim's length-only split trees
+    // — bitwise reproducible at every pool width. `None` = dropped;
+    // `Some(edge)` = kept (subgraph edges and non-finite-stretch edges pass
+    // through here too, with forest edges scaled).
+    let seed = params.seed;
+    let kappa = params.kappa;
+    let oversample = params.oversample;
+    let decisions: Vec<Option<Edge>> = (0..m)
+        .into_par_iter()
+        .with_min_len(2048)
+        .map(|id| {
+            let e = g.edge(id as EdgeId);
+            if in_forest[id] {
+                return Some(Edge::new(e.u, e.v, e.w * tree_scale));
+            }
+            if in_subgraph[id] {
+                return Some(e);
+            }
+            let s = stretch[id];
+            if !s.is_finite() {
+                // The forest does not connect this edge's endpoints
+                // (possible only if the caller passed a non-spanning
+                // forest); keep the edge to stay conservative.
+                return Some(e);
+            }
+            let p = (oversample * s * log_n / kappa).min(1.0);
+            if p > 0.0 && edge_coin(seed, id as u64) < p {
+                Some(Edge::new(e.u, e.v, e.w / p))
+            } else {
+                None
+            }
+        })
+        .collect();
+
     let mut edges: Vec<Edge> = Vec::with_capacity(subgraph_edges.len());
     let mut subgraph_count = 0usize;
     let mut sampled_count = 0usize;
-    let mut total_stretch = 0.0f64;
-
-    for id in 0..g.m() {
-        let e = g.edge(id as EdgeId);
-        if in_subgraph[id] {
+    for (id, decision) in decisions.into_iter().enumerate() {
+        if let Some(e) = decision {
+            if in_subgraph[id] {
+                subgraph_count += 1;
+            } else {
+                sampled_count += 1;
+            }
             edges.push(e);
-            subgraph_count += 1;
-            continue;
-        }
-        let s = stretch[id];
-        if !s.is_finite() {
-            // The forest does not connect this edge's endpoints (possible
-            // only if the caller passed a non-spanning forest); keep the
-            // edge to stay conservative.
-            edges.push(e);
-            sampled_count += 1;
-            continue;
-        }
-        total_stretch += s;
-        let p = (params.oversample * s * log_n / params.kappa).min(1.0);
-        if p <= 0.0 {
-            continue;
-        }
-        if rng.gen_bool(p) {
-            edges.push(Edge::new(e.u, e.v, e.w / p));
-            sampled_count += 1;
         }
     }
 
@@ -207,6 +304,7 @@ pub fn incremental_sparsify(
         subgraph_edges: subgraph_count,
         sampled_edges: sampled_count,
         total_offsubgraph_stretch: total_stretch,
+        tree_scale,
     }
 }
 
@@ -292,5 +390,116 @@ mod tests {
         let (_, b) = tree_and_sparsifier(&g, 30.0, 21);
         assert_eq!(a.graph.m(), b.graph.m());
         assert_eq!(a.sampled_edges, b.sampled_edges);
+    }
+
+    #[test]
+    fn tree_scaling_scales_forest_weights() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        let tree = kruskal(&g);
+        let params = SparsifyParams::new(50.0).with_seed(5).with_tree_scale(8.0);
+        let sp = incremental_sparsify(&g, &tree, &tree, &params);
+        assert_eq!(sp.tree_scale, 8.0);
+        // Every forest edge must appear in the output scaled by 8 (the
+        // input is simple, so an endpoint pair identifies the edge).
+        let out: std::collections::HashMap<(u32, u32), f64> = (0..sp.graph.m())
+            .map(|i| {
+                let e = sp.graph.edge(i as EdgeId);
+                ((e.u.min(e.v), e.u.max(e.v)), e.w)
+            })
+            .collect();
+        for &id in &tree {
+            let orig = g.edge(id);
+            let key = (orig.u.min(orig.v), orig.u.max(orig.v));
+            let &w = out.get(&key).expect("forest edge missing from output");
+            assert!(
+                (w - 8.0 * orig.w).abs() < 1e-12,
+                "forest edge {id} not scaled: {} vs {}",
+                w,
+                orig.w
+            );
+        }
+    }
+
+    #[test]
+    fn tree_scaling_shrinks_sample_count_at_fixed_kappa() {
+        // Scaled stretch is str/t, so p drops by t and so does the expected
+        // number of sampled off-forest edges.
+        let g = generators::weighted_random_graph(400, 3000, 1.0, 2.0, 5);
+        let tree = kruskal(&g);
+        let unscaled =
+            incremental_sparsify(&g, &tree, &tree, &SparsifyParams::new(40.0).with_seed(9));
+        let scaled = incremental_sparsify(
+            &g,
+            &tree,
+            &tree,
+            &SparsifyParams::new(40.0).with_seed(9).with_tree_scale(16.0),
+        );
+        assert!(
+            scaled.sampled_edges < unscaled.sampled_edges,
+            "tree_scale=16 sampled {} vs unscaled {}",
+            scaled.sampled_edges,
+            unscaled.sampled_edges
+        );
+        assert!(
+            scaled.total_offsubgraph_stretch < unscaled.total_offsubgraph_stretch / 8.0,
+            "scaled total stretch {} should be ~16x below unscaled {}",
+            scaled.total_offsubgraph_stretch,
+            unscaled.total_offsubgraph_stretch
+        );
+    }
+
+    #[test]
+    fn scaled_sparsifier_dominates_input_spectrally() {
+        // With the forest scaled up, B ⪰ A holds up to sampling noise:
+        // the observed ratio x'L_A x / x'L_B x stays ≲ 1, and the spread is
+        // bounded by roughly t·κ.
+        let g = generators::grid2d(14, 14, |_, _| 1.0);
+        let tree = kruskal(&g);
+        let sp = incremental_sparsify(
+            &g,
+            &tree,
+            &tree,
+            &SparsifyParams::new(8.0).with_seed(3).with_tree_scale(6.0),
+        );
+        let (lo, hi) = quadratic_form_ratio_bounds(&g, &sp.graph, 25, 7);
+        assert!(hi <= 1.5, "scaled sparsifier should dominate: hi={hi}");
+        assert!(lo > 0.0 && lo.is_finite());
+    }
+
+    #[test]
+    fn with_target_derives_smaller_kappa_under_scaling() {
+        let g = generators::weighted_random_graph(300, 2400, 1.0, 3.0, 15);
+        let tree = kruskal(&g);
+        let (_, kappa_unscaled) =
+            incremental_sparsify_with_target(&g, &tree, &tree, 200, 2.0, 1.0, 31);
+        let (_, kappa_scaled) =
+            incremental_sparsify_with_target(&g, &tree, &tree, 200, 2.0, 16.0, 31);
+        assert!(
+            kappa_scaled <= kappa_unscaled,
+            "same budget must need a smaller sampling κ under scaling: {kappa_scaled} vs {kappa_unscaled}"
+        );
+    }
+
+    #[test]
+    fn sampling_pass_matches_across_pool_widths() {
+        // The counter-based coins + ordered parallel map make the output
+        // bitwise identical at any width.
+        let g = generators::weighted_random_graph(500, 4000, 1.0, 4.0, 23);
+        let tree = kruskal(&g);
+        let params = SparsifyParams::new(30.0).with_seed(77).with_tree_scale(4.0);
+        let run = |threads: usize| {
+            parsdd_graph::parutil::with_threads(threads, || {
+                incremental_sparsify(&g, &tree, &tree, &params)
+            })
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.graph.m(), b.graph.m());
+        for id in 0..a.graph.m() {
+            let ea = a.graph.edge(id as EdgeId);
+            let eb = b.graph.edge(id as EdgeId);
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+            assert_eq!(ea.w.to_bits(), eb.w.to_bits(), "edge {id} weight differs");
+        }
     }
 }
