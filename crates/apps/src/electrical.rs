@@ -28,34 +28,62 @@ pub struct ElectricalFlow {
 }
 
 /// Computes the unit-current electrical flow from `s` to `t` on `g`, using
-/// a prebuilt [`SddSolver`] for the Laplacian of `g`.
+/// a prebuilt [`SddSolver`] for the Laplacian of `g` — the one-pair case
+/// of [`electrical_flows`].
 pub fn electrical_flow(g: &Graph, solver: &SddSolver, s: VertexId, t: VertexId) -> ElectricalFlow {
-    assert_ne!(s, t, "terminals must differ");
+    electrical_flows(g, solver, &[(s, t)])
+        .pop()
+        .expect("one terminal pair in, one flow out")
+}
+
+/// Computes the unit-current electrical flows of many terminal pairs
+/// against the same prebuilt solver, batching all injection vectors
+/// through [`SddSolver::solve_many`] — the many-flow inner loop of the
+/// [CKM+10] max-flow scheme as one blocked pass per iteration instead of
+/// one chain traversal per pair.
+pub fn electrical_flows(
+    g: &Graph,
+    solver: &SddSolver,
+    pairs: &[(VertexId, VertexId)],
+) -> Vec<ElectricalFlow> {
     let n = g.n();
-    let mut b = vec![0.0; n];
-    b[s as usize] = 1.0;
-    b[t as usize] = -1.0;
-    let out = solver.solve(&b);
-    let potentials = out.x;
-    let edge_flow: Vec<f64> = g
-        .edges()
+    let rhs: Vec<Vec<f64>> = pairs
         .iter()
-        .map(|e| e.w * (potentials[e.u as usize] - potentials[e.v as usize]))
+        .map(|&(s, t)| {
+            assert_ne!(s, t, "terminals must differ");
+            let mut b = vec![0.0; n];
+            b[s as usize] = 1.0;
+            b[t as usize] = -1.0;
+            b
+        })
         .collect();
-    let effective_resistance = potentials[s as usize] - potentials[t as usize];
-    let energy: f64 = g
-        .edges()
+    let outs = solver.solve_many(&rhs);
+    pairs
         .iter()
-        .zip(&edge_flow)
-        .map(|(e, f)| f * f / e.w)
-        .sum();
-    ElectricalFlow {
-        potentials,
-        edge_flow,
-        effective_resistance,
-        energy,
-        converged: out.converged,
-    }
+        .zip(outs)
+        .map(|(&(s, t), out)| {
+            let potentials = out.x;
+            let edge_flow: Vec<f64> = g
+                .edges()
+                .iter()
+                .map(|e| e.w * (potentials[e.u as usize] - potentials[e.v as usize]))
+                .collect();
+            let effective_resistance = potentials[s as usize] - potentials[t as usize];
+            let energy: f64 = g
+                .edges()
+                .iter()
+                .zip(&edge_flow)
+                .map(|(e, f)| f * f / e.w)
+                .sum();
+            ElectricalFlow {
+                potentials,
+                edge_flow,
+                effective_resistance,
+                energy,
+                converged: out.converged,
+            }
+        })
+        .collect()
 }
 
 /// Verifies flow conservation: net flow out of every vertex must equal the
@@ -123,6 +151,26 @@ mod tests {
         // unit s-t flow, e.g. one routed along a single shortest path of
         // length 22 (energy 22).
         assert!(f.energy <= 22.0 + 1e-6);
+    }
+
+    #[test]
+    fn batched_flows_match_single_flows_bitwise() {
+        let g = generators::grid2d(9, 9, |_, _| 1.0);
+        let solver = solver_for(&g);
+        let pairs = [(0u32, 80u32), (4, 76), (0, 8)];
+        let batched = electrical_flows(&g, &solver, &pairs);
+        for (&(s, t), flow) in pairs.iter().zip(&batched) {
+            let single = electrical_flow(&g, &solver, s, t);
+            assert_eq!(flow.converged, single.converged);
+            assert_eq!(
+                flow.effective_resistance.to_bits(),
+                single.effective_resistance.to_bits()
+            );
+            for (a, b) in flow.potentials.iter().zip(&single.potentials) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert!(conservation_violation(&g, flow, s, t) < 1e-6);
+        }
     }
 
     #[test]

@@ -33,20 +33,54 @@ pub struct HarmonicResult {
 ///
 /// Interior vertices in components containing no boundary vertex are
 /// assigned 0. Panics if `boundary` is empty or references vertices out of
-/// range.
+/// range. The `k = 1` case of
+/// [`harmonic_interpolation_many`] — one boundary assignment, one solve.
 pub fn harmonic_interpolation(
     g: &Graph,
     boundary: &HashMap<VertexId, f64>,
     options: SddSolverOptions,
 ) -> HarmonicResult {
-    assert!(!boundary.is_empty(), "need at least one boundary vertex");
+    harmonic_interpolation_many(g, std::slice::from_ref(boundary), options)
+        .pop()
+        .expect("one boundary assignment in, one result out")
+}
+
+/// Computes the harmonic extensions of many boundary *assignments* over
+/// the same boundary *vertex set*: the grounded system `L_II` is
+/// assembled and factored into a preconditioner chain **once**, and all
+/// right-hand sides `−L_IB x_B` are answered by one batched
+/// [`SddSolver::solve_many`] call — the many-Dirichlet-problem workload
+/// of Poisson image editing (one channel per assignment) and
+/// label propagation (one indicator per class).
+///
+/// Every map in `boundaries` must fix the same vertex set (the values may
+/// differ freely). Panics if `boundaries` is empty, a map is empty, key
+/// sets differ, or a vertex is out of range.
+pub fn harmonic_interpolation_many(
+    g: &Graph,
+    boundaries: &[HashMap<VertexId, f64>],
+    options: SddSolverOptions,
+) -> Vec<HarmonicResult> {
+    let first = boundaries.first().expect("need at least one assignment");
+    assert!(!first.is_empty(), "need at least one boundary vertex");
     let n = g.n();
-    for &v in boundary.keys() {
-        assert!((v as usize) < n, "boundary vertex {v} out of range");
+    for boundary in boundaries {
+        assert_eq!(
+            boundary.len(),
+            first.len(),
+            "all assignments must fix the same boundary vertex set"
+        );
+        for &v in boundary.keys() {
+            assert!((v as usize) < n, "boundary vertex {v} out of range");
+            assert!(
+                first.contains_key(&v),
+                "all assignments must fix the same boundary vertex set"
+            );
+        }
     }
-    // Interior numbering.
+    // Interior numbering (shared by every assignment).
     let mut interior: Vec<VertexId> = (0..n as VertexId)
-        .filter(|v| !boundary.contains_key(v))
+        .filter(|v| !first.contains_key(v))
         .collect();
     interior.sort_unstable();
     let mut interior_index = vec![u32::MAX; n];
@@ -54,32 +88,43 @@ pub fn harmonic_interpolation(
         interior_index[v as usize] = i as u32;
     }
 
-    let mut values = vec![0.0f64; n];
-    for (&v, &val) in boundary {
-        values[v as usize] = val;
-    }
+    let mut all_values: Vec<Vec<f64>> = boundaries
+        .iter()
+        .map(|boundary| {
+            let mut values = vec![0.0f64; n];
+            for (&v, &val) in boundary {
+                values[v as usize] = val;
+            }
+            values
+        })
+        .collect();
     if interior.is_empty() {
-        return HarmonicResult {
-            values,
-            converged: true,
-            max_mean_value_violation: 0.0,
-        };
+        return all_values
+            .into_iter()
+            .map(|values| HarmonicResult {
+                values,
+                converged: true,
+                max_mean_value_violation: 0.0,
+            })
+            .collect();
     }
 
     // Assemble L_II (SDDM: Laplacian of the interior-induced subgraph plus
-    // the diagonal contribution of edges to the boundary) and the
-    // right-hand side -L_IB x_B.
+    // the diagonal contribution of edges to the boundary) once, and one
+    // right-hand side -L_IB x_B per assignment.
     let k = interior.len();
     let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
-    let mut rhs = vec![0.0f64; k];
+    let mut rhs: Vec<Vec<f64>> = vec![vec![0.0f64; k]; boundaries.len()];
     for (i, &v) in interior.iter().enumerate() {
         let mut diag = 0.0;
         for (u, w, _e) in g.arcs(v) {
             diag += w;
             match interior_index[u as usize] {
                 u32::MAX => {
-                    // Boundary neighbour contributes to the rhs.
-                    rhs[i] += w * values[u as usize];
+                    // Boundary neighbour contributes to every rhs.
+                    for (b, values) in rhs.iter_mut().zip(&all_values) {
+                        b[i] += w * values[u as usize];
+                    }
                 }
                 j => {
                     triplets.push((i as u32, j, -w));
@@ -90,30 +135,34 @@ pub fn harmonic_interpolation(
     }
     let l_ii = CsrMatrix::from_triplets(k, k, &triplets);
     let solver = SddSolver::new_sdd(&l_ii, options);
-    let out = solver.solve(&rhs);
-    for (i, &v) in interior.iter().enumerate() {
-        values[v as usize] = out.x[i];
-    }
+    let outs = solver.solve_many(&rhs);
 
-    // Mean-value property check.
-    let mut max_violation = 0.0f64;
-    for &v in &interior {
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (u, w, _e) in g.arcs(v) {
-            num += w * values[u as usize];
-            den += w;
-        }
-        if den > 0.0 {
-            max_violation = max_violation.max((values[v as usize] - num / den).abs());
-        }
-    }
-
-    HarmonicResult {
-        values,
-        converged: out.converged,
-        max_mean_value_violation: max_violation,
-    }
+    outs.into_iter()
+        .zip(all_values.iter_mut())
+        .map(|(out, values)| {
+            for (i, &v) in interior.iter().enumerate() {
+                values[v as usize] = out.x[i];
+            }
+            // Mean-value property check.
+            let mut max_violation = 0.0f64;
+            for &v in &interior {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (u, w, _e) in g.arcs(v) {
+                    num += w * values[u as usize];
+                    den += w;
+                }
+                if den > 0.0 {
+                    max_violation = max_violation.max((values[v as usize] - num / den).abs());
+                }
+            }
+            HarmonicResult {
+                values: std::mem::take(values),
+                converged: out.converged,
+                max_mean_value_violation: max_violation,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -165,6 +214,39 @@ mod tests {
         // Symmetry: the middle column sits near 2.5.
         let mid = res.values[7 * 15 + 7];
         assert!((mid - 2.5).abs() < 0.05, "centre value {mid}");
+    }
+
+    #[test]
+    fn many_assignments_match_single_calls_bitwise() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        // Three assignments over the same boundary set (two grid corners).
+        let assignments: Vec<HashMap<u32, f64>> = (0..3)
+            .map(|s| {
+                let mut b = HashMap::new();
+                b.insert(0u32, s as f64);
+                b.insert(99u32, 5.0 - s as f64);
+                b
+            })
+            .collect();
+        let batched = harmonic_interpolation_many(&g, &assignments, SddSolverOptions::default());
+        for (boundary, res) in assignments.iter().zip(&batched) {
+            let single = harmonic_interpolation(&g, boundary, SddSolverOptions::default());
+            assert_eq!(res.converged, single.converged);
+            for (a, b) in res.values.iter().zip(&single.values) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same boundary vertex set")]
+    fn mismatched_boundary_sets_rejected() {
+        let g = generators::path(5, 1.0);
+        let mut b1 = HashMap::new();
+        b1.insert(0u32, 1.0);
+        let mut b2 = HashMap::new();
+        b2.insert(4u32, 1.0);
+        let _ = harmonic_interpolation_many(&g, &[b1, b2], SddSolverOptions::default());
     }
 
     #[test]

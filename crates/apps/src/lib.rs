@@ -6,6 +6,12 @@
 //! * [`resistance`] — effective resistances via `O(log n)` solves against
 //!   random projections (Spielman–Srivastava), the primitive behind
 //!   spectral sparsification.
+//!
+//! Every module here is a many-right-hand-side workload against one
+//! prebuilt chain, so the apps batch their systems through
+//! [`parsdd_solver::sdd_solve::SddSolver::solve_many`] — the chain's
+//! matrices stream once per block of right-hand sides — and the batched
+//! answers are bitwise identical to one-solve-at-a-time loops.
 //! * [`sparsifier`] — spectral/cut sparsifiers by sampling edges with
 //!   probability proportional to `w_e · R_eff(e)` \[SS08\].
 //! * [`electrical`] — electrical flows / potentials (one solve per flow),
@@ -33,8 +39,8 @@ pub mod resistance;
 pub mod sparsifier;
 pub mod spectral;
 
-pub use electrical::{electrical_flow, ElectricalFlow};
-pub use harmonic::{harmonic_interpolation, HarmonicResult};
+pub use electrical::{electrical_flow, electrical_flows, ElectricalFlow};
+pub use harmonic::{harmonic_interpolation, harmonic_interpolation_many, HarmonicResult};
 pub use maxflow::{approx_max_flow, exact_max_flow, ApproxMaxFlowResult};
 pub use resistance::{approximate_effective_resistances, exact_effective_resistances};
 pub use sparsifier::{spectral_sparsify, SparsifierResult};

@@ -7,12 +7,22 @@
 //! weighted incidence matrix — the primitive the paper's "construction of
 //! spectral sparsifiers" application relies on. The exact variant (one
 //! solve per edge endpoint pair) is provided for verification.
+//!
+//! Both estimators are **many-right-hand-side** workloads against one
+//! Laplacian, so both batch their systems through
+//! [`SddSolver::solve_many`]: every chain level streams its matrices once
+//! per block of projections instead of once per solve. The projection
+//! signs are counter-based per-`(projection, edge)` coins (the
+//! [`parsdd_solver::sparsify::counter_coin`] scheme), not a sequential RNG
+//! stream — each sign is a pure function of `(seed, projection, edge)`, so
+//! the batched estimator and a one-solve-at-a-time loop see identical
+//! randomness, and the results agree **bitwise** at every pool width.
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use parsdd_graph::Graph;
 use parsdd_solver::sdd_solve::SddSolver;
+use parsdd_solver::sparsify::counter_coin;
 
 /// Exact effective resistance between two vertices (one solve).
 pub fn pair_effective_resistance(g: &Graph, solver: &SddSolver, u: u32, v: u32) -> f64 {
@@ -23,19 +33,51 @@ pub fn pair_effective_resistance(g: &Graph, solver: &SddSolver, u: u32, v: u32) 
     out.x[u as usize] - out.x[v as usize]
 }
 
-/// Exact effective resistance of every edge (m solves — only for
-/// verification on small graphs).
+/// Exact effective resistance of every edge (m solves, batched through
+/// [`SddSolver::solve_many`] — only for verification on small graphs).
+/// The dense `χ_u − χ_v` right-hand sides are built one solver-block at
+/// a time, so peak memory stays `O(block · n)` instead of `O(m · n)`.
 pub fn exact_effective_resistances(g: &Graph, solver: &SddSolver) -> Vec<f64> {
-    g.edges()
-        .iter()
-        .map(|e| pair_effective_resistance(g, solver, e.u, e.v))
-        .collect()
+    let n = g.n();
+    let mut out = Vec::with_capacity(g.m());
+    for chunk in g.edges().chunks(parsdd_solver::sdd_solve::MAX_BLOCK_WIDTH) {
+        let rhs: Vec<Vec<f64>> = chunk
+            .iter()
+            .map(|e| {
+                let mut b = vec![0.0; n];
+                b[e.u as usize] = 1.0;
+                b[e.v as usize] = -1.0;
+                b
+            })
+            .collect();
+        let outs = solver.solve_many(&rhs);
+        out.extend(
+            chunk
+                .iter()
+                .zip(&outs)
+                .map(|(e, o)| o.x[e.u as usize] - o.x[e.v as usize]),
+        );
+    }
+    out
+}
+
+/// The ±1 sign of edge `edge` in projection `projection`: a counter-based
+/// coin over `(seed ⊕ projection-tweak, edge)`, order-independent in both
+/// coordinates.
+fn projection_sign(seed: u64, projection: u64, edge: u64) -> f64 {
+    let tweaked = seed ^ projection.wrapping_mul(0xd1b5_4a32_d192_ed03);
+    if counter_coin(tweaked, edge) < 0.5 {
+        1.0
+    } else {
+        -1.0
+    }
 }
 
 /// Approximate effective resistances of every edge via the
 /// Spielman–Srivastava random-projection scheme with `num_projections`
-/// solves. With `q = O(log n / ε²)` projections the estimates are within
-/// `1 ± ε` of the truth with high probability.
+/// solves, batched through [`SddSolver::solve_many`]. With
+/// `q = O(log n / ε²)` projections the estimates are within `1 ± ε` of the
+/// truth with high probability.
 pub fn approximate_effective_resistances(
     g: &Graph,
     solver: &SddSolver,
@@ -44,25 +86,33 @@ pub fn approximate_effective_resistances(
 ) -> Vec<f64> {
     let n = g.n();
     let m = g.m();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    // z_k = L⁺ (Bᵀ W^{1/2} q_k) for random ±1 vectors q_k over the edges;
-    // R_eff(u,v) ≈ Σ_k (z_k[u] − z_k[v])² / num_projections … up to the
-    // 1/√q scaling folded in below.
-    let mut acc = vec![0.0f64; m];
-    let scale = 1.0 / num_projections as f64;
-    for _ in 0..num_projections {
-        // y = Bᵀ W^{1/2} q, built edge by edge.
+    // y_p = Bᵀ W^{1/2} q_p for counter-based ±1 vectors q_p over the edges;
+    // R_eff(u,v) ≈ Σ_p (z_p[u] − z_p[v])² / num_projections with
+    // z_p = L⁺ y_p.
+    let mut signs = vec![0.0f64; m];
+    let mut rhs: Vec<Vec<f64>> = Vec::with_capacity(num_projections);
+    for p in 0..num_projections {
+        // Order-independent coins let the sign pass run as a parallel map;
+        // the buffer is exact-length, so `collect_into_vec` reuses it
+        // across projections without reallocating.
+        (0..m as u64)
+            .into_par_iter()
+            .with_min_len(2048)
+            .map(|e| projection_sign(seed, p as u64, e))
+            .collect_into_vec(&mut signs);
         let mut y = vec![0.0f64; n];
-        let mut signs = Vec::with_capacity(m);
-        for e in g.edges() {
-            let s: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-            signs.push(s);
+        for (e, &s) in g.edges().iter().zip(&signs) {
             let w = e.w.sqrt() * s;
             y[e.u as usize] += w;
             y[e.v as usize] -= w;
         }
-        let out = solver.solve(&y);
-        let z = out.x;
+        rhs.push(y);
+    }
+    let outs = solver.solve_many(&rhs);
+    let mut acc = vec![0.0f64; m];
+    let scale = 1.0 / num_projections as f64;
+    for out in &outs {
+        let z = &out.x;
         for (i, e) in g.edges().iter().enumerate() {
             let d = z[e.u as usize] - z[e.v as usize];
             acc[i] += d * d * scale;
@@ -127,6 +177,43 @@ mod tests {
         // below 30% for every edge (JL concentration).
         for (a, e) in approx.iter().zip(&exact) {
             assert!((a - e).abs() <= 0.3 * e + 1e-6, "approx {a} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn batched_estimator_matches_looped_solves_bitwise() {
+        // The counter-based signs are a pure function of (seed, projection,
+        // edge) and the solver's batched answers are bitwise identical to
+        // looped single solves, so running the estimator's projections one
+        // solve at a time must reproduce the batched output exactly.
+        let g = generators::grid2d(7, 7, |_, _| 1.0);
+        let solver = solver_for(&g);
+        let q = 8;
+        let seed = 42;
+        let batched = approximate_effective_resistances(&g, &solver, q, seed);
+        let m = g.m();
+        let n = g.n();
+        let mut acc = vec![0.0f64; m];
+        let scale = 1.0 / q as f64;
+        for p in 0..q {
+            let mut y = vec![0.0f64; n];
+            let mut signs = Vec::with_capacity(m);
+            for e in 0..m as u64 {
+                signs.push(projection_sign(seed, p as u64, e));
+            }
+            for (e, &s) in g.edges().iter().zip(&signs) {
+                let w = e.w.sqrt() * s;
+                y[e.u as usize] += w;
+                y[e.v as usize] -= w;
+            }
+            let z = solver.solve(&y).x;
+            for (i, e) in g.edges().iter().enumerate() {
+                let d = z[e.u as usize] - z[e.v as usize];
+                acc[i] += d * d * scale;
+            }
+        }
+        for (i, (a, b)) in batched.iter().zip(&acc).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "edge {i}");
         }
     }
 }

@@ -1,16 +1,23 @@
 //! Regenerates `BENCH_BASELINE.json`: one headline timing per experiment
-//! (E1–E10, A1), each measured at 1 thread and at the widest pool, plus
+//! (E1–E10, A1), each measured at 1 thread and at the widest pool, the
+//! multi-RHS blocked-solve sweep (time-per-RHS at k ∈ {1, 4, 16}), plus
 //! machine info and the default chain's per-level work accounting — the
 //! fixed reference point perf PRs diff against.
 //!
 //! Usage (run in release or the numbers are meaningless):
 //!
 //! ```text
-//! cargo run --release -p parsdd_bench --bin baseline [-- [--quick] OUTPUT_PATH]
+//! cargo run --release -p parsdd_bench --bin baseline \
+//!     [-- [--quick] [--threads N] OUTPUT_PATH]
 //! ```
 //!
-//! `--quick` takes a single timed sample per point (a CI smoke mode that
-//! only proves the binary still runs end to end; don't commit its output).
+//! `--quick` takes a single timed sample per point on shrunken workloads
+//! (a CI smoke mode that only proves the binary still runs end to end;
+//! don't commit its output). `--threads N` overrides the wide end of the
+//! thread sweep (default: all hardware threads, min 4) — the committed
+//! baseline was captured on a 1-CPU container whose thread columns show
+//! time-slicing, so multicore hosts should regenerate with their real
+//! width on record.
 //!
 //! Timing protocol: one warm-up run, then [`SAMPLES`] timed runs per
 //! (experiment, width); the JSON records the minimum (the least-noise
@@ -107,10 +114,19 @@ fn json_usize_array(vs: &[usize]) -> String {
 
 fn main() {
     let mut quick = false;
+    let mut threads_override: Option<usize> = None;
     let mut out_path = "BENCH_BASELINE.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--quick" {
             quick = true;
+        } else if arg == "--threads" {
+            let n: usize = args
+                .next()
+                .expect("--threads needs a value")
+                .parse()
+                .expect("--threads needs an integer");
+            threads_override = Some(n.max(1));
         } else {
             out_path = arg;
         }
@@ -123,8 +139,9 @@ fn main() {
         .unwrap_or(1);
     // Always include a ≥4-thread point so speedup-at-4 is on record even
     // when the hardware has fewer cores (the JSON carries `cpus` so the
-    // reader can tell a real speedup from time-slicing).
-    let wide = hw.max(4);
+    // reader can tell a real speedup from time-slicing); `--threads`
+    // overrides both the env and the hardware default.
+    let wide = threads_override.unwrap_or(hw.max(4));
     let widths = [1usize, wide];
 
     let grid96 = parsdd_graph::generators::grid2d(96, 96, |_, _| 1.0);
@@ -250,10 +267,59 @@ fn main() {
         |c| format!("levels={}", c.stats().level_vertices.len()),
     ));
 
+    // ----- Multi-RHS blocked-solve sweep (schema v3) -----
+    //
+    // The Spielman–Srivastava effective-resistance workload: many
+    // projection right-hand sides against one prebuilt chain, solved in
+    // blocks of k. Time-per-RHS is the headline — blocking amortises every
+    // chain level's matrix stream over the block, which is memory-bound
+    // amortisation and therefore measurable even at 1 thread on 1 CPU
+    // (the sweep runs on a 1-wide pool; thread scaling is the other
+    // experiments' job). The acceptance bar of the blocked-solve refactor:
+    // per-RHS time at k = 16 at most half the k = 1 time.
+    let (mr_side, mr_rhs) = if quick { (60usize, 8usize) } else { (120, 16) };
+    let mr_grid = parsdd_graph::generators::grid2d(mr_side, mr_side, |_, _| 1.0);
+    let mr_points: Vec<(usize, f64, f64)> = {
+        let solver =
+            SddSolver::new_laplacian(&mr_grid, SddSolverOptions::default().with_tolerance(1e-8));
+        let n = mr_grid.n();
+        let rhs: Vec<Vec<f64>> = (0..mr_rhs)
+            .map(|p| {
+                let mut y = vec![0.0f64; n];
+                for (id, e) in mr_grid.edges().iter().enumerate() {
+                    let coin = parsdd_solver::sparsify::counter_coin(
+                        0x55ab_0001 ^ (p as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+                        id as u64,
+                    );
+                    let s = if coin < 0.5 { 1.0 } else { -1.0 };
+                    let w = e.w.sqrt() * s;
+                    y[e.u as usize] += w;
+                    y[e.v as usize] -= w;
+                }
+                y
+            })
+            .collect();
+        [1usize, 4, 16]
+            .iter()
+            .map(|&k| {
+                let (min, mean) = time_at(1, || {
+                    for chunk in rhs.chunks(k) {
+                        std::hint::black_box(solver.solve_many(chunk));
+                    }
+                });
+                eprintln!(
+                    "multi_rhs k={k:2}  total {min:9.1} ms  per-rhs {:9.1} ms",
+                    min / mr_rhs as f64
+                );
+                (k, min, mean)
+            })
+            .collect()
+    };
+
     // ----- JSON (hand-rolled; the workspace has no serde) -----
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v3\",");
     let _ = writeln!(
         json,
         "  \"generated_by\": \"cargo run --release -p parsdd_bench --bin baseline\","
@@ -297,6 +363,38 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+
+    // Multi-RHS sweep: time-per-RHS as a function of the block width k.
+    json.push_str("  \"multi_rhs\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"grid2d {mr_side}x{mr_side} unit weights, {mr_rhs} Spielman-Srivastava projection rhs, tol 1e-8\","
+    );
+    let _ = writeln!(json, "    \"num_rhs\": {mr_rhs},");
+    let _ = writeln!(json, "    \"threads\": 1,");
+    json.push_str("    \"points\": [\n");
+    for (i, &(k, min, mean)) in mr_points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"k\": {k}, \"min_ms\": {:.3}, \"mean_ms\": {:.3}, \"ms_per_rhs\": {:.3} }}{}",
+            min,
+            mean,
+            min / mr_rhs as f64,
+            if i + 1 < mr_points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n");
+    let per_rhs_k1 = mr_points
+        .first()
+        .map(|&(_, min, _)| min)
+        .unwrap_or(f64::NAN);
+    let per_rhs_k16 = mr_points.last().map(|&(_, min, _)| min).unwrap_or(f64::NAN);
+    let _ = writeln!(
+        json,
+        "    \"per_rhs_ratio_k16_vs_k1\": {}",
+        json_f64(per_rhs_k16 / per_rhs_k1)
+    );
+    json.push_str("  },\n");
 
     // Per-level work balance of the default chain on the E8/E9 workload
     // (the quantity the deep-chain refactor optimises): future PRs diff

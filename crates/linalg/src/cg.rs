@@ -11,6 +11,7 @@
 //!   eigenvalue bounds from the chain guarantees) or with PCG (which is
 //!   adaptive); the ablation experiment A1 compares the two.
 
+use crate::block::MultiVector;
 use crate::operator::{IdentityPreconditioner, LinearOperator, Preconditioner};
 use crate::vector::{axpy, dot, norm2, sub};
 
@@ -124,6 +125,164 @@ pub fn pcg_solve(
     }
 }
 
+/// Blocked preconditioned CG: `k` independent PCG recurrences advanced in
+/// lockstep so the operator and preconditioner are applied **once per
+/// block** per iteration instead of once per vector. Unlike Chebyshev the
+/// CG scalars (`alpha`, `beta`, `rz`) are data-dependent, so each column
+/// carries its own; the recurrences never couple, which keeps every
+/// column's arithmetic — and therefore its iterate — bitwise identical to
+/// a standalone [`pcg_solve`] of that column.
+///
+/// Per-column convergence is tracked every iteration and converged (or
+/// broken-down) columns are **deflated**: frozen in the output and
+/// physically compacted out of the working block, so late iterations run
+/// on a narrower and narrower block.
+pub fn block_pcg_solve(
+    a: &dyn LinearOperator,
+    m: &dyn Preconditioner,
+    b: &MultiVector,
+    opts: &CgOptions,
+) -> Vec<CgOutcome> {
+    let n = a.dim();
+    let k = b.ncols();
+    assert_eq!(b.nrows(), n);
+    assert_eq!(m.dim(), n);
+
+    let mut outcomes: Vec<Option<CgOutcome>> = (0..k).map(|_| None).collect();
+    let mut x = MultiVector::zeros(n, k);
+
+    // Zero right-hand sides are solved (by zero) before the loop starts,
+    // exactly like the single-vector driver.
+    let mut active: Vec<usize> = Vec::with_capacity(k);
+    let mut bnorms = vec![0.0f64; k];
+    for j in 0..k {
+        bnorms[j] = norm2(b.col(j));
+        if bnorms[j] == 0.0 {
+            outcomes[j] = Some(CgOutcome {
+                x: vec![0.0; n],
+                iterations: 0,
+                relative_residual: 0.0,
+                converged: true,
+            });
+        } else {
+            active.push(j);
+        }
+    }
+
+    if active.is_empty() {
+        // Every right-hand side was zero: nothing to iterate (a width-0
+        // block must not reach the preconditioner — blocked
+        // preconditioners like the solver chain reject empty blocks).
+        return outcomes
+            .into_iter()
+            .map(|o| o.expect("every column resolved"))
+            .collect();
+    }
+
+    // Working blocks over the *active* columns (compacted on deflation).
+    let mut r = b.select_columns(&active);
+    let mut z = MultiVector::zeros(n, active.len());
+    m.precondition_block(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz: Vec<f64> = (0..active.len()).map(|c| dot(r.col(c), z.col(c))).collect();
+    let mut iterations = vec![0usize; k];
+    let mut rels = vec![1.0f64; k];
+    let mut ap = MultiVector::zeros(n, active.len());
+
+    // Columns that broke down (`pᵀAp ≤ 0`) or ran out of budget take the
+    // single driver's fallback exit: an explicit final residual.
+    let finalize = |j: usize, x_j: &[f64], iters: usize, rel: f64| -> CgOutcome {
+        let ax = a.apply_vec(x_j);
+        let final_res = norm2(&sub(b.col(j), &ax)) / bnorms[j];
+        CgOutcome {
+            converged: final_res <= opts.tol,
+            x: x_j.to_vec(),
+            iterations: iters + 1,
+            relative_residual: final_res.min(rel),
+        }
+    };
+
+    for it in 0..opts.max_iters {
+        if active.is_empty() {
+            break;
+        }
+        // Per-column convergence check and deflation.
+        let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+        for (c, &j) in active.iter().enumerate() {
+            iterations[j] = it;
+            rels[j] = norm2(r.col(c)) / bnorms[j];
+            if rels[j] <= opts.tol {
+                outcomes[j] = Some(CgOutcome {
+                    x: x.col(j).to_vec(),
+                    iterations: iterations[j],
+                    relative_residual: rels[j],
+                    converged: true,
+                });
+            } else {
+                keep.push(c);
+            }
+        }
+        if keep.len() != active.len() {
+            active = keep.iter().map(|&c| active[c]).collect();
+            r = r.select_columns(&keep);
+            z = z.select_columns(&keep);
+            p = p.select_columns(&keep);
+            rz = keep.iter().map(|&c| rz[c]).collect();
+            ap = MultiVector::zeros(n, active.len());
+        }
+        if active.is_empty() {
+            break;
+        }
+
+        a.apply_block(&p, &mut ap);
+        // Direction-energy breakdown is per column too.
+        let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+        for (c, &j) in active.iter().enumerate() {
+            let pap = dot(p.col(c), ap.col(c));
+            if pap <= 0.0 || !pap.is_finite() {
+                outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j]));
+            } else {
+                let alpha = rz[c] / pap;
+                axpy(alpha, p.col(c), x.col_mut(j));
+                axpy(-alpha, ap.col(c), r.col_mut(c));
+                keep.push(c);
+            }
+        }
+        if keep.len() != active.len() {
+            active = keep.iter().map(|&c| active[c]).collect();
+            r = r.select_columns(&keep);
+            z = z.select_columns(&keep);
+            p = p.select_columns(&keep);
+            rz = keep.iter().map(|&c| rz[c]).collect();
+            ap = MultiVector::zeros(n, active.len());
+        }
+        if active.is_empty() {
+            break;
+        }
+
+        m.precondition_block(&r, &mut z);
+        for (c, rz_c) in rz.iter_mut().enumerate() {
+            let rz_new = dot(r.col(c), z.col(c));
+            let beta = rz_new / *rz_c;
+            *rz_c = rz_new;
+            let zc = z.col(c);
+            let pc = p.col_mut(c);
+            for i in 0..n {
+                pc[i] = zc[i] + beta * pc[i];
+            }
+        }
+    }
+
+    // Budget exhausted: the remaining columns take the fallback exit.
+    for &j in &active {
+        outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j]));
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every column resolved"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +344,89 @@ mod tests {
             pre.iterations,
             plain.iterations
         );
+    }
+
+    #[test]
+    fn block_pcg_matches_single_bitwise() {
+        let g = generators::grid2d(14, 14, |_, _| 1.0);
+        let op = LaplacianOp::new(&g);
+        let jac = JacobiPreconditioner::from_laplacian(&op);
+        let opts = CgOptions {
+            max_iters: 400,
+            tol: 1e-9,
+        };
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|j| {
+                let mut b: Vec<f64> = (0..g.n())
+                    .map(|i| ((i * (2 * j + 3)) % 17) as f64 - 8.0)
+                    .collect();
+                project_out_constant(&mut b);
+                b
+            })
+            .collect();
+        let outs = block_pcg_solve(&op, &jac, &MultiVector::from_columns(&cols), &opts);
+        for (j, col) in cols.iter().enumerate() {
+            let single = pcg_solve(&op, &jac, col, &opts);
+            assert_eq!(outs[j].iterations, single.iterations, "column {j}");
+            assert_eq!(outs[j].converged, single.converged);
+            assert_eq!(
+                outs[j].relative_residual.to_bits(),
+                single.relative_residual.to_bits()
+            );
+            for (a, b) in outs[j].x.iter().zip(&single.x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "column {j} solution");
+            }
+        }
+    }
+
+    #[test]
+    fn block_pcg_deflation_and_zero_columns() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        let op = LaplacianOp::new(&g);
+        let jac = JacobiPreconditioner::from_laplacian(&op);
+        let mut hard: Vec<f64> = (0..g.n()).map(|i| (i % 7) as f64 - 3.0).collect();
+        project_out_constant(&mut hard);
+        // One trivial column, one easy (tiny multiple), one hard: per-column
+        // iteration counts must differ and each flag must be honored.
+        let easy: Vec<f64> = hard.iter().map(|v| v * 1e-12).collect();
+        let b = MultiVector::from_columns(&[vec![0.0; g.n()], easy, hard]);
+        let outs = block_pcg_solve(
+            &op,
+            &jac,
+            &b,
+            &CgOptions {
+                max_iters: 2000,
+                tol: 1e-10,
+            },
+        );
+        assert!(outs[0].converged);
+        assert_eq!(outs[0].iterations, 0);
+        assert!(outs.iter().all(|o| o.converged));
+        // The scaled column takes exactly as many iterations as the hard
+        // one would alone (relative tolerance), but never more.
+        assert!(outs[1].iterations <= outs[2].iterations + 1);
+    }
+
+    #[test]
+    fn block_pcg_all_zero_columns_short_circuit() {
+        // An all-zero block must resolve without ever handing a width-0
+        // block to the preconditioner (blocked preconditioners like the
+        // solver chain reject empty blocks).
+        let g = generators::grid2d(6, 6, |_, _| 1.0);
+        let op = LaplacianOp::new(&g);
+        let jac = JacobiPreconditioner::from_laplacian(&op);
+        let outs = block_pcg_solve(
+            &op,
+            &jac,
+            &MultiVector::zeros(g.n(), 2),
+            &CgOptions::default(),
+        );
+        assert_eq!(outs.len(), 2);
+        for o in outs {
+            assert!(o.converged);
+            assert_eq!(o.iterations, 0);
+            assert!(o.x.iter().all(|&v| v == 0.0));
+        }
     }
 
     #[test]

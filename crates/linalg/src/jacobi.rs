@@ -3,6 +3,7 @@
 //! The simplest classical preconditioner; used as a baseline in the solver
 //! experiments (E8) and inside tests.
 
+use crate::block::MultiVector;
 use crate::csr::CsrMatrix;
 use crate::laplacian::LaplacianOp;
 use crate::operator::Preconditioner;
@@ -44,6 +45,16 @@ impl Preconditioner for JacobiPreconditioner {
     fn precondition(&self, r: &[f64], z: &mut [f64]) {
         for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * di;
+        }
+    }
+
+    /// Blocked diagonal scaling: per-column elementwise products are
+    /// independent scalars, so the column loop is already the blocked
+    /// kernel (and trivially bitwise-identical to the single path).
+    fn precondition_block(&self, r: &MultiVector, z: &mut MultiVector) {
+        assert_eq!(r.ncols(), z.ncols());
+        for j in 0..r.ncols() {
+            self.precondition(r.col(j), z.col_mut(j));
         }
     }
 }

@@ -9,6 +9,10 @@
 //!
 //! * [`vector`] — parallel dense vector kernels (dot, axpy, norms,
 //!   projections onto `1⊥`).
+//! * [`block`] — the column-blocked [`MultiVector`] and blocked kernels:
+//!   `k` right-hand sides travel together so sparse products, elimination
+//!   traces and dense factors stream their matrix once per block (the
+//!   substrate of the solver's `solve_many`).
 //! * [`operator`] — the [`LinearOperator`] and
 //!   [`Preconditioner`] abstractions shared by
 //!   every iterative method and by the recursive solver chain.
@@ -31,6 +35,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod block;
 pub mod cg;
 pub mod chebyshev;
 pub mod cholesky;
@@ -42,8 +47,9 @@ pub mod power;
 pub mod sdd;
 pub mod vector;
 
-pub use cg::{cg_solve, pcg_solve, CgOptions, CgOutcome};
-pub use chebyshev::{chebyshev_solve, ChebyshevOptions};
+pub use block::MultiVector;
+pub use cg::{block_pcg_solve, cg_solve, pcg_solve, CgOptions, CgOutcome};
+pub use chebyshev::{block_chebyshev_solve, chebyshev_solve, ChebyshevOptions};
 pub use cholesky::DenseLdl;
 pub use csr::CsrMatrix;
 pub use laplacian::{laplacian_of, LaplacianOp};

@@ -5,6 +5,7 @@
 //! of the preconditioner chain, a CSR matrix, a graph Laplacian and a dense
 //! factorization are all interchangeable.
 
+use crate::block::MultiVector;
 use crate::vector;
 
 /// A symmetric linear operator `y = A x` on `R^n`.
@@ -14,6 +15,20 @@ pub trait LinearOperator: Sync {
 
     /// Computes `y ← A x`. `x` and `y` have length [`dim`](Self::dim).
     fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Computes `Y ← A X` for a block of `k` vectors at once. The default
+    /// loops [`apply`](Self::apply) over the columns; operators with a
+    /// streamable representation (CSR, Laplacians, dense factors) override
+    /// it to stream the matrix once per block. Implementations must keep
+    /// each column's arithmetic identical to a single `apply` of that
+    /// column — the solver's `solve_many` ⇔ looped-`solve` bitwise
+    /// contract depends on it.
+    fn apply_block(&self, x: &MultiVector, y: &mut MultiVector) {
+        assert_eq!(x.ncols(), y.ncols(), "block widths differ");
+        for j in 0..x.ncols() {
+            self.apply(x.col(j), y.col_mut(j));
+        }
+    }
 
     /// Convenience allocation-returning apply.
     fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
@@ -42,6 +57,18 @@ pub trait Preconditioner: Sync {
 
     /// Computes `z ← M⁻¹ r` for the preconditioning operator `M`.
     fn precondition(&self, r: &[f64], z: &mut [f64]);
+
+    /// Computes `Z ← M⁻¹ R` for a block of residuals. The default loops
+    /// [`precondition`](Self::precondition) over the columns; blocked
+    /// preconditioners (the solver chain, Jacobi) override it. The same
+    /// per-column bitwise contract as
+    /// [`LinearOperator::apply_block`] applies.
+    fn precondition_block(&self, r: &MultiVector, z: &mut MultiVector) {
+        assert_eq!(r.ncols(), z.ncols(), "block widths differ");
+        for j in 0..r.ncols() {
+            self.precondition(r.col(j), z.col_mut(j));
+        }
+    }
 
     /// Convenience allocation-returning apply.
     fn precondition_vec(&self, r: &[f64]) -> Vec<f64> {

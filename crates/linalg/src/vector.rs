@@ -171,6 +171,59 @@ pub fn a_norm_with(x: &[f64], ax: &[f64]) -> f64 {
     dot(x, ax).max(0.0).sqrt()
 }
 
+/// Dot product of column `j` of two **row-major** blocks of width
+/// `stride` (entry `i` of the column lives at `i·stride + j`). The
+/// reduction tree depends only on the row count — the same tree [`dot`]
+/// builds — so for `stride = 1` this *is* `dot` bitwise, and a column's
+/// dot is identical whether it travels alone or inside a block, at every
+/// pool width.
+pub fn dot_strided(x: &[f64], y: &[f64], stride: usize, j: usize) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert!(j < stride.max(1));
+    let n = x.len() / stride.max(1);
+    if n < SEQ_CUTOFF {
+        (0..n).map(|i| x[i * stride + j] * y[i * stride + j]).sum()
+    } else {
+        (0..n)
+            .into_par_iter()
+            .with_min_len(MIN_LEN)
+            .map(|i| x[i * stride + j] * y[i * stride + j])
+            .sum()
+    }
+}
+
+/// Componentwise-mean projection of every column of a **row-major**
+/// block of width `k` (the row-major counterpart of
+/// [`project_out_componentwise_constant`]; per column the accumulation
+/// order over rows is identical, so the results match it bitwise).
+pub fn project_out_componentwise_rows(xr: &mut [f64], k: usize, labels: &[u32], count: usize) {
+    if k == 0 {
+        return;
+    }
+    assert_eq!(xr.len(), labels.len() * k);
+    let mut sums = vec![0.0f64; count * k];
+    let mut sizes = vec![0usize; count];
+    for (row, &l) in xr.chunks_exact(k).zip(labels) {
+        let s = &mut sums[l as usize * k..(l as usize + 1) * k];
+        for (acc, &v) in s.iter_mut().zip(row) {
+            *acc += v;
+        }
+        sizes[l as usize] += 1;
+    }
+    for (comp, chunk) in sums.chunks_exact_mut(k).enumerate() {
+        let sz = sizes[comp];
+        for m in chunk.iter_mut() {
+            *m = if sz == 0 { 0.0 } else { *m / sz as f64 };
+        }
+    }
+    for (row, &l) in xr.chunks_exact_mut(k).zip(labels) {
+        let means = &sums[l as usize * k..(l as usize + 1) * k];
+        for (v, &m) in row.iter_mut().zip(means) {
+            *v -= m;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

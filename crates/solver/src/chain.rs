@@ -43,11 +43,15 @@
 //! stay near-linear.
 
 use parsdd_graph::{EdgeId, Graph};
+use parsdd_linalg::block::{column_norms, MultiVector};
 use parsdd_linalg::cholesky::DenseLdl;
-use parsdd_linalg::laplacian::laplacian_of;
+use parsdd_linalg::laplacian::{laplacian_apply_block, laplacian_apply_rowmajor, laplacian_of};
 use parsdd_linalg::operator::Preconditioner;
 use parsdd_linalg::power::{quadratic_form_ratio_bounds, spectrum_bounds_of_map};
-use parsdd_linalg::vector::{dot, norm2, project_out_componentwise_constant, sub};
+use parsdd_linalg::vector::{
+    axpy, dot, dot_strided, norm2, project_out_componentwise_constant,
+    project_out_componentwise_rows, sub,
+};
 use parsdd_lsst::subgraph::{ls_subgraph, LsSubgraphParams};
 use rayon::prelude::*;
 
@@ -392,6 +396,10 @@ pub struct SolverChain {
     bottom: BottomSolver,
     bottom_labels: Vec<u32>,
     bottom_components: usize,
+    /// Connected-component labels of the top-level graph, cached at build
+    /// time (every solve needs them to project the rhs onto the range).
+    top_labels: Vec<u32>,
+    top_components: usize,
     options: ChainOptions,
 }
 
@@ -609,6 +617,15 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         BottomSolver::Iterative
     };
 
+    // Cache the top level's component structure: every solve projects its
+    // right-hand sides with it, and recomputing an O(n + m) labelling per
+    // solve is exactly the per-RHS overhead blocking is meant to remove.
+    let top_comps = if let Some(l) = levels.first() {
+        parsdd_graph::components::parallel_connected_components(&l.graph)
+    } else {
+        comps.clone()
+    };
+
     let mut chain = SolverChain {
         levels,
         bottom_graph: current,
@@ -616,6 +633,8 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         bottom,
         bottom_labels: comps.labels,
         bottom_components: comps.count,
+        top_labels: top_comps.labels,
+        top_components: top_comps.count,
         options,
     };
     chain.calibrate_chebyshev_bounds();
@@ -721,51 +740,89 @@ impl SolverChain {
     /// application (the outer flexible PCG absorbs this inexactness).
     const PRECOND_BOTTOM_TOL: f64 = 1e-8;
 
-    /// Solves the bottom system `A_d x = b` (to `tol` when iterative).
-    fn bottom_solve(&self, b: &[f64], tol: f64) -> Vec<f64> {
-        let mut rhs = b.to_vec();
-        project_out_componentwise_constant(&mut rhs, &self.bottom_labels, self.bottom_components);
+    /// Solves the bottom system `A_d X = B` for `k` row-major right-hand
+    /// sides (to `tol` per column when iterative). The dense factor is
+    /// streamed once per block ([`DenseLdl::solve_rowmajor`]); the
+    /// iterative fallback runs the blocked PCG driver with per-column
+    /// deflation.
+    fn bottom_solve_rm(&self, br: &[f64], k: usize, tol: f64) -> Vec<f64> {
+        let mut rhs = br.to_vec();
+        project_out_componentwise_rows(&mut rhs, k, &self.bottom_labels, self.bottom_components);
         match &self.bottom {
-            BottomSolver::Trivial => vec![0.0; self.bottom_graph.n()],
-            BottomSolver::Dense(ldl) => ldl.solve(&rhs),
+            BottomSolver::Trivial => vec![0.0; br.len()],
+            BottomSolver::Dense(ldl) => ldl.solve_rowmajor(&rhs, k),
             BottomSolver::Iterative => {
                 let op = parsdd_linalg::laplacian::LaplacianOp::new(&self.bottom_graph);
                 let jac = parsdd_linalg::jacobi::JacobiPreconditioner::from_laplacian(&op);
-                parsdd_linalg::cg::pcg_solve(
+                let block = MultiVector::from_rowmajor(&rhs, k);
+                let outs = parsdd_linalg::cg::block_pcg_solve(
                     &op,
                     &jac,
-                    &rhs,
+                    &block,
                     &parsdd_linalg::cg::CgOptions {
                         max_iters: (2 * self.bottom_graph.n()).clamp(100, 4000),
                         tol,
                     },
-                )
-                .x
+                );
+                let cols: Vec<Vec<f64>> = outs.into_iter().map(|o| o.x).collect();
+                MultiVector::from_columns(&cols).to_rowmajor()
             }
         }
     }
 
-    /// Applies the level-`i` preconditioner `B_i⁻¹ r`: forward-eliminate,
-    /// recursively solve `A_{i+1}` with the W-cycle, back-substitute.
-    fn precondition(&self, level: usize, r: &[f64]) -> Vec<f64> {
-        let elim = &self.levels[level].elimination;
-        let (reduced, work) = elim.forward_rhs(r);
-        let y = self.w_cycle(level + 1, &reduced);
-        elim.back_substitute(&work, &y)
+    /// Single-vector bottom solve: the `k = 1` case of
+    /// [`bottom_solve_rm`](Self::bottom_solve_rm) (row-major and
+    /// column-major coincide at width 1).
+    fn bottom_solve(&self, b: &[f64], tol: f64) -> Vec<f64> {
+        self.bottom_solve_rm(b, 1, tol)
     }
 
-    /// One W-cycle solve of `A_i x = b`: the level's fixed `k_i`-iteration
-    /// Chebyshev/CG sweep (each iteration recursing into level `i+1`), or
-    /// the bottom solver below the last level. Uniform at every level —
-    /// the top level's adaptive outer PCG is the only special case.
-    fn w_cycle(&self, level: usize, b: &[f64]) -> Vec<f64> {
+    /// Applies the level-`i` preconditioner `B_i⁻¹ R` to `k` row-major
+    /// right-hand sides: forward-eliminate, recursively solve `A_{i+1}`
+    /// with the W-cycle, back-substitute — the elimination trace and
+    /// every matrix below are streamed once per block, and every step
+    /// touches contiguous k-wide rows.
+    fn precondition_rm(&self, level: usize, rr: &[f64], k: usize) -> Vec<f64> {
+        let elim = &self.levels[level].elimination;
+        let (reduced, work) = elim.forward_rhs_rowmajor(rr, k);
+        let y = self.w_cycle_rm(level + 1, &reduced, k);
+        elim.back_substitute_rowmajor(&work, &y, k)
+    }
+
+    /// Blocked preconditioner application on a column-major block (the
+    /// external surface; the recursion itself runs row-major).
+    fn precondition_block(&self, level: usize, r: &MultiVector) -> MultiVector {
+        let rr = r.to_rowmajor();
+        let zr = self.precondition_rm(level, &rr, r.ncols());
+        MultiVector::from_rowmajor(&zr, r.ncols())
+    }
+
+    /// Single-vector preconditioner application: the `k = 1` case of
+    /// [`precondition_rm`](Self::precondition_rm) — there is one W-cycle
+    /// implementation, not two.
+    fn precondition(&self, level: usize, r: &[f64]) -> Vec<f64> {
+        self.precondition_rm(level, r, 1)
+    }
+
+    /// One W-cycle solve of `A_i X = B` on a row-major block: the level's
+    /// fixed `k_i`-iteration Chebyshev/CG sweep (each iteration recursing
+    /// into level `i+1` with the whole block), or the bottom solver below
+    /// the last level. Uniform at every level — the top level's adaptive
+    /// outer PCG is the only special case. Every column's arithmetic is
+    /// exactly the `k = 1` cycle's, so `solve_many` answers match looped
+    /// `solve` calls bitwise.
+    fn w_cycle_rm(&self, level: usize, br: &[f64], k: usize) -> Vec<f64> {
         if level >= self.levels.len() {
-            return self.bottom_solve(b, Self::PRECOND_BOTTOM_TOL);
+            return self.bottom_solve_rm(br, k, Self::PRECOND_BOTTOM_TOL);
         }
         let lvl = &self.levels[level];
         match self.options.inner_method {
-            IterationMethod::Chebyshev => self.chebyshev_fixed(level, b, lvl.inner_iterations),
-            IterationMethod::ConjugateGradient => self.pcg_fixed(level, b, lvl.inner_iterations),
+            IterationMethod::Chebyshev => {
+                self.chebyshev_fixed_rm(level, br, k, lvl.inner_iterations)
+            }
+            IterationMethod::ConjugateGradient => {
+                self.pcg_fixed_rm(level, br, k, lvl.inner_iterations)
+            }
         }
     }
 
@@ -842,176 +899,341 @@ impl SolverChain {
         }
     }
 
-    /// Fixed-iteration preconditioned Chebyshev at a given level (the rPCh
-    /// inner iteration of Lemma 6.7).
-    fn chebyshev_fixed(&self, level: usize, b: &[f64], iterations: usize) -> Vec<f64> {
+    /// Fixed-iteration preconditioned Chebyshev on a row-major block at a
+    /// given level (the rPCh inner iteration of Lemma 6.7). The
+    /// recurrence scalars depend only on the level's calibrated interval,
+    /// so the whole block shares them: each iteration is one blocked
+    /// preconditioner application, one blocked Laplacian product, and
+    /// flat elementwise updates (per-element arithmetic is identical at
+    /// every block width and layout).
+    fn chebyshev_fixed_rm(
+        &self,
+        level: usize,
+        br: &[f64],
+        k: usize,
+        iterations: usize,
+    ) -> Vec<f64> {
         let lvl = &self.levels[level];
-        let n = lvl.graph.n();
         // Spectrum bounds of the effective preconditioned operator,
         // calibrated at build time (see `calibrate_chebyshev_bounds`).
         let (lambda_min, lambda_max) = lvl.cheb_bounds;
         let theta = 0.5 * (lambda_max + lambda_min);
         let delta = 0.5 * (lambda_max - lambda_min);
-        let mut x = vec![0.0; n];
-        let mut r = b.to_vec();
-        let mut p = vec![0.0; n];
-        let mut ap = vec![0.0; n];
+        let mut x = vec![0.0f64; br.len()];
+        let mut r = br.to_vec();
+        let mut p = vec![0.0f64; br.len()];
+        let mut ap = vec![0.0f64; br.len()];
         let mut alpha = 0.0f64;
-        for k in 0..iterations {
-            let z = self.precondition(level, &r);
-            if k == 0 {
+        for it in 0..iterations {
+            let z = self.precondition_rm(level, &r, k);
+            if it == 0 {
                 p.copy_from_slice(&z);
                 alpha = 1.0 / theta;
             } else {
-                let beta = if k == 1 {
+                let beta = if it == 1 {
                     0.5 * (delta * alpha) * (delta * alpha)
                 } else {
                     (delta * alpha / 2.0) * (delta * alpha / 2.0)
                 };
                 alpha = 1.0 / (theta - beta / alpha);
-                for i in 0..n {
-                    p[i] = z[i] + beta * p[i];
+                for (pi, zi) in p.iter_mut().zip(&z) {
+                    *pi = zi + beta * *pi;
                 }
             }
-            for i in 0..n {
-                x[i] += alpha * p[i];
-            }
-            laplacian_apply(&lvl.graph, &lvl.diag, &p, &mut ap);
-            for i in 0..n {
-                r[i] -= alpha * ap[i];
-            }
+            axpy(alpha, &p, &mut x);
+            laplacian_apply_rowmajor(&lvl.graph, &lvl.diag, &p, &mut ap, k);
+            axpy(-alpha, &ap, &mut r);
         }
         x
     }
 
-    /// Fixed-iteration (flexible) PCG at a given level — the ablation
-    /// alternative to Chebyshev.
-    fn pcg_fixed(&self, level: usize, b: &[f64], iterations: usize) -> Vec<f64> {
+    /// Fixed-iteration (flexible) PCG on a row-major block at a given
+    /// level — the ablation alternative to Chebyshev. The CG scalars are
+    /// data-dependent, so each column carries its own recurrence
+    /// ([`dot_strided`] runs the same per-column reduction tree at every
+    /// width); a column that breaks down (zero direction energy) freezes
+    /// while the rest of the block keeps iterating.
+    fn pcg_fixed_rm(&self, level: usize, br: &[f64], k: usize, iterations: usize) -> Vec<f64> {
         let lvl = &self.levels[level];
         let n = lvl.graph.n();
-        let mut x = vec![0.0; n];
-        let mut r = b.to_vec();
-        let mut z = self.precondition(level, &r);
+        let mut x = vec![0.0f64; br.len()];
+        let mut r = br.to_vec();
+        let mut z = self.precondition_rm(level, &r, k);
         let mut p = z.clone();
-        let mut rz = dot(&r, &z);
-        let mut ap = vec![0.0; n];
+        let mut rz: Vec<f64> = (0..k).map(|j| dot_strided(&r, &z, k, j)).collect();
+        let mut live = vec![true; k];
+        let mut ap = vec![0.0f64; br.len()];
         for _ in 0..iterations {
-            if rz.abs() < 1e-300 {
+            for (j, l) in live.iter_mut().enumerate() {
+                if *l && rz[j].abs() < 1e-300 {
+                    *l = false;
+                }
+            }
+            if live.iter().all(|l| !l) {
                 break;
             }
-            laplacian_apply(&lvl.graph, &lvl.diag, &p, &mut ap);
-            let pap = dot(&p, &ap);
-            if pap <= 0.0 || !pap.is_finite() {
-                break;
+            laplacian_apply_rowmajor(&lvl.graph, &lvl.diag, &p, &mut ap, k);
+            let mut alphas = vec![0.0f64; k];
+            for (j, l) in live.iter_mut().enumerate() {
+                if !*l {
+                    continue;
+                }
+                let pap = dot_strided(&p, &ap, k, j);
+                if pap <= 0.0 || !pap.is_finite() {
+                    *l = false;
+                    continue;
+                }
+                alphas[j] = rz[j] / pap;
+                let alpha = alphas[j];
+                for i in 0..n {
+                    x[i * k + j] += alpha * p[i * k + j];
+                    r[i * k + j] -= alpha * ap[i * k + j];
+                }
             }
-            let alpha = rz / pap;
-            for i in 0..n {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
-            }
-            z = self.precondition(level, &r);
-            let rz_new = dot(&r, &z);
-            let beta = rz_new / rz;
-            rz = rz_new;
-            for i in 0..n {
-                p[i] = z[i] + beta * p[i];
+            z = self.precondition_rm(level, &r, k);
+            for (j, &l) in live.iter().enumerate() {
+                if !l {
+                    continue;
+                }
+                let rz_new = dot_strided(&r, &z, k, j);
+                let beta = rz_new / rz[j];
+                rz[j] = rz_new;
+                for i in 0..n {
+                    p[i * k + j] = z[i * k + j] + beta * p[i * k + j];
+                }
             }
         }
         x
     }
 
-    /// Solves the top-level system `A x = b` to relative residual `tol`
-    /// using flexible preconditioned CG driven by the recursive W-cycle
-    /// preconditioner. `b` is projected onto the range of `A` first.
+    /// Solves the top-level system `A x = b` to relative residual `tol` —
+    /// the `k = 1` case of [`solve_block`](Self::solve_block); the W-cycle
+    /// and the outer iteration exist only in blocked form.
     pub fn solve(&self, b: &[f64], tol: f64, max_iterations: usize) -> SolveOutcome {
-        assert!(!self.levels.is_empty() || self.bottom_graph.n() == b.len());
+        self.solve_block(&MultiVector::from_column(b), tol, max_iterations)
+            .pop()
+            .expect("k = 1 block")
+    }
+
+    /// Solves the top-level system for a block of right-hand sides, `A X =
+    /// B`, each column to relative residual `tol`, using flexible
+    /// preconditioned CG (Polak–Ribière beta) driven by the recursive
+    /// blocked W-cycle preconditioner. Columns are projected onto the
+    /// range of `A` first.
+    ///
+    /// **Per-column convergence and deflation.** Each column carries its
+    /// own CG scalars and convergence state; converged (or broken-down)
+    /// columns are frozen and physically compacted out of the working
+    /// block, so late iterations — and every recursive preconditioner
+    /// application below them — run on a narrower block. The recurrences
+    /// never couple columns, so each outcome is bitwise identical to a
+    /// single [`solve`](Self::solve) of that column, at every block
+    /// composition and pool width.
+    pub fn solve_block(
+        &self,
+        b: &MultiVector,
+        tol: f64,
+        max_iterations: usize,
+    ) -> Vec<SolveOutcome> {
         let (top_graph, top_diag): (&Graph, &[f64]) = if let Some(l) = self.levels.first() {
             (&l.graph, &l.diag)
         } else {
             (&self.bottom_graph, &self.bottom_diag)
         };
         let n = top_graph.n();
-        assert_eq!(b.len(), n, "right-hand side has wrong dimension");
+        assert_eq!(b.nrows(), n, "right-hand side has wrong dimension");
+        let k = b.ncols();
 
-        let comps = parsdd_graph::components::parallel_connected_components(top_graph);
-        let mut rhs = b.to_vec();
-        project_out_componentwise_constant(&mut rhs, &comps.labels, comps.count);
-        let bnorm = norm2(&rhs);
-        if bnorm == 0.0 {
-            return SolveOutcome {
-                x: vec![0.0; n],
-                iterations: 0,
-                relative_residual: 0.0,
-                converged: true,
-            };
+        let mut rhs = b.clone();
+        for j in 0..k {
+            project_out_componentwise_constant(
+                rhs.col_mut(j),
+                &self.top_labels,
+                self.top_components,
+            );
         }
+        let bnorms = column_norms(&rhs);
+        let mut outcomes: Vec<Option<SolveOutcome>> = (0..k).map(|_| None).collect();
+        let mut active: Vec<usize> = Vec::with_capacity(k);
+        for j in 0..k {
+            if bnorms[j] == 0.0 {
+                outcomes[j] = Some(SolveOutcome {
+                    x: vec![0.0; n],
+                    iterations: 0,
+                    relative_residual: 0.0,
+                    converged: true,
+                });
+            } else {
+                active.push(j);
+            }
+        }
+
         if self.levels.is_empty() {
-            // No chain above the bottom: this result IS the final answer, so
-            // an iterative bottom must target the caller's tolerance, not the
-            // looser preconditioner-application tolerance.
-            let x = self.bottom_solve(&rhs, (tol * 0.1).clamp(1e-14, Self::PRECOND_BOTTOM_TOL));
-            let mut ax = vec![0.0; n];
-            laplacian_apply(top_graph, top_diag, &x, &mut ax);
-            let rel = norm2(&sub(&rhs, &ax)) / bnorm;
-            return SolveOutcome {
-                x,
-                iterations: 1,
-                relative_residual: rel,
-                converged: rel <= tol,
-            };
+            // No chain above the bottom: this result IS the final answer,
+            // so an iterative bottom must target the caller's tolerance,
+            // not the looser preconditioner-application tolerance.
+            if !active.is_empty() {
+                let ba = rhs.select_columns(&active);
+                let xa = MultiVector::from_rowmajor(
+                    &self.bottom_solve_rm(
+                        &ba.to_rowmajor(),
+                        ba.ncols(),
+                        (tol * 0.1).clamp(1e-14, Self::PRECOND_BOTTOM_TOL),
+                    ),
+                    ba.ncols(),
+                );
+                let mut axa = MultiVector::zeros(n, active.len());
+                laplacian_apply_block(top_graph, top_diag, &xa, &mut axa);
+                for (c, &j) in active.iter().enumerate() {
+                    let rel = norm2(&sub(ba.col(c), axa.col(c))) / bnorms[j];
+                    outcomes[j] = Some(SolveOutcome {
+                        x: xa.col(c).to_vec(),
+                        iterations: 1,
+                        relative_residual: rel,
+                        converged: rel <= tol,
+                    });
+                }
+            }
+            return outcomes
+                .into_iter()
+                .map(|o| o.expect("every column resolved"))
+                .collect();
         }
 
-        // Flexible PCG (Polak–Ribière beta) with the recursive chain
-        // preconditioner at level 0.
-        let mut x = vec![0.0; n];
-        let mut r = rhs.clone();
-        let mut z = self.precondition(0, &r);
+        if active.is_empty() {
+            // Every column was in the null space: all outcomes are set.
+            return outcomes
+                .into_iter()
+                .map(|o| o.expect("every column resolved"))
+                .collect();
+        }
+
+        // Flexible PCG with the recursive chain preconditioner at level 0.
+        // Working blocks (r, z, p, ap) hold only the active columns; the
+        // iterate X keeps full width so deflated columns stay frozen.
+        let mut x = MultiVector::zeros(n, k);
+        let mut finished: Vec<usize> = Vec::new();
+        let mut iterations = vec![0usize; k];
+        let mut rels = vec![1.0f64; k];
+        let mut r = rhs.select_columns(&active);
+        let mut z = self.precondition_block(0, &r);
         let mut p = z.clone();
-        let mut rz = dot(&r, &z);
-        let mut ap = vec![0.0; n];
-        let mut iterations = 0usize;
-        let mut rel = 1.0;
-        for k in 0..max_iterations {
-            iterations = k;
-            rel = norm2(&r) / bnorm;
-            if rel <= tol {
+        let mut rz: Vec<f64> = (0..active.len()).map(|c| dot(r.col(c), z.col(c))).collect();
+        let mut ap = MultiVector::zeros(n, active.len());
+        // Reused across iterations and columns by `collect_into_vec`:
+        // exact-length, so the steady state allocates nothing.
+        let mut r_diff = vec![0.0f64; n];
+        for it in 0..max_iterations {
+            if active.is_empty() {
                 break;
             }
-            laplacian_apply(top_graph, top_diag, &p, &mut ap);
-            let pap = dot(&p, &ap);
-            if pap <= 0.0 || !pap.is_finite() {
+            // Per-column convergence check; converged columns deflate.
+            let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+            for (c, &j) in active.iter().enumerate() {
+                iterations[j] = it;
+                rels[j] = norm2(r.col(c)) / bnorms[j];
+                if rels[j] <= tol {
+                    finished.push(j);
+                } else {
+                    keep.push(c);
+                }
+            }
+            if keep.len() != active.len() {
+                active = keep.iter().map(|&c| active[c]).collect();
+                r = r.select_columns(&keep);
+                p = p.select_columns(&keep);
+                rz = keep.iter().map(|&c| rz[c]).collect();
+                ap = MultiVector::zeros(n, active.len());
+            }
+            if active.is_empty() {
                 break;
             }
-            let alpha = rz / pap;
-            for i in 0..n {
-                x[i] += alpha * p[i];
+
+            laplacian_apply_block(top_graph, top_diag, &p, &mut ap);
+            // Per-column step; breakdown (no direction energy) freezes the
+            // column the way the single-vector iteration would stop.
+            let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+            let mut alphas = vec![0.0f64; active.len()];
+            for (c, &j) in active.iter().enumerate() {
+                let pap = dot(p.col(c), ap.col(c));
+                if pap <= 0.0 || !pap.is_finite() {
+                    finished.push(j);
+                } else {
+                    alphas[c] = rz[c] / pap;
+                    keep.push(c);
+                }
+            }
+            if keep.len() != active.len() {
+                active = keep.iter().map(|&c| active[c]).collect();
+                r = r.select_columns(&keep);
+                p = p.select_columns(&keep);
+                ap = ap.select_columns(&keep);
+                rz = keep.iter().map(|&c| rz[c]).collect();
+                alphas = keep.iter().map(|&c| alphas[c]).collect();
+            }
+            if active.is_empty() {
+                break;
+            }
+
+            for (c, &j) in active.iter().enumerate() {
+                let alpha = alphas[c];
+                let pc = p.col(c);
+                let xj = x.col_mut(j);
+                for i in 0..n {
+                    xj[i] += alpha * pc[i];
+                }
             }
             let r_old = r.clone();
-            for i in 0..n {
-                r[i] -= alpha * ap[i];
+            for (c, &alpha) in alphas.iter().enumerate() {
+                let apc = ap.col(c);
+                let rc = r.col_mut(c);
+                for i in 0..n {
+                    rc[i] -= alpha * apc[i];
+                }
             }
-            z = self.precondition(0, &r);
+            z = self.precondition_block(0, &r);
             // Flexible (Polak–Ribière) beta tolerates the slightly varying
             // preconditioner produced by the recursion.
-            let rz_new = dot(&r, &z);
-            let r_diff: Vec<f64> = r.iter().zip(&r_old).map(|(a, b)| a - b).collect();
-            let beta = (dot(&r_diff, &z) / rz).max(0.0);
-            rz = rz_new;
-            for i in 0..n {
-                p[i] = z[i] + beta * p[i];
+            for (c, rz_c) in rz.iter_mut().enumerate() {
+                let rz_new = dot(r.col(c), z.col(c));
+                r.col(c)
+                    .par_iter()
+                    .zip(r_old.col(c).par_iter())
+                    .map(|(a, b)| a - b)
+                    .collect_into_vec(&mut r_diff);
+                let beta = (dot(&r_diff, z.col(c)) / *rz_c).max(0.0);
+                *rz_c = rz_new;
+                let zc = z.col(c);
+                let pc = p.col_mut(c);
+                for i in 0..n {
+                    pc[i] = zc[i] + beta * pc[i];
+                }
             }
         }
-        // Final residual check.
-        let mut ax = vec![0.0; n];
-        laplacian_apply(top_graph, top_diag, &x, &mut ax);
-        let final_rel = norm2(&sub(&rhs, &ax)) / bnorm;
-        project_out_componentwise_constant(&mut x, &comps.labels, comps.count);
-        SolveOutcome {
-            converged: final_rel <= tol,
-            relative_residual: final_rel.min(rel),
-            iterations: iterations + 1,
-            x,
+        finished.extend_from_slice(&active);
+
+        // Final residual check, one blocked product for all finished
+        // columns at once.
+        if !finished.is_empty() {
+            let xa = x.select_columns(&finished);
+            let mut axa = MultiVector::zeros(n, finished.len());
+            laplacian_apply_block(top_graph, top_diag, &xa, &mut axa);
+            for (c, &j) in finished.iter().enumerate() {
+                let final_rel = norm2(&sub(rhs.col(j), axa.col(c))) / bnorms[j];
+                let mut xj = xa.col(c).to_vec();
+                project_out_componentwise_constant(&mut xj, &self.top_labels, self.top_components);
+                outcomes[j] = Some(SolveOutcome {
+                    converged: final_rel <= tol,
+                    relative_residual: final_rel.min(rels[j]),
+                    iterations: iterations[j] + 1,
+                    x: xj,
+                });
+            }
         }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every column resolved"))
+            .collect()
     }
 }
 
@@ -1045,6 +1267,26 @@ impl Preconditioner for ChainPreconditioner<'_> {
             self.chain.precondition(0, r)
         };
         z.copy_from_slice(&out);
+    }
+
+    /// One recursive preconditioner application for a whole block — lets
+    /// external blocked iterative methods (e.g.
+    /// [`parsdd_linalg::cg::block_pcg_solve`]) drive the chain with the
+    /// same once-per-block matrix streaming the chain's own solver uses.
+    fn precondition_block(&self, r: &MultiVector, z: &mut MultiVector) {
+        let out = if self.chain.levels.is_empty() {
+            MultiVector::from_rowmajor(
+                &self.chain.bottom_solve_rm(
+                    &r.to_rowmajor(),
+                    r.ncols(),
+                    SolverChain::PRECOND_BOTTOM_TOL,
+                ),
+                r.ncols(),
+            )
+        } else {
+            self.chain.precondition_block(0, r)
+        };
+        z.as_mut_slice().copy_from_slice(out.as_slice());
     }
 }
 
@@ -1180,6 +1422,43 @@ mod tests {
         b[g1.n() + 5] = -2.0;
         let out = chain.solve(&b, 1e-9, 200);
         assert!(out.converged, "rel {}", out.relative_residual);
+    }
+
+    #[test]
+    fn solve_block_matches_single_solves_bitwise() {
+        // A deep-enough grid so the blocked W-cycle really recurses, plus a
+        // zero column to exercise the short-circuit inside a block.
+        let g = generators::grid2d(32, 32, |_, _| 1.0);
+        let opts = ChainOptions {
+            bottom_size: 200,
+            ..Default::default()
+        };
+        let chain = build_chain(&g, &opts);
+        let mut cols: Vec<Vec<f64>> = (0..3)
+            .map(|s| {
+                let mut b: Vec<f64> = (0..g.n())
+                    .map(|i| (((i * (3 * s + 7)) % 29) as f64) - 14.0)
+                    .collect();
+                project_out_constant(&mut b);
+                b
+            })
+            .collect();
+        cols.insert(1, vec![0.0; g.n()]);
+        let outs = chain.solve_block(&MultiVector::from_columns(&cols), 1e-9, 300);
+        for (j, b) in cols.iter().enumerate() {
+            let single = chain.solve(b, 1e-9, 300);
+            assert!(single.converged, "column {j} single did not converge");
+            assert_eq!(outs[j].iterations, single.iterations, "column {j}");
+            assert_eq!(
+                outs[j].relative_residual.to_bits(),
+                single.relative_residual.to_bits(),
+                "column {j} residual"
+            );
+            for (a, s) in outs[j].x.iter().zip(&single.x) {
+                assert_eq!(a.to_bits(), s.to_bits(), "column {j} solution");
+            }
+        }
+        assert_eq!(outs[1].iterations, 0, "zero column short-circuits");
     }
 
     #[test]

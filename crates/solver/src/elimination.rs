@@ -39,6 +39,7 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use parsdd_graph::{Edge, Graph, VertexId};
+use parsdd_linalg::block::MultiVector;
 
 /// Tuning knobs of the partial Cholesky pass.
 #[derive(Debug, Clone, Copy)]
@@ -221,6 +222,278 @@ impl EliminationResult {
                 }
                 EliminationStep::Isolated { v } => {
                     x[v as usize] = 0.0;
+                }
+            }
+        }
+        x
+    }
+
+    /// Blocked [`forward_rhs`](Self::forward_rhs): the elimination trace
+    /// (`steps` + `star_data`) is streamed **once per block** of `k`
+    /// right-hand sides instead of once per vector — on deep chains the
+    /// trace is most of a level's memory footprint. Per column the update
+    /// order is exactly the single-vector pass, so each column of the
+    /// result is bitwise identical to `forward_rhs` of that column.
+    pub fn forward_rhs_block(&self, b: &MultiVector) -> (MultiVector, MultiVector) {
+        let k = b.ncols();
+        let mut work = b.clone();
+        for step in &self.steps {
+            match *step {
+                EliminationStep::Degree1 { v, u, .. } => {
+                    for j in 0..k {
+                        let col = work.col_mut(j);
+                        col[u as usize] += col[v as usize];
+                    }
+                }
+                EliminationStep::Degree2 {
+                    v,
+                    a,
+                    b: nb,
+                    wa,
+                    wb,
+                } => {
+                    let d = wa + wb;
+                    for j in 0..k {
+                        let col = work.col_mut(j);
+                        let bv = col[v as usize];
+                        col[a as usize] += (wa / d) * bv;
+                        col[nb as usize] += (wb / d) * bv;
+                    }
+                }
+                EliminationStep::Star { v, offset, len } => {
+                    let star = self.star(offset, len);
+                    let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                    for j in 0..k {
+                        let col = work.col_mut(j);
+                        let bv = col[v as usize];
+                        for &(u, w) in star {
+                            col[u as usize] += (w / wtot) * bv;
+                        }
+                    }
+                }
+                EliminationStep::Isolated { .. } => {}
+            }
+        }
+        let mut reduced = MultiVector::zeros(self.kept.len(), k);
+        for j in 0..k {
+            let src = work.col(j);
+            let dst = reduced.col_mut(j);
+            for (r, &v) in self.kept.iter().enumerate() {
+                dst[r] = src[v as usize];
+            }
+        }
+        (reduced, work)
+    }
+
+    /// Row-major blocked [`forward_rhs`](Self::forward_rhs): `br` holds
+    /// `k` right-hand sides interleaved (`br[v·k + j]`), the layout the
+    /// solver chain's W-cycle uses internally — every step touches two
+    /// or three contiguous k-wide rows instead of k strided cache lines
+    /// per vertex. Returns `(reduced, work)` in the same layout. Per
+    /// column the update order matches `forward_rhs` exactly.
+    pub fn forward_rhs_rowmajor(&self, br: &[f64], k: usize) -> (Vec<f64>, Vec<f64>) {
+        let n = self.orig_to_reduced.len();
+        assert_eq!(br.len(), n * k);
+        if k == 1 {
+            // Width 1: row-major and column-major coincide; the scalar
+            // pass avoids the width-1 row plumbing.
+            return self.forward_rhs(br);
+        }
+        let mut work = br.to_vec();
+        let mut buf = vec![0.0f64; k];
+        for step in &self.steps {
+            match *step {
+                EliminationStep::Degree1 { v, u, .. } => {
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    let dst = &mut work[u as usize * k..(u as usize + 1) * k];
+                    for (d, &s) in dst.iter_mut().zip(&buf) {
+                        *d += s;
+                    }
+                }
+                EliminationStep::Degree2 {
+                    v,
+                    a,
+                    b: nb,
+                    wa,
+                    wb,
+                } => {
+                    let d = wa + wb;
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    let ca = wa / d;
+                    let dst = &mut work[a as usize * k..(a as usize + 1) * k];
+                    for (t, &s) in dst.iter_mut().zip(&buf) {
+                        *t += ca * s;
+                    }
+                    let cb = wb / d;
+                    let dst = &mut work[nb as usize * k..(nb as usize + 1) * k];
+                    for (t, &s) in dst.iter_mut().zip(&buf) {
+                        *t += cb * s;
+                    }
+                }
+                EliminationStep::Star { v, offset, len } => {
+                    let star = self.star(offset, len);
+                    let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    for &(u, w) in star {
+                        let c = w / wtot;
+                        let dst = &mut work[u as usize * k..(u as usize + 1) * k];
+                        for (t, &s) in dst.iter_mut().zip(&buf) {
+                            *t += c * s;
+                        }
+                    }
+                }
+                EliminationStep::Isolated { .. } => {}
+            }
+        }
+        let mut reduced = vec![0.0f64; self.kept.len() * k];
+        for (dst, &v) in reduced.chunks_exact_mut(k).zip(&self.kept) {
+            dst.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+        }
+        (reduced, work)
+    }
+
+    /// Row-major blocked [`back_substitute`](Self::back_substitute); the
+    /// counterpart of [`forward_rhs_rowmajor`](Self::forward_rhs_rowmajor),
+    /// with the same layout and bitwise-per-column contract.
+    pub fn back_substitute_rowmajor(
+        &self,
+        working_rhs: &[f64],
+        xr_reduced: &[f64],
+        k: usize,
+    ) -> Vec<f64> {
+        let n = self.orig_to_reduced.len();
+        assert_eq!(working_rhs.len(), n * k);
+        assert_eq!(xr_reduced.len(), self.kept.len() * k);
+        if k == 1 {
+            return self.back_substitute(working_rhs, xr_reduced);
+        }
+        let mut x = vec![0.0f64; n * k];
+        for (src, &orig) in xr_reduced.chunks_exact(k).zip(&self.kept) {
+            x[orig as usize * k..(orig as usize + 1) * k].copy_from_slice(src);
+        }
+        let mut buf = vec![0.0f64; k];
+        for step in self.steps.iter().rev() {
+            match *step {
+                EliminationStep::Degree1 { v, u, w } => {
+                    buf.copy_from_slice(&x[u as usize * k..(u as usize + 1) * k]);
+                    let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for ((t, &wv), &xu) in dst.iter_mut().zip(wrow).zip(&buf) {
+                        *t = wv / w + xu;
+                    }
+                }
+                EliminationStep::Degree2 {
+                    v,
+                    a,
+                    b: nb,
+                    wa,
+                    wb,
+                } => {
+                    let d = wa + wb;
+                    // buf ← (w_rhs[v] + wa·x_a) + wb·x_b, associated
+                    // exactly like the single-vector pass.
+                    {
+                        let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                        let xa = &x[a as usize * k..(a as usize + 1) * k];
+                        for ((t, &wv), &v) in buf.iter_mut().zip(wrow).zip(xa) {
+                            *t = wv + wa * v;
+                        }
+                    }
+                    {
+                        let xb = &x[nb as usize * k..(nb as usize + 1) * k];
+                        for (t, &v) in buf.iter_mut().zip(xb) {
+                            *t += wb * v;
+                        }
+                    }
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for (t, &acc) in dst.iter_mut().zip(&buf) {
+                        *t = acc / d;
+                    }
+                }
+                EliminationStep::Star { v, offset, len } => {
+                    let star = self.star(offset, len);
+                    let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                    buf.iter_mut().for_each(|t| *t = 0.0);
+                    for &(u, w) in star {
+                        let xu = &x[u as usize * k..(u as usize + 1) * k];
+                        for (t, &v) in buf.iter_mut().zip(xu) {
+                            *t += w * v;
+                        }
+                    }
+                    let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for ((t, &wv), &acc) in dst.iter_mut().zip(wrow).zip(&buf) {
+                        *t = (wv + acc) / wtot;
+                    }
+                }
+                EliminationStep::Isolated { v } => {
+                    x[v as usize * k..(v as usize + 1) * k]
+                        .iter_mut()
+                        .for_each(|t| *t = 0.0);
+                }
+            }
+        }
+        x
+    }
+
+    /// Blocked [`back_substitute`](Self::back_substitute); same
+    /// single-trace-stream and bitwise-per-column contract as
+    /// [`forward_rhs_block`](Self::forward_rhs_block).
+    pub fn back_substitute_block(
+        &self,
+        working_rhs: &MultiVector,
+        x_reduced: &MultiVector,
+    ) -> MultiVector {
+        assert_eq!(x_reduced.nrows(), self.kept.len());
+        assert_eq!(working_rhs.ncols(), x_reduced.ncols());
+        let n = self.orig_to_reduced.len();
+        let k = x_reduced.ncols();
+        let mut x = MultiVector::zeros(n, k);
+        for j in 0..k {
+            let src = x_reduced.col(j);
+            let dst = x.col_mut(j);
+            for (r, &orig) in self.kept.iter().enumerate() {
+                dst[orig as usize] = src[r];
+            }
+        }
+        for step in self.steps.iter().rev() {
+            match *step {
+                EliminationStep::Degree1 { v, u, w } => {
+                    for j in 0..k {
+                        let wj = working_rhs.col(j);
+                        let col = x.col_mut(j);
+                        col[v as usize] = wj[v as usize] / w + col[u as usize];
+                    }
+                }
+                EliminationStep::Degree2 {
+                    v,
+                    a,
+                    b: nb,
+                    wa,
+                    wb,
+                } => {
+                    let d = wa + wb;
+                    for j in 0..k {
+                        let wj = working_rhs.col(j);
+                        let col = x.col_mut(j);
+                        col[v as usize] =
+                            (wj[v as usize] + wa * col[a as usize] + wb * col[nb as usize]) / d;
+                    }
+                }
+                EliminationStep::Star { v, offset, len } => {
+                    let star = self.star(offset, len);
+                    let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                    for j in 0..k {
+                        let wj = working_rhs.col(j);
+                        let col = x.col_mut(j);
+                        let acc: f64 = star.iter().map(|&(u, w)| w * col[u as usize]).sum::<f64>();
+                        col[v as usize] = (wj[v as usize] + acc) / wtot;
+                    }
+                }
+                EliminationStep::Isolated { v } => {
+                    for j in 0..k {
+                        x.col_mut(j)[v as usize] = 0.0;
+                    }
                 }
             }
         }
@@ -514,6 +787,47 @@ mod tests {
             g.n(),
             g.m()
         );
+    }
+
+    #[test]
+    fn blocked_substitution_matches_single_bitwise() {
+        let g = generators::weighted_random_graph(300, 900, 1.0, 6.0, 11);
+        let elim = greedy_elimination(&g, 7);
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|j| {
+                let mut b: Vec<f64> = (0..g.n())
+                    .map(|i| ((i * (3 * j + 5)) % 19) as f64 - 9.0)
+                    .collect();
+                project_out_constant(&mut b);
+                b
+            })
+            .collect();
+        let (reduced, work) = elim.forward_rhs_block(&MultiVector::from_columns(&cols));
+        for (j, col) in cols.iter().enumerate() {
+            let (reduced_1, work_1) = elim.forward_rhs(col);
+            for (a, b) in reduced.col(j).iter().zip(&reduced_1) {
+                assert_eq!(a.to_bits(), b.to_bits(), "reduced column {j}");
+            }
+            for (a, b) in work.col(j).iter().zip(&work_1) {
+                assert_eq!(a.to_bits(), b.to_bits(), "work column {j}");
+            }
+        }
+        // Back-substitute an arbitrary reduced block and compare per column.
+        let xr_cols: Vec<Vec<f64>> = (0..3)
+            .map(|j| {
+                (0..elim.kept.len())
+                    .map(|i| ((i + j) as f64 * 0.37).sin())
+                    .collect()
+            })
+            .collect();
+        let x = elim.back_substitute_block(&work, &MultiVector::from_columns(&xr_cols));
+        for (j, xr) in xr_cols.iter().enumerate() {
+            let (_, work_1) = elim.forward_rhs(&cols[j]);
+            let single = elim.back_substitute(&work_1, xr);
+            for (a, b) in x.col(j).iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "solution column {j}");
+            }
+        }
     }
 
     #[test]

@@ -76,11 +76,15 @@ pub fn per_edge_resistance_stretch(
     stretch
 }
 
-/// Counter-based per-edge coin in `[0, 1)`: two SplitMix64 finalisation
-/// rounds over `(seed, edge id)`. Order-independent by construction, which
-/// is what makes the sampling pass a parallel map (DESIGN.md §3.1's
-/// determinism contract) instead of a sequential RNG stream.
-fn edge_coin(seed: u64, id: u64) -> f64 {
+/// Counter-based coin in `[0, 1)` for item `id` under `seed`: two
+/// SplitMix64 finalisation rounds over `(seed, id)`. Order-independent by
+/// construction — each item's coin is a pure function of `(seed, id)` —
+/// which is what makes a sampling pass a parallel map (DESIGN.md §3.1's
+/// determinism contract) instead of a sequential RNG stream. Shared with
+/// the application layer (e.g. the projection signs of the batched
+/// effective-resistance estimator), so batched and looped consumers see
+/// identical randomness at every pool width.
+pub fn counter_coin(seed: u64, id: u64) -> f64 {
     let mut z = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     for _ in 0..2 {
         z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -277,7 +281,7 @@ pub fn incremental_sparsify(
                 return Some(e);
             }
             let p = (oversample * s * log_n / kappa).min(1.0);
-            if p > 0.0 && edge_coin(seed, id as u64) < p {
+            if p > 0.0 && counter_coin(seed, id as u64) < p {
                 Some(Edge::new(e.u, e.v, e.w / p))
             } else {
                 None

@@ -272,6 +272,36 @@ impl<P: Producer> ParIter<P> {
         )
     }
 
+    /// Collects into a preallocated `Vec`, preserving input order — rayon's
+    /// collect-into-preallocated for exact-length indexed pipelines.
+    ///
+    /// When `target.len()` already equals the pipeline's length, the items
+    /// are written in place through a zipped parallel write: no per-leaf
+    /// buffers, no reallocation — the steady-state of a buffer reused
+    /// across applies is allocation-free. Otherwise the vector is replaced
+    /// by an ordinary ordered [`collect`](Self::collect) (upstream rayon
+    /// grows into spare capacity with `unsafe`; this shim stays safe by
+    /// requiring the caller to have sized the buffer once).
+    ///
+    /// Only meaningful for exact-length (indexed) pipelines — sources and
+    /// item-preserving adaptors like `map`/`zip`/`enumerate`. Pipelines
+    /// that drop or expand items (`filter`, `flat_map`) report their base
+    /// length and would be silently truncated; don't use this with them.
+    pub fn collect_into_vec(self, target: &mut Vec<P::Item>) {
+        let n = self.producer.split_len();
+        if target.len() == n {
+            let min_len = self.min_len;
+            target
+                .as_mut_slice()
+                .into_par_iter()
+                .zip(self)
+                .with_min_len(min_len)
+                .for_each(|(slot, item)| *slot = item);
+        } else {
+            *target = self.collect();
+        }
+    }
+
     /// Collects into any `FromIterator` container, preserving input order.
     pub fn collect<C: FromIterator<P::Item>>(self) -> C {
         let parts = drive(

@@ -246,6 +246,23 @@ mod tests {
     }
 
     #[test]
+    fn collect_into_vec_reuses_exact_length_buffer() {
+        let xs: Vec<usize> = (0..50_000).collect();
+        // Pre-sized buffer: in-place parallel write, order preserved.
+        let mut out = vec![0usize; xs.len()];
+        xs.par_iter().map(|&x| x + 1).collect_into_vec(&mut out);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+        // Reuse across calls with a different map: still ordered.
+        xs.par_iter().map(|&x| x * 2).collect_into_vec(&mut out);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+        // Wrong-size buffer falls back to an ordinary ordered collect.
+        let mut small: Vec<usize> = Vec::new();
+        xs.par_iter().map(|&x| x + 7).collect_into_vec(&mut small);
+        assert_eq!(small.len(), xs.len());
+        assert!(small.iter().enumerate().all(|(i, &v)| v == i + 7));
+    }
+
+    #[test]
     fn collect_preserves_order_on_wide_pool() {
         let pool = crate::ThreadPoolBuilder::new()
             .num_threads(4)
