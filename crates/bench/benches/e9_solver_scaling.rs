@@ -36,7 +36,7 @@ fn quality_table() {
                 stats.kappas.iter().map(|k| k.round()).collect::<Vec<_>>()
             ),
             fmt(stats.recursion_leaves),
-            stats.dense_bottom.to_string(),
+            stats.direct_bottom.to_string(),
             fmt((wl.graph.m() as f64).powf(1.0 / 3.0)),
         ]);
     }

@@ -4,11 +4,12 @@
 //! machine info and the default chain's per-level work accounting — the
 //! fixed reference point perf PRs diff against.
 //!
-//! Usage (run in release or the numbers are meaningless):
+//! Usage (run with the `opt-bench` profile — or at least `--release` —
+//! or the numbers are meaningless):
 //!
 //! ```text
-//! cargo run --release -p parsdd_bench --bin baseline \
-//!     [-- [--quick] [--threads N] OUTPUT_PATH]
+//! cargo run --profile opt-bench -p parsdd_bench --bin baseline \
+//!     [-- [--quick] [--threads N] [--experiments LIST] OUTPUT_PATH]
 //! ```
 //!
 //! `--quick` takes a single timed sample per point on shrunken workloads
@@ -17,7 +18,12 @@
 //! thread sweep (default: all hardware threads, min 4) — the committed
 //! baseline was captured on a 1-CPU container whose thread columns show
 //! time-slicing, so multicore hosts should regenerate with their real
-//! width on record.
+//! width on record. `--experiments LIST` (comma-separated, e.g.
+//! `--experiments e8,e11`) reruns only the named experiments — short
+//! prefixes (`e8`) and full names (`e8_solver_work`; `e11`/`multi_rhs`
+//! select the multi-RHS sweep) both work — so a hot-path experiment can
+//! be re-measured without the full ~10-minute sweep; the active filter is
+//! recorded in the JSON (`"filter"`), marking the output as partial.
 //!
 //! Timing protocol: one warm-up run, then [`SAMPLES`] timed runs per
 //! (experiment, width); the JSON records the minimum (the least-noise
@@ -93,6 +99,33 @@ fn measure<R>(
     }
 }
 
+/// Does `name` pass the `--experiments` filter? Matches the full
+/// experiment name or its short prefix (the part before the first `_`).
+fn enabled(filter: &Option<Vec<String>>, name: &str) -> bool {
+    match filter {
+        None => true,
+        Some(keys) => {
+            let short = name.split('_').next().unwrap_or(name);
+            keys.iter().any(|k| k == name || k == short)
+        }
+    }
+}
+
+/// `measure`, gated on the experiment filter.
+#[allow(clippy::too_many_arguments)]
+fn measure_if<R>(
+    results: &mut Vec<Measurement>,
+    filter: &Option<Vec<String>>,
+    name: &'static str,
+    widths: &[usize],
+    f: impl FnMut() -> R,
+    metric: impl FnOnce(&R) -> String,
+) {
+    if enabled(filter, name) {
+        results.push(measure(name, widths, f, metric));
+    }
+}
+
 /// Non-finite f64s have no JSON encoding; emit them as `null`.
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
@@ -115,6 +148,7 @@ fn json_usize_array(vs: &[usize]) -> String {
 fn main() {
     let mut quick = false;
     let mut threads_override: Option<usize> = None;
+    let mut filter: Option<Vec<String>> = None;
     let mut out_path = "BENCH_BASELINE.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -127,6 +161,14 @@ fn main() {
                 .parse()
                 .expect("--threads needs an integer");
             threads_override = Some(n.max(1));
+        } else if arg == "--experiments" {
+            let list = args.next().expect("--experiments needs a comma list");
+            filter = Some(
+                list.split(',')
+                    .map(|s| s.trim().to_ascii_lowercase())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+            );
         } else {
             out_path = arg;
         }
@@ -152,7 +194,9 @@ fn main() {
 
     let mut results: Vec<Measurement> = Vec::new();
 
-    results.push(measure(
+    measure_if(
+        &mut results,
+        &filter,
         "e1_decomposition_radius",
         &widths,
         || split_graph(&grid96, &SplitParams::new(24).with_seed(1)),
@@ -162,20 +206,26 @@ fn main() {
                 s.component_count, s.bfs_rounds_total
             )
         },
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e2_decomposition_cut",
         &widths,
         || partition_single_class(&grid64, &PartitionParams::new(24).with_seed(2)),
         |p| format!("cut_fraction={:.4}", p.max_cut_fraction()),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e3_decomposition_scaling",
         &widths,
         || split_graph(&grid96, &SplitParams::new(24).with_seed(1)).bfs_rounds_total,
         |r| format!("bfs_rounds={r}"),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e4_akpw_stretch",
         &widths,
         || {
@@ -183,20 +233,26 @@ fn main() {
             stretch_over_tree(&grid96, &t.tree_edges).average_stretch
         },
         |s| format!("avg_stretch={s:.3}"),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e5_subgraph_tradeoff",
         &widths,
         || ls_subgraph(&grid96, &LsSubgraphParams::practical(16.0, 2).with_seed(3)),
         |s| format!("subgraph_edges={}", s.all_edges().len()),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e6_elimination",
         &widths,
         || greedy_elimination(&ultra, 5),
         |e| format!("kept={}", e.kept.len()),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e7_sparsify",
         &widths,
         || {
@@ -222,8 +278,10 @@ fn main() {
             )
         },
         |sp| format!("sparsifier_edges={}", sp.graph.m()),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e8_solver_work",
         &widths,
         || {
@@ -237,8 +295,10 @@ fn main() {
                 o.iterations, o.relative_residual
             )
         },
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e9_solver_scaling",
         &widths,
         || {
@@ -249,8 +309,10 @@ fn main() {
             solver.solve(&b96).iterations
         },
         |i| format!("iterations={i}"),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "e10_applications",
         &widths,
         || {
@@ -259,15 +321,17 @@ fn main() {
             parsdd_apps::electrical::electrical_flow(&grid48, &solver, 0, (grid48.n() - 1) as u32)
         },
         |f| format!("effective_resistance={:.4}", f.effective_resistance),
-    ));
-    results.push(measure(
+    );
+    measure_if(
+        &mut results,
+        &filter,
         "a1_ablation",
         &widths,
         || build_chain(&grid96, &ChainOptions::default()),
         |c| format!("levels={}", c.stats().level_vertices.len()),
-    ));
+    );
 
-    // ----- Multi-RHS blocked-solve sweep (schema v3) -----
+    // ----- Multi-RHS blocked-solve sweep -----
     //
     // The Spielman–Srivastava effective-resistance workload: many
     // projection right-hand sides against one prebuilt chain, solved in
@@ -279,7 +343,9 @@ fn main() {
     // per-RHS time at k = 16 at most half the k = 1 time.
     let (mr_side, mr_rhs) = if quick { (60usize, 8usize) } else { (120, 16) };
     let mr_grid = parsdd_graph::generators::grid2d(mr_side, mr_side, |_, _| 1.0);
-    let mr_points: Vec<(usize, f64, f64)> = {
+    let mr_points: Option<Vec<(usize, f64, f64)>> = (enabled(&filter, "e11_multi_rhs")
+        || enabled(&filter, "multi_rhs"))
+    .then(|| {
         let solver =
             SddSolver::new_laplacian(&mr_grid, SddSolverOptions::default().with_tolerance(1e-8));
         let n = mr_grid.n();
@@ -314,15 +380,25 @@ fn main() {
                 (k, min, mean)
             })
             .collect()
-    };
+    });
 
     // ----- JSON (hand-rolled; the workspace has no serde) -----
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v3\",");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v4\",");
     let _ = writeln!(
         json,
-        "  \"generated_by\": \"cargo run --release -p parsdd_bench --bin baseline\","
+        "  \"generated_by\": \"cargo run --profile opt-bench -p parsdd_bench --bin baseline\","
+    );
+    // The active --experiments filter, if any: a non-null value marks this
+    // file as a partial rerun that should not be committed wholesale.
+    let _ = writeln!(
+        json,
+        "  \"filter\": {},",
+        match &filter {
+            None => "null".to_string(),
+            Some(keys) => format!("\"{}\"", keys.join(",")),
+        }
     );
     let _ = writeln!(
         json,
@@ -364,37 +440,42 @@ fn main() {
     }
     json.push_str("  ],\n");
 
-    // Multi-RHS sweep: time-per-RHS as a function of the block width k.
-    json.push_str("  \"multi_rhs\": {\n");
-    let _ = writeln!(
-        json,
-        "    \"workload\": \"grid2d {mr_side}x{mr_side} unit weights, {mr_rhs} Spielman-Srivastava projection rhs, tol 1e-8\","
-    );
-    let _ = writeln!(json, "    \"num_rhs\": {mr_rhs},");
-    let _ = writeln!(json, "    \"threads\": 1,");
-    json.push_str("    \"points\": [\n");
-    for (i, &(k, min, mean)) in mr_points.iter().enumerate() {
+    // Multi-RHS sweep: time-per-RHS as a function of the block width k
+    // (null when the --experiments filter skipped it).
+    if let Some(mr_points) = &mr_points {
+        json.push_str("  \"multi_rhs\": {\n");
         let _ = writeln!(
             json,
-            "      {{ \"k\": {k}, \"min_ms\": {:.3}, \"mean_ms\": {:.3}, \"ms_per_rhs\": {:.3} }}{}",
-            min,
-            mean,
-            min / mr_rhs as f64,
-            if i + 1 < mr_points.len() { "," } else { "" }
+            "    \"workload\": \"grid2d {mr_side}x{mr_side} unit weights, {mr_rhs} Spielman-Srivastava projection rhs, tol 1e-8\","
         );
+        let _ = writeln!(json, "    \"num_rhs\": {mr_rhs},");
+        let _ = writeln!(json, "    \"threads\": 1,");
+        json.push_str("    \"points\": [\n");
+        for (i, &(k, min, mean)) in mr_points.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{ \"k\": {k}, \"min_ms\": {:.3}, \"mean_ms\": {:.3}, \"ms_per_rhs\": {:.3} }}{}",
+                min,
+                mean,
+                min / mr_rhs as f64,
+                if i + 1 < mr_points.len() { "," } else { "" }
+            );
+        }
+        json.push_str("    ],\n");
+        let per_rhs_k1 = mr_points
+            .first()
+            .map(|&(_, min, _)| min)
+            .unwrap_or(f64::NAN);
+        let per_rhs_k16 = mr_points.last().map(|&(_, min, _)| min).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            json,
+            "    \"per_rhs_ratio_k16_vs_k1\": {}",
+            json_f64(per_rhs_k16 / per_rhs_k1)
+        );
+        json.push_str("  },\n");
+    } else {
+        json.push_str("  \"multi_rhs\": null,\n");
     }
-    json.push_str("    ],\n");
-    let per_rhs_k1 = mr_points
-        .first()
-        .map(|&(_, min, _)| min)
-        .unwrap_or(f64::NAN);
-    let per_rhs_k16 = mr_points.last().map(|&(_, min, _)| min).unwrap_or(f64::NAN);
-    let _ = writeln!(
-        json,
-        "    \"per_rhs_ratio_k16_vs_k1\": {}",
-        json_f64(per_rhs_k16 / per_rhs_k1)
-    );
-    json.push_str("  },\n");
 
     // Per-level work balance of the default chain on the E8/E9 workload
     // (the quantity the deep-chain refactor optimises): future PRs diff
@@ -456,7 +537,12 @@ fn main() {
         "    \"recursion_leaves\": {},",
         json_f64(stats.recursion_leaves)
     );
-    let _ = writeln!(json, "    \"dense_bottom\": {}", stats.dense_bottom);
+    let _ = writeln!(json, "    \"direct_bottom\": {},", stats.direct_bottom);
+    let _ = writeln!(
+        json,
+        "    \"bottom_envelope_nnz\": {}",
+        stats.bottom_envelope_nnz
+    );
     json.push_str("  }\n}\n");
     eprintln!(
         "chain: depth={} k={:?} work/app={:.3e} leaves={}",

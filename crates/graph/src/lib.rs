@@ -30,6 +30,9 @@
 //! * [`dijkstra`] — weighted shortest paths, used to verify subgraph
 //!   stretch in tests and experiments.
 //! * [`parutil`] — small parallel primitives (prefix sums, counting).
+//! * [`reorder`] — bandwidth-reducing vertex orderings (reverse
+//!   Cuthill–McKee) that the solver chain bakes into every level so its
+//!   memory-bound sweeps stay cache-resident.
 //!
 //! All parallelism is expressed with [rayon]; all randomness is seeded
 //! through [`rand_chacha::ChaCha8Rng`] so results are reproducible.
@@ -48,6 +51,7 @@ pub mod io;
 pub mod mst;
 pub mod multigraph;
 pub mod parutil;
+pub mod reorder;
 pub mod tree;
 pub mod unionfind;
 

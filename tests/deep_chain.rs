@@ -46,7 +46,7 @@ fn print_chain(tag: &str, chain: &SolverChain, stats: &ChainStats) {
         stats.tree_scales,
         stats.work_per_application,
         stats.level_work.last().copied().unwrap_or(0.0),
-        stats.dense_bottom,
+        stats.direct_bottom,
     );
 }
 
