@@ -1,8 +1,10 @@
 //! Regenerates `BENCH_BASELINE.json`: one headline timing per experiment
 //! (E1–E10, A1), each measured at 1 thread and at the widest pool, the
-//! multi-RHS blocked-solve sweep (time-per-RHS at k ∈ {1, 4, 16}), plus
-//! machine info and the default chain's per-level work accounting — the
-//! fixed reference point perf PRs diff against.
+//! multi-RHS blocked-solve sweep (time-per-RHS at k ∈ {1, 4, 16}), the
+//! workload-zoo chain-quality record (every family × tier's `ChainQuality`
+//! stats and solve outcome; `--experiments zoo` selects it), plus machine
+//! info and the default chain's per-level work accounting — the fixed
+//! reference point perf PRs diff against.
 //!
 //! Usage (run with the `opt-bench` profile — or at least `--release` —
 //! or the numbers are meaningless):
@@ -34,7 +36,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parsdd_bench::workloads;
+use parsdd_bench::{workloads, zoo};
 use parsdd_decomp::partition::partition_single_class;
 use parsdd_decomp::{split_graph, PartitionParams, SplitParams};
 use parsdd_graph::mst::kruskal;
@@ -382,10 +384,60 @@ fn main() {
             .collect()
     });
 
+    // ----- Workload-zoo chain-quality record -----
+    //
+    // Not a timing experiment: for every zoo family × tier, the solved
+    // chain's quality report and solve outcome — the reference numbers the
+    // conformance envelopes in tests/zoo.rs were pinned from. `--quick`
+    // runs only the small tier (the CI smoke); the committed baseline
+    // carries all three.
+    struct ZooRecord {
+        family: &'static str,
+        tier: &'static str,
+        vertices: usize,
+        edges: usize,
+        build_solve_ms: f64,
+        run: zoo::ZooRun,
+    }
+    let zoo_records: Option<Vec<ZooRecord>> = enabled(&filter, "zoo").then(|| {
+        let tiers: &[zoo::Tier] = if quick {
+            &[zoo::Tier::Small]
+        } else {
+            &zoo::Tier::ALL
+        };
+        let mut records = Vec::new();
+        for &family in zoo::FAMILIES {
+            for &tier in tiers {
+                let g = zoo::build(family, tier);
+                let t0 = Instant::now();
+                let run = zoo::run(&g, zoo::chain_options(family, tier), 1e-8);
+                let build_solve_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                eprintln!(
+                    "zoo {family:>10}/{:6}  n={:6} m={:7}  it={:3} res={:.2e}  {}",
+                    tier.name(),
+                    g.n(),
+                    g.m(),
+                    run.iterations,
+                    run.relative_residual,
+                    run.quality.summary()
+                );
+                records.push(ZooRecord {
+                    family,
+                    tier: tier.name(),
+                    vertices: g.n(),
+                    edges: g.m(),
+                    build_solve_ms,
+                    run,
+                });
+            }
+        }
+        records
+    });
+
     // ----- JSON (hand-rolled; the workspace has no serde) -----
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v4\",");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v5\",");
     let _ = writeln!(
         json,
         "  \"generated_by\": \"cargo run --profile opt-bench -p parsdd_bench --bin baseline\","
@@ -475,6 +527,60 @@ fn main() {
         json.push_str("  },\n");
     } else {
         json.push_str("  \"multi_rhs\": null,\n");
+    }
+
+    // Workload-zoo chain-quality stats (null when the --experiments
+    // filter skipped the zoo).
+    if let Some(records) = &zoo_records {
+        json.push_str("  \"zoo\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            let q = &r.run.quality;
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"family\": \"{}\",", r.family);
+            let _ = writeln!(json, "      \"tier\": \"{}\",", r.tier);
+            let _ = writeln!(json, "      \"vertices\": {},", r.vertices);
+            let _ = writeln!(json, "      \"edges\": {},", r.edges);
+            let _ = writeln!(json, "      \"iterations\": {},", r.run.iterations);
+            let _ = writeln!(
+                json,
+                "      \"relative_residual\": {},",
+                json_f64(r.run.relative_residual)
+            );
+            let _ = writeln!(json, "      \"converged\": {},", r.run.converged);
+            let _ = writeln!(json, "      \"depth\": {},", q.depth);
+            let _ = writeln!(json, "      \"bottom_vertices\": {},", q.bottom_vertices);
+            let _ = writeln!(json, "      \"direct_bottom\": {},", q.direct_bottom);
+            let _ = writeln!(
+                json,
+                "      \"work_per_application\": {},",
+                json_f64(q.work_per_application)
+            );
+            let _ = writeln!(
+                json,
+                "      \"work_per_input_edge\": {},",
+                json_f64(q.work_per_input_edge)
+            );
+            let _ = writeln!(
+                json,
+                "      \"recursion_leaves\": {},",
+                json_f64(q.recursion_leaves)
+            );
+            let _ = writeln!(
+                json,
+                "      \"max_kappa_eff\": {},",
+                json_f64(q.max_kappa_eff())
+            );
+            let _ = writeln!(json, "      \"kappa_clamp_hits\": {},", q.kappa_clamp_hits);
+            let _ = writeln!(json, "      \"build_solve_ms\": {:.3}", r.build_solve_ms);
+            let _ = writeln!(
+                json,
+                "    }}{}",
+                if i + 1 < records.len() { "," } else { "" }
+            );
+        }
+        json.push_str("  ],\n");
+    } else {
+        json.push_str("  \"zoo\": null,\n");
     }
 
     // Per-level work balance of the default chain on the E8/E9 workload

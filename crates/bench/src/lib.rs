@@ -12,6 +12,8 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod zoo;
+
 /// Prints a Markdown-style table row to stderr (criterion owns stdout).
 pub fn report_row(cols: &[String]) {
     eprintln!("| {} |", cols.join(" | "));

@@ -267,6 +267,227 @@ pub fn ultra_sparse(n: usize, extra: usize, w_min: f64, w_max: f64, seed: u64) -
     weighted_random_graph(n, (n - 1) + extra, w_min, w_max, seed)
 }
 
+// ---------------------------------------------------------------------------
+// The workload zoo: graph families beyond the grid.
+//
+// Every generator below is sequential and seeded, so its output is a pure
+// function of its arguments — bitwise identical across repeated runs and
+// across `RAYON_NUM_THREADS` (pinned by `tests/zoo.rs`). The families map
+// to the diversity argument of GBBS ("Theoretically Efficient Parallel
+// Graph Algorithms Can Be Fast and Scalable"): power-law (rMAT),
+// small-world/expander (Watts–Strogatz), road-like planar meshes with
+// skewed weights, 3D lattices, and near-disconnected clusters that stress
+// the solver's κ clamps.
+// ---------------------------------------------------------------------------
+
+/// R-MAT power-law graph (Chakrabarti–Zhan–Faloutsos; the Graph500 /
+/// GBBS-style recursive-quadrant generator) on `2^scale` vertices with up
+/// to `edges` distinct undirected edges, restricted to its largest
+/// connected component (rMAT leaves isolated vertices and fragments; the
+/// solver workload is the giant component). Quadrant probabilities are the
+/// conventional `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`, giving a heavy
+/// power-law degree tail. Unit weights; duplicate pairs and self-loops are
+/// discarded (so the edge count can land slightly below `edges`).
+pub fn rmat(scale: u32, edges: usize, seed: u64) -> Graph {
+    assert!((1..=26).contains(&scale), "rmat scale out of range");
+    let n = 1usize << scale;
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(edges * 2);
+    let mut b = GraphBuilder::with_capacity(n, edges);
+    // Each attempt recurses `scale` times into one of four quadrants; noise
+    // on the quadrant probabilities (the standard smoothing) prevents the
+    // degenerate "all duplicates" fixed point at high densities.
+    let mut attempts = 0usize;
+    let max_attempts = edges.saturating_mul(16).max(1024);
+    while b.m() < edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in 0..scale {
+            let bit = 1usize << (scale - 1 - level);
+            let noise = 0.9 + 0.2 * rng.gen_range(0.0..1.0);
+            let (a, bq, c) = (A * noise, B * noise, C * noise);
+            let r = rng.gen_range(0.0..1.0) * (a + bq + c + (1.0 - A - B - C) * noise);
+            if r < a {
+                // top-left: neither bit set
+            } else if r < a + bq {
+                v |= bit;
+            } else if r < a + bq + c {
+                u |= bit;
+            } else {
+                u |= bit;
+                v |= bit;
+            }
+        }
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(key.0 as VertexId, key.1 as VertexId, 1.0);
+        }
+    }
+    crate::components::largest_component(&b.build())
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice on `n` vertices where
+/// every vertex connects to its `k/2` nearest neighbours on each side
+/// (`k` even), with each edge's far endpoint rewired to a uniformly random
+/// vertex with probability `beta`. Small `beta` keeps the lattice's
+/// clustering while the rewired shortcuts collapse the diameter — an
+/// expander-like family where low-diameter decomposition is easy but the
+/// low-stretch machinery earns nothing from geometry. Unit weights.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "watts_strogatz needs even k >= 2"
+    );
+    assert!(n > k, "watts_strogatz needs n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(n * k);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    for u in 0..n {
+        for hop in 1..=(k / 2) {
+            let v = (u + hop) % n;
+            let (mut a, mut c) = (u, v);
+            if rng.gen_range(0.0..1.0) < beta {
+                // Rewire the far endpoint; on self-loop or duplicate keep
+                // the lattice edge instead (the classic construction).
+                let w = rng.gen_range(0..n);
+                if w != u {
+                    c = w;
+                    a = u;
+                }
+            }
+            let key = if a < c { (a, c) } else { (c, a) };
+            if chosen.insert(key) {
+                b.add_edge(key.0 as VertexId, key.1 as VertexId, 1.0);
+            }
+        }
+    }
+    crate::components::largest_component(&b.build())
+}
+
+/// Road-network-like planar mesh: a `rows × cols` grid whose spanning
+/// "avenue + streets" comb (the row-0 spine plus every vertical edge) is
+/// always present, whose remaining cross-street edges survive with
+/// probability `keep`, and whose weights are log-normally distributed
+/// (`exp(sigma · z)`, `z` standard normal) — the long-tailed
+/// conductance skew of real road networks, where AKPW's weight-class
+/// bucketing actually has classes to chew on. `keep = 0.55` and
+/// `sigma = 1.5` are good defaults.
+pub fn road_mesh(rows: usize, cols: usize, keep: f64, sigma: f64, seed: u64) -> Graph {
+    assert!(rows >= 2 && cols >= 2);
+    assert!((0.0..=1.0).contains(&keep));
+    let n = rows * cols;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let lognormal = move |rng: &mut ChaCha8Rng| {
+        // Box–Muller; one normal per call is plenty here.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (sigma * z).exp()
+    };
+    let idx = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                // Horizontal: row 0 is the spine (always kept); deeper rows
+                // are cross streets that may be missing.
+                let w = lognormal(&mut rng);
+                if r == 0 || rng.gen_range(0.0..1.0) < keep {
+                    b.add_edge(idx(r, c), idx(r, c + 1), w);
+                }
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c), lognormal(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3-D lattice with mildly heterogeneous random weights in
+/// `[1, spread]` (log-uniform), the PDE-style workload one dimension up
+/// from the benches' default grids: higher vertex degree, larger surface-
+/// to-volume ratio, and a qualitatively different elimination fill pattern.
+pub fn lattice3d(nx: usize, ny: usize, nz: usize, spread: f64, seed: u64) -> Graph {
+    assert!(spread >= 1.0 && spread.is_finite());
+    let ln_spread = spread.ln();
+    // grid3d calls the weight closure once per edge in a fixed construction
+    // order, so a sequential RNG stream behind a RefCell stays deterministic.
+    let rng = std::cell::RefCell::new(ChaCha8Rng::seed_from_u64(seed));
+    grid3d(nx, ny, nz, |_, _| {
+        (rng.borrow_mut().gen_range(0.0f64..1.0) * ln_spread).exp()
+    })
+}
+
+/// Near-disconnected clusters: `clusters` random connected graphs of
+/// `cluster_n` vertices each (a random attachment tree with weights in
+/// `[1, 4]` plus `extra` *light* edges with weights in `[0.002, 0.02]`),
+/// chained together by single bridge edges of weight `bridge_weight`.
+///
+/// The family stresses the sparsifier's κ clamps from both ends. With
+/// `bridge_weight ≪ 1` the graph's Fiedler value collapses, so κ(A) — and
+/// with it the f64-attainable relative residual, ≈ ε·κ(A) — is set by the
+/// bridges. And because the off-tree edges are light against the heavy
+/// tree, their resistance stretch is tiny: the target-based κ derivation
+/// in `incremental_sparsify_with_target` lands below its floor and clamps
+/// (the flag the chain reports through `ChainQuality`). Bridges are cut
+/// edges, so they always sit in the spanning forest — the clamp pressure
+/// comes from the starved off-forest stretch, not from the bridges
+/// themselves.
+pub fn near_disconnected_clusters(
+    clusters: usize,
+    cluster_n: usize,
+    extra: usize,
+    bridge_weight: f64,
+    seed: u64,
+) -> Graph {
+    assert!(clusters >= 2 && cluster_n >= 2);
+    assert!(bridge_weight > 0.0 && bridge_weight.is_finite());
+    let n = clusters * cluster_n;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, clusters * (cluster_n + extra));
+    for c in 0..clusters {
+        let off = (c * cluster_n) as VertexId;
+        // Random attachment tree keeps the cluster connected.
+        for v in 1..cluster_n as VertexId {
+            let p = rng.gen_range(0..v);
+            b.add_edge(off + p, off + v, rng.gen_range(1.0..=4.0));
+        }
+        let mut placed = 0usize;
+        let mut tries = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        while placed < extra && tries < extra * 20 {
+            tries += 1;
+            let u = rng.gen_range(0..cluster_n as VertexId);
+            let v = rng.gen_range(0..cluster_n as VertexId);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                // Light against the [1, 4] tree: negligible resistance
+                // stretch, which starves the sampler's κ derivation.
+                b.add_edge(off + key.0, off + key.1, rng.gen_range(0.002..=0.02));
+                placed += 1;
+            }
+        }
+        if c + 1 < clusters {
+            // One feeble bridge to the next cluster.
+            let u = off + rng.gen_range(0..cluster_n as VertexId);
+            let v = ((c + 1) * cluster_n) as VertexId + rng.gen_range(0..cluster_n as VertexId);
+            b.add_edge(u, v, bridge_weight);
+        }
+    }
+    b.build()
+}
+
 /// Rescales every edge weight by a power-law factor to produce graphs with
 /// large *spread* Δ (ratio of max to min weight), exercising the weight-
 /// class machinery of AKPW (Section 5). `decades` is log10(Δ).
@@ -374,6 +595,90 @@ mod tests {
         let g = ultra_sparse(100, 20, 1.0, 1.0, 13);
         assert_eq!(g.m(), 119);
         assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn rmat_is_powerlaw_connected_and_deterministic() {
+        let g = rmat(10, 4096, 3);
+        assert!(is_connected(&g));
+        assert!(g.is_simple());
+        assert!(g.n() > 256, "giant component too small: {}", g.n());
+        // Power-law tail: the max degree dwarfs the average degree.
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            g.max_degree() as f64 > 5.0 * avg,
+            "max degree {} vs avg {avg:.1} is not heavy-tailed",
+            g.max_degree()
+        );
+        let h = rmat(10, 4096, 3);
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.edges(), h.edges());
+        assert_ne!(rmat(10, 4096, 4).edges(), g.edges());
+    }
+
+    #[test]
+    fn watts_strogatz_shape() {
+        let g = watts_strogatz(1000, 6, 0.1, 7);
+        assert!(is_connected(&g));
+        assert!(g.is_simple());
+        // Rewiring discards few edges: close to n*k/2 survive.
+        assert!(g.m() > 2800 && g.m() <= 3000, "m = {}", g.m());
+        assert_eq!(g.edges(), watts_strogatz(1000, 6, 0.1, 7).edges());
+    }
+
+    #[test]
+    fn road_mesh_is_connected_and_skewed() {
+        let g = road_mesh(40, 40, 0.55, 1.5, 11);
+        assert_eq!(g.n(), 1600);
+        assert!(is_connected(&g), "comb spine must keep the mesh connected");
+        // Log-normal weights: heavy spread.
+        assert!(g.spread() > 100.0, "spread {}", g.spread());
+        // Thinning removed a visible fraction of the grid's edges.
+        assert!(g.m() < 2 * 40 * 39);
+        assert_eq!(g.edges(), road_mesh(40, 40, 0.55, 1.5, 11).edges());
+    }
+
+    #[test]
+    fn lattice3d_shape() {
+        let g = lattice3d(8, 8, 8, 10.0, 5);
+        assert_eq!(g.n(), 512);
+        assert!(is_connected(&g));
+        assert!(g.min_weight().unwrap() >= 1.0);
+        assert!(g.max_weight().unwrap() <= 10.0);
+        assert_eq!(g.edges(), lattice3d(8, 8, 8, 10.0, 5).edges());
+    }
+
+    #[test]
+    fn near_disconnected_clusters_shape() {
+        let g = near_disconnected_clusters(4, 100, 150, 1e-8, 9);
+        assert_eq!(g.n(), 400);
+        assert!(is_connected(&g));
+        // Exactly clusters-1 feeble bridges.
+        let bridges = g.edges().iter().filter(|e| e.w == 1e-8).count();
+        assert_eq!(bridges, 3);
+        assert!(g.spread() >= 1e8);
+        assert_eq!(
+            g.edges(),
+            near_disconnected_clusters(4, 100, 150, 1e-8, 9).edges()
+        );
+    }
+
+    #[test]
+    fn largest_component_extracts_giant() {
+        use crate::components::largest_component;
+        // A path of 50 plus an isolated triangle plus isolated vertices.
+        let mut b = crate::builder::GraphBuilder::new(60);
+        for v in 1..50u32 {
+            b.add_edge(v - 1, v, 1.0);
+        }
+        b.add_edge(50, 51, 2.0);
+        b.add_edge(51, 52, 2.0);
+        b.add_edge(52, 50, 2.0);
+        let g = b.build();
+        let giant = largest_component(&g);
+        assert_eq!(giant.n(), 50);
+        assert_eq!(giant.m(), 49);
+        assert!(is_connected(&giant));
     }
 
     #[test]

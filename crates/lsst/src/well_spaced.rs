@@ -77,11 +77,17 @@ pub fn well_spaced_split(g: &Graph, z: f64, tau: usize, theta: f64) -> WellSpace
                     best_start = s;
                 }
             }
-            // By averaging best_sum <= θ · group_total (when the group is
-            // full length); remove those classes regardless — the caller
-            // sees the exact removed fraction.
-            let _ = group_total;
-            remove_class[best_start..best_start + tau].fill(true);
+            // By averaging best_sum <= θ · group_total when the group is
+            // full length, so full groups always remove their window. A
+            // short trailing group has no such guarantee: its cheapest
+            // τ-window can hold most — or, when the whole graph spans
+            // fewer than τ + 1 classes, all — of the group's edges, and
+            // setting those aside re-inserts them verbatim, defeating
+            // sparsification entirely. Short groups therefore only remove
+            // within the θ budget.
+            if end - start == group_len || best_sum as f64 <= theta * group_total as f64 {
+                remove_class[best_start..best_start + tau].fill(true);
+            }
         }
         start = end;
     }

@@ -103,6 +103,24 @@ pub struct ChainOptions {
     /// in expectation (used when `auto_kappa` is set). Larger values give a
     /// spectrally stronger (but denser) preconditioner.
     pub extra_fraction: f64,
+    /// Opt-in adaptive per-level parameter selection. When `true`, each
+    /// level derives its forest scale and sampling budget from the
+    /// *measured* mean off-subgraph stretch `s̄` of that level instead of
+    /// the grid-tuned `tree_scale`/`extra_fraction` constants:
+    /// `t_i = clamp(√(s̄·ln n), 1, 64)` (the forest absorbs a deterministic
+    /// condition factor matched to the stretch scale) and the sample
+    /// fraction `f_i = clamp(c·s̄·ln n / κ_target, 0.02, 1)` — which pins
+    /// the level's full condition target `t_i·κ_i = c·s̄·ln n / f_i` at
+    /// [`Self::adaptive_kappa_target`] whenever the clamps don't bind.
+    /// High-stretch families (skewed weights, expanders) get heavier
+    /// forests and denser sampling; easy families get lighter levels. The
+    /// default is `false`: the fixed grid-tuned schedule is pinned for
+    /// determinism, and every committed baseline/bitwise contract runs on
+    /// it.
+    pub adaptive: bool,
+    /// Per-level full condition target `t_i·κ_i` aimed for by the adaptive
+    /// schedule (used only when [`Self::adaptive`] is set).
+    pub adaptive_kappa_target: f64,
     /// Target relative condition number `κ` carried by every level's
     /// sampled edges (used when `auto_kappa` is `false`; the level's full
     /// condition target is `tree_scale · κ`).
@@ -158,6 +176,8 @@ impl Default for ChainOptions {
         ChainOptions {
             auto_kappa: true,
             extra_fraction: 0.35,
+            adaptive: false,
+            adaptive_kappa_target: 256.0,
             kappa: 64.0,
             tree_scale: 8.0,
             subgraph_z: 32.0,
@@ -200,6 +220,14 @@ impl ChainOptions {
         self
     }
 
+    /// Enables the stretch-adaptive per-level parameter schedule (see
+    /// [`Self::adaptive`]).
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self.auto_kappa = true;
+        self
+    }
+
     /// Sets the per-level vertex ordering.
     pub fn with_ordering(mut self, ordering: LevelOrdering) -> Self {
         self.ordering = ordering;
@@ -232,6 +260,12 @@ impl ChainOptions {
             return Err(format!(
                 "tree_scale must be finite and ≥ 1, got {}",
                 self.tree_scale
+            ));
+        }
+        if !(self.adaptive_kappa_target.is_finite() && self.adaptive_kappa_target >= 4.0) {
+            return Err(format!(
+                "adaptive_kappa_target must be finite and ≥ 4, got {}",
+                self.adaptive_kappa_target
             ));
         }
         pos_finite("oversample", self.oversample)?;
@@ -285,6 +319,10 @@ impl ChainOptions {
             o.tree_scale = d.tree_scale;
         }
         o.tree_scale = o.tree_scale.max(1.0);
+        if !o.adaptive_kappa_target.is_finite() {
+            o.adaptive_kappa_target = d.adaptive_kappa_target;
+        }
+        o.adaptive_kappa_target = o.adaptive_kappa_target.max(4.0);
         if !(o.oversample.is_finite() && o.oversample > 0.0) {
             o.oversample = d.oversample;
         }
@@ -320,6 +358,15 @@ pub struct ChainLevel {
     pub kappa: f64,
     /// Forest scale factor `t_i` of this level's sparsifier.
     pub tree_scale: f64,
+    /// True when this level's κ derivation saturated a clamp inside
+    /// [`crate::sparsify::incremental_sparsify_with_target`] (overflow
+    /// ceiling, κ = 1 floor, or a degenerate no-stretch/zero-budget case).
+    /// Near-disconnected inputs whose bridge edges carry enormous
+    /// resistance stretch hit the 1e12 ceiling: sample probabilities
+    /// collapse and the level degrades toward subgraph-only. Surfaced per
+    /// level through [`ChainQuality`] so workloads can see the degradation
+    /// instead of silently paying for it in iterations.
+    pub kappa_clamped: bool,
     /// Sampled lower/upper bounds of `xᵀA_ix / xᵀB_ix` (empirical check of
     /// Definition 6.3's `A_i ⪯ B_i ⪯ κ_i·A_i`, up to scaling).
     pub measured_ratio: (f64, f64),
@@ -422,6 +469,92 @@ pub struct ChainStats {
     /// for iterative/trivial bottoms). Each bottom solve streams this
     /// twice; the dense triangle it replaces is `n(n−1)/2` entries.
     pub bottom_envelope_nnz: usize,
+}
+
+/// One level's row of a [`ChainQuality`] report.
+#[derive(Debug, Clone)]
+pub struct LevelQuality {
+    /// Vertex count of the level's system `A_i`.
+    pub vertices: usize,
+    /// Edge count of the level's system `A_i`.
+    pub edges: usize,
+    /// Edge count of the sparsifier `B_i`.
+    pub sparsifier_edges: usize,
+    /// Sampling condition target `κ_i` carried by the sampled edges.
+    pub kappa: f64,
+    /// Measured effective condition number of the preconditioned operator
+    /// at this level (see [`ChainStats::kappa_eff`] for the caveat on
+    /// level 0).
+    pub kappa_eff: f64,
+    /// Forest scale factor `t_i`.
+    pub tree_scale: f64,
+    /// Calibrated inner iteration count (W-cycle width `k_i`).
+    pub inner_iterations: usize,
+    /// True when this level's κ derivation saturated a clamp (see
+    /// [`ChainLevel::kappa_clamped`]).
+    pub kappa_clamped: bool,
+}
+
+/// Chain-quality conformance report: the compact per-level and aggregate
+/// view of a built chain that the workload-zoo harness (`tests/zoo.rs`)
+/// asserts envelopes against and the `zoo` baseline experiment records.
+/// Everything here is derived from [`ChainStats`] plus the per-level clamp
+/// flags; building it costs one [`SolverChain::stats`] pass.
+#[derive(Debug, Clone)]
+pub struct ChainQuality {
+    /// Number of chain levels above the bottom system.
+    pub depth: usize,
+    /// Per-level quality rows, top (input) level first.
+    pub levels: Vec<LevelQuality>,
+    /// Vertex count of the bottom system.
+    pub bottom_vertices: usize,
+    /// Edge count of the bottom system.
+    pub bottom_edges: usize,
+    /// Whether the bottom is solved by a direct (envelope LDLᵀ) factor.
+    pub direct_bottom: bool,
+    /// Stored strictly-lower entries of the bottom's envelope factor.
+    pub bottom_envelope_nnz: usize,
+    /// Estimated flops per top-level preconditioner application.
+    pub work_per_application: f64,
+    /// `work_per_application` divided by the input's edge count — the
+    /// size-free cost ratio the per-family envelopes bound (a chain whose
+    /// preconditioner application costs `c·m` flops keeps the whole solve
+    /// linear-ish in `m`).
+    pub work_per_input_edge: f64,
+    /// Bottom solves per top-level preconditioner application.
+    pub recursion_leaves: f64,
+    /// Number of levels whose κ derivation saturated a clamp. Non-zero
+    /// means some level degraded toward subgraph-only sampling (expected
+    /// on near-disconnected inputs; a red flag elsewhere).
+    pub kappa_clamp_hits: usize,
+}
+
+impl ChainQuality {
+    /// Largest measured per-level κ_eff (∞ when any level's calibrated
+    /// interval collapsed).
+    pub fn max_kappa_eff(&self) -> f64 {
+        self.levels.iter().map(|l| l.kappa_eff).fold(0.0, f64::max)
+    }
+
+    /// One-line human-readable digest for logs and bench output.
+    pub fn summary(&self) -> String {
+        format!(
+            "depth {} · bottom {}v/{}e ({}) · work/app {:.3e} ({:.1}×m) · leaves {:.0} · max κ_eff {:.1}{}",
+            self.depth,
+            self.bottom_vertices,
+            self.bottom_edges,
+            if self.direct_bottom { "direct" } else { "iterative" },
+            self.work_per_application,
+            self.work_per_input_edge,
+            self.recursion_leaves,
+            self.max_kappa_eff(),
+            if self.kappa_clamp_hits > 0 {
+                format!(" · κ-clamp×{}", self.kappa_clamp_hits)
+            } else {
+                String::new()
+            }
+        )
+    }
 }
 
 /// A fully constructed preconditioner chain for a Laplacian system.
@@ -601,14 +734,37 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
             // bench sizes — the sampled tail of the stretch distribution is
             // what caps λ_max of `B⁻¹A`.)
             let off_subgraph = current.m().saturating_sub(sub_edges.len());
-            let budget = ((options.extra_fraction * off_subgraph as f64) as usize).max(8);
+            let (budget, level_tree_scale) = if options.adaptive {
+                // Stretch-adaptive schedule: measure the level's mean
+                // off-subgraph resistance stretch s̄ and derive both knobs
+                // from it. The full condition target t·κ = c·S·ln n/(f·q)
+                // is independent of t under the target-based sampler, so t
+                // only trades sampled-κ against forest weight — matching
+                // it to √(s̄·ln n) splits that factor evenly. The sample
+                // fraction f then pins t·κ at `adaptive_kappa_target`
+                // whenever the clamps don't bind.
+                let (total, q) =
+                    crate::sparsify::offsubgraph_stretch_summary(&current, &sub_edges, &forest);
+                let q = q.max(1);
+                let log_n = (current.n().max(2) as f64).ln();
+                let s_mean = (total / q as f64).max(1.0);
+                let t = (s_mean * log_n).sqrt().clamp(1.0, 64.0);
+                let f = (options.oversample * s_mean * log_n / options.adaptive_kappa_target)
+                    .clamp(0.02, 1.0);
+                (((f * q as f64) as usize).max(8), t)
+            } else {
+                (
+                    ((options.extra_fraction * off_subgraph as f64) as usize).max(8),
+                    options.tree_scale,
+                )
+            };
             crate::sparsify::incremental_sparsify_with_target(
                 &current,
                 &sub_edges,
                 &forest,
                 budget,
                 options.oversample,
-                options.tree_scale,
+                level_tree_scale,
                 seed,
             )
         } else {
@@ -672,6 +828,7 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
             elimination,
             kappa: kappa_used,
             tree_scale: sparsifier.tree_scale,
+            kappa_clamped: sparsifier.kappa_clamped,
             measured_ratio,
             sparsifier_edges: sparsifier.edge_count(),
             subgraph_edges: sparsifier.subgraph_edges,
@@ -822,6 +979,44 @@ impl SolverChain {
                 BottomSolver::Direct(env) => env.envelope_nnz(),
                 _ => 0,
             },
+        }
+    }
+
+    /// Chain-quality conformance report (see [`ChainQuality`]): the
+    /// per-level/aggregate digest the workload zoo pins envelopes on.
+    pub fn quality(&self) -> ChainQuality {
+        let stats = self.stats();
+        let input_edges = self
+            .levels
+            .first()
+            .map(|l| l.graph.m())
+            .unwrap_or_else(|| self.bottom_graph.m());
+        let levels: Vec<LevelQuality> = self
+            .levels
+            .iter()
+            .map(|l| LevelQuality {
+                vertices: l.graph.n(),
+                edges: l.graph.m(),
+                sparsifier_edges: l.sparsifier_edges,
+                kappa: l.kappa,
+                kappa_eff: l.kappa_eff(),
+                tree_scale: l.tree_scale,
+                inner_iterations: l.inner_iterations,
+                kappa_clamped: l.kappa_clamped,
+            })
+            .collect();
+        let kappa_clamp_hits = levels.iter().filter(|l| l.kappa_clamped).count();
+        ChainQuality {
+            depth: levels.len(),
+            levels,
+            bottom_vertices: self.bottom_graph.n(),
+            bottom_edges: self.bottom_graph.m(),
+            direct_bottom: stats.direct_bottom,
+            bottom_envelope_nnz: stats.bottom_envelope_nnz,
+            work_per_application: stats.work_per_application,
+            work_per_input_edge: stats.work_per_application / input_edges.max(1) as f64,
+            recursion_leaves: stats.recursion_leaves,
+            kappa_clamp_hits,
         }
     }
 
@@ -1209,6 +1404,22 @@ impl SolverChain {
         let mut finished: Vec<usize> = Vec::new();
         let mut iterations = vec![0usize; k];
         let mut rels = vec![1.0f64; k];
+        // Stall detection: on ill-conditioned systems (e.g. clusters
+        // joined by feeble bridges, κ(A) ≳ 1e9) the attainable relative
+        // residual in f64 is bounded below by ≈ ε·κ(A) — beyond that
+        // point the residual recurrence is pure rounding noise and every
+        // further iteration is wasted. A column whose best residual has
+        // not improved by at least `STALL_IMPROVEMENT` (relative) within
+        // `STALL_WINDOW` iterations is frozen with `converged: false` and
+        // its best-seen residual reported. Any genuinely converging PCG
+        // column contracts orders of magnitude faster than this cutoff
+        // (even κ_eff ≈ 10⁴ contracts ~2% per iteration), so converging
+        // solves never trip it. Tracking is per column, so the bitwise
+        // block-composition contract is unaffected.
+        const STALL_WINDOW: usize = 40;
+        const STALL_IMPROVEMENT: f64 = 1e-3;
+        let mut best_rel = vec![f64::INFINITY; k];
+        let mut best_it = vec![0usize; k];
         let mut r = compact_columns_rm(&rr, k, &active);
         let mut z = self.precondition_rm(0, &r, active.len());
         let mut p = z.clone();
@@ -1226,6 +1437,14 @@ impl SolverChain {
                 iterations[j] = it;
                 rels[j] = rn[c].sqrt() / bnorms[j];
                 if rels[j] <= tol {
+                    finished.push(j);
+                } else if rels[j] < best_rel[j] * (1.0 - STALL_IMPROVEMENT) {
+                    best_rel[j] = rels[j];
+                    best_it[j] = it;
+                    keep.push(c);
+                } else if it - best_it[j] >= STALL_WINDOW {
+                    // Residual flat for a full window: the attainable
+                    // accuracy floor. Freeze the column unconverged.
                     finished.push(j);
                 } else {
                     keep.push(c);

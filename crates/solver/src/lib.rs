@@ -35,8 +35,8 @@ pub mod sdd_solve;
 pub mod sparsify;
 
 pub use chain::{
-    build_chain, ChainOptions, ChainPreconditioner, ChainStats, IterationMethod, SolveOutcome,
-    SolverChain,
+    build_chain, ChainOptions, ChainPreconditioner, ChainQuality, ChainStats, IterationMethod,
+    LevelQuality, SolveOutcome, SolverChain,
 };
 pub use elimination::{
     greedy_elimination, greedy_elimination_with_params, EliminationParams, EliminationResult,

@@ -152,6 +152,19 @@ pub struct Sparsifier {
     pub total_offsubgraph_stretch: f64,
     /// Forest scale factor the sparsifier was built with.
     pub tree_scale: f64,
+    /// True when the κ derivation of
+    /// [`incremental_sparsify_with_target`] saturated a clamp: the derived
+    /// κ overflowed the `1e12` ceiling (vanishing sample budget relative
+    /// to the total stretch makes the sample probabilities collapse to ~0,
+    /// so this level's preconditioner is the bare subgraph), hit the κ = 8
+    /// floor (stretch-starved levels — light off-subgraph edges whose
+    /// sampled stretch can't fill the budget, so the level sparsifies
+    /// harder than the budget asked), or degenerated to the
+    /// no-finite-stretch case. Either way the level is *not* operating at
+    /// its configured quality target; the chain surfaces this through
+    /// `ChainQuality` instead of silently degrading. Always `false` for
+    /// the fixed-κ [`incremental_sparsify`] entry point.
+    pub kappa_clamped: bool,
 }
 
 impl Sparsifier {
@@ -161,15 +174,35 @@ impl Sparsifier {
     }
 }
 
+/// Floor of the derived sampling κ. A raw κ below 1 means the budget is
+/// larger than the expected sample count at κ = 1 — i.e. the level's
+/// off-subgraph edges carry so little stretch that "sample to the budget"
+/// degenerates to "keep everything", producing a wrapper level that solves
+/// the same system again through extra inner iterations (3D lattices and
+/// skewed road meshes hit this; 2D grids never do — their derived κ sits
+/// in the tens). Flooring well above the chain builder's wrapper cutoff
+/// keeps such levels genuinely sparsifying; the `kappa_clamped` flag
+/// records that the budget was not met.
+const KAPPA_FLOOR: f64 = 8.0;
+
+/// Ceiling of the derived sampling κ, an overflow guard. With an AKPW
+/// low-stretch forest the total stretch `S` is near-linear in `m`, so the
+/// ceiling is unreachable from the chain builder (its budget is a fixed
+/// fraction of the off-subgraph edge count); it exists for direct callers
+/// whose `target_samples` is vanishingly small relative to `S` — there the
+/// sample probabilities collapse to ~0 and the sparsifier degrades to the
+/// bare subgraph, which the `kappa_clamped` flag surfaces.
+const KAPPA_CEILING: f64 = 1e12;
+
 /// Like [`incremental_sparsify`], but instead of a condition number takes a
 /// *target number of sampled off-subgraph edges* and derives the κ that
-/// achieves it in expectation (`κ = c·log n·(S/t) / target`). This is how
-/// the chain picks its per-level κ in practice: the expected sample count
-/// is what controls how much the next level shrinks (Lemma 6.2's trade-off
-/// read backwards), while the scaled forest absorbs a further factor `t`
-/// of condition number deterministically. Returns the sparsifier and the
-/// sampled-edge κ that was used (the level's full condition target is
-/// `t · κ`).
+/// achieves it in expectation (`κ = c·log n·(S/t) / target`, clamped to
+/// `[KAPPA_FLOOR, KAPPA_CEILING]`). This is how the chain picks its
+/// per-level κ in practice: the expected sample count is what controls how
+/// much the next level shrinks (Lemma 6.2's trade-off read backwards),
+/// while the scaled forest absorbs a further factor `t` of condition
+/// number deterministically. Returns the sparsifier and the sampled-edge κ
+/// that was used (the level's full condition target is `t · κ`).
 pub fn incremental_sparsify_with_target(
     g: &Graph,
     subgraph_edges: &[EdgeId],
@@ -185,17 +218,21 @@ pub fn incremental_sparsify_with_target(
     let stretch = per_edge_resistance_stretch(g, forest_edges, tree_scale);
     let in_subgraph = subgraph_flags(g.m(), subgraph_edges);
     let total = total_finite_offsubgraph_stretch(&stretch, &in_subgraph);
-    let kappa = if total <= 0.0 {
+    let (kappa, clamped) = if total <= 0.0 {
         // No off-subgraph edge has finite stretch: the subgraph already
         // carries every edge that matters and the sparsifier equals the
         // input (plus forest scaling), so the honest sampling κ is 1.
-        1.0
+        (1.0, true)
     } else if target_samples == 0 {
         // "Sample nothing" — keep only the subgraph. Large but finite so
         // downstream √κ / 1/κ arithmetic stays meaningful.
-        1e12
+        (KAPPA_CEILING, true)
     } else {
-        (oversample * total * log_n / target_samples as f64).clamp(1.0, 1e12)
+        let raw = oversample * total * log_n / target_samples as f64;
+        (
+            raw.clamp(KAPPA_FLOOR, KAPPA_CEILING),
+            !(KAPPA_FLOOR..=KAPPA_CEILING).contains(&raw),
+        )
     };
     let params = SparsifyParams {
         kappa,
@@ -203,10 +240,9 @@ pub fn incremental_sparsify_with_target(
         tree_scale,
         seed,
     };
-    (
-        incremental_sparsify(g, subgraph_edges, forest_edges, &params),
-        kappa,
-    )
+    let mut sp = incremental_sparsify(g, subgraph_edges, forest_edges, &params);
+    sp.kappa_clamped = clamped;
+    (sp, kappa)
 }
 
 fn subgraph_flags(m: usize, subgraph_edges: &[EdgeId]) -> Vec<bool> {
@@ -309,7 +345,23 @@ pub fn incremental_sparsify(
         sampled_edges: sampled_count,
         total_offsubgraph_stretch: total_stretch,
         tree_scale,
+        kappa_clamped: false,
     }
+}
+
+/// Total finite off-subgraph resistance stretch over the *unscaled* forest
+/// and the number of off-subgraph edges — the per-level measurement the
+/// chain's adaptive parameter selection derives `tree_scale` and the
+/// sampling budget from (see `ChainOptions::adaptive`).
+pub fn offsubgraph_stretch_summary(
+    g: &Graph,
+    subgraph_edges: &[EdgeId],
+    forest_edges: &[EdgeId],
+) -> (f64, usize) {
+    let stretch = per_edge_resistance_stretch(g, forest_edges, 1.0);
+    let in_subgraph = subgraph_flags(g.m(), subgraph_edges);
+    let total = total_finite_offsubgraph_stretch(&stretch, &in_subgraph);
+    (total, g.m().saturating_sub(subgraph_edges.len()))
 }
 
 #[cfg(test)]
@@ -394,6 +446,57 @@ mod tests {
         let (_, b) = tree_and_sparsifier(&g, 30.0, 21);
         assert_eq!(a.graph.m(), b.graph.m());
         assert_eq!(a.sampled_edges, b.sampled_edges);
+    }
+
+    #[test]
+    fn zero_target_clamps_kappa_at_ceiling() {
+        // "Sample nothing" is the overflow-guard path: unreachable from the
+        // chain builder (its budget is floored at 8), but direct callers
+        // can ask for it and must get a finite κ plus the clamp flag.
+        let g = generators::weighted_random_graph(200, 1200, 1.0, 4.0, 23);
+        let tree = kruskal(&g);
+        let (sp, kappa) = incremental_sparsify_with_target(&g, &tree, &tree, 0, 2.0, 1.0, 31);
+        assert_eq!(kappa, 1e12);
+        assert!(sp.kappa_clamped, "ceiling clamp must be flagged");
+        assert_eq!(
+            sp.sampled_edges, 0,
+            "at the ceiling the sparsifier keeps only the subgraph"
+        );
+        assert_eq!(sp.edge_count(), tree.len());
+    }
+
+    #[test]
+    fn starved_stretch_clamps_kappa_at_floor() {
+        // A heavy spanning path with feather-light extra edges: each
+        // off-tree edge's resistance stretch is ~1e-6, so a generous
+        // sample target drives the raw κ far below 1 and the floor clamp
+        // engages — the near-disconnected-clusters ("barbell") regime.
+        let n = 200usize;
+        let mut edges: Vec<parsdd_graph::Edge> = (0..n - 1)
+            .map(|i| parsdd_graph::Edge::new(i as u32, (i + 1) as u32, 1000.0))
+            .collect();
+        let tree: Vec<EdgeId> = (0..(n - 1) as EdgeId).collect();
+        for i in 0..n - 10 {
+            edges.push(parsdd_graph::Edge::new(i as u32, (i + 9) as u32, 1e-3));
+        }
+        let g = Graph::from_edges(n, edges);
+        let off = g.m() - tree.len();
+        let (sp, kappa) = incremental_sparsify_with_target(&g, &tree, &tree, off, 2.0, 1.0, 37);
+        assert_eq!(kappa, 8.0, "raw κ below the floor must clamp to it");
+        assert!(sp.kappa_clamped, "floor clamp must be flagged");
+    }
+
+    #[test]
+    fn healthy_target_reports_unclamped_kappa() {
+        let g = generators::weighted_random_graph(300, 2400, 1.0, 4.0, 29);
+        let tree = kruskal(&g);
+        let target = (g.m() - tree.len()) / 3;
+        let (sp, kappa) = incremental_sparsify_with_target(&g, &tree, &tree, target, 2.0, 1.0, 41);
+        assert!(
+            kappa > 8.0 && kappa < 1e12,
+            "expected an interior κ, got {kappa}"
+        );
+        assert!(!sp.kappa_clamped);
     }
 
     #[test]
