@@ -437,7 +437,7 @@ fn main() {
     // ----- JSON (hand-rolled; the workspace has no serde) -----
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v5\",");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v6\",");
     let _ = writeln!(
         json,
         "  \"generated_by\": \"cargo run --profile opt-bench -p parsdd_bench --bin baseline\","
@@ -547,6 +547,15 @@ fn main() {
                 json_f64(r.run.relative_residual)
             );
             let _ = writeln!(json, "      \"converged\": {},", r.run.converged);
+            let _ = writeln!(
+                json,
+                "      \"breakdown\": {},",
+                match &r.run.breakdown {
+                    None => "null".to_string(),
+                    Some(b) => format!("\"{b}\""),
+                }
+            );
+            let _ = writeln!(json, "      \"stalled\": {},", r.run.stalled);
             let _ = writeln!(json, "      \"depth\": {},", q.depth);
             let _ = writeln!(json, "      \"bottom_vertices\": {},", q.bottom_vertices);
             let _ = writeln!(json, "      \"direct_bottom\": {},", q.direct_bottom);

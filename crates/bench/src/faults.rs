@@ -1,0 +1,288 @@
+//! Deterministic fault injection for the robustness harness.
+//!
+//! Every fault here is *seeded and reproducible*: a [`FaultPlan`] derives
+//! its injection points from a seed with splitmix64, so a failing fault
+//! case replays bit-for-bit from its plan line. The faults model the ways
+//! real deployments corrupt a solve:
+//!
+//! * poisoned right-hand sides (NaN / ±∞ entries) — [`poison_rhs`];
+//! * corrupted edge weights smuggled past validation through the
+//!   unchecked graph constructor — [`corrupt_weight`];
+//! * dropped bridge edges that disconnect the graph (telemetry loss,
+//!   partial uploads) — [`drop_weakest_edges`];
+//! * a perturbed preconditioner: the chain built from a slightly
+//!   different graph than the one being solved — [`perturb_weights`];
+//! * a preconditioner that returns NaN at its `k`-th application
+//!   (mid-iteration hardware/kernel fault) — [`PoisonedPreconditioner`].
+//!
+//! `tests/faults.rs` drives every fault through the solver's fallible
+//! front door and asserts the robustness contract: a typed error or a
+//! tolerance-meeting recovery — never a panic, never a silently wrong
+//! answer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parsdd_graph::{Edge, Graph};
+use parsdd_linalg::block::MultiVector;
+use parsdd_linalg::operator::Preconditioner;
+
+/// splitmix64: the standard 64-bit mix, good enough to spread injection
+/// points deterministically without pulling in an RNG crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Entry `index` of the right-hand side becomes NaN.
+    NanRhs {
+        /// Poisoned entry.
+        index: usize,
+    },
+    /// Entry `index` of the right-hand side becomes +∞.
+    InfRhs {
+        /// Poisoned entry.
+        index: usize,
+    },
+    /// Edge `edge`'s weight becomes `weight` (non-finite or non-positive),
+    /// smuggled past construction-time validation.
+    CorruptWeight {
+        /// Corrupted edge id.
+        edge: usize,
+        /// The corrupted weight.
+        weight: f64,
+    },
+    /// The `count` lightest edges vanish (usually the bridges, usually
+    /// disconnecting the graph).
+    DropWeakestEdges {
+        /// How many edges to drop.
+        count: usize,
+    },
+    /// The preconditioner is built from a graph whose weights are
+    /// multiplicatively perturbed by up to ±`relative`.
+    PerturbWeights {
+        /// Maximum relative perturbation.
+        relative: f64,
+        /// Perturbation seed.
+        seed: u64,
+    },
+    /// The preconditioner returns NaN at its `application`-th call.
+    PoisonPreconditioner {
+        /// 0-based application index at which the output is poisoned.
+        application: usize,
+    },
+}
+
+/// A deterministic, seeded list of faults for a system of `n` vertices
+/// and `m` edges.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from.
+    pub seed: u64,
+    /// The faults, in injection order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The standard plan: one fault of every kind, with injection points
+    /// derived from `seed`. The same `(seed, n, m)` always produces the
+    /// same plan.
+    pub fn standard(seed: u64, n: usize, m: usize) -> Self {
+        assert!(n > 0 && m > 0, "fault plans need a non-empty system");
+        let mut s = seed;
+        let faults = vec![
+            Fault::NanRhs {
+                index: (splitmix64(&mut s) as usize) % n,
+            },
+            Fault::InfRhs {
+                index: (splitmix64(&mut s) as usize) % n,
+            },
+            Fault::CorruptWeight {
+                edge: (splitmix64(&mut s) as usize) % m,
+                weight: f64::NAN,
+            },
+            Fault::CorruptWeight {
+                edge: (splitmix64(&mut s) as usize) % m,
+                weight: -1.0,
+            },
+            Fault::DropWeakestEdges {
+                count: 1 + (splitmix64(&mut s) as usize) % 3,
+            },
+            Fault::PerturbWeights {
+                relative: 0.25,
+                seed: splitmix64(&mut s),
+            },
+            Fault::PoisonPreconditioner {
+                application: (splitmix64(&mut s) as usize) % 4,
+            },
+        ];
+        FaultPlan { seed, faults }
+    }
+}
+
+/// Returns a copy of `b` with entry `index` replaced by `value` (NaN, ±∞,
+/// or any other poison).
+pub fn poison_rhs(b: &[f64], index: usize, value: f64) -> Vec<f64> {
+    let mut out = b.to_vec();
+    out[index] = value;
+    out
+}
+
+/// Returns a copy of `g` with edge `edge`'s weight replaced by `weight`,
+/// built through the *unchecked* constructor so invalid weights survive to
+/// whatever layer is supposed to catch them.
+pub fn corrupt_weight(g: &Graph, edge: usize, weight: f64) -> Graph {
+    let mut edges: Vec<Edge> = g.edges().to_vec();
+    edges[edge].w = weight;
+    Graph::from_edges_unchecked(g.n(), edges)
+}
+
+/// Returns a copy of `g` without its `count` lightest edges (ties broken
+/// by edge id, so the result is deterministic). On bridge-bound families
+/// this disconnects the graph — the solver must classify the resulting
+/// per-component rank deficiency, not wedge on it.
+pub fn drop_weakest_edges(g: &Graph, count: usize) -> Graph {
+    let mut order: Vec<usize> = (0..g.edges().len()).collect();
+    order.sort_by(|&a, &b| {
+        let ea = &g.edges()[a];
+        let eb = &g.edges()[b];
+        ea.w.partial_cmp(&eb.w)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let dropped: std::collections::HashSet<usize> = order.into_iter().take(count).collect();
+    let edges: Vec<Edge> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped.contains(i))
+        .map(|(_, e)| *e)
+        .collect();
+    Graph::from_edges_unchecked(g.n(), edges)
+}
+
+/// Returns a copy of `g` with every weight multiplied by a deterministic
+/// factor in `[1 − relative, 1 + relative]` — the "preconditioner built
+/// from yesterday's graph" fault.
+pub fn perturb_weights(g: &Graph, relative: f64, seed: u64) -> Graph {
+    assert!((0.0..1.0).contains(&relative));
+    let mut s = seed;
+    let edges: Vec<Edge> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let u01 = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+            let factor = 1.0 + relative * (2.0 * u01 - 1.0);
+            Edge::new(e.u, e.v, e.w * factor)
+        })
+        .collect();
+    Graph::from_edges_unchecked(g.n(), edges)
+}
+
+/// A preconditioner wrapper that poisons its output with NaN at its
+/// `at_application`-th call (counting single-vector calls and block calls
+/// alike), modelling a transient kernel/hardware fault mid-iteration. The
+/// iterative drivers must detect the resulting non-finite residual and
+/// freeze the affected columns with a typed reason instead of spinning.
+pub struct PoisonedPreconditioner<'a> {
+    inner: &'a dyn Preconditioner,
+    at_application: usize,
+    calls: AtomicUsize,
+}
+
+impl<'a> PoisonedPreconditioner<'a> {
+    /// Wraps `inner`, poisoning the output of call number
+    /// `at_application` (0-based).
+    pub fn new(inner: &'a dyn Preconditioner, at_application: usize) -> Self {
+        PoisonedPreconditioner {
+            inner,
+            at_application,
+            calls: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Preconditioner for PoisonedPreconditioner<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn precondition(&self, r: &[f64], z: &mut [f64]) {
+        self.inner.precondition(r, z);
+        if self.calls.fetch_add(1, Ordering::Relaxed) == self.at_application {
+            z[0] = f64::NAN;
+        }
+    }
+
+    fn precondition_block(&self, r: &MultiVector, z: &mut MultiVector) {
+        self.inner.precondition_block(r, z);
+        if self.calls.fetch_add(1, Ordering::Relaxed) == self.at_application {
+            for j in 0..z.ncols() {
+                z.col_mut(j)[0] = f64::NAN;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsdd_graph::generators;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = FaultPlan::standard(42, 100, 250);
+        let b = FaultPlan::standard(42, 100, 250);
+        // NaN weights defeat PartialEq; the Debug form is the identity.
+        assert_eq!(format!("{:?}", a.faults), format!("{:?}", b.faults));
+        let c = FaultPlan::standard(43, 100, 250);
+        assert_ne!(format!("{:?}", a.faults), format!("{:?}", c.faults));
+        assert_eq!(a.faults.len(), 7);
+    }
+
+    #[test]
+    fn weakest_edges_are_dropped() {
+        let g = generators::near_disconnected_clusters(3, 40, 60, 1e-6, 5);
+        let bridges = g.edges().iter().filter(|e| e.w == 1e-6).count();
+        assert_eq!(bridges, 2);
+        let cut = drop_weakest_edges(&g, 2);
+        assert_eq!(cut.m(), g.m() - 2);
+        assert!(cut.edges().iter().all(|e| e.w != 1e-6));
+    }
+
+    #[test]
+    fn perturbation_is_bounded_and_deterministic() {
+        let g = generators::grid2d(6, 6, |_, _| 2.0);
+        let p1 = perturb_weights(&g, 0.25, 7);
+        let p2 = perturb_weights(&g, 0.25, 7);
+        for (a, b) in p1.edges().iter().zip(p2.edges()) {
+            assert_eq!(a.w.to_bits(), b.w.to_bits());
+        }
+        for (orig, pert) in g.edges().iter().zip(p1.edges()) {
+            assert!((pert.w / orig.w - 1.0).abs() <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisoned_preconditioner_fires_once() {
+        use parsdd_linalg::jacobi::JacobiPreconditioner;
+        use parsdd_linalg::laplacian::LaplacianOp;
+        let g = generators::grid2d(4, 4, |_, _| 1.0);
+        let op = LaplacianOp::new(&g);
+        let jac = JacobiPreconditioner::from_laplacian(&op);
+        let poisoned = PoisonedPreconditioner::new(&jac, 1);
+        let r = vec![1.0; g.n()];
+        let mut z = vec![0.0; g.n()];
+        poisoned.precondition(&r, &mut z); // call 0: clean
+        assert!(z.iter().all(|v| v.is_finite()));
+        poisoned.precondition(&r, &mut z); // call 1: poisoned
+        assert!(z[0].is_nan());
+        poisoned.precondition(&r, &mut z); // call 2: clean again
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+}

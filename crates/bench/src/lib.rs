@@ -12,6 +12,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod faults;
 pub mod zoo;
 
 /// Prints a Markdown-style table row to stderr (criterion owns stdout).

@@ -118,6 +118,14 @@ pub struct ZooRun {
     pub relative_residual: f64,
     /// Whether the requested tolerance was reached.
     pub converged: bool,
+    /// Typed breakdown of the outer iteration, if it froze early
+    /// (`Display`-formatted; `None` when converged or budget-exhausted).
+    pub breakdown: Option<String>,
+    /// Whether the breakdown (if any) was a stall at the f64-attainable
+    /// accuracy floor — the expected outcome on the feeblest barbell
+    /// bridges, surfaced separately so baseline diffs can tell an
+    /// accuracy-floor stall from a genuine divergence.
+    pub stalled: bool,
 }
 
 /// Builds the chain for `g` under `options` (use [`chain_options`] for
@@ -130,10 +138,16 @@ pub fn run(g: &Graph, options: ChainOptions, tolerance: f64) -> ZooRun {
     let solver = SddSolver::new_laplacian(g, solver_options);
     let b = crate::workloads::rhs(g.n(), 7);
     let out = solver.solve(&b);
+    let stalled = matches!(
+        out.breakdown,
+        Some(parsdd_linalg::BreakdownReason::Stalled { .. })
+    );
     ZooRun {
         quality: solver.chain().quality(),
         iterations: out.iterations,
         relative_residual: out.relative_residual,
         converged: out.converged,
+        breakdown: out.breakdown.map(|b| b.to_string()),
+        stalled,
     }
 }

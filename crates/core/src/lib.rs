@@ -42,6 +42,36 @@
 //! let solutions = solver.solve_many(&[b, b2]);
 //! assert!(solutions.iter().all(|s| s.converged));
 //! ```
+//!
+//! ## Error handling
+//!
+//! The infallible API above panics on malformed input. Production
+//! callers use the fallible front door: every failure is a typed
+//! [`BuildError`]/[`SolveError`], and a struggling solve escalates
+//! through a deterministic recovery ladder (iterate refresh → stronger
+//! chain → direct envelope factor) before giving up, recording each
+//! rung in [`SolveOutcome::recovery`] (DESIGN.md §2.5).
+//!
+//! ```
+//! use parsdd::prelude::*;
+//!
+//! let graph = parsdd::graph::generators::grid2d(20, 20, |_, _| 1.0);
+//! let mut b: Vec<f64> = (0..graph.n()).map(|i| (i % 5) as f64).collect();
+//! parsdd::linalg::vector::project_out_constant(&mut b);
+//!
+//! let solver = SddSolver::try_new_laplacian(&graph, SddSolverOptions::default())
+//!     .expect("validated build");
+//! let out = solver.try_solve(&b).expect("well-posed system");
+//! assert!(out.converged);
+//! assert!(out.recovery.is_empty()); // non-empty iff the ladder rescued it
+//!
+//! // Malformed inputs are typed errors, not panics:
+//! let bad = vec![f64::NAN; graph.n()];
+//! assert!(matches!(
+//!     solver.try_solve(&bad),
+//!     Err(SolveError::NonFiniteRhs { column: 0, index: 0 })
+//! ));
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -71,7 +101,10 @@ pub use parsdd_decomp::{partition, split_graph, PartitionParams, SplitParams};
 pub use parsdd_graph::{Edge, Graph, GraphBuilder};
 pub use parsdd_linalg::CsrMatrix;
 pub use parsdd_lsst::{akpw, ls_subgraph, AkpwParams, LsSubgraphParams};
-pub use parsdd_solver::{ChainOptions, SddSolver, SddSolverOptions, SolveOutcome};
+pub use parsdd_solver::{
+    BuildError, ChainOptions, RecoveryRung, RecoveryStep, SddSolver, SddSolverOptions, SolveError,
+    SolveOutcome,
+};
 
 /// Commonly used items, for `use parsdd::prelude::*`.
 pub mod prelude {
@@ -80,7 +113,10 @@ pub mod prelude {
     pub use parsdd_linalg::operator::{LinearOperator, Preconditioner};
     pub use parsdd_linalg::CsrMatrix;
     pub use parsdd_lsst::{akpw, ls_subgraph, AkpwParams, LsSubgraphParams};
-    pub use parsdd_solver::{ChainOptions, SddSolver, SddSolverOptions, SolveOutcome};
+    pub use parsdd_solver::{
+        BuildError, ChainOptions, RecoveryRung, RecoveryStep, SddSolver, SddSolverOptions,
+        SolveError, SolveOutcome,
+    };
 }
 
 #[cfg(test)]

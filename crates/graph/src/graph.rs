@@ -18,6 +18,111 @@ pub type EdgeId = u32;
 /// Sentinel for "no vertex" (used in BFS parents, component labels, ...).
 pub const INVALID_VERTEX: VertexId = u32::MAX;
 
+/// A structural defect found while validating graph input data.
+///
+/// Returned by [`Graph::validated`]; every variant pins the offending edge
+/// index so callers (and error messages) can point at the exact input
+/// record. The panicking constructors ([`Graph::from_edges`],
+/// [`GraphBuilder::add_edge`](crate::builder::GraphBuilder::add_edge))
+/// enforce the same invariants with `assert!`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphDataError {
+    /// An edge weight is NaN or ±∞.
+    NonFiniteWeight {
+        /// Index of the offending edge in the input list.
+        edge: usize,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// An edge weight is zero or negative (weights are conductances and
+    /// must be strictly positive).
+    NonPositiveWeight {
+        /// Index of the offending edge in the input list.
+        edge: usize,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// An edge connects a vertex to itself.
+    SelfLoop {
+        /// Index of the offending edge in the input list.
+        edge: usize,
+        /// The looping vertex.
+        vertex: VertexId,
+    },
+    /// An edge references a vertex `>= n` (a "ghost" vertex outside the
+    /// declared vertex set).
+    EndpointOutOfRange {
+        /// Index of the offending edge in the input list.
+        edge: usize,
+        /// The out-of-range endpoint.
+        endpoint: VertexId,
+        /// The declared vertex count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for GraphDataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphDataError::NonFiniteWeight { edge, weight } => {
+                write!(f, "edge {edge} has non-finite weight {weight}")
+            }
+            GraphDataError::NonPositiveWeight { edge, weight } => {
+                write!(f, "edge {edge} has non-positive weight {weight}")
+            }
+            GraphDataError::SelfLoop { edge, vertex } => {
+                write!(f, "edge {edge} is a self-loop at vertex {vertex}")
+            }
+            GraphDataError::EndpointOutOfRange { edge, endpoint, n } => {
+                write!(
+                    f,
+                    "edge {edge} references vertex {endpoint} outside the vertex set 0..{n}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphDataError {}
+
+/// Checks one edge against the graph invariants (used by both the
+/// panicking and the fallible constructors).
+pub(crate) fn check_edge(i: usize, e: &Edge, n: usize) -> Result<(), GraphDataError> {
+    if (e.u as usize) >= n {
+        return Err(GraphDataError::EndpointOutOfRange {
+            edge: i,
+            endpoint: e.u,
+            n,
+        });
+    }
+    if (e.v as usize) >= n {
+        return Err(GraphDataError::EndpointOutOfRange {
+            edge: i,
+            endpoint: e.v,
+            n,
+        });
+    }
+    if e.u == e.v {
+        return Err(GraphDataError::SelfLoop {
+            edge: i,
+            vertex: e.u,
+        });
+    }
+    if !e.w.is_finite() {
+        return Err(GraphDataError::NonFiniteWeight {
+            edge: i,
+            weight: e.w,
+        });
+    }
+    if e.w <= 0.0 {
+        return Err(GraphDataError::NonPositiveWeight {
+            edge: i,
+            weight: e.w,
+        });
+    }
+    Ok(())
+}
+
 /// An undirected weighted edge `{u, v}` with weight `w > 0`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
@@ -76,20 +181,24 @@ impl Graph {
     /// Builds a graph with `n` vertices from an undirected edge list.
     ///
     /// Panics if an edge references a vertex `>= n`, has a non-positive or
-    /// non-finite weight, or is a self-loop.
+    /// non-finite weight, or is a self-loop. [`Graph::validated`] is the
+    /// fallible alternative for untrusted input.
     pub fn from_edges(n: usize, edges: Vec<Edge>) -> Self {
-        for (i, e) in edges.iter().enumerate() {
-            assert!(
-                (e.u as usize) < n && (e.v as usize) < n,
-                "edge {i} references vertex out of range: {e:?} with n={n}"
-            );
-            assert!(e.u != e.v, "edge {i} is a self-loop: {e:?}");
-            assert!(
-                e.w.is_finite() && e.w > 0.0,
-                "edge {i} has invalid weight: {e:?}"
-            );
+        match Self::validated(n, edges) {
+            Ok(g) => g,
+            Err(e) => panic!("Graph::from_edges: {e}"),
         }
-        Self::from_edges_unchecked(n, edges)
+    }
+
+    /// Builds a graph with `n` vertices from an untrusted undirected edge
+    /// list, returning a typed [`GraphDataError`] (instead of panicking)
+    /// on the first self-loop, out-of-range endpoint, or non-finite /
+    /// non-positive weight.
+    pub fn validated(n: usize, edges: Vec<Edge>) -> Result<Self, GraphDataError> {
+        for (i, e) in edges.iter().enumerate() {
+            check_edge(i, e, n)?;
+        }
+        Ok(Self::from_edges_unchecked(n, edges))
     }
 
     /// Builds a graph assuming the edge list has already been validated.

@@ -8,7 +8,7 @@
 use std::io::{BufRead, Write};
 
 use crate::builder::GraphBuilder;
-use crate::graph::Graph;
+use crate::graph::{Graph, GraphDataError};
 
 /// Errors produced while reading a graph.
 #[derive(Debug)]
@@ -17,6 +17,15 @@ pub enum IoError {
     Io(std::io::Error),
     /// The input was syntactically or semantically malformed.
     Parse(String),
+    /// The input parsed but describes an invalid graph (non-finite or
+    /// non-positive weight, out-of-range endpoint). The line number of
+    /// the offending record is included when known.
+    InvalidGraph {
+        /// 1-based line of the offending record (`0` when unknown).
+        line: usize,
+        /// The structural defect.
+        error: GraphDataError,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -24,6 +33,9 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse(msg) => write!(f, "parse error: {msg}"),
+            IoError::InvalidGraph { line, error } => {
+                write!(f, "invalid graph data at line {line}: {error}")
+            }
         }
     }
 }
@@ -97,12 +109,51 @@ pub fn read_edge_list<R: BufRead>(input: R) -> Result<Graph, IoError> {
         if u == v {
             continue; // ignore self loops in external data
         }
+        // Reject invalid records with their line number instead of letting
+        // the graph constructor panic on them later.
+        if !w.is_finite() {
+            return Err(IoError::InvalidGraph {
+                line: lineno + 1,
+                error: GraphDataError::NonFiniteWeight {
+                    edge: edges.len(),
+                    weight: w,
+                },
+            });
+        }
+        if w <= 0.0 {
+            return Err(IoError::InvalidGraph {
+                line: lineno + 1,
+                error: GraphDataError::NonPositiveWeight {
+                    edge: edges.len(),
+                    weight: w,
+                },
+            });
+        }
+        if let Some(n) = declared_n {
+            let ghost = if u as usize >= n {
+                Some(u)
+            } else if v as usize >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(endpoint) = ghost {
+                return Err(IoError::InvalidGraph {
+                    line: lineno + 1,
+                    error: GraphDataError::EndpointOutOfRange {
+                        edge: edges.len(),
+                        endpoint,
+                        n,
+                    },
+                });
+            }
+        }
         max_vertex = max_vertex.max(u).max(v);
         edges.push((u, v, w));
     }
-    let n = declared_n
-        .unwrap_or(max_vertex as usize + 1)
-        .max(max_vertex as usize + 1);
+    // A header bounds the vertex set (ghosts were rejected above);
+    // without one the set grows to cover every mentioned id.
+    let n = declared_n.unwrap_or(max_vertex as usize + 1);
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v, w) in edges {
         b.add_edge(u, v, w);
@@ -172,6 +223,7 @@ pub fn read_matrix_market_graph<R: BufRead>(input: R) -> Result<Graph, IoError> 
         return Err(parse_err("matrix must be square"));
     }
     let mut b = GraphBuilder::new(rows);
+    let mut entry = 0usize;
     for line in lines {
         let line = line?;
         let t = line.trim();
@@ -197,10 +249,22 @@ pub fn read_matrix_market_graph<R: BufRead>(input: R) -> Result<Graph, IoError> 
         if i == 0 || j == 0 || i > rows || j > rows {
             return Err(parse_err("index out of range (Matrix Market is 1-based)"));
         }
+        if !v.is_finite() {
+            // A NaN/Inf entry would otherwise survive `|v|` and panic in
+            // the graph constructor.
+            return Err(IoError::InvalidGraph {
+                line: 0,
+                error: GraphDataError::NonFiniteWeight {
+                    edge: entry,
+                    weight: v,
+                },
+            });
+        }
         if i == j || v == 0.0 {
             continue;
         }
         b.add_edge((i - 1) as u32, (j - 1) as u32, v.abs());
+        entry += 1;
     }
     Ok(b.build())
 }
@@ -262,5 +326,84 @@ mod tests {
         let err = read_edge_list(BufReader::new(text.as_bytes())).unwrap_err();
         let msg = format!("{err}");
         assert!(msg.contains("line 1"), "{msg}");
+    }
+
+    #[test]
+    fn edge_list_rejects_invalid_weights_and_ghosts() {
+        use crate::graph::GraphDataError;
+        let nan = "0 1 NaN\n";
+        match read_edge_list(BufReader::new(nan.as_bytes())).unwrap_err() {
+            IoError::InvalidGraph {
+                line: 1,
+                error: GraphDataError::NonFiniteWeight { .. },
+            } => {}
+            other => panic!("expected NonFiniteWeight, got {other:?}"),
+        }
+        let neg = "0 1 2.0\n1 2 -3.0\n";
+        match read_edge_list(BufReader::new(neg.as_bytes())).unwrap_err() {
+            IoError::InvalidGraph {
+                line: 2,
+                error: GraphDataError::NonPositiveWeight { .. },
+            } => {}
+            other => panic!("expected NonPositiveWeight, got {other:?}"),
+        }
+        let inf = "0 1 inf\n";
+        assert!(matches!(
+            read_edge_list(BufReader::new(inf.as_bytes())).unwrap_err(),
+            IoError::InvalidGraph { .. }
+        ));
+        // Header declares 2 vertices; vertex 7 is a ghost.
+        let ghost = "# 2 1\n0 7 1.0\n";
+        match read_edge_list(BufReader::new(ghost.as_bytes())).unwrap_err() {
+            IoError::InvalidGraph {
+                line: 2,
+                error:
+                    GraphDataError::EndpointOutOfRange {
+                        endpoint: 7, n: 2, ..
+                    },
+            } => {}
+            other => panic!("expected EndpointOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_market_rejects_non_finite_values() {
+        let nan = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 NaN\n";
+        assert!(matches!(
+            read_matrix_market_graph(BufReader::new(nan.as_bytes())).unwrap_err(),
+            IoError::InvalidGraph { .. }
+        ));
+        let inf = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 -inf\n";
+        assert!(matches!(
+            read_matrix_market_graph(BufReader::new(inf.as_bytes())).unwrap_err(),
+            IoError::InvalidGraph { .. }
+        ));
+    }
+
+    #[test]
+    fn validated_graph_classifies_defects() {
+        use crate::graph::{Edge, Graph, GraphDataError};
+        let ok = Graph::validated(3, vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0)]);
+        assert_eq!(ok.unwrap().m(), 2);
+        assert!(matches!(
+            Graph::validated(3, vec![Edge::new(0, 1, f64::NAN)]),
+            Err(GraphDataError::NonFiniteWeight { edge: 0, .. })
+        ));
+        assert!(matches!(
+            Graph::validated(3, vec![Edge::new(0, 1, 0.0)]),
+            Err(GraphDataError::NonPositiveWeight { edge: 0, .. })
+        ));
+        assert!(matches!(
+            Graph::validated(3, vec![Edge::new(2, 2, 1.0)]),
+            Err(GraphDataError::SelfLoop { edge: 0, vertex: 2 })
+        ));
+        assert!(matches!(
+            Graph::validated(2, vec![Edge::new(0, 5, 1.0)]),
+            Err(GraphDataError::EndpointOutOfRange {
+                edge: 0,
+                endpoint: 5,
+                n: 2
+            })
+        ));
     }
 }

@@ -56,6 +56,6 @@ pub mod tree;
 pub mod unionfind;
 
 pub use builder::GraphBuilder;
-pub use graph::{Edge, EdgeId, Graph, VertexId, INVALID_VERTEX};
+pub use graph::{Edge, EdgeId, Graph, GraphDataError, VertexId, INVALID_VERTEX};
 pub use multigraph::{ClassedEdge, MultiGraph};
 pub use tree::RootedForest;

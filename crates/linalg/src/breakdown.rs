@@ -1,0 +1,93 @@
+//! Typed breakdown reasons for iterative kernels.
+//!
+//! Every iterative driver in this crate — (block) PCG, the Chebyshev
+//! restart drivers, and the solver chain's outer iteration one crate up —
+//! can hit states where further iterations are provably wasted: a NaN/Inf
+//! residual (poisoned input or overflow), a search direction with
+//! non-positive curvature (`pᵀAp ≤ 0`), a residual that grows far past its
+//! best (divergence), or a residual pinned at the f64-attainable floor
+//! (stall). Instead of spinning to the iteration budget — or worse,
+//! poisoning sibling columns in a block — the drivers freeze the affected
+//! column early and record **why** in a [`BreakdownReason`], which outcome
+//! types carry as an `Option` honesty field.
+
+/// Residual growth factor over the best-seen residual beyond which a
+/// column is declared diverging and frozen. Divergence additionally
+/// requires the residual to be worse than the initial guess (`rel > 1`).
+/// The factor is deliberately loose: healthy flexible-PCG residuals on
+/// ill-conditioned systems legitimately overshoot an order of magnitude
+/// past their best — the barbell zoo family transiently reaches ~15×
+/// best *above* the initial residual before converging — while genuine
+/// divergence (a miscalibrated Chebyshev interval, an indefinite
+/// operator) grows exponentially and clears four decades within a
+/// handful of iterations. Only the combination — far past best *and*
+/// worse than doing nothing — is unambiguous.
+pub const DIVERGENCE_FACTOR: f64 = 1e4;
+
+/// Why an iterative solve stopped before reaching its tolerance.
+///
+/// `None` in an outcome's `breakdown` field means the solve either
+/// converged or simply ran out of its iteration budget while still making
+/// progress (the caller can classify the latter from `converged` being
+/// `false` with no breakdown).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakdownReason {
+    /// The residual (or a recurrence scalar feeding it) became NaN or ±∞.
+    NonFiniteResidual {
+        /// Iteration at which the non-finite value was observed.
+        iteration: usize,
+    },
+    /// The search direction had non-positive curvature `pᵀAp ≤ 0` — the
+    /// operator is indefinite on this direction (or the right-hand side
+    /// has a null-space component the projection missed).
+    IndefiniteDirection {
+        /// Iteration at which the direction broke down.
+        iteration: usize,
+        /// The offending curvature `pᵀAp`.
+        curvature: f64,
+    },
+    /// The relative residual grew to at least [`DIVERGENCE_FACTOR`] times
+    /// the best residual seen so far.
+    Diverged {
+        /// Iteration at which divergence was declared.
+        iteration: usize,
+        /// Growth factor `rel / best` at that point.
+        growth: f64,
+    },
+    /// The residual made no meaningful progress for a full stall window —
+    /// the f64-attainable accuracy floor (≈ ε·κ(A)) for this system.
+    Stalled {
+        /// Iteration at which the stall was declared.
+        iteration: usize,
+        /// Best relative residual reached before stalling.
+        best_relative_residual: f64,
+    },
+}
+
+impl std::fmt::Display for BreakdownReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakdownReason::NonFiniteResidual { iteration } => {
+                write!(f, "non-finite residual at iteration {iteration}")
+            }
+            BreakdownReason::IndefiniteDirection {
+                iteration,
+                curvature,
+            } => write!(
+                f,
+                "indefinite direction (pᵀAp = {curvature:.3e}) at iteration {iteration}"
+            ),
+            BreakdownReason::Diverged { iteration, growth } => write!(
+                f,
+                "residual diverged ({growth:.1}× best) at iteration {iteration}"
+            ),
+            BreakdownReason::Stalled {
+                iteration,
+                best_relative_residual,
+            } => write!(
+                f,
+                "stalled at relative residual {best_relative_residual:.3e} (iteration {iteration})"
+            ),
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //!   adaptive); the ablation experiment A1 compares the two.
 
 use crate::block::MultiVector;
+use crate::breakdown::{BreakdownReason, DIVERGENCE_FACTOR};
 use crate::operator::{IdentityPreconditioner, LinearOperator, Preconditioner};
 use crate::vector::{axpy, dot, norm2, sub};
 
@@ -44,6 +45,9 @@ pub struct CgOutcome {
     pub relative_residual: f64,
     /// Whether the tolerance was reached.
     pub converged: bool,
+    /// Why the iteration stopped early, if it broke down (`None` when
+    /// converged or merely budget-exhausted).
+    pub breakdown: Option<BreakdownReason>,
 }
 
 /// Solves `A x = b` with plain conjugate gradient.
@@ -73,6 +77,7 @@ pub fn pcg_solve(
             iterations: 0,
             relative_residual: 0.0,
             converged: true,
+            breakdown: None,
         };
     }
     let mut x = vec![0.0; n];
@@ -82,6 +87,8 @@ pub fn pcg_solve(
     let mut rz = dot(&r, &z);
     let mut iterations = 0;
     let mut rel = 1.0;
+    let mut best_rel = f64::INFINITY;
+    let mut breakdown: Option<BreakdownReason> = None;
     let mut ap = vec![0.0; n];
     for k in 0..opts.max_iters {
         iterations = k;
@@ -92,13 +99,32 @@ pub fn pcg_solve(
                 iterations,
                 relative_residual: rel,
                 converged: true,
+                breakdown: None,
             };
         }
+        if !rel.is_finite() {
+            // A poisoned residual never recovers; stop instead of spinning
+            // the whole budget on NaN arithmetic.
+            breakdown = Some(BreakdownReason::NonFiniteResidual { iteration: k });
+            break;
+        }
+        if rel >= DIVERGENCE_FACTOR * best_rel && rel > 1.0 {
+            breakdown = Some(BreakdownReason::Diverged {
+                iteration: k,
+                growth: rel / best_rel,
+            });
+            break;
+        }
+        best_rel = best_rel.min(rel);
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Breakdown: direction has no energy (can happen if b has a
             // component in the null space); return the best iterate.
+            breakdown = Some(BreakdownReason::IndefiniteDirection {
+                iteration: k,
+                curvature: pap,
+            });
             break;
         }
         let alpha = rz / pap;
@@ -117,11 +143,13 @@ pub fn pcg_solve(
         let ax = a.apply_vec(&x);
         norm2(&sub(b, &ax)) / bnorm
     };
+    let converged = final_res <= opts.tol;
     CgOutcome {
-        converged: final_res <= opts.tol,
+        converged,
         x,
         iterations: iterations + 1,
         relative_residual: final_res.min(rel),
+        breakdown: if converged { None } else { breakdown },
     }
 }
 
@@ -163,6 +191,7 @@ pub fn block_pcg_solve(
                 iterations: 0,
                 relative_residual: 0.0,
                 converged: true,
+                breakdown: None,
             });
         } else {
             active.push(j);
@@ -187,18 +216,27 @@ pub fn block_pcg_solve(
     let mut rz: Vec<f64> = (0..active.len()).map(|c| dot(r.col(c), z.col(c))).collect();
     let mut iterations = vec![0usize; k];
     let mut rels = vec![1.0f64; k];
+    let mut best_rel = vec![f64::INFINITY; k];
     let mut ap = MultiVector::zeros(n, active.len());
 
-    // Columns that broke down (`pᵀAp ≤ 0`) or ran out of budget take the
-    // single driver's fallback exit: an explicit final residual.
-    let finalize = |j: usize, x_j: &[f64], iters: usize, rel: f64| -> CgOutcome {
+    // Columns that broke down (NaN/divergence/`pᵀAp ≤ 0`) or ran out of
+    // budget take the single driver's fallback exit: an explicit final
+    // residual (a reached tolerance clears the breakdown reason).
+    let finalize = |j: usize,
+                    x_j: &[f64],
+                    iters: usize,
+                    rel: f64,
+                    why: Option<BreakdownReason>|
+     -> CgOutcome {
         let ax = a.apply_vec(x_j);
         let final_res = norm2(&sub(b.col(j), &ax)) / bnorms[j];
+        let converged = final_res <= opts.tol;
         CgOutcome {
-            converged: final_res <= opts.tol,
+            converged,
             x: x_j.to_vec(),
             iterations: iters + 1,
             relative_residual: final_res.min(rel),
+            breakdown: if converged { None } else { why },
         }
     };
 
@@ -206,7 +244,10 @@ pub fn block_pcg_solve(
         if active.is_empty() {
             break;
         }
-        // Per-column convergence check and deflation.
+        // Per-column convergence check and deflation. Breakdown detection
+        // is per column too: a poisoned or diverging column is frozen on
+        // the spot so it cannot spin the block's budget or drag healthy
+        // siblings through wasted iterations.
         let mut keep: Vec<usize> = Vec::with_capacity(active.len());
         for (c, &j) in active.iter().enumerate() {
             iterations[j] = it;
@@ -217,8 +258,19 @@ pub fn block_pcg_solve(
                     iterations: iterations[j],
                     relative_residual: rels[j],
                     converged: true,
+                    breakdown: None,
                 });
+            } else if !rels[j].is_finite() {
+                let why = Some(BreakdownReason::NonFiniteResidual { iteration: it });
+                outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j], why));
+            } else if rels[j] >= DIVERGENCE_FACTOR * best_rel[j] && rels[j] > 1.0 {
+                let why = Some(BreakdownReason::Diverged {
+                    iteration: it,
+                    growth: rels[j] / best_rel[j],
+                });
+                outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j], why));
             } else {
+                best_rel[j] = best_rel[j].min(rels[j]);
                 keep.push(c);
             }
         }
@@ -240,7 +292,11 @@ pub fn block_pcg_solve(
         for (c, &j) in active.iter().enumerate() {
             let pap = dot(p.col(c), ap.col(c));
             if pap <= 0.0 || !pap.is_finite() {
-                outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j]));
+                let why = Some(BreakdownReason::IndefiniteDirection {
+                    iteration: it,
+                    curvature: pap,
+                });
+                outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j], why));
             } else {
                 let alpha = rz[c] / pap;
                 axpy(alpha, p.col(c), x.col_mut(j));
@@ -275,7 +331,7 @@ pub fn block_pcg_solve(
 
     // Budget exhausted: the remaining columns take the fallback exit.
     for &j in &active {
-        outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j]));
+        outcomes[j] = Some(finalize(j, x.col(j), iterations[j], rels[j], None));
     }
     outcomes
         .into_iter()
@@ -455,6 +511,69 @@ mod tests {
         );
         assert!(!out.converged);
         assert!(out.iterations <= 4);
+    }
+
+    #[test]
+    fn nan_rhs_breaks_down_immediately() {
+        let g = generators::path(6, 1.0);
+        let op = LaplacianOp::new(&g);
+        let mut b = vec![1.0; 6];
+        b[3] = f64::NAN;
+        let out = cg_solve(&op, &b, &CgOptions::default());
+        assert!(!out.converged);
+        assert!(
+            out.iterations <= 1,
+            "spun {} iterations on NaN",
+            out.iterations
+        );
+        assert!(matches!(
+            out.breakdown,
+            Some(BreakdownReason::NonFiniteResidual { .. })
+        ));
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_direction_breakdown() {
+        // [[1, 2], [2, 1]] has eigenvalue −1 on [1, −1]: the very first
+        // direction has pᵀAp < 0.
+        let a = crate::csr::CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 1.0)],
+        );
+        let out = cg_solve(&a, &[1.0, -1.0], &CgOptions::default());
+        assert!(!out.converged);
+        assert!(matches!(
+            out.breakdown,
+            Some(BreakdownReason::IndefiniteDirection { curvature, .. }) if curvature <= 0.0
+        ));
+    }
+
+    #[test]
+    fn poisoned_block_column_does_not_drag_siblings() {
+        let g = generators::grid2d(8, 8, |_, _| 1.0);
+        let op = LaplacianOp::new(&g);
+        let jac = JacobiPreconditioner::from_laplacian(&op);
+        let mut good: Vec<f64> = (0..g.n()).map(|i| (i % 5) as f64 - 2.0).collect();
+        project_out_constant(&mut good);
+        let mut bad = vec![1.0; g.n()];
+        bad[7] = f64::INFINITY;
+        let outs = block_pcg_solve(
+            &op,
+            &jac,
+            &MultiVector::from_columns(&[bad, good.clone()]),
+            &CgOptions {
+                max_iters: 500,
+                tol: 1e-9,
+            },
+        );
+        assert!(!outs[0].converged);
+        assert!(outs[0].breakdown.is_some());
+        assert!(
+            outs[1].converged,
+            "healthy sibling column must still converge"
+        );
+        assert!(outs[1].x.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! construction guarantees (`[1/κ, 1]` up to scaling).
 
 use crate::block::MultiVector;
+use crate::breakdown::{BreakdownReason, DIVERGENCE_FACTOR};
 use crate::operator::{LinearOperator, Preconditioner};
 use crate::vector::{axpy, norm2, sub};
 
@@ -180,8 +181,12 @@ pub fn block_chebyshev_solve(
 /// deflation**: after every restart the relative residual of each still
 /// active column is checked, converged columns are frozen (their result
 /// is final) and physically compacted out of the block, and the next
-/// restart runs only on the survivors. Returns the solutions plus, per
-/// column, the inner iterations spent and the final relative residual.
+/// restart runs only on the survivors. Columns whose residual goes
+/// non-finite or grows past [`DIVERGENCE_FACTOR`]× their best are frozen
+/// early with a [`BreakdownReason`] instead of burning the remaining
+/// restart budget (or poisoning the shared recurrence). Returns the
+/// solutions plus, per column, the inner iterations spent, the final
+/// relative residual, and the breakdown reason (if any).
 pub fn block_chebyshev_to_tolerance(
     a: &dyn LinearOperator,
     m: &dyn Preconditioner,
@@ -189,7 +194,12 @@ pub fn block_chebyshev_to_tolerance(
     opts: &ChebyshevOptions,
     tol: f64,
     max_restarts: usize,
-) -> (MultiVector, Vec<usize>, Vec<f64>) {
+) -> (
+    MultiVector,
+    Vec<usize>,
+    Vec<f64>,
+    Vec<Option<BreakdownReason>>,
+) {
     let n = a.dim();
     let k = b.ncols();
     let bnorms: Vec<f64> = (0..k)
@@ -198,10 +208,17 @@ pub fn block_chebyshev_to_tolerance(
     let mut x = MultiVector::zeros(n, k);
     let mut iters = vec![0usize; k];
     let mut rels = vec![f64::INFINITY; k];
+    let mut best = vec![f64::INFINITY; k];
+    let mut breakdowns: Vec<Option<BreakdownReason>> = vec![None; k];
     let mut active: Vec<usize> = (0..k).collect();
     // Refreshes `rels` for the active columns and deflates the converged
-    // ones; returns whether any column is still live.
-    let refresh = |x: &MultiVector, active: &mut Vec<usize>, rels: &mut Vec<f64>| {
+    // and broken-down ones; returns whether any column is still live.
+    let refresh = |x: &MultiVector,
+                   active: &mut Vec<usize>,
+                   rels: &mut Vec<f64>,
+                   best: &mut Vec<f64>,
+                   breakdowns: &mut Vec<Option<BreakdownReason>>,
+                   iters: &[usize]| {
         let xa = x.select_columns(active);
         let ba = b.select_columns(active);
         let mut ra = MultiVector::zeros(n, active.len());
@@ -212,7 +229,20 @@ pub fn block_chebyshev_to_tolerance(
         let mut survivors: Vec<usize> = Vec::with_capacity(active.len());
         for (c, &j) in active.iter().enumerate() {
             rels[j] = norm2(ra.col(c)) / bnorms[j];
-            if rels[j] > tol {
+            if rels[j] <= tol {
+                continue; // converged: frozen with no breakdown
+            }
+            if !rels[j].is_finite() {
+                breakdowns[j] = Some(BreakdownReason::NonFiniteResidual {
+                    iteration: iters[j],
+                });
+            } else if rels[j] >= DIVERGENCE_FACTOR * best[j] && rels[j] > 1.0 {
+                breakdowns[j] = Some(BreakdownReason::Diverged {
+                    iteration: iters[j],
+                    growth: rels[j] / best[j],
+                });
+            } else {
+                best[j] = best[j].min(rels[j]);
                 survivors.push(j);
             }
         }
@@ -220,7 +250,14 @@ pub fn block_chebyshev_to_tolerance(
         !active.is_empty()
     };
     for _ in 0..max_restarts {
-        if !refresh(&x, &mut active, &mut rels) {
+        if !refresh(
+            &x,
+            &mut active,
+            &mut rels,
+            &mut best,
+            &mut breakdowns,
+            &iters,
+        ) {
             break;
         }
         let xa = x.select_columns(&active);
@@ -232,16 +269,24 @@ pub fn block_chebyshev_to_tolerance(
         }
     }
     // Final residuals of whatever is still live after the restart budget.
-    refresh(&x, &mut active, &mut rels);
-    (x, iters, rels)
+    refresh(
+        &x,
+        &mut active,
+        &mut rels,
+        &mut best,
+        &mut breakdowns,
+        &iters,
+    );
+    (x, iters, rels, breakdowns)
 }
 
 /// Convenience wrapper: iterates Chebyshev restarts until the relative
 /// residual drops below `tol` or `max_restarts` is hit. Returns the
-/// solution, the total number of inner iterations, and the final relative
-/// residual. This mirrors how the top level of the paper's solver turns a
-/// constant-factor error reduction into an `ε`-accurate answer with a
-/// `log(1/ε)` multiplier (Theorem 1.1).
+/// solution, the total number of inner iterations, the final relative
+/// residual, and the breakdown reason if the iteration was stopped early
+/// (non-finite or diverging residual). This mirrors how the top level of
+/// the paper's solver turns a constant-factor error reduction into an
+/// `ε`-accurate answer with a `log(1/ε)` multiplier (Theorem 1.1).
 pub fn chebyshev_to_tolerance(
     a: &dyn LinearOperator,
     m: &dyn Preconditioner,
@@ -249,18 +294,35 @@ pub fn chebyshev_to_tolerance(
     opts: &ChebyshevOptions,
     tol: f64,
     max_restarts: usize,
-) -> (Vec<f64>, usize, f64) {
+) -> (Vec<f64>, usize, f64, Option<BreakdownReason>) {
     let bnorm = norm2(b).max(f64::MIN_POSITIVE);
     let mut x = vec![0.0; a.dim()];
     let mut total_iters = 0usize;
+    let mut best = f64::INFINITY;
+    let mut breakdown: Option<BreakdownReason> = None;
     for _ in 0..max_restarts {
         let r = {
             let ax = a.apply_vec(&x);
             sub(b, &ax)
         };
-        if norm2(&r) / bnorm <= tol {
+        let rel = norm2(&r) / bnorm;
+        if rel <= tol {
             break;
         }
+        if !rel.is_finite() {
+            breakdown = Some(BreakdownReason::NonFiniteResidual {
+                iteration: total_iters,
+            });
+            break;
+        }
+        if rel >= DIVERGENCE_FACTOR * best && rel > 1.0 {
+            breakdown = Some(BreakdownReason::Diverged {
+                iteration: total_iters,
+                growth: rel / best,
+            });
+            break;
+        }
+        best = best.min(rel);
         x = chebyshev_solve(a, m, b, &x, opts);
         total_iters += opts.iterations;
     }
@@ -269,7 +331,13 @@ pub fn chebyshev_to_tolerance(
         sub(b, &ax)
     };
     let rel = norm2(&r) / bnorm;
-    (x, total_iters, rel)
+    let converged = rel <= tol;
+    (
+        x,
+        total_iters,
+        rel,
+        if converged { None } else { breakdown },
+    )
 }
 
 #[cfg(test)]
@@ -318,7 +386,8 @@ mod tests {
             lambda_min: 1e-3,
             lambda_max: 2.0,
         };
-        let (x, iters, rel) = chebyshev_to_tolerance(&op, &jac, &b, &opts, 1e-8, 40);
+        let (x, iters, rel, breakdown) = chebyshev_to_tolerance(&op, &jac, &b, &opts, 1e-8, 40);
+        assert!(breakdown.is_none());
         assert!(
             rel <= 1e-8,
             "relative residual {rel} after {iters} iterations"
@@ -370,7 +439,9 @@ mod tests {
         let mut hard: Vec<f64> = (0..g.n()).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
         project_out_constant(&mut hard);
         let b = MultiVector::from_columns(&[vec![0.0; g.n()], hard.clone()]);
-        let (x, iters, rels) = block_chebyshev_to_tolerance(&op, &jac, &b, &opts, 1e-8, 40);
+        let (x, iters, rels, breakdowns) =
+            block_chebyshev_to_tolerance(&op, &jac, &b, &opts, 1e-8, 40);
+        assert!(breakdowns.iter().all(Option::is_none));
         assert_eq!(iters[0], 0, "converged column must be deflated immediately");
         assert!(iters[1] > 0);
         assert!(rels[1] <= 1e-8, "rel {}", rels[1]);
@@ -402,6 +473,43 @@ mod tests {
         // Degenerate scale falls back to the plain schedule.
         let o1 = ChebyshevOptions::for_scaled_condition_number(9.0, f64::INFINITY);
         assert!((o1.lambda_min - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restart_driver_stops_on_poisoned_rhs() {
+        let g = generators::grid2d(6, 6, |_, _| 1.0);
+        let op = LaplacianOp::new(&g);
+        let jac = JacobiPreconditioner::from_laplacian(&op);
+        let opts = ChebyshevOptions {
+            iterations: 10,
+            lambda_min: 1e-3,
+            lambda_max: 2.0,
+        };
+        let mut bad = vec![1.0; g.n()];
+        bad[0] = f64::NAN;
+        let (_, iters, _, breakdown) = chebyshev_to_tolerance(&op, &jac, &bad, &opts, 1e-8, 40);
+        assert_eq!(iters, 0, "must not spin restarts on a NaN residual");
+        assert!(matches!(
+            breakdown,
+            Some(BreakdownReason::NonFiniteResidual { .. })
+        ));
+        // Blocked: the poisoned column freezes, the healthy one solves.
+        let mut good: Vec<f64> = (0..g.n()).map(|i| (i % 4) as f64 - 1.5).collect();
+        project_out_constant(&mut good);
+        let b = MultiVector::from_columns(&[bad, good]);
+        let (x, iters, rels, breakdowns) =
+            block_chebyshev_to_tolerance(&op, &jac, &b, &opts, 1e-8, 40);
+        assert_eq!(iters[0], 0);
+        assert!(matches!(
+            breakdowns[0],
+            Some(BreakdownReason::NonFiniteResidual { .. })
+        ));
+        assert!(breakdowns[1].is_none());
+        // The loose spectrum bounds keep Chebyshev slow here; the point is
+        // that the healthy column keeps making real progress while its
+        // poisoned sibling is frozen, not that it reaches the tolerance.
+        assert!(rels[1] < 0.1, "healthy column rel {}", rels[1]);
+        assert!(x.col(1).iter().all(|v| v.is_finite()));
     }
 
     #[test]

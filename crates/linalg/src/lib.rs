@@ -31,6 +31,9 @@
 //! * [`permuted`] — merged diag+offdiag chain-level storage
 //!   ([`permuted::PermutedLevel`]) and the fused Chebyshev/residual sweep
 //!   kernels the solver's inner loops run on.
+//! * [`breakdown`] — typed reasons iterative kernels stop early (NaN/Inf
+//!   residuals, indefinite directions, divergence, stalls) instead of
+//!   spinning their budget.
 //! * [`cg`] — conjugate gradient and preconditioned conjugate gradient.
 //! * [`chebyshev`] — preconditioned Chebyshev iteration (the paper's rPCh
 //!   inner iteration, Lemma 6.7).
@@ -42,6 +45,7 @@
 #![warn(clippy::all)]
 
 pub mod block;
+pub mod breakdown;
 pub mod cg;
 pub mod chebyshev;
 pub mod cholesky;
@@ -56,6 +60,7 @@ pub mod sdd;
 pub mod vector;
 
 pub use block::MultiVector;
+pub use breakdown::{BreakdownReason, DIVERGENCE_FACTOR};
 pub use cg::{block_pcg_solve, cg_solve, pcg_solve, CgOptions, CgOutcome};
 pub use chebyshev::{block_chebyshev_solve, chebyshev_solve, ChebyshevOptions};
 pub use cholesky::DenseLdl;
@@ -64,4 +69,4 @@ pub use envelope::EnvelopeLdl;
 pub use laplacian::{laplacian_of, LaplacianOp};
 pub use operator::{IdentityPreconditioner, LinearOperator, Preconditioner};
 pub use permuted::PermutedLevel;
-pub use sdd::{GrembanReduction, SddClass};
+pub use sdd::{GrembanReduction, SddClass, SddInputError};

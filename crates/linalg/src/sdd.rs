@@ -25,6 +25,48 @@ pub enum SddClass {
     NotSdd,
 }
 
+/// Why a matrix was rejected by [`GrembanReduction::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SddInputError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+    /// A matrix entry is NaN or ±∞ (such a row would otherwise slip
+    /// through the dominance comparisons, which are all-false on NaN).
+    NonFiniteEntry {
+        /// Row containing the non-finite entry.
+        row: usize,
+    },
+    /// A row violates diagonal dominance: `|a_ii| + tol < Σ_{j≠i} |a_ij|`.
+    NotSdd {
+        /// First violating row.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for SddInputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SddInputError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}×{cols}")
+            }
+            SddInputError::NonFiniteEntry { row } => {
+                write!(f, "row {row} contains a non-finite entry")
+            }
+            SddInputError::NotSdd { row } => write!(
+                f,
+                "row {row} is not diagonally dominant (matrix is not SDD)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SddInputError {}
+
 /// Classifies a symmetric matrix. `tol` is the absolute slack allowed in
 /// the dominance / row-sum checks.
 pub fn classify(a: &CsrMatrix, tol: f64) -> SddClass {
@@ -85,14 +127,50 @@ pub struct GrembanReduction {
 impl GrembanReduction {
     /// Builds the reduction for a symmetric SDD matrix. Entries with
     /// magnitude below `drop_tol` are ignored. Panics if the matrix is not
-    /// square or not SDD.
+    /// square or not SDD; [`GrembanReduction::try_new`] is the fallible
+    /// alternative for untrusted input.
     pub fn new(a: &CsrMatrix, drop_tol: f64) -> Self {
-        assert_eq!(a.rows(), a.cols(), "matrix must be square");
-        let class = classify(a, drop_tol.max(1e-12));
-        assert!(
-            class != SddClass::NotSdd,
-            "matrix is not symmetric diagonally dominant"
-        );
+        match Self::try_new(a, drop_tol) {
+            Ok(red) => red,
+            Err(e) => panic!("GrembanReduction::new: {e}"),
+        }
+    }
+
+    /// Builds the reduction for an untrusted matrix, returning a typed
+    /// [`SddInputError`] (instead of panicking) when the matrix is not
+    /// square, has non-finite entries, or is not diagonally dominant.
+    pub fn try_new(a: &CsrMatrix, drop_tol: f64) -> Result<Self, SddInputError> {
+        if a.rows() != a.cols() {
+            return Err(SddInputError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let tol = drop_tol.max(1e-12);
+        for i in 0..a.rows() {
+            let mut diag = 0.0f64;
+            let mut offdiag_abs = 0.0f64;
+            for (j, v) in a.row(i) {
+                if !v.is_finite() {
+                    // NaN fails every comparison below, so it would
+                    // otherwise pass the dominance check silently.
+                    return Err(SddInputError::NonFiniteEntry { row: i });
+                }
+                if j as usize == i {
+                    diag += v;
+                } else {
+                    offdiag_abs += v.abs();
+                }
+            }
+            if diag + tol < offdiag_abs {
+                return Err(SddInputError::NotSdd { row: i });
+            }
+        }
+        Ok(Self::build(a, drop_tol))
+    }
+
+    /// Shared construction body: `a` has already passed the SDD checks.
+    fn build(a: &CsrMatrix, drop_tol: f64) -> Self {
         let n = a.rows();
         // Decide whether a ground vertex is needed (any diagonal excess).
         let mut excess = vec![0.0f64; n];
@@ -187,7 +265,11 @@ mod tests {
     use crate::operator::LinearOperator;
     use crate::vector::{norm2, sub};
 
-    fn solve_via_gremban(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+    /// Solves through the reduction and **propagates** the inner solve's
+    /// outcome (iterations, residual, convergence flag, breakdown reason)
+    /// instead of aborting on a hard instance — callers decide what a
+    /// non-converged inner solve means for them.
+    fn solve_via_gremban(a: &CsrMatrix, b: &[f64]) -> (Vec<f64>, crate::cg::CgOutcome) {
         let red = GrembanReduction::new(a, 1e-14);
         let rhs = red.reduce_rhs(b);
         let op = LaplacianOp::new(red.graph());
@@ -199,8 +281,7 @@ mod tests {
                 tol: 1e-12,
             },
         );
-        assert!(out.converged, "inner Laplacian solve did not converge");
-        red.recover_solution(&out.x)
+        (red.recover_solution(&out.x), out)
     }
 
     #[test]
@@ -233,7 +314,9 @@ mod tests {
             &[(0, 0, 3.0), (1, 1, 2.0), (0, 1, -1.0), (1, 0, -1.0)],
         );
         let b = vec![1.0, 5.0];
-        let x = solve_via_gremban(&a, &b);
+        let (x, out) = solve_via_gremban(&a, &b);
+        assert!(out.converged, "rel {}", out.relative_residual);
+        assert!(out.breakdown.is_none());
         // Exact solution of [[3,-1],[-1,2]] x = [1,5] is x = [7/5, 16/5].
         assert!((x[0] - 1.4).abs() < 1e-6, "x0 = {}", x[0]);
         assert!((x[1] - 3.2).abs() < 1e-6, "x1 = {}", x[1]);
@@ -245,7 +328,7 @@ mod tests {
         let a =
             CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)]);
         let b = vec![3.0, 0.0];
-        let x = solve_via_gremban(&a, &b);
+        let (x, _) = solve_via_gremban(&a, &b);
         // Solution: x = [2, -1].
         assert!((x[0] - 2.0).abs() < 1e-6, "x0 = {}", x[0]);
         assert!((x[1] + 1.0).abs() < 1e-6, "x1 = {}", x[1]);
@@ -279,7 +362,7 @@ mod tests {
         let a = CsrMatrix::from_triplets(n, n, &trips);
         assert_eq!(classify(&a, 1e-12), SddClass::GeneralSdd);
         let b = vec![1.0, -2.0, 0.5, 3.0, -1.0, 2.0];
-        let x = solve_via_gremban(&a, &b);
+        let (x, _) = solve_via_gremban(&a, &b);
         let r = sub(&b, &a.apply_vec(&x));
         assert!(norm2(&r) < 1e-6 * norm2(&b), "residual {}", norm2(&r));
     }
@@ -315,5 +398,35 @@ mod tests {
         let a =
             CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
         let _ = GrembanReduction::new(&a, 1e-14);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        let not_sdd =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
+        assert_eq!(
+            GrembanReduction::try_new(&not_sdd, 1e-14).unwrap_err(),
+            SddInputError::NotSdd { row: 0 }
+        );
+        let not_square = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert_eq!(
+            GrembanReduction::try_new(&not_square, 1e-14).unwrap_err(),
+            SddInputError::NotSquare { rows: 2, cols: 3 }
+        );
+        let nan = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, f64::NAN), (1, 1, 1.0), (0, 1, 0.1), (1, 0, 0.1)],
+        );
+        assert_eq!(
+            GrembanReduction::try_new(&nan, 1e-14).unwrap_err(),
+            SddInputError::NonFiniteEntry { row: 0 }
+        );
+        let ok = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 3.0), (1, 1, 2.0), (0, 1, -1.0), (1, 0, -1.0)],
+        );
+        assert!(GrembanReduction::try_new(&ok, 1e-14).is_ok());
     }
 }

@@ -45,6 +45,7 @@
 use parsdd_graph::reorder::{identity_order, rcm_order, relabel};
 use parsdd_graph::{EdgeId, Graph};
 use parsdd_linalg::block::MultiVector;
+use parsdd_linalg::breakdown::{BreakdownReason, DIVERGENCE_FACTOR};
 use parsdd_linalg::envelope::EnvelopeLdl;
 use parsdd_linalg::operator::Preconditioner;
 use parsdd_linalg::permuted::PermutedLevel;
@@ -56,6 +57,7 @@ use parsdd_linalg::vector::{
 use parsdd_lsst::subgraph::{ls_subgraph, LsSubgraphParams};
 
 use crate::elimination::{greedy_elimination, EliminationResult};
+use crate::error::RecoveryStep;
 use crate::sparsify::{incremental_sparsify, SparsifyParams};
 
 /// How each level of the recursion iterates.
@@ -590,6 +592,14 @@ pub struct SolveOutcome {
     pub relative_residual: f64,
     /// Whether the requested tolerance was reached.
     pub converged: bool,
+    /// Why the outer iteration froze this column early, if it broke down
+    /// (`None` when converged or merely budget-exhausted while still
+    /// making progress).
+    pub breakdown: Option<BreakdownReason>,
+    /// Recovery-ladder rungs the facade escalated through for this column
+    /// (always empty for a direct chain solve; populated only by the
+    /// fallible [`crate::sdd_solve::SddSolver`] front door).
+    pub recovery: Vec<RecoveryStep>,
 }
 
 /// The ordering pass of the configured [`LevelOrdering`], as `old → new`
@@ -1288,6 +1298,40 @@ impl SolverChain {
             .expect("k = 1 block")
     }
 
+    /// Applies the top-level operator to `x` (given in the caller's
+    /// original vertex order) and returns `A x` in the same order, using
+    /// the chain's internal permuted storage. The facade's recovery
+    /// ladder uses this to measure residuals of candidate iterates
+    /// without materialising a second Laplacian operator.
+    pub fn apply_top(&self, x: &[f64]) -> Vec<f64> {
+        let top_matrix: &PermutedLevel = if let Some(l) = self.levels.first() {
+            &l.matrix
+        } else {
+            &self.bottom_matrix
+        };
+        let n = top_matrix.n();
+        assert_eq!(x.len(), n, "vector has wrong dimension");
+        let xi = permute_into(x, &self.top_perm);
+        let mut out = vec![0.0f64; n];
+        top_matrix.apply_rowmajor(&xi, &mut out, 1);
+        permute_back(&out, &self.top_perm)
+    }
+
+    /// Connected-component label of every top-level vertex, in the
+    /// caller's original vertex order (the kernel of a Laplacian is
+    /// spanned by the indicators of these components).
+    pub fn component_labels(&self) -> Vec<u32> {
+        self.top_perm
+            .iter()
+            .map(|&p| self.top_labels[p as usize])
+            .collect()
+    }
+
+    /// Number of connected components of the top-level graph.
+    pub fn components(&self) -> usize {
+        self.top_components
+    }
+
     /// Solves the top-level system for a block of right-hand sides, `A X =
     /// B`, each column to relative residual `tol`, using flexible
     /// preconditioned CG (Polak–Ribière beta) driven by the recursive
@@ -1348,6 +1392,8 @@ impl SolverChain {
                     iterations: 0,
                     relative_residual: 0.0,
                     converged: true,
+                    breakdown: None,
+                    recovery: Vec::new(),
                 });
             } else {
                 active.push(j);
@@ -1380,6 +1426,12 @@ impl SolverChain {
                         iterations: 1,
                         relative_residual: rel,
                         converged: rel <= tol,
+                        breakdown: if rel.is_finite() {
+                            None
+                        } else {
+                            Some(BreakdownReason::NonFiniteResidual { iteration: 0 })
+                        },
+                        recovery: Vec::new(),
                     });
                 }
             }
@@ -1420,6 +1472,14 @@ impl SolverChain {
         const STALL_IMPROVEMENT: f64 = 1e-3;
         let mut best_rel = vec![f64::INFINITY; k];
         let mut best_it = vec![0usize; k];
+        // Per-column breakdown classification: a NaN/Inf residual or a
+        // residual far past its best *and* worse than the initial guess is
+        // frozen immediately with a typed reason instead of spinning out
+        // the stall window (or the whole budget) on arithmetic that can
+        // never recover. Tracking is per column with the same rule as the
+        // linalg drivers, so the bitwise block-composition contract and
+        // single/block parity are unaffected.
+        let mut breakdowns: Vec<Option<BreakdownReason>> = vec![None; k];
         let mut r = compact_columns_rm(&rr, k, &active);
         let mut z = self.precondition_rm(0, &r, active.len());
         let mut p = z.clone();
@@ -1438,6 +1498,16 @@ impl SolverChain {
                 rels[j] = rn[c].sqrt() / bnorms[j];
                 if rels[j] <= tol {
                     finished.push(j);
+                } else if !rels[j].is_finite() {
+                    // A poisoned residual never recovers; freeze now.
+                    breakdowns[j] = Some(BreakdownReason::NonFiniteResidual { iteration: it });
+                    finished.push(j);
+                } else if rels[j] >= DIVERGENCE_FACTOR * best_rel[j] && rels[j] > 1.0 {
+                    breakdowns[j] = Some(BreakdownReason::Diverged {
+                        iteration: it,
+                        growth: rels[j] / best_rel[j],
+                    });
+                    finished.push(j);
                 } else if rels[j] < best_rel[j] * (1.0 - STALL_IMPROVEMENT) {
                     best_rel[j] = rels[j];
                     best_it[j] = it;
@@ -1445,6 +1515,10 @@ impl SolverChain {
                 } else if it - best_it[j] >= STALL_WINDOW {
                     // Residual flat for a full window: the attainable
                     // accuracy floor. Freeze the column unconverged.
+                    breakdowns[j] = Some(BreakdownReason::Stalled {
+                        iteration: it,
+                        best_relative_residual: best_rel[j],
+                    });
                     finished.push(j);
                 } else {
                     keep.push(c);
@@ -1470,6 +1544,10 @@ impl SolverChain {
             let mut alphas = vec![0.0f64; ka];
             for (c, &j) in active.iter().enumerate() {
                 if pap[c] <= 0.0 || !pap[c].is_finite() {
+                    breakdowns[j] = Some(BreakdownReason::IndefiniteDirection {
+                        iteration: it,
+                        curvature: pap[c],
+                    });
                     finished.push(j);
                 } else {
                     alphas[c] = rz[c] / pap[c];
@@ -1542,11 +1620,14 @@ impl SolverChain {
                 let mut xi: Vec<f64> = (0..n).map(|i| xa[i * kf + c]).collect();
                 project_out_componentwise_constant(&mut xi, &self.top_labels, self.top_components);
                 let x = permute_back(&xi, perm);
+                let converged = final_rel <= tol;
                 outcomes[j] = Some(SolveOutcome {
-                    converged: final_rel <= tol,
+                    converged,
                     relative_residual: final_rel.min(rels[j]),
                     iterations: iterations[j] + 1,
                     x,
+                    breakdown: if converged { None } else { breakdowns[j] },
+                    recovery: Vec::new(),
                 });
             }
         }

@@ -21,7 +21,11 @@
 //!   recursive W-cycle Chebyshev/CG solver (Lemmas 6.6–6.8, Section 6.3's
 //!   `m^{1/3}` termination, depth driven by measured shrink).
 //! * [`sdd_solve`] — `SDDSolve` (Theorem 1.1): the public solver for graph
-//!   Laplacians and general SDD matrices (via Gremban's reduction).
+//!   Laplacians and general SDD matrices (via Gremban's reduction), with
+//!   both panicking and fallible (`try_*`) entry points.
+//! * [`error`] — the typed [`error::BuildError`] / [`error::SolveError`]
+//!   taxonomy and the recovery-ladder trace vocabulary of the fallible
+//!   front door (DESIGN.md §2.5).
 //! * [`baseline`] — CG / Jacobi-PCG / MST-preconditioned CG / dense
 //!   baselines used by the experiments.
 
@@ -31,6 +35,7 @@
 pub mod baseline;
 pub mod chain;
 pub mod elimination;
+pub mod error;
 pub mod sdd_solve;
 pub mod sparsify;
 
@@ -42,6 +47,7 @@ pub use elimination::{
     greedy_elimination, greedy_elimination_with_params, EliminationParams, EliminationResult,
     EliminationStep,
 };
+pub use error::{BuildError, RecoveryRung, RecoveryStep, SolveError};
 pub use sdd_solve::{SddSolver, SddSolverOptions};
 pub use sparsify::{
     incremental_sparsify, incremental_sparsify_with_target, Sparsifier, SparsifyParams,

@@ -6,19 +6,53 @@
 //! reduction), builds the preconditioner chain once, and then answers any
 //! number of right-hand sides to the requested accuracy
 //! `‖x̃ − A⁺b‖_A ≤ ε·‖A⁺b‖_A`.
+//!
+//! Two front doors share the one chain:
+//!
+//! * the original infallible API ([`SddSolver::new_laplacian`],
+//!   [`SddSolver::solve`], …) panics on malformed input and reports
+//!   non-convergence through [`SolveOutcome::converged`] — its code path
+//!   is untouched by the fallible layer, so its bitwise batched ≡ looped
+//!   contracts are unaffected;
+//! * the fallible API ([`SddSolver::try_new_laplacian`],
+//!   [`SddSolver::try_solve`], …) classifies every failure as a typed
+//!   [`BuildError`] / [`SolveError`] and, when an iteration breaks down or
+//!   runs out of budget, escalates through a deterministic **recovery
+//!   ladder** (DESIGN.md §2.5) before giving up: iterate refresh with the
+//!   existing chain, then a one-rung-stronger chain (built once, cached),
+//!   then a direct envelope factorisation of the whole system (small
+//!   systems only). Every attempted rung is recorded in
+//!   [`SolveOutcome::recovery`].
+
+use std::sync::OnceLock;
 
 use parsdd_graph::Graph;
 use parsdd_linalg::block::MultiVector;
 use parsdd_linalg::csr::CsrMatrix;
 use parsdd_linalg::sdd::GrembanReduction;
+use parsdd_linalg::vector::norm2;
 
 use crate::chain::{build_chain, ChainOptions, ChainStats, SolveOutcome, SolverChain};
+use crate::error::{BuildError, RecoveryRung, RecoveryStep, SolveError};
 
 /// Widest block `solve_many` hands to the chain at once: bounds the
 /// working-set memory (every chain level holds a handful of `n × k`
 /// temporaries) while still amortising one matrix stream over up to 32
 /// right-hand sides. Larger requests are processed in chunks of this width.
 pub const MAX_BLOCK_WIDTH: usize = 32;
+
+/// A right-hand side whose entries sum (per connected component) to more
+/// than this fraction of `‖b‖₂` is outside the range of the singular
+/// system — `A x = b` has no solution there, so the fallible front door
+/// rejects it as [`SolveError::SingularSystem`] instead of silently
+/// solving the projected system.
+const SINGULAR_IMBALANCE_TOL: f64 = 1e-8;
+
+/// Largest system the recovery ladder will factor directly (envelope
+/// LDLᵀ of the whole matrix) as its last resort. Beyond this the direct
+/// rung is skipped — an O(n·bandwidth²) factor of a big system would dwarf
+/// any iterative cost it rescues.
+const DIRECT_RECOVERY_LIMIT: usize = 20_000;
 
 /// Options of the top-level solver.
 #[derive(Debug, Clone, Copy)]
@@ -88,6 +122,16 @@ pub struct SddSolver {
     chain: SolverChain,
     options: SddSolverOptions,
     original_dim: usize,
+    /// The graph the chain was built from (the Gremban graph for SDD
+    /// problems) — the recovery ladder rebuilds chains from it.
+    source_graph: Graph,
+    /// Rung-2 chain (one rung stronger), built on first use and reused
+    /// across every subsequent recovery.
+    stronger: OnceLock<SolverChain>,
+    /// Rung-3 chain (direct envelope factor of the whole system), built on
+    /// first use; only populated for systems up to
+    /// [`DIRECT_RECOVERY_LIMIT`].
+    direct: OnceLock<SolverChain>,
 }
 
 impl SddSolver {
@@ -101,21 +145,57 @@ impl SddSolver {
             chain,
             options,
             original_dim: g.n(),
+            source_graph: g.clone(),
+            stronger: OnceLock::new(),
+            direct: OnceLock::new(),
         }
+    }
+
+    /// Fallible counterpart of [`new_laplacian`](Self::new_laplacian):
+    /// rejects an empty graph and re-validates the edge data (graphs built
+    /// with the unchecked constructor can smuggle non-finite or
+    /// non-positive weights this deep) instead of panicking or silently
+    /// building a poisoned chain.
+    pub fn try_new_laplacian(g: &Graph, options: SddSolverOptions) -> Result<Self, BuildError> {
+        if g.n() == 0 {
+            return Err(BuildError::EmptyGraph);
+        }
+        Graph::validated(g.n(), g.edges().to_vec())?;
+        Ok(Self::new_laplacian(g, options))
     }
 
     /// Builds a solver for a general SDD matrix via Gremban's reduction.
     ///
     /// Panics if the matrix is not symmetric diagonally dominant.
     pub fn new_sdd(a: &CsrMatrix, options: SddSolverOptions) -> Self {
-        let options = options.sanitized();
         let reduction = GrembanReduction::new(a, 1e-14);
+        Self::from_reduction(reduction, a.rows(), options)
+    }
+
+    /// Fallible counterpart of [`new_sdd`](Self::new_sdd): classifies a
+    /// non-square matrix, non-finite entries, and rows that are not
+    /// diagonally dominant as [`BuildError::InvalidMatrix`] instead of
+    /// panicking.
+    pub fn try_new_sdd(a: &CsrMatrix, options: SddSolverOptions) -> Result<Self, BuildError> {
+        if a.rows() == 0 {
+            return Err(BuildError::EmptyGraph);
+        }
+        let reduction = GrembanReduction::try_new(a, 1e-14)?;
+        Ok(Self::from_reduction(reduction, a.rows(), options))
+    }
+
+    fn from_reduction(reduction: GrembanReduction, dim: usize, options: SddSolverOptions) -> Self {
+        let options = options.sanitized();
         let chain = build_chain(reduction.graph(), &options.chain);
+        let source_graph = reduction.graph().clone();
         SddSolver {
-            original_dim: a.rows(),
+            original_dim: dim,
             problem: Problem::Sdd(reduction),
             chain,
             options,
+            source_graph,
+            stronger: OnceLock::new(),
+            direct: OnceLock::new(),
         }
     }
 
@@ -152,6 +232,8 @@ impl SddSolver {
                     iterations: inner.iterations,
                     relative_residual: inner.relative_residual,
                     converged: inner.converged,
+                    breakdown: inner.breakdown,
+                    recovery: inner.recovery,
                 }
             }
         }
@@ -171,6 +253,8 @@ impl SddSolver {
                     iterations: inner.iterations,
                     relative_residual: inner.relative_residual,
                     converged: inner.converged,
+                    breakdown: inner.breakdown,
+                    recovery: inner.recovery,
                 }
             }
         }
@@ -221,17 +305,275 @@ impl SddSolver {
                         iterations: o.iterations,
                         relative_residual: o.relative_residual,
                         converged: o.converged,
+                        breakdown: o.breakdown,
+                        recovery: o.recovery,
                     }));
                 }
             }
         }
         out
     }
+
+    /// Fallible [`solve`](Self::solve): classifies bad input as a typed
+    /// [`SolveError`] before any iteration runs, and escalates through the
+    /// recovery ladder on breakdown or non-convergence. On success the
+    /// outcome always has `converged == true`; any rungs that were needed
+    /// are recorded in [`SolveOutcome::recovery`].
+    pub fn try_solve(&self, b: &[f64]) -> Result<SolveOutcome, SolveError> {
+        self.try_solve_with_tolerance(b, self.options.tolerance)
+    }
+
+    /// [`try_solve`](Self::try_solve) with an explicit tolerance override.
+    pub fn try_solve_with_tolerance(
+        &self,
+        b: &[f64],
+        tol: f64,
+    ) -> Result<SolveOutcome, SolveError> {
+        self.try_solve_many_with_tolerance(std::slice::from_ref(&b.to_vec()), tol)
+            .map(|mut outs| outs.pop().expect("one column"))
+    }
+
+    /// Fallible [`solve_many`](Self::solve_many): validates every
+    /// right-hand side up front (dimensions, finiteness, component
+    /// balance), then solves in blocks, running the recovery ladder on any
+    /// column that does not converge. Fails fast with the first column
+    /// that is unusable or unrecoverable.
+    pub fn try_solve_many(&self, bs: &[Vec<f64>]) -> Result<Vec<SolveOutcome>, SolveError> {
+        self.try_solve_many_with_tolerance(bs, self.options.tolerance)
+    }
+
+    /// [`try_solve_many`](Self::try_solve_many) with an explicit tolerance
+    /// override.
+    pub fn try_solve_many_with_tolerance(
+        &self,
+        bs: &[Vec<f64>],
+        tol: f64,
+    ) -> Result<Vec<SolveOutcome>, SolveError> {
+        for (j, b) in bs.iter().enumerate() {
+            if b.len() != self.original_dim {
+                return Err(SolveError::DimensionMismatch {
+                    expected: self.original_dim,
+                    got: b.len(),
+                    column: j,
+                });
+            }
+            if let Some(i) = b.iter().position(|v| !v.is_finite()) {
+                return Err(SolveError::NonFiniteRhs {
+                    column: j,
+                    index: i,
+                });
+            }
+        }
+        // Singular systems: a Laplacian's kernel is spanned by the
+        // component indicators, so a right-hand side with a nonzero sum on
+        // any component has no solution — reject it instead of silently
+        // solving its projection. (An SDD system through Gremban's
+        // reduction produces a balanced reduced right-hand side by
+        // construction, so no check is needed there.)
+        if matches!(self.problem, Problem::Laplacian) {
+            let labels = self.chain.component_labels();
+            let ncomp = self.chain.components();
+            for (j, b) in bs.iter().enumerate() {
+                let bnorm = norm2(b);
+                if bnorm == 0.0 {
+                    continue;
+                }
+                let mut sums = vec![0.0f64; ncomp];
+                for (&v, &l) in b.iter().zip(&labels) {
+                    sums[l as usize] += v;
+                }
+                for (comp, &s) in sums.iter().enumerate() {
+                    if s.abs() > SINGULAR_IMBALANCE_TOL * bnorm {
+                        return Err(SolveError::SingularSystem {
+                            column: j,
+                            component: comp,
+                            imbalance: s / bnorm,
+                        });
+                    }
+                }
+            }
+        }
+        let width = MAX_BLOCK_WIDTH.max(1);
+        let mut out = Vec::with_capacity(bs.len());
+        for (ci, chunk) in bs.chunks(width).enumerate() {
+            let reduced: Vec<Vec<f64>> = match &self.problem {
+                Problem::Laplacian => chunk.to_vec(),
+                Problem::Sdd(reduction) => chunk.iter().map(|b| reduction.reduce_rhs(b)).collect(),
+            };
+            let block = MultiVector::from_columns(&reduced);
+            let solved = self
+                .chain
+                .solve_block(&block, tol, self.options.max_iterations);
+            for (c, mut o) in solved.into_iter().enumerate() {
+                if !o.converged {
+                    o = self.recover(&reduced[c], o, tol);
+                }
+                if !o.converged {
+                    let column = ci * width + c;
+                    return Err(match o.breakdown {
+                        Some(reason) => SolveError::Breakdown {
+                            column,
+                            reason,
+                            relative_residual: o.relative_residual,
+                            recovery: o.recovery,
+                        },
+                        None => SolveError::BudgetExhausted {
+                            column,
+                            relative_residual: o.relative_residual,
+                            recovery: o.recovery,
+                        },
+                    });
+                }
+                out.push(match &self.problem {
+                    Problem::Laplacian => o,
+                    Problem::Sdd(reduction) => SolveOutcome {
+                        x: reduction.recover_solution(&o.x),
+                        ..o
+                    },
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// The deterministic recovery ladder (DESIGN.md §2.5). `b` is in chain
+    /// space (the Gremban rhs for SDD problems); `first` is the failed
+    /// first attempt. Escalates rung by rung, keeps the best iterate by
+    /// measured relative residual, stops at the first rung that meets the
+    /// tolerance, and records every attempted rung in the returned
+    /// outcome's `recovery` trace.
+    fn recover(&self, b: &[f64], first: SolveOutcome, tol: f64) -> SolveOutcome {
+        let bnorm = norm2(b);
+        let budget = self.options.max_iterations;
+        let mut trace: Vec<RecoveryStep> = Vec::new();
+        let mut best = first;
+
+        let rel_of = |x: &[f64]| -> f64 {
+            let ax = self.chain.apply_top(x);
+            let mut s = 0.0;
+            for (bi, ai) in b.iter().zip(&ax) {
+                let d = bi - ai;
+                s += d * d;
+            }
+            s.sqrt() / bnorm
+        };
+        let better = |rel: f64, best: &SolveOutcome| -> bool {
+            // A finite rel beats a NaN incumbent, so don't rewrite this
+            // as `rel < best` (false when the incumbent is NaN).
+            rel.is_finite() && !best.relative_residual.le(&rel)
+        };
+
+        // Rung 1: iterate refresh. Re-solve for the residual correction
+        // with the existing chain — restarting the Krylov space on the
+        // *current* residual discards the accumulated rounding drift that
+        // stalls long PCG runs, at the cost of one more (short) solve.
+        let ax = self.chain.apply_top(&best.x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let rnorm = norm2(&r);
+        if rnorm.is_finite() && rnorm > 0.0 {
+            // The correction only needs to shrink ‖r‖ down to tol·‖b‖.
+            let ctol = (tol * bnorm / rnorm).clamp(1e-14, 0.5);
+            let corr = self.chain.solve(&r, ctol, budget);
+            let x: Vec<f64> = best.x.iter().zip(&corr.x).map(|(a, e)| a + e).collect();
+            let rel = rel_of(&x);
+            let converged = rel <= tol;
+            trace.push(RecoveryStep {
+                rung: RecoveryRung::IterateRefresh,
+                iterations: corr.iterations,
+                relative_residual: rel,
+                converged,
+                breakdown: corr.breakdown,
+            });
+            if better(rel, &best) {
+                best = SolveOutcome {
+                    x,
+                    iterations: best.iterations + corr.iterations,
+                    relative_residual: rel,
+                    converged,
+                    breakdown: if converged { None } else { best.breakdown },
+                    recovery: Vec::new(),
+                };
+            }
+            if best.converged {
+                best.recovery = trace;
+                return best;
+            }
+        }
+
+        // Rung 2: rebuild the chain one rung stronger (denser sparsifier
+        // sample, adaptive calibration, more inner iterations) and
+        // re-solve from scratch with a doubled outer budget. Built once,
+        // cached for every later recovery against this solver.
+        let chain2 = self.stronger.get_or_init(|| {
+            let mut c = self.options.chain;
+            c.extra_fraction = (c.extra_fraction * 2.0).min(1.0);
+            c.adaptive = true;
+            c.max_inner_iterations += 2;
+            c.inner_extra_iterations += 1;
+            build_chain(&self.source_graph, &c.sanitized())
+        });
+        let out2 = chain2.solve(b, tol, budget.saturating_mul(2));
+        let rel2 = rel_of(&out2.x);
+        trace.push(RecoveryStep {
+            rung: RecoveryRung::StrongerChain,
+            iterations: out2.iterations,
+            relative_residual: rel2,
+            converged: rel2 <= tol,
+            breakdown: out2.breakdown,
+        });
+        if better(rel2, &best) {
+            best = SolveOutcome {
+                relative_residual: rel2,
+                converged: rel2 <= tol,
+                recovery: Vec::new(),
+                ..out2
+            };
+        }
+        if best.converged {
+            best.recovery = trace;
+            return best;
+        }
+
+        // Rung 3: last resort — factor the whole system directly with the
+        // envelope LDLᵀ (a chain with zero levels) and solve exactly.
+        // Also built once and cached; skipped for systems too large to
+        // factor.
+        if self.source_graph.n() <= DIRECT_RECOVERY_LIMIT {
+            let chain3 = self.direct.get_or_init(|| {
+                let n = self.source_graph.n();
+                let mut c = self.options.chain;
+                c.bottom_size = n.max(1);
+                c.dense_bottom_limit = n.max(1);
+                build_chain(&self.source_graph, &c)
+            });
+            let out3 = chain3.solve(b, tol, budget);
+            let rel3 = rel_of(&out3.x);
+            trace.push(RecoveryStep {
+                rung: RecoveryRung::DirectFactor,
+                iterations: out3.iterations,
+                relative_residual: rel3,
+                converged: rel3 <= tol,
+                breakdown: out3.breakdown,
+            });
+            if better(rel3, &best) {
+                best = SolveOutcome {
+                    relative_residual: rel3,
+                    converged: rel3 <= tol,
+                    recovery: Vec::new(),
+                    ..out3
+                };
+            }
+        }
+
+        best.recovery = trace;
+        best
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::RecoveryRung;
     use parsdd_graph::generators;
     use parsdd_linalg::laplacian::LaplacianOp;
     use parsdd_linalg::operator::LinearOperator;
@@ -404,5 +746,83 @@ mod tests {
         let stats = solver.stats();
         assert_eq!(stats.level_vertices.len(), solver.chain().depth() + 1);
         assert!(stats.level_vertices[0] <= g.n());
+    }
+
+    #[test]
+    fn try_solve_classifies_bad_input() {
+        let g = generators::grid2d(8, 8, |_, _| 1.0);
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        let n = g.n();
+
+        let short = vec![1.0; n - 1];
+        assert!(matches!(
+            solver.try_solve(&short),
+            Err(SolveError::DimensionMismatch { expected, got, .. })
+                if expected == n && got == n - 1
+        ));
+
+        let mut nan_rhs = vec![0.0; n];
+        nan_rhs[3] = f64::NAN;
+        assert!(matches!(
+            solver.try_solve(&nan_rhs),
+            Err(SolveError::NonFiniteRhs {
+                column: 0,
+                index: 3
+            })
+        ));
+
+        // Nonzero sum on the (single) component: outside the range.
+        let unbalanced = vec![1.0; n];
+        assert!(matches!(
+            solver.try_solve(&unbalanced),
+            Err(SolveError::SingularSystem { component: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn try_solve_happy_path_matches_solve() {
+        let g = generators::grid2d(16, 16, |_, _| 1.0);
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        let mut b: Vec<f64> = (0..g.n()).map(|i| (i % 5) as f64 - 2.0).collect();
+        project_out_constant(&mut b);
+        let direct = solver.solve(&b);
+        let tried = solver.try_solve(&b).expect("clean input converges");
+        assert!(tried.converged);
+        assert!(tried.recovery.is_empty(), "no ladder on the happy path");
+        assert_eq!(tried.iterations, direct.iterations);
+        for (a, s) in tried.x.iter().zip(&direct.x) {
+            assert_eq!(a.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn recovery_ladder_rescues_tiny_budget() {
+        // A one-iteration outer budget cannot converge on the barbell
+        // family (near-disconnected clusters; the zoo's hardest case);
+        // the ladder must rescue it and record the escalation.
+        let g = generators::near_disconnected_clusters(3, 150, 300, 1e-3, 0x2005);
+        let opts = SddSolverOptions {
+            max_iterations: 1,
+            ..Default::default()
+        };
+        let solver = SddSolver::new_laplacian(&g, opts);
+        let mut b: Vec<f64> = (0..g.n()).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        project_out_constant(&mut b);
+        assert!(!solver.solve(&b).converged, "budget must be insufficient");
+        let out = solver
+            .try_solve(&b)
+            .expect("ladder must rescue a tiny budget");
+        assert!(out.converged);
+        assert!(!out.recovery.is_empty(), "escalation must be recorded");
+        assert!(
+            out.recovery.iter().any(|s| s.converged),
+            "some rung must have met the tolerance: {:?}",
+            out.recovery
+        );
+        // Determinism: the same call takes the same ladder path.
+        let again = solver.try_solve(&b).expect("deterministic rescue");
+        let rungs: Vec<RecoveryRung> = out.recovery.iter().map(|s| s.rung).collect();
+        let rungs2: Vec<RecoveryRung> = again.recovery.iter().map(|s| s.rung).collect();
+        assert_eq!(rungs, rungs2);
     }
 }

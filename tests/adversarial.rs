@@ -1,0 +1,250 @@
+//! Adversarial-input property tests over the solver facade: non-finite
+//! weights and right-hand sides, mismatched dimensions, empty graphs,
+//! isolated vertices, and kernel-violating right-hand sides. Every case
+//! must produce a typed classification — never a panic — and the
+//! classification must be identical inside rayon pools of width 1 and 4
+//! (the determinism contract extends to the error path).
+
+use proptest::prelude::*;
+
+use parsdd_graph::{generators, Edge, Graph, GraphDataError};
+use parsdd_linalg::vector::project_out_constant;
+use parsdd_solver::error::{BuildError, SolveError};
+use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
+use parsdd_solver::SolveOutcome;
+
+/// The two pool widths the classification must agree across.
+const POOL_WIDTHS: [usize; 2] = [1, 4];
+
+fn in_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+/// A compact, order-stable fingerprint of a solve classification: enough
+/// to detect any cross-pool drift (including in the recovery trace or the
+/// solution bits) without dumping whole vectors into failure messages.
+fn classify(r: &Result<SolveOutcome, SolveError>) -> String {
+    match r {
+        Ok(out) => {
+            let bits = out.x.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, v| {
+                (h ^ v.to_bits()).wrapping_mul(0x1000_0000_01b3)
+            });
+            let rungs: Vec<String> = out.recovery.iter().map(|s| s.rung.to_string()).collect();
+            format!(
+                "ok converged={} xbits={bits:016x} rungs={rungs:?}",
+                out.converged
+            )
+        }
+        Err(e) => format!("err {e:?}"),
+    }
+}
+
+fn small_graph_strategy() -> impl Strategy<Value = Graph> {
+    (10usize..60, 0usize..60, 1u64..1_000_000).prop_map(|(n, extra, seed)| {
+        let m = (n - 1) + extra.min(n * (n - 1) / 2 - (n - 1));
+        generators::weighted_random_graph(n, m, 1.0, 16.0, seed)
+    })
+}
+
+fn seeded_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| (((i as u64).wrapping_mul(seed.wrapping_add(3))) % 17) as f64 - 8.0)
+        .collect();
+    project_out_constant(&mut b);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A non-finite entry anywhere in the rhs is rejected with the exact
+    /// poisoned index, identically at both pool widths.
+    #[test]
+    fn nonfinite_rhs_is_typed(g in small_graph_strategy(), pos in 0u64..1_000_000, kind in 0usize..3) {
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        let index = (pos as usize) % g.n();
+        let poison = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][kind];
+        let mut b = seeded_rhs(g.n(), pos);
+        b[index] = poison;
+        let mut fingerprints = Vec::new();
+        for width in POOL_WIDTHS {
+            let r = in_pool(width, || solver.try_solve(&b));
+            match &r {
+                Err(SolveError::NonFiniteRhs { column: 0, index: i }) => prop_assert_eq!(*i, index),
+                other => prop_assert!(false, "misclassified: {:?}", classify(other)),
+            }
+            fingerprints.push(classify(&r));
+        }
+        prop_assert_eq!(&fingerprints[0], &fingerprints[1]);
+    }
+
+    /// Non-finite or non-positive edge weights smuggled past validation
+    /// are caught at build time with the offending edge id.
+    #[test]
+    fn adversarial_weights_are_typed(g in small_graph_strategy(), pos in 0u64..1_000_000, kind in 0usize..4) {
+        let edge = (pos as usize) % g.m();
+        let weight = [f64::NAN, f64::INFINITY, -1.0, 0.0][kind];
+        let mut edges = g.edges().to_vec();
+        edges[edge].w = weight;
+        let bad = Graph::from_edges_unchecked(g.n(), edges);
+        for width in POOL_WIDTHS {
+            let r = in_pool(width, || SddSolver::try_new_laplacian(&bad, SddSolverOptions::default()));
+            match r {
+                Err(BuildError::InvalidGraph(
+                    GraphDataError::NonFiniteWeight { edge: e, .. }
+                    | GraphDataError::NonPositiveWeight { edge: e, .. },
+                )) => prop_assert_eq!(e, edge),
+                other => prop_assert!(false, "misclassified: {:?}", other.err().map(|e| e.to_string())),
+            }
+        }
+    }
+
+    /// A rhs of the wrong length is a `DimensionMismatch` carrying both
+    /// lengths — for single solves and for any column of a batch.
+    #[test]
+    fn mismatched_dimensions_are_typed(g in small_graph_strategy(), delta in 1usize..5, grow in 0usize..2) {
+        let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+        // delta >= 1 and n >= 10, so `wrong` never equals n.
+        let wrong = if grow == 1 { g.n() + delta } else { g.n() - delta };
+        let b = seeded_rhs(wrong, 5);
+        for width in POOL_WIDTHS {
+            let r = in_pool(width, || solver.try_solve(&b));
+            match r {
+                Err(SolveError::DimensionMismatch { expected, got, column: 0 }) => {
+                    prop_assert_eq!(expected, g.n());
+                    prop_assert_eq!(got, wrong);
+                }
+                other => prop_assert!(false, "misclassified: {}", classify(&other)),
+            }
+            // In a batch, the column index points at the bad rhs.
+            let batch = vec![seeded_rhs(g.n(), 1), b.clone()];
+            let rb = in_pool(width, || solver.try_solve_many(&batch));
+            prop_assert!(matches!(
+                rb,
+                Err(SolveError::DimensionMismatch { column: 1, .. })
+            ));
+        }
+    }
+
+    /// Isolated vertices are legal; a rhs that loads one is a typed
+    /// singular-system rejection, and a rhs that doesn't solves cleanly.
+    /// Classification is identical at both pool widths.
+    #[test]
+    fn isolated_vertices_are_classified(g in small_graph_strategy(), extra in 1usize..4, seed in 0u64..1_000_000) {
+        let n = g.n() + extra;
+        let padded = Graph::validated(n, g.edges().to_vec()).expect("isolated vertices are legal");
+        let solver = SddSolver::try_new_laplacian(&padded, SddSolverOptions::default())
+            .expect("build must accept isolated vertices");
+
+        // Balanced on the connected part, zero on the isolated tail: solvable.
+        let mut good = seeded_rhs(g.n(), seed);
+        good.resize(n, 0.0);
+        // Same rhs with one isolated vertex loaded: no solution exists.
+        let mut bad = good.clone();
+        bad[g.n() + (seed as usize) % extra] = 1.0;
+
+        let mut fingerprints = Vec::new();
+        for width in POOL_WIDTHS {
+            let ok = in_pool(width, || solver.try_solve(&good));
+            match &ok {
+                Ok(out) => prop_assert!(out.converged),
+                other => prop_assert!(false, "solvable rhs misclassified: {}", classify(other)),
+            }
+            let err = in_pool(width, || solver.try_solve(&bad));
+            prop_assert!(
+                matches!(err, Err(SolveError::SingularSystem { column: 0, .. })),
+                "loaded isolated vertex misclassified: {}", classify(&err)
+            );
+            fingerprints.push(classify(&ok));
+        }
+        prop_assert_eq!(&fingerprints[0], &fingerprints[1]);
+    }
+
+    /// On a disconnected graph, a globally balanced rhs whose sums are
+    /// nonzero *per component* is rejected with the offending component;
+    /// rebalancing each component makes the same system solvable.
+    #[test]
+    fn component_sums_are_enforced(clusters in 2usize..4, size in 8usize..24, seed in 1u64..1_000_000) {
+        let one = generators::weighted_random_graph(size, 2 * size, 1.0, 8.0, seed);
+        let n = clusters * size;
+        let mut edges: Vec<Edge> = Vec::new();
+        for c in 0..clusters {
+            let off = (c * size) as u32;
+            edges.extend(
+                one.edges()
+                    .iter()
+                    .map(|e| Edge::new(e.u + off, e.v + off, e.w)),
+            );
+        }
+        let g = Graph::validated(n, edges).expect("shifted copies are legal");
+        let solver = SddSolver::try_new_laplacian(&g, SddSolverOptions::default()).expect("build");
+
+        // Every cluster's sum is a full +1 — far past the detection
+        // threshold — so the first component is the one reported.
+        let mut bad = seeded_rhs(size, seed);
+        for v in bad.iter_mut() {
+            *v += 1.0 / size as f64;
+        }
+        let mut unbalanced: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..clusters {
+            unbalanced.extend_from_slice(&bad);
+        }
+
+        for width in POOL_WIDTHS {
+            let r = in_pool(width, || solver.try_solve(&unbalanced));
+            prop_assert!(
+                matches!(r, Err(SolveError::SingularSystem { column: 0, .. })),
+                "per-component imbalance misclassified: {}", classify(&r)
+            );
+        }
+
+        // Rebalance every cluster: the same system becomes solvable.
+        let mut balanced = unbalanced.clone();
+        for c in 0..clusters {
+            let chunk = &mut balanced[c * size..(c + 1) * size];
+            let mean = chunk.iter().sum::<f64>() / size as f64;
+            for v in chunk.iter_mut() {
+                *v -= mean;
+            }
+        }
+        for width in POOL_WIDTHS {
+            let r = in_pool(width, || solver.try_solve(&balanced));
+            match &r {
+                Ok(out) => prop_assert!(out.converged),
+                other => prop_assert!(false, "rebalanced rhs misclassified: {}", classify(other)),
+            }
+        }
+    }
+}
+
+/// Empty graphs are a typed build error, not a panic — through both the
+/// validated constructor and the fallible solver front door.
+#[test]
+fn empty_graph_is_typed() {
+    let g = Graph::validated(0, Vec::new()).expect("an empty graph is representable");
+    assert!(matches!(
+        SddSolver::try_new_laplacian(&g, SddSolverOptions::default()),
+        Err(BuildError::EmptyGraph)
+    ));
+}
+
+/// A rhs with a nonzero global sum on a *connected* graph is the simplest
+/// singular violation: component 0 carries the whole imbalance.
+#[test]
+fn nonzero_global_sum_is_typed() {
+    let g = generators::grid2d(8, 8, |_, _| 1.0);
+    let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+    let b = vec![1.0; g.n()];
+    match solver.try_solve(&b) {
+        Err(SolveError::SingularSystem {
+            column: 0,
+            component: 0,
+            imbalance,
+        }) => assert!(imbalance > 0.0),
+        other => panic!("misclassified: {:?}", other.map(|o| o.converged)),
+    }
+}

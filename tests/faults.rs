@@ -1,0 +1,253 @@
+//! Fault-injection harness: every fault in the deterministic plan must
+//! surface as a typed error or a tolerance-meeting recovery — never a
+//! panic, never a silently wrong answer.
+//!
+//! The injection machinery lives in `parsdd_bench::faults`; this harness
+//! drives each fault kind through the solver's fallible front door (or,
+//! for preconditioner faults, through the linalg drivers the facade is
+//! built on) and asserts the robustness contract of DESIGN.md §2.5.
+
+use parsdd_bench::faults::{self, Fault, FaultPlan};
+use parsdd_graph::{generators, Graph, GraphDataError};
+use parsdd_linalg::breakdown::BreakdownReason;
+use parsdd_linalg::cg::{pcg_solve, CgOptions};
+use parsdd_linalg::laplacian::LaplacianOp;
+use parsdd_linalg::operator::LinearOperator;
+use parsdd_linalg::vector::{norm2, project_out_constant, sub};
+use parsdd_solver::chain::{build_chain, ChainOptions, ChainPreconditioner};
+use parsdd_solver::error::{BuildError, RecoveryRung, SolveError};
+use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
+
+/// The barbell (near-disconnected clusters) zoo family at its small tier:
+/// the hardest committed workload, and the one whose feeble bridges make
+/// every fault bite.
+fn barbell() -> Graph {
+    generators::near_disconnected_clusters(3, 150, 300, 1e-3, 0x2005)
+}
+
+fn balanced_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| (((i as u64).wrapping_mul(seed.wrapping_add(11))) % 23) as f64 - 11.0)
+        .collect();
+    project_out_constant(&mut b);
+    b
+}
+
+/// Every fault of the standard plan surfaces as a typed error or a
+/// converged recovery — exhaustive over the plan, deterministic per seed.
+#[test]
+fn every_planned_fault_is_classified_or_recovered() {
+    let g = barbell();
+    let plan = FaultPlan::standard(0xfau64, g.n(), g.m());
+    let solver = SddSolver::new_laplacian(&g, SddSolverOptions::default());
+    let b = balanced_rhs(g.n(), 3);
+
+    for fault in &plan.faults {
+        match *fault {
+            Fault::NanRhs { index } => {
+                let bad = faults::poison_rhs(&b, index, f64::NAN);
+                match solver.try_solve(&bad) {
+                    Err(SolveError::NonFiniteRhs {
+                        column: 0,
+                        index: i,
+                    }) => {
+                        assert_eq!(i, index, "wrong poisoned index reported")
+                    }
+                    other => panic!("NaN rhs misclassified: {other:?}"),
+                }
+            }
+            Fault::InfRhs { index } => {
+                let bad = faults::poison_rhs(&b, index, f64::INFINITY);
+                assert!(matches!(
+                    solver.try_solve(&bad),
+                    Err(SolveError::NonFiniteRhs { column: 0, .. })
+                ));
+            }
+            Fault::CorruptWeight { edge, weight } => {
+                let bad = faults::corrupt_weight(&g, edge, weight);
+                match SddSolver::try_new_laplacian(&bad, SddSolverOptions::default()) {
+                    Err(BuildError::InvalidGraph(
+                        GraphDataError::NonFiniteWeight { edge: e, .. }
+                        | GraphDataError::NonPositiveWeight { edge: e, .. },
+                    )) => assert_eq!(e, edge, "wrong corrupted edge reported"),
+                    other => panic!(
+                        "corrupt weight {weight} misclassified: {:?}",
+                        other.err().map(|e| e.to_string())
+                    ),
+                }
+            }
+            Fault::DropWeakestEdges { count } => {
+                // Dropping the feeble bridges disconnects the graph. The
+                // build must still succeed (disconnected Laplacians are
+                // legal), but the old globally-balanced rhs now has
+                // nonzero sums on the new components → typed rejection.
+                let cut = faults::drop_weakest_edges(&g, count);
+                let cut_solver = SddSolver::try_new_laplacian(&cut, SddSolverOptions::default())
+                    .expect("disconnected graphs are legal systems");
+                match cut_solver.try_solve(&b) {
+                    Err(SolveError::SingularSystem { .. }) => {}
+                    Ok(out) => {
+                        // If the rhs happens to stay balanced per
+                        // component, the answer must actually be right.
+                        let op = LaplacianOp::new(&cut);
+                        let r = sub(&b, &op.apply_vec(&out.x));
+                        assert!(out.converged);
+                        assert!(norm2(&r) <= 1e-6 * norm2(&b));
+                    }
+                    other => panic!("dropped bridges misclassified: {other:?}"),
+                }
+            }
+            Fault::PerturbWeights { relative, seed } => {
+                // Chain built from a perturbed twin of the graph, used to
+                // precondition the *original* system: flexible PCG must
+                // still converge (the perturbed chain is spectrally close)
+                // and the answer must be right — never silently wrong.
+                let perturbed = faults::perturb_weights(&g, relative, seed);
+                let chain = build_chain(&perturbed, &ChainOptions::default());
+                let pre = ChainPreconditioner::new(&chain);
+                let op = LaplacianOp::new(&g);
+                let out = pcg_solve(
+                    &op,
+                    &pre,
+                    &b,
+                    &CgOptions {
+                        max_iters: 400,
+                        tol: 1e-8,
+                    },
+                );
+                assert!(
+                    out.converged,
+                    "perturbed preconditioner should still converge: rel {} breakdown {:?}",
+                    out.relative_residual, out.breakdown
+                );
+                let r = sub(&b, &op.apply_vec(&out.x));
+                assert!(norm2(&r) <= 1e-6 * norm2(&b), "silent wrong answer");
+            }
+            Fault::PoisonPreconditioner { application } => {
+                // NaN injected mid-iteration: the driver must freeze with
+                // a typed non-finite breakdown instead of spinning its
+                // whole budget on NaN arithmetic.
+                let chain = build_chain(&g, &ChainOptions::default());
+                let inner = ChainPreconditioner::new(&chain);
+                let pre = faults::PoisonedPreconditioner::new(&inner, application);
+                let op = LaplacianOp::new(&g);
+                let out = pcg_solve(
+                    &op,
+                    &pre,
+                    &b,
+                    &CgOptions {
+                        max_iters: 400,
+                        tol: 1e-8,
+                    },
+                );
+                assert!(!out.converged);
+                assert!(
+                    matches!(
+                        out.breakdown,
+                        Some(
+                            BreakdownReason::NonFiniteResidual { .. }
+                                | BreakdownReason::IndefiniteDirection { .. }
+                        )
+                    ),
+                    "poisoned preconditioner not classified: {:?}",
+                    out.breakdown
+                );
+                assert!(
+                    out.iterations <= application + 3,
+                    "spun {} iterations past the poison at application {}",
+                    out.iterations,
+                    application
+                );
+            }
+        }
+    }
+}
+
+/// The recovery ladder end-to-end on the barbell family: a starved outer
+/// budget fails the plain solve, the fallible front door escalates
+/// deterministically, records the trace, and returns a converged answer.
+#[test]
+fn recovery_ladder_end_to_end_on_barbell() {
+    let g = barbell();
+    let opts = SddSolverOptions {
+        max_iterations: 1,
+        ..Default::default()
+    };
+    let solver = SddSolver::new_laplacian(&g, opts);
+    let b = balanced_rhs(g.n(), 17);
+
+    let plain = solver.solve(&b);
+    assert!(!plain.converged, "budget must be insufficient for the test");
+
+    let out = solver.try_solve(&b).expect("ladder must rescue");
+    assert!(out.converged);
+    let rungs: Vec<RecoveryRung> = out.recovery.iter().map(|s| s.rung).collect();
+    assert!(!rungs.is_empty(), "escalation must be recorded");
+    // Ladder determinism contract: rungs escalate in the fixed order
+    // refresh → stronger chain → direct factor, without repeats.
+    let expected = [
+        RecoveryRung::IterateRefresh,
+        RecoveryRung::StrongerChain,
+        RecoveryRung::DirectFactor,
+    ];
+    assert_eq!(rungs.as_slice(), &expected[..rungs.len()]);
+    assert!(
+        out.recovery.last().expect("non-empty").converged,
+        "last recorded rung is the one that met tolerance: {:?}",
+        out.recovery
+    );
+    // Verify the answer, independently of the solver's own residual.
+    let op = LaplacianOp::new(&g);
+    let r = sub(&b, &op.apply_vec(&out.x));
+    assert!(norm2(&r) <= 1e-6 * norm2(&b));
+
+    // Replay: the same call escalates through the same rungs.
+    let again = solver.try_solve(&b).expect("deterministic rescue");
+    let rungs2: Vec<RecoveryRung> = again.recovery.iter().map(|s| s.rung).collect();
+    assert_eq!(rungs, rungs2);
+}
+
+/// A solver whose system was built from corrupted data must fail at
+/// *build* time for every corruption the plan generates, regardless of
+/// where in the edge list the corruption lands.
+#[test]
+fn corrupted_builds_fail_closed_across_seeds() {
+    let g = generators::grid2d(12, 12, |_, _| 1.0);
+    for seed in 0..8u64 {
+        let plan = FaultPlan::standard(seed, g.n(), g.m());
+        for fault in &plan.faults {
+            if let Fault::CorruptWeight { edge, weight } = *fault {
+                let bad = faults::corrupt_weight(&g, edge, weight);
+                assert!(
+                    SddSolver::try_new_laplacian(&bad, SddSolverOptions::default()).is_err(),
+                    "seed {seed}: corruption at edge {edge} (w={weight}) not caught"
+                );
+            }
+        }
+    }
+}
+
+/// Gremban front door: a matrix with a non-finite entry or a
+/// non-dominant row is rejected with a typed error, not a panic.
+#[test]
+fn sdd_matrix_faults_are_typed() {
+    use parsdd_linalg::csr::CsrMatrix;
+    let nan_mat = CsrMatrix::from_triplets(
+        2,
+        2,
+        &[(0, 0, 2.0), (0, 1, f64::NAN), (1, 0, f64::NAN), (1, 1, 2.0)],
+    );
+    assert!(matches!(
+        SddSolver::try_new_sdd(&nan_mat, SddSolverOptions::default()),
+        Err(BuildError::InvalidMatrix(_))
+    ));
+    let not_sdd = CsrMatrix::from_triplets(
+        2,
+        2,
+        &[(0, 0, 1.0), (0, 1, -5.0), (1, 0, -5.0), (1, 1, 1.0)],
+    );
+    assert!(matches!(
+        SddSolver::try_new_sdd(&not_sdd, SddSolverOptions::default()),
+        Err(BuildError::InvalidMatrix(_))
+    ));
+}
