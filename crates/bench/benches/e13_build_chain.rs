@@ -1,0 +1,43 @@
+//! E13 — parallel chain construction (the raw-speed runtime tier's build
+//! passes): wall-clock of `build_chain` on the e8-sized workload (96×96
+//! grid) at pool widths 1 and 4.
+//!
+//! The scope-parallel build is pinned **bitwise identical** across pool
+//! widths by `tests/parallel.rs`, so the two widths here compare pure
+//! runtime behaviour — scheduling overhead on narrow hosts, speedup on
+//! wide ones — with no solution-quality confound. On a 1-CPU host the
+//! width-4 point measures the Chase-Lev scheduler's overhead under
+//! time-slicing, which is exactly the regression this bench exists to
+//! catch (a fatter task protocol shows up here first).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parsdd_solver::chain::{build_chain, ChainOptions};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_build_chain");
+    let g = parsdd_graph::generators::grid2d(96, 96, |_, _| 1.0);
+    let options = ChainOptions::default();
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        group.bench_with_input(BenchmarkId::new("grid96", threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| black_box(build_chain(black_box(&g), &options))));
+        });
+    }
+    let chain = build_chain(&g, &options);
+    eprintln!(
+        "e13 grid 96x96: n={} m={} depth={} work/app={:.3e}",
+        g.n(),
+        g.m(),
+        chain.depth(),
+        chain.stats().work_per_application
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

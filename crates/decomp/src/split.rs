@@ -18,6 +18,7 @@
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use parsdd_graph::bfs::{shifted_multi_source_bfs, ShiftedSource, NO_OWNER};
 use parsdd_graph::{EdgeId, Graph, VertexId, INVALID_VERTEX};
@@ -63,10 +64,12 @@ impl SplitResult {
     }
 
     /// The BFS-tree edges of all components (a spanning forest of the
-    /// decomposition: exactly `n − component_count` edges).
+    /// decomposition: exactly `n − component_count` edges). Ordered
+    /// parallel compaction — identical output at every pool width.
     pub fn tree_edges(&self) -> Vec<EdgeId> {
         self.parent_edge
-            .iter()
+            .par_iter()
+            .with_min_len(4096)
             .copied()
             .filter(|&e| e != EdgeId::MAX)
             .collect()

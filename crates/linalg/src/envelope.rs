@@ -144,21 +144,32 @@ impl EnvelopeLdl {
     /// arithmetic is the `k = 1` solve), so batched solves are bitwise
     /// identical to looped single solves.
     pub fn solve_rowmajor(&self, b: &[f64], k: usize) -> Vec<f64> {
+        let mut z = Vec::new();
+        self.solve_rowmajor_into(b, k, &mut z);
+        z
+    }
+
+    /// [`solve_rowmajor`](Self::solve_rowmajor) into a caller-owned
+    /// output buffer. For the monomorphised widths (`k ∈ {1, 2, 4, 8, 16,
+    /// 32}`) this performs no heap allocation once `out` has capacity
+    /// `n·k`; identical arithmetic at every width.
+    pub fn solve_rowmajor_into(&self, b: &[f64], k: usize, out: &mut Vec<f64>) {
         assert_eq!(b.len(), self.n * k);
-        let mut z = b.to_vec();
+        out.clear();
+        out.extend_from_slice(b);
+        let z = out;
         if self.n == 0 || k == 0 {
-            return z;
+            return;
         }
         match k {
-            1 => self.tri_solve::<1>(&mut z),
-            2 => self.tri_solve::<2>(&mut z),
-            4 => self.tri_solve::<4>(&mut z),
-            8 => self.tri_solve::<8>(&mut z),
-            16 => self.tri_solve::<16>(&mut z),
-            32 => self.tri_solve::<32>(&mut z),
-            _ => self.tri_solve_generic(&mut z, k),
+            1 => self.tri_solve::<1>(z),
+            2 => self.tri_solve::<2>(z),
+            4 => self.tri_solve::<4>(z),
+            8 => self.tri_solve::<8>(z),
+            16 => self.tri_solve::<16>(z),
+            32 => self.tri_solve::<32>(z),
+            _ => self.tri_solve_generic(z, k),
         }
-        z
     }
 
     /// The K-wide triangular solves, monomorphised so the inner update is

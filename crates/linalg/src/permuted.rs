@@ -86,11 +86,121 @@ impl PermutedLevel {
             coefs[d] = deg;
             offsets.push(cols.len() as u32);
         }
+        // Kernel invariant: every stored column index addresses a vertex
+        // of this level. The k = 1 hot loops rely on this to gather from
+        // `x`/`p` without per-entry bounds checks.
+        debug_assert!(cols.iter().all(|&c| (c as usize) < n));
         PermutedLevel {
             n,
             offsets,
             cols,
             coefs,
+        }
+    }
+
+    /// Row-`v`'s merged entries as a dot product with `x`, accumulated in
+    /// the pinned order (diagonal first, then ascending columns), without
+    /// per-entry bounds checks on the gather.
+    ///
+    /// # Safety-by-invariant
+    /// `cols` only holds indices `< n` (checked at construction), and the
+    /// caller passes `x` of length `n·1`, so every gather is in bounds.
+    #[inline(always)]
+    fn row_dot(cols: &[u32], coefs: &[f64], x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&c, &w) in cols.iter().zip(coefs) {
+            debug_assert!((c as usize) < x.len());
+            acc += w * unsafe { *x.get_unchecked(c as usize) };
+        }
+        acc
+    }
+
+    /// Width-`K` variant of [`row_dot`]: one pass over the row's entries
+    /// updating all `K` column accumulators per entry (entry-outer), so
+    /// each column sees the entries in the same pinned order as the
+    /// scalar path. `K` is a compile-time constant so the `K`-lane update
+    /// vectorises with fixed-size stack accumulators.
+    #[inline(always)]
+    fn row_dot_wide<const K: usize>(cols: &[u32], coefs: &[f64], xr: &[f64]) -> [f64; K] {
+        let mut acc = [0.0f64; K];
+        for (&c, &w) in cols.iter().zip(coefs) {
+            let o = c as usize * K;
+            debug_assert!(o + K <= xr.len());
+            // Invariant: stored columns are < n (checked at construction)
+            // and the caller passes `xr` of length `n·K`.
+            let xrow = unsafe { xr.get_unchecked(o..o + K) };
+            for j in 0..K {
+                acc[j] += w * xrow[j];
+            }
+        }
+        acc
+    }
+
+    /// Monomorphised fused-sweep chunk: `x ← x + α·p`, `r ← r − α·(L p)`
+    /// over rows `[base, base + rows)` at compile-time width `K`.
+    #[inline(always)]
+    fn cheb_chunk_wide<const K: usize>(
+        &self,
+        alpha: f64,
+        p: &[f64],
+        base: usize,
+        xs: &mut [f64],
+        rs: &mut [f64],
+    ) {
+        let mut e = self.offsets[base] as usize;
+        for (rr, (xrow, rrow)) in xs
+            .chunks_exact_mut(K)
+            .zip(rs.chunks_exact_mut(K))
+            .enumerate()
+        {
+            let v = base + rr;
+            let hi = self.offsets[v + 1] as usize;
+            let acc = Self::row_dot_wide::<K>(&self.cols[e..hi], &self.coefs[e..hi], p);
+            let pvrow = &p[v * K..(v + 1) * K];
+            for j in 0..K {
+                xrow[j] += alpha * pvrow[j];
+                rrow[j] -= alpha * acc[j];
+            }
+            e = hi;
+        }
+    }
+
+    /// Monomorphised apply chunk: `Y ← L X` over rows `[base, ..)` at
+    /// compile-time width `K`.
+    #[inline(always)]
+    fn apply_chunk_wide<const K: usize>(&self, xr: &[f64], base: usize, ys: &mut [f64]) {
+        let mut e = self.offsets[base] as usize;
+        for (rr, yrow) in ys.chunks_exact_mut(K).enumerate() {
+            let v = base + rr;
+            let hi = self.offsets[v + 1] as usize;
+            let acc = Self::row_dot_wide::<K>(&self.cols[e..hi], &self.coefs[e..hi], xr);
+            yrow.copy_from_slice(&acc);
+            e = hi;
+        }
+    }
+
+    /// Monomorphised fused apply+dot chunk at compile-time width `K`:
+    /// writes `AP` rows and accumulates the per-column `pᵀ(L p)` partials
+    /// into `acc` in ascending row order.
+    #[inline(always)]
+    fn fused_apply_dot_chunk_wide<const K: usize>(
+        &self,
+        p: &[f64],
+        base: usize,
+        rows: &mut [f64],
+        acc: &mut [f64],
+    ) {
+        let mut e = self.offsets[base] as usize;
+        for (rr, aprow) in rows.chunks_exact_mut(K).enumerate() {
+            let v = base + rr;
+            let hi = self.offsets[v + 1] as usize;
+            let a = Self::row_dot_wide::<K>(&self.cols[e..hi], &self.coefs[e..hi], p);
+            let prow = &p[v * K..(v + 1) * K];
+            aprow.copy_from_slice(&a);
+            for j in 0..K {
+                acc[j] += prow[j] * a[j];
+            }
+            e = hi;
         }
     }
 
@@ -128,23 +238,33 @@ impl PermutedLevel {
     pub fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        let kernel = |v: usize| {
-            let (cols, coefs) = self.row(v);
-            let mut acc = 0.0;
-            for (&c, &a) in cols.iter().zip(coefs) {
-                acc += a * x[c as usize];
+        // Walk the merged entry stream once per chunk: `e` advances
+        // monotonically, so each row bound is loaded exactly once. Two
+        // rows per step keeps two independent accumulator chains in
+        // flight; each row's own sum stays in the pinned order.
+        let sweep = |base: usize, ys: &mut [f64]| {
+            let mut e = self.offsets[base] as usize;
+            let mut v = base;
+            let mut pairs = ys.chunks_exact_mut(2);
+            for pair in pairs.by_ref() {
+                let mid = self.offsets[v + 1] as usize;
+                let hi = self.offsets[v + 2] as usize;
+                pair[0] = Self::row_dot(&self.cols[e..mid], &self.coefs[e..mid], x);
+                pair[1] = Self::row_dot(&self.cols[mid..hi], &self.coefs[mid..hi], x);
+                e = hi;
+                v += 2;
             }
-            acc
+            if let [yv] = pairs.into_remainder() {
+                let hi = self.offsets[v + 1] as usize;
+                *yv = Self::row_dot(&self.cols[e..hi], &self.coefs[e..hi], x);
+            }
         };
         if self.n < SEQ_ROWS {
-            for (v, yv) in y.iter_mut().enumerate() {
-                *yv = kernel(v);
-            }
+            sweep(0, y);
         } else {
-            y.par_iter_mut()
-                .with_min_len(CHUNK_ROWS)
+            y.par_chunks_mut(CHUNK_ROWS)
                 .enumerate()
-                .for_each(|(v, yv)| *yv = kernel(v));
+                .for_each(|(ci, ys)| sweep(ci * CHUNK_ROWS, ys));
         }
     }
 
@@ -161,6 +281,25 @@ impl PermutedLevel {
         if k == 1 {
             self.apply(xr, yr);
             return;
+        }
+        macro_rules! wide {
+            ($K:literal) => {{
+                if self.n < SEQ_ROWS {
+                    self.apply_chunk_wide::<$K>(xr, 0, yr);
+                } else {
+                    yr.par_chunks_mut(CHUNK_ROWS * k)
+                        .enumerate()
+                        .for_each(|(ci, ys)| self.apply_chunk_wide::<$K>(xr, ci * CHUNK_ROWS, ys));
+                }
+                return;
+            }};
+        }
+        match k {
+            2 => wide!(2),
+            4 => wide!(4),
+            8 => wide!(8),
+            16 => wide!(16),
+            _ => {}
         }
         let kernel = |base: usize, rows: &mut [f64]| {
             let mut acc = [0.0f64; 32];
@@ -214,33 +353,70 @@ impl PermutedLevel {
             return;
         }
         if k == 1 {
-            let kernel = |v: usize, xv: &mut f64, rv: &mut f64| {
-                let (cols, coefs) = self.row(v);
-                let mut acc = 0.0;
-                for (&c, &a) in cols.iter().zip(coefs) {
-                    acc += a * p[c as usize];
+            // Streaming walk with a two-row unroll: the two rows'
+            // accumulator chains are independent (the core overlaps
+            // them), while each row's own sum keeps the pinned order
+            // (diagonal first, then ascending columns) — bitwise
+            // identical to the one-row-at-a-time loop.
+            let sweep = |base: usize, xs: &mut [f64], rs: &mut [f64]| {
+                let mut e = self.offsets[base] as usize;
+                let mut v = base;
+                let mut xp = xs.chunks_exact_mut(2);
+                let mut rp = rs.chunks_exact_mut(2);
+                for (xpair, rpair) in xp.by_ref().zip(rp.by_ref()) {
+                    let mid = self.offsets[v + 1] as usize;
+                    let hi = self.offsets[v + 2] as usize;
+                    let a0 = Self::row_dot(&self.cols[e..mid], &self.coefs[e..mid], p);
+                    let a1 = Self::row_dot(&self.cols[mid..hi], &self.coefs[mid..hi], p);
+                    xpair[0] += alpha * p[v];
+                    rpair[0] -= alpha * a0;
+                    xpair[1] += alpha * p[v + 1];
+                    rpair[1] -= alpha * a1;
+                    e = hi;
+                    v += 2;
                 }
-                *xv += alpha * p[v];
-                *rv -= alpha * acc;
+                if let ([xv], [rv]) = (xp.into_remainder(), rp.into_remainder()) {
+                    let hi = self.offsets[v + 1] as usize;
+                    let a = Self::row_dot(&self.cols[e..hi], &self.coefs[e..hi], p);
+                    *xv += alpha * p[v];
+                    *rv -= alpha * a;
+                }
             };
             if self.n < SEQ_ROWS {
-                for (v, (xv, rv)) in x.iter_mut().zip(r.iter_mut()).enumerate() {
-                    kernel(v, xv, rv);
-                }
+                sweep(0, x, r);
             } else {
                 // Zipped chunk producers: each task owns one row range of
                 // both vectors (no unsafe splitting, no intermediate Vec).
                 x.par_chunks_mut(CHUNK_ROWS)
                     .zip(r.par_chunks_mut(CHUNK_ROWS))
                     .enumerate()
-                    .for_each(|(ci, (xs, rs))| {
-                        let base = ci * CHUNK_ROWS;
-                        for (i, (xv, rv)) in xs.iter_mut().zip(rs.iter_mut()).enumerate() {
-                            kernel(base + i, xv, rv);
-                        }
-                    });
+                    .for_each(|(ci, (xs, rs))| sweep(ci * CHUNK_ROWS, xs, rs));
             }
             return;
+        }
+        // Common block widths get a monomorphised kernel: fixed-size
+        // stack accumulators let the K-lane entry update vectorise.
+        macro_rules! wide {
+            ($K:literal) => {{
+                if self.n < SEQ_ROWS {
+                    self.cheb_chunk_wide::<$K>(alpha, p, 0, x, r);
+                } else {
+                    x.par_chunks_mut(CHUNK_ROWS * k)
+                        .zip(r.par_chunks_mut(CHUNK_ROWS * k))
+                        .enumerate()
+                        .for_each(|(ci, (xs, rs))| {
+                            self.cheb_chunk_wide::<$K>(alpha, p, ci * CHUNK_ROWS, xs, rs)
+                        });
+                }
+                return;
+            }};
+        }
+        match k {
+            2 => wide!(2),
+            4 => wide!(4),
+            8 => wide!(8),
+            16 => wide!(16),
+            _ => {}
         }
         let kernel = |base_row: usize, xs: &mut [f64], rs: &mut [f64]| {
             let mut acc = [0.0f64; 32];
@@ -299,47 +475,181 @@ impl PermutedLevel {
     /// combine blocks in block order — a tree that depends only on `n`,
     /// so each column's value is identical at every `k` and pool width.
     pub fn fused_apply_dot(&self, p: &[f64], ap: &mut [f64], k: usize) -> Vec<f64> {
+        let mut dots = Vec::new();
+        let mut partial = Vec::new();
+        self.fused_apply_dot_into(p, ap, k, &mut dots, &mut partial);
+        dots
+    }
+
+    /// [`fused_apply_dot`](Self::fused_apply_dot) into caller-owned
+    /// buffers: `dots` receives the `k` inner products, `partial` is
+    /// block-partial scratch. On the sequential dispatch path (`n` below
+    /// the cutoff) this performs no allocation once both buffers have
+    /// capacity `k`; the parallel path still collects per-block partials.
+    /// Same fixed block tree — bitwise identical results.
+    pub fn fused_apply_dot_into(
+        &self,
+        p: &[f64],
+        ap: &mut [f64],
+        k: usize,
+        dots: &mut Vec<f64>,
+        partial: &mut Vec<f64>,
+    ) {
         assert_eq!(p.len(), self.n * k);
         assert_eq!(ap.len(), self.n * k);
+        dots.clear();
+        dots.resize(k, 0.0);
         if k == 0 || self.n == 0 {
-            return vec![0.0; k];
+            return;
         }
-        let kernel = |base_row: usize, rows: &mut [f64]| -> Vec<f64> {
-            let mut partial = vec![0.0f64; k];
+        if k == 1 {
+            // Streaming two-row unroll, mirroring the k = 1 fused sweep;
+            // block partials still accumulate rows in ascending order.
+            let sweep = |base: usize, rows: &mut [f64]| -> f64 {
+                let mut acc = 0.0;
+                let mut e = self.offsets[base] as usize;
+                let mut v = base;
+                let mut pairs = rows.chunks_exact_mut(2);
+                for pair in pairs.by_ref() {
+                    let mid = self.offsets[v + 1] as usize;
+                    let hi = self.offsets[v + 2] as usize;
+                    let a0 = Self::row_dot(&self.cols[e..mid], &self.coefs[e..mid], p);
+                    let a1 = Self::row_dot(&self.cols[mid..hi], &self.coefs[mid..hi], p);
+                    pair[0] = a0;
+                    pair[1] = a1;
+                    acc += p[v] * a0;
+                    acc += p[v + 1] * a1;
+                    e = hi;
+                    v += 2;
+                }
+                if let [apv] = pairs.into_remainder() {
+                    let hi = self.offsets[v + 1] as usize;
+                    let a = Self::row_dot(&self.cols[e..hi], &self.coefs[e..hi], p);
+                    *apv = a;
+                    acc += p[v] * a;
+                }
+                acc
+            };
+            if self.n < SEQ_ROWS {
+                for (ci, rows) in ap.chunks_mut(CHUNK_ROWS).enumerate() {
+                    dots[0] += sweep(ci * CHUNK_ROWS, rows);
+                }
+            } else {
+                let partials: Vec<f64> = ap
+                    .par_chunks_mut(CHUNK_ROWS)
+                    .enumerate()
+                    .map(|(ci, rows)| sweep(ci * CHUNK_ROWS, rows))
+                    .collect();
+                for v in partials {
+                    dots[0] += v;
+                }
+            }
+            return;
+        }
+        macro_rules! wide {
+            ($K:literal) => {{
+                if self.n < SEQ_ROWS {
+                    for (ci, rows) in ap.chunks_mut(CHUNK_ROWS * k).enumerate() {
+                        partial.clear();
+                        partial.resize(k, 0.0);
+                        self.fused_apply_dot_chunk_wide::<$K>(p, ci * CHUNK_ROWS, rows, partial);
+                        for (o, &v) in dots.iter_mut().zip(partial.iter()) {
+                            *o += v;
+                        }
+                    }
+                } else {
+                    let partials: Vec<Vec<f64>> = ap
+                        .par_chunks_mut(CHUNK_ROWS * k)
+                        .enumerate()
+                        .map(|(ci, rows)| {
+                            let mut acc = vec![0.0f64; k];
+                            self.fused_apply_dot_chunk_wide::<$K>(
+                                p,
+                                ci * CHUNK_ROWS,
+                                rows,
+                                &mut acc,
+                            );
+                            acc
+                        })
+                        .collect();
+                    for part in &partials {
+                        for (o, &v) in dots.iter_mut().zip(part) {
+                            *o += v;
+                        }
+                    }
+                }
+                return;
+            }};
+        }
+        match k {
+            2 => wide!(2),
+            4 => wide!(4),
+            8 => wide!(8),
+            16 => wide!(16),
+            _ => {}
+        }
+        // Generic fallback: entry-outer (one pass over the row's entries
+        // updating all k column accumulators), same per-column entry
+        // order as the column-outer loop it replaces.
+        let kernel = |base_row: usize, rows: &mut [f64], acc: &mut [f64]| {
+            let mut rowacc = [0.0f64; 64];
             for (rr, aprow) in rows.chunks_exact_mut(k).enumerate() {
                 let v = base_row + rr;
                 let (cols, coefs) = self.row(v);
                 let prow = &p[v * k..(v + 1) * k];
-                for j in 0..k {
-                    let mut a = 0.0;
+                if k <= 64 {
+                    let rowacc = &mut rowacc[..k];
+                    rowacc.iter_mut().for_each(|a| *a = 0.0);
                     for (&c, &w) in cols.iter().zip(coefs) {
-                        a += w * p[c as usize * k + j];
+                        let pr = &p[c as usize * k..(c as usize + 1) * k];
+                        for (a, &pv) in rowacc.iter_mut().zip(pr) {
+                            *a += w * pv;
+                        }
                     }
-                    aprow[j] = a;
-                    partial[j] += prow[j] * a;
+                    aprow.copy_from_slice(rowacc);
+                    for j in 0..k {
+                        acc[j] += prow[j] * rowacc[j];
+                    }
+                } else {
+                    for j in 0..k {
+                        let mut a = 0.0;
+                        for (&c, &w) in cols.iter().zip(coefs) {
+                            a += w * p[c as usize * k + j];
+                        }
+                        aprow[j] = a;
+                        acc[j] += prow[j] * a;
+                    }
                 }
             }
-            partial
         };
-        let partials: Vec<Vec<f64>> = if self.n < SEQ_ROWS {
-            ap.chunks_mut(CHUNK_ROWS * k)
-                .enumerate()
-                .map(|(ci, rows)| kernel(ci * CHUNK_ROWS, rows))
-                .collect()
+        if self.n < SEQ_ROWS {
+            // Accumulate per fixed block into reused scratch, fold into
+            // `dots` in block order — the same tree as the parallel path.
+            for (ci, rows) in ap.chunks_mut(CHUNK_ROWS * k).enumerate() {
+                partial.clear();
+                partial.resize(k, 0.0);
+                kernel(ci * CHUNK_ROWS, rows, partial);
+                for (o, &v) in dots.iter_mut().zip(partial.iter()) {
+                    *o += v;
+                }
+            }
         } else {
-            ap.par_chunks_mut(CHUNK_ROWS * k)
+            let partials: Vec<Vec<f64>> = ap
+                .par_chunks_mut(CHUNK_ROWS * k)
                 .enumerate()
-                .map(|(ci, rows)| kernel(ci * CHUNK_ROWS, rows))
-                .collect()
-        };
-        // Combine block partials in block order (fixed tree).
-        let mut out = vec![0.0f64; k];
-        for part in &partials {
-            for (o, &v) in out.iter_mut().zip(part) {
-                *o += v;
+                .map(|(ci, rows)| {
+                    let mut acc = vec![0.0f64; k];
+                    kernel(ci * CHUNK_ROWS, rows, &mut acc);
+                    acc
+                })
+                .collect();
+            // Combine block partials in block order (fixed tree).
+            for part in &partials {
+                for (o, &v) in dots.iter_mut().zip(part) {
+                    *o += v;
+                }
             }
         }
-        out
     }
 }
 

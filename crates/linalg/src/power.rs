@@ -12,6 +12,7 @@
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use parsdd_graph::Graph;
 
@@ -169,18 +170,30 @@ pub fn spectrum_bounds_of_map(
 pub fn quadratic_form_ratio_bounds(g: &Graph, h: &Graph, samples: usize, seed: u64) -> (f64, f64) {
     assert_eq!(g.n(), h.n(), "graphs must share a vertex set");
     let n = g.n();
+    // The sample vectors come from one sequential RNG stream (their values
+    // must not depend on scheduling), but the expensive part — two
+    // quadratic forms per sample — is an independent map over samples.
+    // min/max over the in-order ratio list is exact (no rounding), so the
+    // result is bitwise identical at every pool width.
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..samples)
+        .map(|_| {
+            let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            project_out_constant(&mut x);
+            x
+        })
+        .collect();
+    let ratios: Vec<Option<f64>> = xs
+        .par_iter()
+        .map(|x| {
+            let qg = laplacian_quadratic_form(g, x);
+            let qh = laplacian_quadratic_form(h, x);
+            (qh > 1e-300).then(|| qg / qh)
+        })
+        .collect();
     let mut lo = f64::INFINITY;
     let mut hi: f64 = 0.0;
-    for _ in 0..samples {
-        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        project_out_constant(&mut x);
-        let qg = laplacian_quadratic_form(g, &x);
-        let qh = laplacian_quadratic_form(h, &x);
-        if qh <= 1e-300 {
-            continue;
-        }
-        let ratio = qg / qh;
+    for ratio in ratios.into_iter().flatten() {
         lo = lo.min(ratio);
         hi = hi.max(ratio);
     }

@@ -204,17 +204,36 @@ pub fn dot_strided(x: &[f64], y: &[f64], stride: usize, j: usize) -> f64 {
 /// whether it travels alone (`k = 1`) or inside any block, at any thread
 /// count.
 pub fn colwise_dots_rm(x: &[f64], y: &[f64], k: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut partial = Vec::new();
+    colwise_dots_rm_into(x, y, k, &mut out, &mut partial);
+    out
+}
+
+/// [`colwise_dots_rm`] into caller-owned buffers: `out` receives the `k`
+/// sums, `partial` is block-partial scratch. On the sequential dispatch
+/// path (row count below the cutoff) this performs no allocation once
+/// both buffers have capacity `k`; the parallel path still collects its
+/// per-block partials. Same fixed reduction tree, so results are bitwise
+/// identical to [`colwise_dots_rm`].
+pub fn colwise_dots_rm_into(
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+    out: &mut Vec<f64>,
+    partial: &mut Vec<f64>,
+) {
     assert_eq!(x.len(), y.len());
+    out.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
     assert_eq!(x.len() % k, 0, "buffer is not a whole block");
     let n = x.len() / k;
     let blocks = n.div_ceil(MIN_LEN).max(1);
-    let partial = |b: usize| -> Vec<f64> {
+    let block_into = |b: usize, acc: &mut [f64]| {
         let lo = b * MIN_LEN;
         let hi = ((b + 1) * MIN_LEN).min(n);
-        let mut acc = vec![0.0f64; k];
         for i in lo..hi {
             let xr = &x[i * k..(i + 1) * k];
             let yr = &y[i * k..(i + 1) * k];
@@ -222,20 +241,34 @@ pub fn colwise_dots_rm(x: &[f64], y: &[f64], k: usize) -> Vec<f64> {
                 *a += xv * yv;
             }
         }
-        acc
     };
-    let partials: Vec<Vec<f64>> = if n < SEQ_CUTOFF {
-        (0..blocks).map(partial).collect()
+    out.resize(k, 0.0);
+    if n < SEQ_CUTOFF {
+        // Block partials accumulate into reused scratch and fold into
+        // `out` in block order — the same tree the collecting path builds.
+        for b in 0..blocks {
+            partial.clear();
+            partial.resize(k, 0.0);
+            block_into(b, partial);
+            for (o, &v) in out.iter_mut().zip(partial.iter()) {
+                *o += v;
+            }
+        }
     } else {
-        (0..blocks).into_par_iter().map(partial).collect()
-    };
-    let mut out = vec![0.0f64; k];
-    for part in &partials {
-        for (o, &v) in out.iter_mut().zip(part) {
-            *o += v;
+        let partials: Vec<Vec<f64>> = (0..blocks)
+            .into_par_iter()
+            .map(|b| {
+                let mut acc = vec![0.0f64; k];
+                block_into(b, &mut acc);
+                acc
+            })
+            .collect();
+        for part in &partials {
+            for (o, &v) in out.iter_mut().zip(part) {
+                *o += v;
+            }
         }
     }
-    out
 }
 
 /// Componentwise-mean projection of every column of a **row-major**
@@ -243,12 +276,30 @@ pub fn colwise_dots_rm(x: &[f64], y: &[f64], k: usize) -> Vec<f64> {
 /// [`project_out_componentwise_constant`]; per column the accumulation
 /// order over rows is identical, so the results match it bitwise).
 pub fn project_out_componentwise_rows(xr: &mut [f64], k: usize, labels: &[u32], count: usize) {
+    let mut sums = Vec::new();
+    let mut sizes = Vec::new();
+    project_out_componentwise_rows_with(xr, k, labels, count, &mut sums, &mut sizes);
+}
+
+/// [`project_out_componentwise_rows`] with caller-owned accumulator
+/// buffers (`count·k` sums, `count` sizes) — allocation-free once both
+/// have capacity; identical arithmetic.
+pub fn project_out_componentwise_rows_with(
+    xr: &mut [f64],
+    k: usize,
+    labels: &[u32],
+    count: usize,
+    sums: &mut Vec<f64>,
+    sizes: &mut Vec<usize>,
+) {
     if k == 0 {
         return;
     }
     assert_eq!(xr.len(), labels.len() * k);
-    let mut sums = vec![0.0f64; count * k];
-    let mut sizes = vec![0usize; count];
+    sums.clear();
+    sums.resize(count * k, 0.0);
+    sizes.clear();
+    sizes.resize(count, 0);
     for (row, &l) in xr.chunks_exact(k).zip(labels) {
         let s = &mut sums[l as usize * k..(l as usize + 1) * k];
         for (acc, &v) in s.iter_mut().zip(row) {

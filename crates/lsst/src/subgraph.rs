@@ -10,6 +10,7 @@
 //! `IncrementalSparsify`.
 
 use parsdd_graph::{EdgeId, Graph};
+use rayon::prelude::*;
 
 use crate::sparse_akpw::{sparse_akpw, SparseAkpwParams, SparseSubgraph};
 use crate::well_spaced::well_spaced_split;
@@ -93,8 +94,11 @@ pub fn ls_subgraph(g: &Graph, params: &LsSubgraphParams) -> LsSubgraphOutput {
     // `split.retained_edges`.
     let retained_graph = g.edge_subgraph(&split.retained_edges);
     let inner = sparse_akpw(&retained_graph, &params.sparse);
+    // Ordered parallel map: the id translation preserves input order, so
+    // the output is identical at every pool width.
     let map_back = |ids: &[EdgeId]| -> Vec<EdgeId> {
-        ids.iter()
+        ids.par_iter()
+            .with_min_len(4096)
             .map(|&e| split.retained_edges[e as usize])
             .collect()
     };

@@ -42,6 +42,8 @@
 //! is the condition for `Σ_i (∏_{j≤i} k_j)·m_i` — the W-cycle's work — to
 //! stay near-linear.
 
+use std::sync::Mutex;
+
 use parsdd_graph::reorder::{identity_order, rcm_order, relabel};
 use parsdd_graph::{EdgeId, Graph};
 use parsdd_linalg::block::MultiVector;
@@ -51,8 +53,8 @@ use parsdd_linalg::operator::Preconditioner;
 use parsdd_linalg::permuted::PermutedLevel;
 use parsdd_linalg::power::{quadratic_form_ratio_bounds, spectrum_bounds_of_map};
 use parsdd_linalg::vector::{
-    colwise_dots_rm, dot_strided, project_out_componentwise_constant,
-    project_out_componentwise_rows,
+    colwise_dots_rm, colwise_dots_rm_into, dot_strided, project_out_componentwise_constant,
+    project_out_componentwise_rows, project_out_componentwise_rows_with,
 };
 use parsdd_lsst::subgraph::{ls_subgraph, LsSubgraphParams};
 
@@ -559,6 +561,92 @@ impl ChainQuality {
     }
 }
 
+/// Per-level elimination-frame buffers of one in-flight W-cycle
+/// application: the `precondition` call at level `i` owns entry `i` for
+/// the duration of its forward-eliminate / recurse / back-substitute
+/// sandwich.
+#[derive(Debug, Default)]
+struct ElimScratch {
+    /// Reduced right-hand side (`n_{i+1}·k`).
+    reduced: Vec<f64>,
+    /// Forward-pass working rhs (`n_i·k`), kept for back-substitution.
+    work: Vec<f64>,
+    /// Solution of the reduced system (`n_{i+1}·k`).
+    y: Vec<f64>,
+    /// `k`-wide row temp for streaming the elimination trace.
+    row: Vec<f64>,
+}
+
+/// Per-level inner-iteration buffers: the Chebyshev/CG sweep at level `i`
+/// owns entry `i` while it iterates (its recursive preconditioner calls
+/// use the elimination frame of the *same* level and the iteration frames
+/// of the levels *below*, so both frames of one level are live at once —
+/// hence two arrays, not one).
+#[derive(Debug, Default)]
+struct IterScratch {
+    r: Vec<f64>,
+    p: Vec<f64>,
+    z: Vec<f64>,
+    /// CG only: the `A·p` block and per-column recurrence scalars.
+    ap: Vec<f64>,
+    rz: Vec<f64>,
+    alphas: Vec<f64>,
+    live: Vec<bool>,
+}
+
+/// Bottom-solve buffers (rhs copy + componentwise-projection
+/// accumulators).
+#[derive(Debug, Default)]
+struct BottomScratch {
+    rhs: Vec<f64>,
+    proj_sums: Vec<f64>,
+    proj_sizes: Vec<usize>,
+}
+
+/// One checked-out set of scratch buffers for a chain application. All
+/// buffers start empty and grow to their steady-state size on the first
+/// application ("warming" the arena); after that a W-cycle performs no
+/// heap allocation on the sequential kernel dispatch paths. Buffers are
+/// sized per use but **not** cleared — every kernel either overwrites its
+/// output completely or (back-substitution) provably writes each entry
+/// before reading it, so stale contents from a previous application are
+/// unobservable; see DESIGN.md §2.6.
+#[derive(Debug, Default)]
+pub(crate) struct ChainWorkspace {
+    /// Indexed by the level running its elimination sandwich.
+    elim: Vec<ElimScratch>,
+    /// Indexed by the level running its inner iteration (entry 0 is
+    /// unused — the adaptive outer PCG drives level 0 with its own
+    /// locals).
+    iter: Vec<IterScratch>,
+    bottom: BottomScratch,
+}
+
+/// Checkout pool of [`ChainWorkspace`]s: one per concurrent application,
+/// recycled through a mutex-guarded free list (two uncontended lock ops
+/// per application). Cloning a chain clones none of the scratch — the
+/// clone starts with an empty pool and warms its own.
+struct WorkspacePool(Mutex<Vec<ChainWorkspace>>);
+
+impl WorkspacePool {
+    fn new() -> Self {
+        WorkspacePool(Mutex::new(Vec::new()))
+    }
+}
+
+impl Clone for WorkspacePool {
+    fn clone(&self) -> Self {
+        WorkspacePool::new()
+    }
+}
+
+impl std::fmt::Debug for WorkspacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let held = self.0.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "WorkspacePool({held} idle)")
+    }
+}
+
 /// A fully constructed preconditioner chain for a Laplacian system.
 #[derive(Debug, Clone)]
 pub struct SolverChain {
@@ -579,6 +667,10 @@ pub struct SolverChain {
     /// solutions once on exit; everything between runs in internal order.
     top_perm: Vec<u32>,
     options: ChainOptions,
+    /// Preallocated per-level scratch (see [`ChainWorkspace`]); solves and
+    /// preconditioner applications check a workspace out, run on it, and
+    /// return it, so the steady state allocates nothing per application.
+    workspaces: WorkspacePool,
 }
 
 /// Outcome of a chain solve.
@@ -794,17 +886,33 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
             )
         };
 
-        // Empirical check of the spectral relation (Definition 6.3).
-        let measured_ratio = quadratic_form_ratio_bounds(&current, &sparsifier.graph, 12, seed);
-
-        // 3. Partial Cholesky elimination of the sparsifier, with the
-        //    next level's bandwidth-reducing order baked into the reduced
-        //    vertex space (the elimination then emits reduced right-hand
-        //    sides directly in the next level's internal order).
-        let mut elimination = greedy_elimination(&sparsifier.graph, seed);
-        let next_perm = level_order(&elimination.reduced_graph, options.ordering);
-        elimination.relabel_reduced(&next_perm);
-        let elimination = elimination;
+        // The spectral check (Definition 6.3) and the elimination pipeline
+        // are independent pure functions of `(current, sparsifier, seed)`
+        // with disjoint outputs, so they run concurrently under the
+        // runtime's scope API. Scheduling order cannot leak into the built
+        // chain: each task's value is a deterministic function of its
+        // inputs (counter-based RNG, length-only split trees), so the
+        // chain stays bitwise identical at every pool width — the contract
+        // `tests/parallel.rs` pins for builds as well as solves.
+        let mut measured_ratio = (f64::INFINITY, 0.0);
+        let mut elim_slot: Option<EliminationResult> = None;
+        rayon::scope(|s| {
+            s.spawn(|_| {
+                measured_ratio = quadratic_form_ratio_bounds(&current, &sparsifier.graph, 12, seed);
+            });
+            // 3. Partial Cholesky elimination of the sparsifier, with the
+            //    next level's bandwidth-reducing order baked into the
+            //    reduced vertex space (the elimination then emits reduced
+            //    right-hand sides directly in the next level's internal
+            //    order).
+            s.spawn(|_| {
+                let mut elimination = greedy_elimination(&sparsifier.graph, seed);
+                let next_perm = level_order(&elimination.reduced_graph, options.ordering);
+                elimination.relabel_reduced(&next_perm);
+                elim_slot = Some(elimination);
+            });
+        });
+        let elimination = elim_slot.expect("scope completed elimination");
         let next = elimination.reduced_graph.simplify();
 
         // A level whose sparsifier kept (nearly) the whole graph and whose
@@ -857,25 +965,44 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
     // Bottom solver. The bottom graph arrived here already in its baked-in
     // order (the top permutation when there are no levels, the last
     // elimination's relabel otherwise), so the envelope factor sees the
-    // bandwidth-reduced profile directly.
-    let bottom_matrix = PermutedLevel::from_graph(&current);
-    let comps = parsdd_graph::components::parallel_connected_components(&current);
-    let bottom = if current.m() == 0 {
-        BottomSolver::Trivial
-    } else if current.n() <= options.dense_bottom_limit {
-        BottomSolver::Direct(EnvelopeLdl::from_graph(&current, 1e-10))
-    } else {
-        BottomSolver::Iterative
-    };
-
-    // Cache the top level's component structure: every solve projects its
-    // right-hand sides with it, and recomputing an O(n + m) labelling per
-    // solve is exactly the per-RHS overhead blocking is meant to remove.
-    let top_comps = if let Some(l) = levels.first() {
-        parsdd_graph::components::parallel_connected_components(&l.graph)
-    } else {
-        comps.clone()
-    };
+    // bandwidth-reduced profile directly. The merged-row matrix, the
+    // envelope factorization, and the component labellings are independent
+    // pure functions of the finished graphs, so they run concurrently
+    // under the scope (same width-independence argument as the per-level
+    // passes above).
+    let mut bottom_matrix_slot: Option<PermutedLevel> = None;
+    let mut bottom_slot: Option<BottomSolver> = None;
+    let mut comps_slot = None;
+    let mut top_comps_slot = None;
+    rayon::scope(|s| {
+        s.spawn(|_| bottom_matrix_slot = Some(PermutedLevel::from_graph(&current)));
+        s.spawn(|_| {
+            bottom_slot = Some(if current.m() == 0 {
+                BottomSolver::Trivial
+            } else if current.n() <= options.dense_bottom_limit {
+                BottomSolver::Direct(EnvelopeLdl::from_graph(&current, 1e-10))
+            } else {
+                BottomSolver::Iterative
+            });
+        });
+        // Cache the component structures in the scope body: every solve
+        // projects its right-hand sides with them, and recomputing an
+        // O(n + m) labelling per solve is exactly the per-RHS overhead
+        // blocking is meant to remove. The top labelling reuses the bottom
+        // one when there are no levels, so both stay in one task.
+        let comps = parsdd_graph::components::parallel_connected_components(&current);
+        top_comps_slot = Some(if let Some(l) = levels.first() {
+            parsdd_graph::components::parallel_connected_components(&l.graph)
+        } else {
+            comps.clone()
+        });
+        comps_slot = Some(comps);
+    });
+    let bottom_matrix = bottom_matrix_slot.expect("scope completed bottom matrix");
+    let bottom = bottom_slot.expect("scope completed bottom solver");
+    let comps: parsdd_graph::components::Components =
+        comps_slot.expect("scope completed components");
+    let top_comps = top_comps_slot.expect("scope completed top components");
 
     let mut chain = SolverChain {
         levels,
@@ -888,6 +1015,7 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         top_components: top_comps.count,
         top_perm,
         options,
+        workspaces: WorkspacePool::new(),
     };
     chain.calibrate_chebyshev_bounds();
     chain
@@ -1034,21 +1162,108 @@ impl SolverChain {
     /// application (the outer flexible PCG absorbs this inexactness).
     const PRECOND_BOTTOM_TOL: f64 = 1e-8;
 
+    /// Checks a workspace out of the pool (allocating an *empty* one only
+    /// when the pool is dry — its buffers grow to steady-state size during
+    /// the first application), runs `f` on it, and returns it. Concurrent
+    /// applications each get their own workspace; a panic inside `f`
+    /// simply drops the checked-out workspace.
+    fn with_workspace<R>(&self, f: impl FnOnce(&mut ChainWorkspace) -> R) -> R {
+        let mut ws = self
+            .workspaces
+            .0
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_else(|| {
+                let d = self.levels.len();
+                ChainWorkspace {
+                    elim: (0..d).map(|_| ElimScratch::default()).collect(),
+                    iter: (0..d).map(|_| IterScratch::default()).collect(),
+                    bottom: BottomScratch::default(),
+                }
+            });
+        let out = f(&mut ws);
+        self.workspaces
+            .0
+            .lock()
+            .expect("workspace pool poisoned")
+            .push(ws);
+        out
+    }
+
+    /// Applies the full preconditioner `B₀⁻¹` to `k` row-major right-hand
+    /// sides in **internal** (chain) index order, writing into `out`.
+    /// Once the chain's scratch arena is warm (one prior application of
+    /// the same or larger width), this performs zero heap allocation on
+    /// the sequential kernel dispatch paths — the contract pinned by
+    /// `tests/alloc.rs`.
+    pub fn precondition_block_rm(&self, rr: &[f64], k: usize, out: &mut Vec<f64>) {
+        self.with_workspace(|ws| {
+            if self.levels.is_empty() {
+                self.bottom_solve_rm_into(rr, k, Self::PRECOND_BOTTOM_TOL, out, &mut ws.bottom);
+            } else {
+                self.precondition_rm_into(
+                    0,
+                    rr,
+                    k,
+                    out,
+                    &mut ws.elim[..],
+                    &mut ws.iter[1..],
+                    &mut ws.bottom,
+                );
+            }
+        });
+    }
+
     /// Solves the bottom system `A_d X = B` for `k` row-major right-hand
     /// sides (to `tol` per column when iterative). The direct factor's
     /// envelope is streamed once per block
     /// ([`EnvelopeLdl::solve_rowmajor`]); the iterative fallback runs the
     /// blocked PCG driver with per-column deflation.
     fn bottom_solve_rm(&self, br: &[f64], k: usize, tol: f64) -> Vec<f64> {
-        let mut rhs = br.to_vec();
-        project_out_componentwise_rows(&mut rhs, k, &self.bottom_labels, self.bottom_components);
+        let mut out = Vec::new();
+        self.with_workspace(|ws| {
+            self.bottom_solve_rm_into(br, k, tol, &mut out, &mut ws.bottom);
+        });
+        out
+    }
+
+    /// [`bottom_solve_rm`](Self::bottom_solve_rm) into a caller-owned
+    /// output through the workspace's bottom scratch. Allocation-free in
+    /// steady state for the trivial and direct bottoms (at the factor's
+    /// monomorphised widths); the iterative fallback still allocates its
+    /// CG state internally — it is the rare path where the envelope
+    /// factorisation was refused, and its per-solve cost dwarfs the
+    /// allocations.
+    fn bottom_solve_rm_into(
+        &self,
+        br: &[f64],
+        k: usize,
+        tol: f64,
+        out: &mut Vec<f64>,
+        scratch: &mut BottomScratch,
+    ) {
+        let rhs = &mut scratch.rhs;
+        rhs.clear();
+        rhs.extend_from_slice(br);
+        project_out_componentwise_rows_with(
+            rhs,
+            k,
+            &self.bottom_labels,
+            self.bottom_components,
+            &mut scratch.proj_sums,
+            &mut scratch.proj_sizes,
+        );
         match &self.bottom {
-            BottomSolver::Trivial => vec![0.0; br.len()],
-            BottomSolver::Direct(env) => env.solve_rowmajor(&rhs, k),
+            BottomSolver::Trivial => {
+                out.clear();
+                out.resize(br.len(), 0.0);
+            }
+            BottomSolver::Direct(env) => env.solve_rowmajor_into(rhs, k, out),
             BottomSolver::Iterative => {
                 let op = parsdd_linalg::laplacian::LaplacianOp::new(&self.bottom_graph);
                 let jac = parsdd_linalg::jacobi::JacobiPreconditioner::from_laplacian(&op);
-                let block = MultiVector::from_rowmajor(&rhs, k);
+                let block = MultiVector::from_rowmajor(rhs, k);
                 let outs = parsdd_linalg::cg::block_pcg_solve(
                     &op,
                     &jac,
@@ -1059,7 +1274,8 @@ impl SolverChain {
                     },
                 );
                 let cols: Vec<Vec<f64>> = outs.into_iter().map(|o| o.x).collect();
-                MultiVector::from_columns(&cols).to_rowmajor()
+                out.clear();
+                out.extend_from_slice(&MultiVector::from_columns(&cols).to_rowmajor());
             }
         }
     }
@@ -1077,10 +1293,53 @@ impl SolverChain {
     /// every matrix below are streamed once per block, and every step
     /// touches contiguous k-wide rows.
     fn precondition_rm(&self, level: usize, rr: &[f64], k: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.with_workspace(|ws| {
+            self.precondition_rm_into(
+                level,
+                rr,
+                k,
+                &mut out,
+                &mut ws.elim[level..],
+                &mut ws.iter[level + 1..],
+                &mut ws.bottom,
+            );
+        });
+        out
+    }
+
+    /// The workspace-threaded preconditioner application. `elim_ws` holds
+    /// the elimination frames of this level and below
+    /// (`levels.len() − level` entries), `iter_ws` the inner-iteration
+    /// frames strictly below (`levels.len() − level − 1` entries); each
+    /// recursion step peels its own frame off the front, so frames of
+    /// distinct in-flight levels never alias.
+    #[allow(clippy::too_many_arguments)]
+    fn precondition_rm_into(
+        &self,
+        level: usize,
+        rr: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        elim_ws: &mut [ElimScratch],
+        iter_ws: &mut [IterScratch],
+        bottom: &mut BottomScratch,
+    ) {
         let elim = &self.levels[level].elimination;
-        let (reduced, work) = elim.forward_rhs_rowmajor(rr, k);
-        let y = self.w_cycle_rm(level + 1, &reduced, k);
-        elim.back_substitute_rowmajor(&work, &y, k)
+        let (mine, elim_rest) = elim_ws
+            .split_first_mut()
+            .expect("elimination frame per level");
+        elim.forward_rhs_rowmajor_into(rr, k, &mut mine.reduced, &mut mine.work, &mut mine.row);
+        self.w_cycle_rm_into(
+            level + 1,
+            &mine.reduced,
+            k,
+            &mut mine.y,
+            iter_ws,
+            elim_rest,
+            bottom,
+        );
+        elim.back_substitute_rowmajor_into(&mine.work, &mine.y, k, out, &mut mine.row);
     }
 
     /// Single-vector preconditioner application: the `k = 1` case of
@@ -1097,18 +1356,43 @@ impl SolverChain {
     /// outer PCG is the only special case. Every column's arithmetic is
     /// exactly the `k = 1` cycle's, so `solve_many` answers match looped
     /// `solve` calls bitwise.
-    fn w_cycle_rm(&self, level: usize, br: &[f64], k: usize) -> Vec<f64> {
+    #[allow(clippy::too_many_arguments)]
+    fn w_cycle_rm_into(
+        &self,
+        level: usize,
+        br: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        iter_ws: &mut [IterScratch],
+        elim_ws: &mut [ElimScratch],
+        bottom: &mut BottomScratch,
+    ) {
         if level >= self.levels.len() {
-            return self.bottom_solve_rm(br, k, Self::PRECOND_BOTTOM_TOL);
+            self.bottom_solve_rm_into(br, k, Self::PRECOND_BOTTOM_TOL, out, bottom);
+            return;
         }
         let lvl = &self.levels[level];
         match self.options.inner_method {
-            IterationMethod::Chebyshev => {
-                self.chebyshev_fixed_rm(level, br, k, lvl.inner_iterations)
-            }
-            IterationMethod::ConjugateGradient => {
-                self.pcg_fixed_rm(level, br, k, lvl.inner_iterations)
-            }
+            IterationMethod::Chebyshev => self.chebyshev_fixed_rm_into(
+                level,
+                br,
+                k,
+                lvl.inner_iterations,
+                out,
+                iter_ws,
+                elim_ws,
+                bottom,
+            ),
+            IterationMethod::ConjugateGradient => self.pcg_fixed_rm_into(
+                level,
+                br,
+                k,
+                lvl.inner_iterations,
+                out,
+                iter_ws,
+                elim_ws,
+                bottom,
+            ),
         }
     }
 
@@ -1192,27 +1476,39 @@ impl SolverChain {
     /// p-update, x-axpy, SpMV write, r-axpy read, plus the separate diag
     /// stream.) Per-element arithmetic is identical at every block width
     /// and pool width.
-    fn chebyshev_fixed_rm(
+    #[allow(clippy::too_many_arguments)]
+    fn chebyshev_fixed_rm_into(
         &self,
         level: usize,
         br: &[f64],
         k: usize,
         iterations: usize,
-    ) -> Vec<f64> {
+        out: &mut Vec<f64>,
+        iter_ws: &mut [IterScratch],
+        elim_ws: &mut [ElimScratch],
+        bottom: &mut BottomScratch,
+    ) {
         let lvl = &self.levels[level];
         // Spectrum bounds of the effective preconditioned operator,
         // calibrated at build time (see `calibrate_chebyshev_bounds`).
         let (lambda_min, lambda_max) = lvl.cheb_bounds;
         let theta = 0.5 * (lambda_max + lambda_min);
         let delta = 0.5 * (lambda_max - lambda_min);
-        let mut x = vec![0.0f64; br.len()];
-        let mut r = br.to_vec();
-        let mut p = vec![0.0f64; br.len()];
+        let (mine, iter_rest) = iter_ws
+            .split_first_mut()
+            .expect("iteration frame per level");
+        // The accumulator starts at zero (semantic, not hygiene); r is a
+        // copy of the rhs; p is fully overwritten before first read.
+        out.clear();
+        out.resize(br.len(), 0.0);
+        mine.r.clear();
+        mine.r.extend_from_slice(br);
+        mine.p.resize(br.len(), 0.0);
         let mut alpha = 0.0f64;
         for it in 0..iterations {
-            let z = self.precondition_rm(level, &r, k);
+            self.precondition_rm_into(level, &mine.r, k, &mut mine.z, elim_ws, iter_rest, bottom);
             if it == 0 {
-                p.copy_from_slice(&z);
+                mine.p.copy_from_slice(&mine.z);
                 alpha = 1.0 / theta;
             } else {
                 let beta = if it == 1 {
@@ -1221,13 +1517,13 @@ impl SolverChain {
                     (delta * alpha / 2.0) * (delta * alpha / 2.0)
                 };
                 alpha = 1.0 / (theta - beta / alpha);
-                for (pi, zi) in p.iter_mut().zip(&z) {
+                for (pi, zi) in mine.p.iter_mut().zip(&mine.z) {
                     *pi = zi + beta * *pi;
                 }
             }
-            lvl.matrix.cheb_fused_sweep(alpha, &p, &mut x, &mut r, k);
+            lvl.matrix
+                .cheb_fused_sweep(alpha, &mine.p, out, &mut mine.r, k);
         }
-        x
     }
 
     /// Fixed-iteration (flexible) PCG on a row-major block at a given
@@ -1236,57 +1532,79 @@ impl SolverChain {
     /// ([`dot_strided`] runs the same per-column reduction tree at every
     /// width); a column that breaks down (zero direction energy) freezes
     /// while the rest of the block keeps iterating.
-    fn pcg_fixed_rm(&self, level: usize, br: &[f64], k: usize, iterations: usize) -> Vec<f64> {
+    #[allow(clippy::too_many_arguments)]
+    fn pcg_fixed_rm_into(
+        &self,
+        level: usize,
+        br: &[f64],
+        k: usize,
+        iterations: usize,
+        out: &mut Vec<f64>,
+        iter_ws: &mut [IterScratch],
+        elim_ws: &mut [ElimScratch],
+        bottom: &mut BottomScratch,
+    ) {
         let lvl = &self.levels[level];
         let n = lvl.graph.n();
-        let mut x = vec![0.0f64; br.len()];
-        let mut r = br.to_vec();
-        let mut z = self.precondition_rm(level, &r, k);
-        let mut p = z.clone();
-        let mut rz: Vec<f64> = (0..k).map(|j| dot_strided(&r, &z, k, j)).collect();
-        let mut live = vec![true; k];
-        let mut ap = vec![0.0f64; br.len()];
+        let (mine, iter_rest) = iter_ws
+            .split_first_mut()
+            .expect("iteration frame per level");
+        out.clear();
+        out.resize(br.len(), 0.0);
+        let x = &mut *out;
+        mine.r.clear();
+        mine.r.extend_from_slice(br);
+        self.precondition_rm_into(level, &mine.r, k, &mut mine.z, elim_ws, iter_rest, bottom);
+        mine.p.clear();
+        mine.p.extend_from_slice(&mine.z);
+        mine.rz.clear();
+        for j in 0..k {
+            mine.rz.push(dot_strided(&mine.r, &mine.z, k, j));
+        }
+        mine.live.clear();
+        mine.live.resize(k, true);
+        mine.ap.resize(br.len(), 0.0);
         for _ in 0..iterations {
-            for (j, l) in live.iter_mut().enumerate() {
-                if *l && rz[j].abs() < 1e-300 {
+            for (j, l) in mine.live.iter_mut().enumerate() {
+                if *l && mine.rz[j].abs() < 1e-300 {
                     *l = false;
                 }
             }
-            if live.iter().all(|l| !l) {
+            if mine.live.iter().all(|l| !l) {
                 break;
             }
-            lvl.matrix.apply_rowmajor(&p, &mut ap, k);
-            let mut alphas = vec![0.0f64; k];
-            for (j, l) in live.iter_mut().enumerate() {
+            lvl.matrix.apply_rowmajor(&mine.p, &mut mine.ap, k);
+            mine.alphas.clear();
+            mine.alphas.resize(k, 0.0);
+            for (j, l) in mine.live.iter_mut().enumerate() {
                 if !*l {
                     continue;
                 }
-                let pap = dot_strided(&p, &ap, k, j);
+                let pap = dot_strided(&mine.p, &mine.ap, k, j);
                 if pap <= 0.0 || !pap.is_finite() {
                     *l = false;
                     continue;
                 }
-                alphas[j] = rz[j] / pap;
-                let alpha = alphas[j];
+                mine.alphas[j] = mine.rz[j] / pap;
+                let alpha = mine.alphas[j];
                 for i in 0..n {
-                    x[i * k + j] += alpha * p[i * k + j];
-                    r[i * k + j] -= alpha * ap[i * k + j];
+                    x[i * k + j] += alpha * mine.p[i * k + j];
+                    mine.r[i * k + j] -= alpha * mine.ap[i * k + j];
                 }
             }
-            z = self.precondition_rm(level, &r, k);
-            for (j, &l) in live.iter().enumerate() {
+            self.precondition_rm_into(level, &mine.r, k, &mut mine.z, elim_ws, iter_rest, bottom);
+            for (j, &l) in mine.live.iter().enumerate() {
                 if !l {
                     continue;
                 }
-                let rz_new = dot_strided(&r, &z, k, j);
-                let beta = rz_new / rz[j];
-                rz[j] = rz_new;
+                let rz_new = dot_strided(&mine.r, &mine.z, k, j);
+                let beta = rz_new / mine.rz[j];
+                mine.rz[j] = rz_new;
                 for i in 0..n {
-                    p[i * k + j] = z[i * k + j] + beta * p[i * k + j];
+                    mine.p[i * k + j] = mine.z[i * k + j] + beta * mine.p[i * k + j];
                 }
             }
         }
-        x
     }
 
     /// Solves the top-level system `A x = b` to relative residual `tol` —
@@ -1365,6 +1683,23 @@ impl SolverChain {
         tol: f64,
         max_iterations: usize,
     ) -> Vec<SolveOutcome> {
+        self.with_workspace(|ws| self.solve_block_ws(b, tol, max_iterations, ws))
+    }
+
+    /// [`solve_block`](Self::solve_block) on a checked-out workspace. The
+    /// outer iteration keeps its own locals (allocated once per solve and
+    /// reused across iterations), so together with the workspace-threaded
+    /// W-cycle no per-*iteration* heap allocation remains on the
+    /// sequential dispatch paths; deflation events (bounded by the column
+    /// count, not the iteration count) compact in place.
+    fn solve_block_ws(
+        &self,
+        b: &MultiVector,
+        tol: f64,
+        max_iterations: usize,
+        ws: &mut ChainWorkspace,
+    ) -> Vec<SolveOutcome> {
+        let ChainWorkspace { elim, iter, bottom } = ws;
         let top_matrix: &PermutedLevel = if let Some(l) = self.levels.first() {
             &l.matrix
         } else {
@@ -1407,10 +1742,13 @@ impl SolverChain {
             if !active.is_empty() {
                 let ka = active.len();
                 let ba = compact_columns_rm(&rr, k, &active);
-                let xa = self.bottom_solve_rm(
+                let mut xa = Vec::new();
+                self.bottom_solve_rm_into(
                     &ba,
                     ka,
                     (tol * 0.1).clamp(1e-14, Self::PRECOND_BOTTOM_TOL),
+                    &mut xa,
+                    bottom,
                 );
                 let mut diff = vec![0.0f64; n * ka];
                 self.bottom_matrix.apply_rowmajor(&xa, &mut diff, ka);
@@ -1481,18 +1819,28 @@ impl SolverChain {
         // single/block parity are unaffected.
         let mut breakdowns: Vec<Option<BreakdownReason>> = vec![None; k];
         let mut r = compact_columns_rm(&rr, k, &active);
-        let mut z = self.precondition_rm(0, &r, active.len());
+        let mut z = Vec::new();
+        self.precondition_rm_into(0, &r, active.len(), &mut z, elim, &mut iter[1..], bottom);
         let mut p = z.clone();
         let mut rz: Vec<f64> = colwise_dots_rm(&r, &z, active.len());
         let mut ap = vec![0.0f64; n * active.len()];
+        // Reused across iterations (zero per-iteration allocation).
+        let mut rn = Vec::new();
+        let mut pap = Vec::new();
+        let mut rz_new = Vec::new();
+        let mut apz = Vec::new();
+        let mut alphas: Vec<f64> = Vec::new();
+        let mut betas: Vec<f64> = Vec::new();
+        let mut keep: Vec<usize> = Vec::new();
+        let mut dot_scratch = Vec::new();
         for it in 0..max_iterations {
             if active.is_empty() {
                 break;
             }
             let ka = active.len();
             // Per-column convergence check; converged columns deflate.
-            let rn = colwise_dots_rm(&r, &r, ka);
-            let mut keep: Vec<usize> = Vec::with_capacity(ka);
+            colwise_dots_rm_into(&r, &r, ka, &mut rn, &mut dot_scratch);
+            keep.clear();
             for (c, &j) in active.iter().enumerate() {
                 iterations[j] = it;
                 rels[j] = rn[c].sqrt() / bnorms[j];
@@ -1526,10 +1874,12 @@ impl SolverChain {
             }
             if keep.len() != ka {
                 active = keep.iter().map(|&c| active[c]).collect();
-                r = compact_columns_rm(&r, ka, &keep);
-                p = compact_columns_rm(&p, ka, &keep);
-                rz = keep.iter().map(|&c| rz[c]).collect();
-                ap = vec![0.0f64; n * active.len()];
+                compact_columns_rm_inplace(&mut r, ka, &keep);
+                compact_columns_rm_inplace(&mut p, ka, &keep);
+                compact_scalars_inplace(&mut rz, &keep);
+                // `ap` is rewritten in full by the fused pass below; only
+                // its length must match the narrower block.
+                ap.truncate(n * active.len());
             }
             if active.is_empty() {
                 break;
@@ -1539,9 +1889,10 @@ impl SolverChain {
             // One matrix pass: AP ← A·p with pᵀAp fused. Per-column step;
             // breakdown (no direction energy) freezes the column the way
             // the single-vector iteration would stop.
-            let pap = top_matrix.fused_apply_dot(&p, &mut ap, ka);
-            let mut keep: Vec<usize> = Vec::with_capacity(ka);
-            let mut alphas = vec![0.0f64; ka];
+            top_matrix.fused_apply_dot_into(&p, &mut ap, ka, &mut pap, &mut dot_scratch);
+            keep.clear();
+            alphas.clear();
+            alphas.resize(ka, 0.0);
             for (c, &j) in active.iter().enumerate() {
                 if pap[c] <= 0.0 || !pap[c].is_finite() {
                     breakdowns[j] = Some(BreakdownReason::IndefiniteDirection {
@@ -1556,11 +1907,11 @@ impl SolverChain {
             }
             if keep.len() != ka {
                 active = keep.iter().map(|&c| active[c]).collect();
-                r = compact_columns_rm(&r, ka, &keep);
-                p = compact_columns_rm(&p, ka, &keep);
-                ap = compact_columns_rm(&ap, ka, &keep);
-                rz = keep.iter().map(|&c| rz[c]).collect();
-                alphas = keep.iter().map(|&c| alphas[c]).collect();
+                compact_columns_rm_inplace(&mut r, ka, &keep);
+                compact_columns_rm_inplace(&mut p, ka, &keep);
+                compact_columns_rm_inplace(&mut ap, ka, &keep);
+                compact_scalars_inplace(&mut rz, &keep);
+                compact_scalars_inplace(&mut alphas, &keep);
             }
             if active.is_empty() {
                 break;
@@ -1579,7 +1930,7 @@ impl SolverChain {
                     rrow[c] -= alphas[c] * aprow[c];
                 }
             }
-            z = self.precondition_rm(0, &r, ka);
+            self.precondition_rm_into(0, &r, ka, &mut z, elim, &mut iter[1..], bottom);
             // Flexible (Polak–Ribière) beta tolerates the slightly varying
             // preconditioner produced by the recursion. The numerator
             // `(r_new − r_old)ᵀ z` uses r_new − r_old = −α·(A p) — an
@@ -1587,12 +1938,11 @@ impl SolverChain {
             // (the elementwise update rounds, so the low bits differ from
             // an explicit difference) — so no r_old copy or difference
             // vector is ever materialised.
-            let rz_new = colwise_dots_rm(&r, &z, ka);
-            let apz = colwise_dots_rm(&ap, &z, ka);
-            let betas: Vec<f64> = (0..ka)
-                .map(|c| (-alphas[c] * apz[c] / rz[c]).max(0.0))
-                .collect();
-            rz = rz_new;
+            colwise_dots_rm_into(&r, &z, ka, &mut rz_new, &mut dot_scratch);
+            colwise_dots_rm_into(&ap, &z, ka, &mut apz, &mut dot_scratch);
+            betas.clear();
+            betas.extend((0..ka).map(|c| (-alphas[c] * apz[c] / rz[c]).max(0.0)));
+            std::mem::swap(&mut rz, &mut rz_new);
             for (prow, zrow) in p.chunks_exact_mut(ka).zip(z.chunks_exact(ka)) {
                 for (c, (pv, &zv)) in prow.iter_mut().zip(zrow).enumerate() {
                     *pv = zv + betas[c] * *pv;
@@ -1657,6 +2007,37 @@ fn compact_columns_rm(src: &[f64], k: usize, keep: &[usize]) -> Vec<f64> {
         }
     }
     out
+}
+
+/// In-place [`compact_columns_rm`]: same per-element copies, no
+/// allocation. The forward pass is safe because `keep` is strictly
+/// ascending, so every write `buf[i·ka + w]` lands at or before the cell
+/// it reads (`buf[i·k + c]` with `c ≥ w`, `k ≥ ka`) and before any cell a
+/// later row still has to read.
+fn compact_columns_rm_inplace(buf: &mut Vec<f64>, k: usize, keep: &[usize]) {
+    assert!(k > 0);
+    debug_assert_eq!(buf.len() % k, 0);
+    let ka = keep.len();
+    if ka == k {
+        return;
+    }
+    let n = buf.len() / k;
+    for i in 0..n {
+        for (w, &c) in keep.iter().enumerate() {
+            buf[i * ka + w] = buf[i * k + c];
+        }
+    }
+    buf.truncate(n * ka);
+}
+
+/// In-place compaction of a per-column scalar list (`v[w] ← v[keep[w]]`,
+/// then truncate) — the deflation counterpart of
+/// [`compact_columns_rm_inplace`] for the CG recurrence scalars.
+fn compact_scalars_inplace(v: &mut Vec<f64>, keep: &[usize]) {
+    for (w, &c) in keep.iter().enumerate() {
+        v[w] = v[c];
+    }
+    v.truncate(keep.len());
 }
 
 /// A [`Preconditioner`] view of a whole chain: one recursive preconditioner

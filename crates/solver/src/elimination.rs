@@ -314,15 +314,70 @@ impl EliminationResult {
     /// per vertex. Returns `(reduced, work)` in the same layout. Per
     /// column the update order matches `forward_rhs` exactly.
     pub fn forward_rhs_rowmajor(&self, br: &[f64], k: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut reduced = Vec::new();
+        let mut work = Vec::new();
+        let mut row = Vec::new();
+        self.forward_rhs_rowmajor_into(br, k, &mut reduced, &mut work, &mut row);
+        (reduced, work)
+    }
+
+    /// [`forward_rhs_rowmajor`](Self::forward_rhs_rowmajor) into
+    /// caller-owned buffers (`reduced`, `work`, and a `k`-wide `row`
+    /// temp) — allocation-free once all three have capacity; identical
+    /// arithmetic per column.
+    pub fn forward_rhs_rowmajor_into(
+        &self,
+        br: &[f64],
+        k: usize,
+        reduced: &mut Vec<f64>,
+        work: &mut Vec<f64>,
+        row: &mut Vec<f64>,
+    ) {
         let n = self.orig_to_reduced.len();
         assert_eq!(br.len(), n * k);
+        work.clear();
+        work.extend_from_slice(br);
         if k == 1 {
             // Width 1: row-major and column-major coincide; the scalar
-            // pass avoids the width-1 row plumbing.
-            return self.forward_rhs(br);
+            // pass avoids the width-1 row plumbing. Update order and
+            // association match `forward_rhs` exactly.
+            for step in &self.steps {
+                match *step {
+                    EliminationStep::Degree1 { v, u, .. } => {
+                        work[u as usize] += work[v as usize];
+                    }
+                    EliminationStep::Degree2 {
+                        v,
+                        a,
+                        b: nb,
+                        wa,
+                        wb,
+                    } => {
+                        let d = wa + wb;
+                        let bv = work[v as usize];
+                        work[a as usize] += (wa / d) * bv;
+                        work[nb as usize] += (wb / d) * bv;
+                    }
+                    EliminationStep::Star { v, offset, len } => {
+                        let star = self.star(offset, len);
+                        let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                        let bv = work[v as usize];
+                        for &(u, w) in star {
+                            work[u as usize] += (w / wtot) * bv;
+                        }
+                    }
+                    EliminationStep::Isolated { .. } => {}
+                }
+            }
+            reduced.clear();
+            reduced.extend(self.kept.iter().map(|&v| work[v as usize]));
+            return;
         }
-        let mut work = br.to_vec();
-        let mut buf = vec![0.0f64; k];
+        row.clear();
+        row.resize(k, 0.0);
+        // Take the temp out of the caller's slot for the duration of the
+        // pass (returned below — no allocation either way).
+        let mut buf = std::mem::take(row);
         for step in &self.steps {
             match *step {
                 EliminationStep::Degree1 { v, u, .. } => {
@@ -367,11 +422,11 @@ impl EliminationResult {
                 EliminationStep::Isolated { .. } => {}
             }
         }
-        let mut reduced = vec![0.0f64; self.kept.len() * k];
-        for (dst, &v) in reduced.chunks_exact_mut(k).zip(&self.kept) {
-            dst.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+        *row = buf;
+        reduced.clear();
+        for &v in &self.kept {
+            reduced.extend_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
         }
-        (reduced, work)
     }
 
     /// Row-major blocked [`back_substitute`](Self::back_substitute); the
@@ -383,17 +438,76 @@ impl EliminationResult {
         xr_reduced: &[f64],
         k: usize,
     ) -> Vec<f64> {
+        let mut x = Vec::new();
+        let mut row = Vec::new();
+        self.back_substitute_rowmajor_into(working_rhs, xr_reduced, k, &mut x, &mut row);
+        x
+    }
+
+    /// [`back_substitute_rowmajor`](Self::back_substitute_rowmajor) into
+    /// caller-owned buffers — allocation-free once `x` and the `k`-wide
+    /// `row` temp have capacity; identical arithmetic per column.
+    ///
+    /// `x` is sized but **not** zeroed: every entry is written before it
+    /// is read — kept rows by the scatter, each eliminated vertex by its
+    /// own (single) elimination step, and a step only reads neighbours
+    /// that were still alive at its elimination time, i.e. values already
+    /// computed earlier in this reverse pass — so stale contents from a
+    /// previous application are never observed.
+    pub fn back_substitute_rowmajor_into(
+        &self,
+        working_rhs: &[f64],
+        xr_reduced: &[f64],
+        k: usize,
+        x: &mut Vec<f64>,
+        row: &mut Vec<f64>,
+    ) {
         let n = self.orig_to_reduced.len();
         assert_eq!(working_rhs.len(), n * k);
         assert_eq!(xr_reduced.len(), self.kept.len() * k);
+        x.resize(n * k, 0.0);
         if k == 1 {
-            return self.back_substitute(working_rhs, xr_reduced);
+            // Scalar pass; update order and association match
+            // `back_substitute` exactly.
+            for (r, &orig) in self.kept.iter().enumerate() {
+                x[orig as usize] = xr_reduced[r];
+            }
+            for step in self.steps.iter().rev() {
+                match *step {
+                    EliminationStep::Degree1 { v, u, w } => {
+                        x[v as usize] = working_rhs[v as usize] / w + x[u as usize];
+                    }
+                    EliminationStep::Degree2 {
+                        v,
+                        a,
+                        b: nb,
+                        wa,
+                        wb,
+                    } => {
+                        let d = wa + wb;
+                        x[v as usize] =
+                            (working_rhs[v as usize] + wa * x[a as usize] + wb * x[nb as usize])
+                                / d;
+                    }
+                    EliminationStep::Star { v, offset, len } => {
+                        let star = self.star(offset, len);
+                        let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                        let acc: f64 = star.iter().map(|&(u, w)| w * x[u as usize]).sum::<f64>();
+                        x[v as usize] = (working_rhs[v as usize] + acc) / wtot;
+                    }
+                    EliminationStep::Isolated { v } => {
+                        x[v as usize] = 0.0;
+                    }
+                }
+            }
+            return;
         }
-        let mut x = vec![0.0f64; n * k];
         for (src, &orig) in xr_reduced.chunks_exact(k).zip(&self.kept) {
             x[orig as usize * k..(orig as usize + 1) * k].copy_from_slice(src);
         }
-        let mut buf = vec![0.0f64; k];
+        row.clear();
+        row.resize(k, 0.0);
+        let mut buf = std::mem::take(row);
         for step in self.steps.iter().rev() {
             match *step {
                 EliminationStep::Degree1 { v, u, w } => {
@@ -455,7 +569,7 @@ impl EliminationResult {
                 }
             }
         }
-        x
+        *row = buf;
     }
 
     /// Blocked [`back_substitute`](Self::back_substitute); same

@@ -12,9 +12,10 @@
 //! Cargo.toml change.
 //!
 //! Layout:
-//! - `registry` — the runtime: worker threads, mutex deques, stealing,
-//!   latches, the blocking [`join`]. All of the shim's `unsafe` lives
-//!   there (the classic stack-job pattern).
+//! - `registry` — the runtime: worker threads, lock-free Chase-Lev deques,
+//!   stealing, latches, the blocking [`join`], and [`scope`]/[`Scope`].
+//!   All of the shim's `unsafe` lives there (the classic stack-job pattern
+//!   plus the deque's atomic protocol).
 //! - `iter` — splittable producers and the [`ParIter`] combinator surface
 //!   (`par_iter`, `par_iter_mut`, `par_chunks`, `into_par_iter`, zips,
 //!   maps, reductions, collects).
@@ -40,7 +41,7 @@ mod registry;
 mod sort;
 
 pub use iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut, Producer};
-pub use registry::join;
+pub use registry::{join, scope, Scope};
 
 use registry::{PoolOverrideGuard, Registry};
 use std::sync::Arc;

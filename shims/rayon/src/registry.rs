@@ -1,5 +1,6 @@
-//! The work-stealing runtime behind the shim: worker registries, job
-//! references, latches, and the blocking [`join`].
+//! The work-stealing runtime behind the shim: worker registries, Chase-Lev
+//! deques, job references, latches, the blocking [`join`], and the
+//! [`scope`]/[`Scope::spawn`] surface for non-binary task graphs.
 //!
 //! This module is the only place in the shim (and, by policy, in the whole
 //! workspace outside `parutil::SyncMutPtr`) that uses `unsafe`. The unsafety
@@ -7,70 +8,124 @@
 //! thread that posts it, a type-erased [`JobRef`] pointing into that stack
 //! frame is pushed onto a deque, and the poster *always* blocks until the
 //! job's latch is set before letting the frame die — so the pointer can
-//! never dangle. Everything else (deques, sleeping, stealing) is ordinary
-//! mutex-and-condvar code.
+//! never dangle. Scope jobs are heap-allocated instead ([`HeapJob`]) and
+//! freed by whoever executes them; the scope blocks on a pending-counter
+//! before returning, so a spawned closure can likewise never outlive the
+//! borrows it captures.
 //!
-//! Design notes:
+//! ## The Chase-Lev deques
 //!
-//! * **Deques.** Each worker owns a `Mutex<VecDeque<JobRef>>`. The owner
-//!   pushes and pops at the back (LIFO, depth-first, cache-friendly);
-//!   thieves steal from the front (FIFO — the oldest job is the largest
-//!   unsplit subtree). A mutex deque is deliberately chosen over Chase-Lev:
-//!   at the job granularities the iterator layer produces (thousands of
-//!   items per leaf) the lock is not the bottleneck, and it keeps this file
-//!   auditable. The deque type is an implementation detail of
-//!   [`Registry::push_local`]/[`Registry::find_work`], so a lock-free deque
-//!   can be swapped in without touching anything else.
-//! * **Width-1 registries spawn no threads.** A pool of width 1 (the
-//!   default on single-core machines, or `RAYON_NUM_THREADS=1`) executes
-//!   everything inline on the calling thread; `join` degenerates to
-//!   `(a(), b())`.
-//! * **Sleeping.** Idle workers park on a condvar guarded by an epoch
-//!   counter; every push bumps the epoch under the lock, so a worker can
-//!   never sleep through a job that was pushed between its failed scan and
-//!   its park. A short timeout bounds the damage of any future bug here.
+//! Each worker owns a [`ChaseLev`] deque of single-word job pointers. The
+//! owner pushes and takes at the *bottom* (LIFO: depth-first, cache-hot);
+//! thieves steal from the *top* (FIFO: the oldest job is the largest
+//! unsplit subtree). Owner operations are wait-free except when the deque
+//! holds exactly one job, where owner and thief race through one CAS on
+//! `top`; steals are lock-free (a failed CAS means some other thread made
+//! progress). This replaces the earlier `Mutex<VecDeque>` implementation
+//! behind the exact same [`Registry::push_local`]/[`Registry::find_work`]
+//! seam — fine-grained joins no longer serialize on a per-worker lock.
+//!
+//! **Why slots are a single word.** A deque slot may be read by a thief
+//! *while* the owner overwrites it (the thief then fails its CAS and
+//! discards the value). That torn read is only harmless if the slot is one
+//! atomic machine word, so [`JobRef`] is a single pointer to a
+//! [`JobHeader`] — a vtable-of-one embedded as the *first* field
+//! (`#[repr(C)]`) of every concrete job type.
+//!
+//! **Memory-ordering argument** (after Lê–Pop–Cohen–Nardelli, "Correct and
+//! Efficient Work-Stealing for Weak Memory Models", PPoPP'13):
+//!
+//! * `push` writes the slot, then publishes with a `Release` store of
+//!   `bottom`; a thief's `Acquire` load of `bottom` therefore sees the slot
+//!   contents written before it.
+//! * `take` decrements `bottom`, then issues a `SeqCst` fence before
+//!   reading `top`. `steal` reads `top` then issues a `SeqCst` fence before
+//!   reading `bottom`. These two fences order the owner's decrement against
+//!   the thief's read on the single global order: at most one of "owner
+//!   believes the last job is safely below the thief frontier" and "thief
+//!   believes the last job is above the owner's bottom" can hold, so the
+//!   final element is never handed out twice without the CAS tiebreak.
+//! * Both `take` (last-element case) and `steal` claim elements by a
+//!   `SeqCst` compare-exchange on `top` — the unique linearization point
+//!   for ownership transfer of a job.
+//!
+//! **Buffer growth.** When full, the owner allocates a buffer of twice the
+//! capacity, copies the live window `[top, bottom)`, and publishes it with
+//! a `Release` store. The old buffer is *retired, not freed*: a concurrent
+//! thief may still read a slot from it (the live window occupies the same
+//! logical indices, and the owner never writes a retired buffer again, so
+//! such reads see valid, current values — the CAS on `top` still decides
+//! ownership). Retired buffers are reclaimed only when the deque is
+//! dropped, which happens after every worker has exited.
+//!
+//! ## Sleeping
+//!
+//! Pushes are lock-free, so the old bump-an-epoch-under-a-mutex wake
+//! protocol is gone. Instead, wakeups use a Dekker-style `SeqCst` handshake
+//! on the `idle` counter: a parking worker (a) takes the sleep lock,
+//! (b) increments `idle` with `SeqCst`, (c) re-scans every queue, and only
+//! then waits on the condvar; a pusher publishes its job, issues a `SeqCst`
+//! fence, and notifies (under the lock) iff it reads `idle > 0`. On the
+//! single total order, either the pusher sees the sleeper's increment or
+//! the sleeper's re-scan sees the pushed job — a wakeup cannot be lost. A
+//! timeout bounds the damage of any future bug here.
 
 use std::any::Any;
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::Duration;
 
 /// How long an idle worker sleeps before re-scanning even without a wakeup.
-/// The epoch-under-lock protocol means wakeups are never actually lost, so
-/// this is purely belt-and-braces against a future bug there; it is kept
-/// long so that an idle pool costs ~1 wake per worker per second instead
-/// of busy-polling.
+/// The `idle`-counter handshake (module docs) means wakeups are never
+/// actually lost, so this is purely belt-and-braces; it is kept long so an
+/// idle pool costs ~1 wake per worker per second instead of busy-polling.
 const IDLE_SLEEP: Duration = Duration::from_secs(1);
 
 // ---------------------------------------------------------------------------
 // Jobs and latches
 // ---------------------------------------------------------------------------
 
-/// A type-erased pointer to a job waiting to run. The pointee is a
-/// [`StackJob`] pinned on some thread's stack; see the module docs for the
-/// liveness argument.
-#[derive(Clone, Copy)]
-pub(crate) struct JobRef {
-    data: *const (),
-    execute: unsafe fn(*const ()),
+/// One-entry vtable embedded as the **first** field of every concrete job
+/// type (`#[repr(C)]` makes the pointers interconvertible). `execute`
+/// receives the pointer to the header, i.e. to the whole job.
+pub(crate) struct JobHeader {
+    execute: unsafe fn(*const JobHeader),
 }
 
-// SAFETY: a JobRef is only ever executed once, and the StackJob it points
-// to synchronizes handoff through its latch.
+/// A type-erased pointer to a job waiting to run — a single machine word so
+/// that a Chase-Lev slot can hold it atomically. The pointee is either a
+/// [`StackJob`] pinned on some thread's stack (see the module docs for the
+/// liveness argument) or a [`HeapJob`] freed by its executor.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JobRef {
+    ptr: *const JobHeader,
+}
+
+// SAFETY: a JobRef is only ever executed once, and the job it points to
+// synchronizes handoff through its latch (StackJob) or pending counter
+// (HeapJob via Scope).
 unsafe impl Send for JobRef {}
 
 impl JobRef {
     /// Runs the job.
     ///
     /// # Safety
-    /// `self.data` must still be live (guaranteed by the poster blocking on
-    /// the latch) and the job must not have been executed before.
+    /// `self.ptr` must still be live (guaranteed by the poster blocking on
+    /// the latch / scope counter) and the job must not have been executed
+    /// before.
     pub(crate) unsafe fn execute(self) {
-        (self.execute)(self.data)
+        ((*self.ptr).execute)(self.ptr)
+    }
+
+    /// Identity used to recognise our own job at the bottom of the deque.
+    fn id(&self) -> *const () {
+        self.ptr as *const ()
     }
 }
 
@@ -142,8 +197,11 @@ pub(crate) enum JobResult<R> {
 }
 
 /// A job pinned on the posting thread's stack: the closure, a slot for its
-/// result (or panic payload), and the latch the poster waits on.
+/// result (or panic payload), and the latch the poster waits on. The
+/// [`JobHeader`] sits first so a `JobRef` to it is a single word.
+#[repr(C)]
 pub(crate) struct StackJob<L: Latch, F, R> {
+    header: JobHeader,
     latch: L,
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<JobResult<R>>,
@@ -159,6 +217,9 @@ where
 {
     pub(crate) fn new(latch: L, func: F) -> Self {
         StackJob {
+            header: JobHeader {
+                execute: Self::execute_erased,
+            },
             latch,
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(JobResult::Pending),
@@ -176,17 +237,18 @@ where
     /// and must ensure the returned ref is executed at most once.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
         JobRef {
-            data: self as *const Self as *const (),
-            execute: Self::execute_erased,
+            ptr: &self.header as *const JobHeader,
         }
     }
 
-    /// Identity used to recognise our own job at the back of the deque.
+    /// Identity used to recognise our own job at the bottom of the deque.
+    /// Equal to the matching `JobRef::id()` because the header is the first
+    /// field of a `#[repr(C)]` struct.
     pub(crate) fn id(&self) -> *const () {
         self as *const Self as *const ()
     }
 
-    unsafe fn execute_erased(ptr: *const ()) {
+    unsafe fn execute_erased(ptr: *const JobHeader) {
         let this = &*(ptr as *const Self);
         let func = (*this.func.get()).take().expect("job executed twice");
         let outcome = match panic::catch_unwind(AssertUnwindSafe(func)) {
@@ -220,6 +282,233 @@ where
     }
 }
 
+/// A heap-allocated fire-and-forget job (used by [`Scope::spawn`]): the box
+/// is consumed — and freed — by whichever thread executes it.
+#[repr(C)]
+struct HeapJob<F> {
+    header: JobHeader,
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    fn new(func: F) -> Box<Self> {
+        Box::new(HeapJob {
+            header: JobHeader {
+                execute: Self::execute_erased,
+            },
+            func,
+        })
+    }
+
+    /// Type-erases the box into a job pointer. The executor reconstitutes
+    /// and drops the box, so the caller must ensure the ref is executed
+    /// exactly once (the scope's pending counter enforces this).
+    fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef {
+            ptr: Box::into_raw(self) as *const JobHeader,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const JobHeader) {
+        let this = Box::from_raw(ptr as *mut Self);
+        (this.func)();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Chase-Lev work-stealing deque
+// ---------------------------------------------------------------------------
+
+/// Result of a steal attempt. `Retry` means a racing owner/thief won the
+/// CAS — the deque may still be non-empty, so the caller should try again.
+enum Steal {
+    Empty,
+    Retry,
+    Success(JobRef),
+}
+
+/// A growable ring of job-pointer slots. Slots are atomic words (not plain
+/// memory) because a thief may read a slot the owner is concurrently
+/// overwriting — the thief's CAS on `top` then fails and the torn-free
+/// atomic value is discarded.
+struct CircularBuffer {
+    slots: Box<[AtomicPtr<JobHeader>]>,
+}
+
+impl CircularBuffer {
+    fn new(capacity: usize) -> Box<Self> {
+        debug_assert!(capacity.is_power_of_two());
+        Box::new(CircularBuffer {
+            slots: (0..capacity)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn read(&self, index: isize) -> *mut JobHeader {
+        self.slots[index as usize & (self.slots.len() - 1)].load(Ordering::Relaxed)
+    }
+
+    fn write(&self, index: isize, value: *const JobHeader) {
+        self.slots[index as usize & (self.slots.len() - 1)]
+            .store(value as *mut JobHeader, Ordering::Relaxed);
+    }
+}
+
+/// Lock-free work-stealing deque (Chase & Lev, SPAA'05, with the C11
+/// orderings of Lê–Pop–Cohen–Nardelli, PPoPP'13). Owner operates on the
+/// bottom (`push`/`take`), thieves on the top (`steal`). See the module
+/// docs for the full memory-ordering argument.
+pub(crate) struct ChaseLev {
+    /// Steal frontier; only ever advanced by a successful `SeqCst` CAS.
+    top: AtomicIsize,
+    /// Owner's end; written only by the owner.
+    bottom: AtomicIsize,
+    /// Current ring buffer; replaced (never mutated in place) on growth.
+    buffer: AtomicPtr<CircularBuffer>,
+    /// Buffers replaced by growth, kept alive until `Drop` because a
+    /// concurrent thief may still be reading from one.
+    retired: Mutex<Vec<*mut CircularBuffer>>,
+}
+
+// SAFETY: all cross-thread state is atomics; the retired list is behind a
+// mutex and raw buffer pointers are only freed once no thread can touch
+// them (Drop runs after the owning registry's workers have exited).
+unsafe impl Send for ChaseLev {}
+unsafe impl Sync for ChaseLev {}
+
+impl ChaseLev {
+    fn new() -> Self {
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(CircularBuffer::new(64))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Owner-only: pushes a job at the bottom.
+    fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: the buffer pointer is always valid (retired buffers are
+        // never freed while the deque lives).
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.capacity() as isize {
+            buf = self.grow(t, b);
+        }
+        buf.write(b, job.ptr);
+        // Publish: a thief that Acquire-loads the new bottom sees the slot.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pops the most recently pushed job, racing thieves for
+    /// the final element.
+    fn take(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: see `push`.
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom decrement against any thief's top-read (module
+        // docs: the take/steal SeqCst fence pair).
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let ptr = buf.read(b);
+            if t == b {
+                // Single element left: the CAS on `top` decides whether we
+                // beat a concurrent thief to it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            Some(JobRef { ptr })
+        } else {
+            // Already empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: claims the oldest job, if any.
+    fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // Order our top-read against the owner's bottom decrement (the
+        // counterpart of the fence in `take`).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            // SAFETY: see `push`; an Acquire load pairs with the Release
+            // store in `grow` so the copied window is visible.
+            let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+            let ptr = buf.read(t);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                // Lost the element to the owner or another thief; the value
+                // read above is discarded unexecuted.
+                return Steal::Retry;
+            }
+            Steal::Success(JobRef { ptr })
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Cheap emptiness probe for the pre-park re-scan. May spuriously say
+    /// "non-empty" for a job that is being claimed — that only costs the
+    /// scanner one more loop.
+    fn looks_nonempty(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        t < b
+    }
+
+    /// Owner-only: doubles the buffer, copying the live window. The old
+    /// buffer is retired, not freed — see the module docs.
+    fn grow(&self, t: isize, b: isize) -> &CircularBuffer {
+        let old_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: see `push`.
+        let old = unsafe { &*old_ptr };
+        let new = CircularBuffer::new(old.capacity() * 2);
+        for i in t..b {
+            new.write(i, old.read(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        self.buffer.store(new_ptr, Ordering::Release);
+        self.retired.lock().expect("retired poisoned").push(old_ptr);
+        // SAFETY: just stored; valid until the next grow retires it.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl Drop for ChaseLev {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no concurrent owner or thief exists,
+        // so the current and retired buffers can finally be freed.
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+            for ptr in self.retired.lock().expect("retired poisoned").drain(..) {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -228,14 +517,17 @@ where
 /// plus a lazily created global one.
 pub(crate) struct Registry {
     width: usize,
-    /// Per-worker deques; owner pushes/pops back, thieves pop front.
-    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Per-worker Chase-Lev deques; owner pushes/takes bottom, thieves
+    /// steal top.
+    deques: Vec<ChaseLev>,
     /// Jobs injected by non-worker threads.
     injected: Mutex<VecDeque<JobRef>>,
-    /// Epoch counter + condvar for sleeping workers.
-    sleep_epoch: Mutex<u64>,
+    /// Lock the condvar parks on; held only around park/notify, never
+    /// around deque operations.
+    sleep: Mutex<()>,
     sleep_cv: Condvar,
-    /// Number of workers currently parked (fast-path check for notify).
+    /// Number of workers currently inside the park protocol. Part of the
+    /// SeqCst wakeup handshake described in the module docs.
     idle: AtomicUsize,
     terminate: AtomicBool,
 }
@@ -311,9 +603,9 @@ impl Registry {
         let width = width.max(1);
         let registry = Arc::new(Registry {
             width,
-            deques: (0..width).map(|_| Mutex::new(VecDeque::new())).collect(),
+            deques: (0..width).map(|_| ChaseLev::new()).collect(),
             injected: Mutex::new(VecDeque::new()),
-            sleep_epoch: Mutex::new(0),
+            sleep: Mutex::new(()),
             sleep_cv: Condvar::new(),
             idle: AtomicUsize::new(0),
             terminate: AtomicBool::new(false),
@@ -340,7 +632,8 @@ impl Registry {
     /// Signals workers to exit once their deques drain.
     pub(crate) fn terminate(&self) {
         self.terminate.store(true, Ordering::Release);
-        self.notify();
+        let _guard = self.sleep.lock().expect("sleep lock poisoned");
+        self.sleep_cv.notify_all();
     }
 
     /// True when the calling thread is one of this registry's workers.
@@ -348,37 +641,26 @@ impl Registry {
         WORKER.with(|w| w.get()).map(|(reg, _)| reg) == Some(self as *const Registry)
     }
 
-    /// Bumps the sleep epoch and wakes parked workers. Called after every
-    /// push so a concurrent "scan failed, about to park" worker re-scans.
+    /// Pusher half of the wakeup handshake: after publishing a job, a
+    /// `SeqCst` fence orders that publish against the `idle` read — see
+    /// the module docs for why this cannot lose a wakeup.
     fn notify(&self) {
-        {
-            let mut epoch = self.sleep_epoch.lock().expect("sleep lock poisoned");
-            *epoch += 1;
-        }
+        fence(Ordering::SeqCst);
         if self.idle.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep.lock().expect("sleep lock poisoned");
             self.sleep_cv.notify_all();
         }
     }
 
-    /// Pushes a job onto worker `index`'s deque (LIFO end).
+    /// Pushes a job onto worker `index`'s deque (owner end).
     fn push_local(&self, index: usize, job: JobRef) {
-        self.deques[index]
-            .lock()
-            .expect("deque poisoned")
-            .push_back(job);
+        self.deques[index].push(job);
         self.notify();
     }
 
-    /// Pops the back of worker `index`'s deque iff it is the job `id`.
-    /// Returns true when the caller got its own job back.
-    fn pop_local_if(&self, index: usize, id: *const ()) -> bool {
-        let mut dq = self.deques[index].lock().expect("deque poisoned");
-        if dq.back().map(|j| j.data) == Some(id) {
-            dq.pop_back();
-            true
-        } else {
-            false
-        }
+    /// Owner-only: pops the bottom of worker `index`'s deque.
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].take()
     }
 
     /// Queues a job from outside the pool.
@@ -390,14 +672,10 @@ impl Registry {
         self.notify();
     }
 
-    /// Finds a runnable job for worker `index`: own deque (back), then the
-    /// inject queue, then the other workers' deques (front).
+    /// Finds a runnable job for worker `index`: own deque (bottom), then
+    /// the inject queue, then the other workers' deques (top).
     fn find_work(&self, index: usize) -> Option<JobRef> {
-        if let Some(job) = self.deques[index]
-            .lock()
-            .expect("deque poisoned")
-            .pop_back()
-        {
+        if let Some(job) = self.deques[index].take() {
             return Some(job);
         }
         if let Some(job) = self
@@ -411,17 +689,18 @@ impl Registry {
         self.steal(index)
     }
 
-    /// Steals the oldest job from some other worker's deque.
+    /// Steals the oldest job from some other worker's deque, retrying a
+    /// victim whose steal raced (a lost CAS means someone else progressed).
     fn steal(&self, index: usize) -> Option<JobRef> {
         let width = self.width;
         for offset in 1..width {
             let victim = (index + offset) % width;
-            if let Some(job) = self.deques[victim]
-                .lock()
-                .expect("deque poisoned")
-                .pop_front()
-            {
-                return Some(job);
+            loop {
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
             }
         }
         // Non-workers inject; check again so a waiter can also drain those.
@@ -429,6 +708,18 @@ impl Registry {
             .lock()
             .expect("inject queue poisoned")
             .pop_front()
+    }
+
+    /// Pre-park re-scan: anything plausibly runnable anywhere?
+    fn any_work(&self) -> bool {
+        if self.deques.iter().any(ChaseLev::looks_nonempty) {
+            return true;
+        }
+        !self
+            .injected
+            .lock()
+            .expect("inject queue poisoned")
+            .is_empty()
     }
 
     /// Runs `op` on a thread where work-stealing `join` is available: inline
@@ -456,29 +747,29 @@ impl Registry {
 /// Main loop of a worker thread.
 fn worker_main(registry: Arc<Registry>, index: usize) {
     WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
-    let mut seen_epoch = 0u64;
     loop {
         if registry.terminate.load(Ordering::Acquire) {
             break;
         }
         if let Some(job) = registry.find_work(index) {
-            // SAFETY: every queued JobRef's poster is blocked on its latch,
-            // so the pointee is live; each ref is queued (hence run) once.
+            // SAFETY: every queued JobRef's poster is blocked on its latch
+            // or scope counter, so the pointee is live; each ref is queued
+            // (hence run) once.
             unsafe { job.execute() };
             continue;
         }
-        // Park until the epoch moves (i.e. something was pushed).
-        let mut epoch = registry.sleep_epoch.lock().expect("sleep lock poisoned");
-        if *epoch == seen_epoch {
-            registry.idle.fetch_add(1, Ordering::Relaxed);
-            let (guard, _) = registry
+        // Sleeper half of the wakeup handshake: advertise idleness with
+        // SeqCst, re-scan, and only then wait — under the lock, so a
+        // notify between the re-scan and the wait cannot be missed.
+        let guard = registry.sleep.lock().expect("sleep lock poisoned");
+        registry.idle.fetch_add(1, Ordering::SeqCst);
+        if !registry.any_work() && !registry.terminate.load(Ordering::Acquire) {
+            let _ = registry
                 .sleep_cv
-                .wait_timeout(epoch, IDLE_SLEEP)
+                .wait_timeout(guard, IDLE_SLEEP)
                 .expect("sleep lock poisoned");
-            epoch = guard;
-            registry.idle.fetch_sub(1, Ordering::Relaxed);
         }
-        seen_epoch = *epoch;
+        registry.idle.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -490,9 +781,9 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
 ///
 /// On a worker thread this is the real work-stealing protocol: `b` is
 /// published on the local deque for thieves, `a` runs inline, and the worker
-/// then either reclaims `b` (the common, steal-free case — executed inline
-/// with zero synchronization beyond the deque lock) or helps execute other
-/// jobs until the thief finishes `b`. Off the pool, the whole call is
+/// then either reclaims `b` (the common, steal-free case — one owner-side
+/// `take`, wait-free unless the deque is down to one job) or helps execute
+/// other jobs until the thief finishes `b`. Off the pool, the whole call is
 /// shipped to a worker first. With an effective width of 1 it is exactly
 /// `(a(), b())`.
 ///
@@ -541,14 +832,26 @@ where
 
     let ra = panic::catch_unwind(AssertUnwindSafe(a));
 
-    if registry.pop_local_if(index, b_job.id()) {
-        // Nobody stole it: run inline.
-        b_job.as_job_ref().execute();
-    } else {
+    // Try to reclaim `b` from the bottom of our own deque. An owner-side
+    // `take` pops unconditionally, so we may get back a *different* job: an
+    // ancestor join's `b` that became our bottom after ours was stolen. In
+    // that case we put it straight back (it was the bottom element, so an
+    // owner push restores its exact position) and fall into the steal-wait
+    // loop — we never run an ancestor's job from here by accident.
+    let mut reclaimed = false;
+    if let Some(job) = registry.pop_local(index) {
+        if job.id() == b_job.id() {
+            job.execute();
+            reclaimed = true;
+        } else {
+            registry.push_local(index, job);
+        }
+    }
+    if !reclaimed {
         // Stolen (or about to be): keep useful while the thief works. Only
         // other deques and the inject queue are touched — popping our own
-        // deque here could run an *ancestor* join's pending job out of
-        // order on this stack.
+        // deque again here could run an *ancestor* join's pending job out
+        // of order on this stack.
         let mut spins = 0u32;
         while !b_job.latch().probe() {
             if let Some(job) = registry.steal(index) {
@@ -575,6 +878,188 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// scope / spawn
+// ---------------------------------------------------------------------------
+
+/// A scope for spawning an arbitrary number of tasks that may borrow from
+/// the enclosing stack frame (lifetime `'scope`). Created by [`scope`];
+/// tasks are spawned with [`Scope::spawn`].
+pub struct Scope<'scope> {
+    /// `None` → width-1 context: spawns execute inline, immediately.
+    registry: Option<Arc<Registry>>,
+    /// Spawned-but-unfinished job count; [`scope`] blocks until it is 0.
+    pending: AtomicUsize,
+    /// First panic from a spawned task, propagated when the scope closes.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant in `'scope` (mirrors rayon): the scope must not be usable
+    /// with a shorter borrow than the one `scope` was called with.
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    fn new(registry: Option<Arc<Registry>>) -> Self {
+        Scope {
+            registry,
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            marker: PhantomData,
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        // Keep the first payload; later ones are dropped, like rayon.
+        slot.get_or_insert(payload);
+    }
+
+    /// Spawns `body` into the scope's pool. The closure may borrow anything
+    /// that outlives `'scope`; [`scope`] does not return until every
+    /// spawned closure has finished. Panics in spawned closures are
+    /// captured and re-thrown (first one wins) when the scope closes.
+    ///
+    /// Spawned tasks run in *nondeterministic order* relative to each other
+    /// and the scope body — callers that need reproducible numerics must
+    /// give each task disjoint outputs (the same discipline the iterator
+    /// layer's split trees follow).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let registry = match &self.registry {
+            None => {
+                // Width-1 scope: run inline right now, matching the
+                // "spawns complete before scope returns" contract trivially.
+                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(self))) {
+                    self.store_panic(payload);
+                }
+                return;
+            }
+            Some(reg) => Arc::clone(reg),
+        };
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Type-erase the self-borrow: the heap job may outlive this `&self`
+        // borrow lexically, but never dynamically — `scope` blocks until
+        // `pending` drains, and `pending` is only decremented after `body`
+        // has returned.
+        let scope_ptr = self as *const Scope<'scope> as usize;
+        let job = HeapJob::new(move || {
+            // SAFETY: see above — the Scope outlives every spawned job.
+            let scope = unsafe { &*(scope_ptr as *const Scope<'scope>) };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.store_panic(payload);
+            }
+            scope.pending.fetch_sub(1, Ordering::Release);
+        })
+        .into_job_ref();
+        if let Some((reg_ptr, index)) = WORKER.with(|w| w.get()) {
+            if reg_ptr == Arc::as_ptr(&registry) {
+                registry.push_local(index, job);
+                return;
+            }
+        }
+        registry.inject(job);
+    }
+}
+
+/// Creates a scope in which closures borrowing from the current stack frame
+/// can be spawned ([`Scope::spawn`]); returns only after the scope body
+/// *and every spawned closure* have finished. The rayon-compatible way to
+/// express task graphs that don't fit nested binary [`join`]s.
+///
+/// Runs on the current worker when called from inside a pool, is shipped to
+/// the ambient pool (an enclosing `install` or the global pool) otherwise,
+/// and degenerates to inline execution at width 1.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    if let Some((reg, index)) = WORKER.with(|w| w.get()) {
+        // SAFETY: we are on a live worker of `reg`.
+        return unsafe { scope_on_worker(&*reg, index, op) };
+    }
+    let registry = POOL_OVERRIDE.with(|s| s.borrow().last().cloned());
+    let registry = match registry {
+        Some(r) => r,
+        None if current_width() <= 1 => return inline_scope(op),
+        None => Arc::clone(global_registry()),
+    };
+    if registry.width() <= 1 {
+        return inline_scope(op);
+    }
+    registry.in_worker(move || scope(op))
+}
+
+/// Width-1 scope: every spawn executes immediately on this thread.
+fn inline_scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope::new(None);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    finish_scope(s, result)
+}
+
+/// The worker-side scope protocol: run the body, then help execute work
+/// until every spawned job has drained.
+///
+/// # Safety
+/// Must be called on worker `index` of `registry`.
+unsafe fn scope_on_worker<'scope, OP, R>(registry: &Registry, index: usize, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    // A worker holds an Arc to its registry for its whole life; clone it
+    // for the scope so spawn() can target it without re-resolving.
+    // SAFETY (caller): `registry` is the current worker's registry, which
+    // is Arc-managed and outlives this call.
+    let registry_arc = {
+        Arc::increment_strong_count(registry as *const Registry);
+        Arc::from_raw(registry as *const Registry)
+    };
+    let s = Scope::new(Some(registry_arc));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // Help until every spawned job is done. Popping our own deque is
+    // correct here (unlike the join wait): our bottom jobs are either our
+    // own scope's spawns or descendants thereof, and running an ancestor
+    // join's `b` early is harmless — its owner waits on the latch, not on
+    // deque position.
+    let mut spins = 0u32;
+    while s.pending.load(Ordering::Acquire) > 0 {
+        if let Some(job) = registry.find_work(index) {
+            job.execute();
+            spins = 0;
+        } else {
+            spins += 1;
+            if spins < 64 {
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+    finish_scope(s, result)
+}
+
+/// Propagates panics with rayon's precedence (scope-body panic first, then
+/// the first spawned panic) and returns the body's value.
+fn finish_scope<R>(s: Scope<'_>, result: Result<R, Box<dyn Any + Send>>) -> R {
+    debug_assert_eq!(s.pending.load(Ordering::Acquire), 0);
+    let spawned_panic = s.panic.lock().expect("scope panic slot poisoned").take();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = spawned_panic {
+                panic::resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
 /// Dispatches `op` to a context where [`join`] can actually run in
 /// parallel: the current worker, an `install`ed pool, or the global pool.
 /// Used by the iterator layer for its top-level drives.
@@ -593,4 +1078,154 @@ where
         None => Arc::clone(global_registry()),
     };
     registry.in_worker(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct stress of one Chase-Lev deque: an owner thread pushes and
+    /// takes while thieves hammer `steal`; every job must execute exactly
+    /// once. (Jobs here are StackJobs pinned in a Vec that outlives all
+    /// participants.)
+    #[test]
+    fn deque_steal_push_stress_executes_every_job_once() {
+        use std::sync::atomic::AtomicUsize;
+
+        const JOBS: usize = 10_000;
+        const THIEVES: usize = 3;
+
+        let deque = ChaseLev::new();
+        let executed = AtomicUsize::new(0);
+        let jobs: Vec<StackJob<SpinLatch, _, ()>> = (0..JOBS)
+            .map(|_| {
+                StackJob::new(SpinLatch::new(), || {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+
+        let stop = AtomicBool::new(false);
+        thread::scope(|ts| {
+            for _ in 0..THIEVES {
+                ts.spawn(|| loop {
+                    match deque.steal() {
+                        // SAFETY: jobs outlive the thread scope; the deque
+                        // hands each ref out exactly once.
+                        Steal::Success(job) => unsafe { job.execute() },
+                        Steal::Retry => continue,
+                        Steal::Empty => {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Owner: push in bursts, take some back, forcing buffer growth
+            // (initial capacity 64) and plenty of one-element CAS races.
+            for (i, job) in jobs.iter().enumerate() {
+                // SAFETY: each job is pushed once and the Vec outlives the
+                // scope; take/steal hand out each ref at most once.
+                unsafe { deque.push(job.as_job_ref()) };
+                if i % 3 == 0 {
+                    if let Some(job) = deque.take() {
+                        unsafe { job.execute() };
+                    }
+                }
+            }
+            // Drain whatever the thieves haven't claimed.
+            while let Some(job) = deque.take() {
+                unsafe { job.execute() };
+            }
+            stop.store(true, Ordering::Release);
+        });
+
+        // Everything ran exactly once: the latch-guarded StackJob would
+        // panic ("job executed twice") on a double execution, and the
+        // count proves none were lost.
+        assert_eq!(executed.load(Ordering::Relaxed), JOBS);
+        assert!(jobs.iter().all(|j| j.latch().probe()));
+    }
+
+    /// The one-element owner/thief race: with exactly one job in the deque,
+    /// repeated concurrent take/steal must never duplicate or lose it.
+    #[test]
+    fn deque_single_element_race_never_duplicates() {
+        const ROUNDS: usize = 2_000;
+        for _ in 0..ROUNDS {
+            let deque = ChaseLev::new();
+            let executed = AtomicUsize::new(0);
+            let job = StackJob::new(SpinLatch::new(), || {
+                executed.fetch_add(1, Ordering::Relaxed);
+            });
+            // SAFETY: `job` outlives the scope below; executed at most once
+            // by construction of take/steal.
+            unsafe { deque.push(job.as_job_ref()) };
+            thread::scope(|ts| {
+                let thief = ts.spawn(|| loop {
+                    match deque.steal() {
+                        Steal::Success(job) => {
+                            unsafe { job.execute() };
+                            break true;
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break false,
+                    }
+                });
+                let owner_got = deque.take();
+                if let Some(job) = owner_got {
+                    unsafe { job.execute() };
+                }
+                let thief_got = thief.join().expect("thief panicked");
+                assert!(
+                    owner_got.is_some() ^ thief_got,
+                    "single element must go to exactly one of owner/thief"
+                );
+            });
+            assert_eq!(executed.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    /// Buffer growth under concurrent steals: push far past the initial
+    /// capacity while a thief drains, then verify nothing was lost.
+    #[test]
+    fn deque_growth_during_steals_loses_nothing() {
+        const JOBS: usize = 4_096; // 64× the initial capacity
+        let deque = ChaseLev::new();
+        let executed = AtomicUsize::new(0);
+        let jobs: Vec<StackJob<SpinLatch, _, ()>> = (0..JOBS)
+            .map(|_| {
+                StackJob::new(SpinLatch::new(), || {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let done_pushing = AtomicBool::new(false);
+        thread::scope(|ts| {
+            ts.spawn(|| loop {
+                match deque.steal() {
+                    // SAFETY: as in the stress test above.
+                    Steal::Success(job) => unsafe { job.execute() },
+                    Steal::Retry => continue,
+                    Steal::Empty => {
+                        if done_pushing.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            for job in &jobs {
+                // SAFETY: as in the stress test above.
+                unsafe { deque.push(job.as_job_ref()) };
+            }
+            while let Some(job) = deque.take() {
+                unsafe { job.execute() };
+            }
+            done_pushing.store(true, Ordering::Release);
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), JOBS);
+    }
 }

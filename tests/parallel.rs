@@ -145,6 +145,120 @@ proptest! {
     }
 }
 
+/// `scope` spawns must also be in flight simultaneously on a 2-wide pool:
+/// the same rendezvous as [`join_overlaps_across_workers`], but through
+/// the dynamic-task API the chain builder uses.
+#[test]
+fn scope_spawns_overlap_across_workers() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .expect("pool");
+    let arrived = AtomicUsize::new(0);
+    let rendezvous = |arrived: &AtomicUsize| {
+        arrived.fetch_add(1, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while arrived.load(Ordering::SeqCst) < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "scope spawns never overlapped: runtime is executing sequentially"
+            );
+            std::thread::yield_now();
+        }
+    };
+    pool.install(|| {
+        rayon::scope(|s| {
+            s.spawn(|_| rendezvous(&arrived));
+            s.spawn(|_| rendezvous(&arrived));
+        })
+    });
+    assert_eq!(arrived.load(Ordering::SeqCst), 2);
+}
+
+/// A panic inside a spawned task propagates out of `scope` — after every
+/// other spawn has completed — and the pool stays usable afterwards.
+#[test]
+fn scope_propagates_spawn_panic_and_pool_survives() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .expect("pool");
+    let finished = AtomicUsize::new(0);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            rayon::scope(|s| {
+                s.spawn(|_| panic!("deliberate task panic"));
+                s.spawn(|_| {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+            })
+        })
+    }));
+    assert!(outcome.is_err(), "spawned panic was swallowed by scope");
+    assert_eq!(
+        finished.load(Ordering::SeqCst),
+        1,
+        "sibling spawn did not complete before the scope unwound"
+    );
+    // The pool must not be poisoned by the unwound scope.
+    let sum: u64 = pool.install(|| (0..10_000u64).into_par_iter().sum());
+    assert_eq!(sum, 49_995_000);
+}
+
+/// Everything the chain build decides, as comparable bits: structure,
+/// per-level κ/scales/calibrated Chebyshev bounds, and the preconditioner
+/// action on a deterministic right-hand side (which transitively covers
+/// the eliminations, sparsifier matrices, and bottom factor).
+fn chain_fingerprint(g: &parsdd_graph::Graph, rhs_seed: u64) -> Vec<u64> {
+    use parsdd_solver::chain::{build_chain, ChainOptions};
+    let chain = build_chain(g, &ChainOptions::default());
+    let mut fp = vec![chain.depth() as u64];
+    for lvl in chain.levels() {
+        fp.push(lvl.graph.n() as u64);
+        fp.push(lvl.graph.m() as u64);
+        fp.push(lvl.kappa.to_bits());
+        fp.push(lvl.tree_scale.to_bits());
+        fp.push(lvl.kappa_clamped as u64);
+        fp.push(lvl.measured_ratio.0.to_bits());
+        fp.push(lvl.measured_ratio.1.to_bits());
+        fp.push(lvl.sparsifier_edges as u64);
+        fp.push(lvl.subgraph_edges as u64);
+        fp.push(lvl.inner_iterations as u64);
+        fp.push(lvl.cheb_bounds.0.to_bits());
+        fp.push(lvl.cheb_bounds.1.to_bits());
+    }
+    fp.push(chain.bottom_graph().n() as u64);
+    fp.push(chain.bottom_graph().m() as u64);
+    let b: Vec<f64> = (0..g.n())
+        .map(|i| (((i as u64).wrapping_mul(rhs_seed.wrapping_add(7)) % 23) as f64) - 11.0)
+        .collect();
+    let mut z = Vec::new();
+    chain.precondition_block_rm(&b, 1, &mut z);
+    fp.extend(z.iter().map(|v| v.to_bits()));
+    fp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The parallel chain build is **bitwise deterministic across pool
+    /// widths**: structure, calibration, and preconditioner action are
+    /// identical at widths 1, 2, and 4 on the grid and two zoo families.
+    #[test]
+    fn build_chain_bitwise_identical_across_widths(family in 0usize..3, rhs_seed in 0u64..1_000) {
+        let g = match family {
+            0 => parsdd_graph::generators::grid2d(40, 40, |x, y| 1.0 + ((x * 3 + y) % 5) as f64),
+            1 => parsdd_bench::zoo::build("rmat", parsdd_bench::zoo::Tier::Small),
+            _ => parsdd_bench::zoo::build("road", parsdd_bench::zoo::Tier::Small),
+        };
+        let base = with_threads(1, || chain_fingerprint(&g, rhs_seed));
+        for threads in [2usize, 4] {
+            let fp = with_threads(threads, || chain_fingerprint(&g, rhs_seed));
+            prop_assert_eq!(&base, &fp);
+        }
+    }
+}
+
 /// The full paper pipeline — decomposition, low-stretch subgraph,
 /// preconditioner chain, and a fixed number of outer solver iterations on
 /// a grid big enough to cross every parallel cutoff — produces **bitwise
