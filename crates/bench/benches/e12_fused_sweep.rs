@@ -11,7 +11,10 @@
 //!   never materialised (the kernel the chain's W-cycle actually runs).
 //!
 //! Also reports the fused `A·p` + `pᵀAp` kernel of the top-level PCG
-//! against the unfused apply-then-dot pair.
+//! against the unfused apply-then-dot pair, and the f32 storage tier's
+//! variants of both fused kernels (`fused_f32`, `fused_apply_dot_f32`) —
+//! the per-kernel view of the precision knob's bandwidth saving (8 vs 12
+//! bytes per matrix entry, f32 direction block in the sweep).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -19,7 +22,7 @@ use std::hint::black_box;
 use parsdd_graph::reorder::{rcm_order, relabel};
 use parsdd_graph::Graph;
 use parsdd_linalg::laplacian::laplacian_apply_rowmajor;
-use parsdd_linalg::permuted::PermutedLevel;
+use parsdd_linalg::permuted::{PermutedLevel, PermutedLevelF32};
 use parsdd_linalg::vector::{axpy, colwise_dots_rm};
 
 fn workload(side: usize) -> (Graph, PermutedLevel, Vec<f64>, Vec<f64>, Vec<f64>) {
@@ -71,6 +74,16 @@ fn bench_sweeps(c: &mut Criterion) {
                 black_box(r[0]);
             });
         });
+        let m32 = PermutedLevelF32::from_level(&m);
+        let p32: Vec<f32> = p.iter().map(|&v| v as f32).collect();
+        group.bench_with_input(BenchmarkId::new("fused_f32", side), &side, |b, _| {
+            let mut x = x0.clone();
+            let mut r = r0.clone();
+            b.iter(|| {
+                m32.cheb_fused_sweep(alpha, &p32, &mut x, &mut r, 1);
+                black_box(r[0]);
+            });
+        });
 
         group.bench_with_input(BenchmarkId::new("apply_then_dot", side), &side, |b, _| {
             let mut ap = vec![0.0f64; n];
@@ -85,11 +98,23 @@ fn bench_sweeps(c: &mut Criterion) {
                 black_box(m.fused_apply_dot(&p, &mut ap, 1)[0]);
             });
         });
+        group.bench_with_input(
+            BenchmarkId::new("fused_apply_dot_f32", side),
+            &side,
+            |b, _| {
+                let mut ap = vec![0.0f64; n];
+                b.iter(|| {
+                    black_box(m32.fused_apply_dot(&p, &mut ap, 1)[0]);
+                });
+            },
+        );
 
         eprintln!(
-            "e12 side={side}: n={n} m={} merged stream {} bytes vs graph-walk {} bytes/apply",
+            "e12 side={side}: n={n} m={} merged stream {} bytes (f32 tier {}) vs \
+             graph-walk {} bytes/apply",
             g.m(),
             m.stream_bytes(),
+            m32.stream_bytes(),
             // Graph-walk: 16 B/arc (target + weight + unused edge id) over
             // 2m arcs + usize offsets + the separate 8-byte diag array.
             2 * g.m() * 16 + (n + 1) * 8 + n * 8,

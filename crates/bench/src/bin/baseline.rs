@@ -2,9 +2,11 @@
 //! (E1–E10, A1), each measured at 1 thread and at the widest pool, the
 //! multi-RHS blocked-solve sweep (time-per-RHS at k ∈ {1, 4, 16}), the
 //! workload-zoo chain-quality record (every family × tier's `ChainQuality`
-//! stats and solve outcome; `--experiments zoo` selects it), plus machine
-//! info and the default chain's per-level work accounting — the fixed
-//! reference point perf PRs diff against.
+//! stats and solve outcome; `--experiments zoo` selects it), the
+//! mixed-precision A/B (`e15_precision`: f64 vs f32 chain storage on the
+//! E8 grid and a medium zoo case), plus machine info and the default
+//! chain's per-level work and residency accounting — the fixed reference
+//! point perf PRs diff against.
 //!
 //! Usage (run with the `opt-bench` profile — or at least `--release` —
 //! or the numbers are meaningless):
@@ -42,7 +44,7 @@ use parsdd_decomp::{split_graph, PartitionParams, SplitParams};
 use parsdd_graph::mst::kruskal;
 use parsdd_lsst::stretch::stretch_over_tree;
 use parsdd_lsst::{akpw, ls_subgraph, AkpwParams, LsSubgraphParams};
-use parsdd_solver::chain::{build_chain, ChainOptions};
+use parsdd_solver::chain::{build_chain, ChainOptions, Precision};
 use parsdd_solver::elimination::greedy_elimination;
 use parsdd_solver::sdd_solve::{SddSolver, SddSolverOptions};
 use parsdd_solver::sparsify::{incremental_sparsify, SparsifyParams};
@@ -471,10 +473,97 @@ fn main() {
         records
     });
 
+    // ----- E15: mixed-precision chain storage A/B -----
+    //
+    // f64 vs f32 chain storage (`ChainOptions::precision`) on the E8
+    // workload and a medium zoo case: per-solve wall-clock at 1 thread
+    // against a prebuilt chain, the outer iteration count and final
+    // residual at tol 1e-8, and the chain's resident/streamed bytes.
+    // The knob's acceptance bars — f32 ≥ 20% faster per solve on the e8
+    // grid, per-level residency ≤ 0.55× — are pinned by
+    // tests/precision.rs; this record is the committed measurement.
+    struct PrecisionPoint {
+        precision: &'static str,
+        solve_min_ms: f64,
+        solve_mean_ms: f64,
+        iterations: usize,
+        relative_residual: f64,
+        resident_bytes: usize,
+        streamed_bytes_per_application: f64,
+    }
+    struct PrecisionRecord {
+        case: String,
+        vertices: usize,
+        edges: usize,
+        points: Vec<PrecisionPoint>,
+    }
+    let e15_records: Option<Vec<PrecisionRecord>> = enabled(&filter, "e15_precision").then(|| {
+        let rmat_tier = if quick {
+            zoo::Tier::Small
+        } else {
+            zoo::Tier::Medium
+        };
+        let cases: Vec<(String, parsdd_graph::Graph, ChainOptions)> = vec![
+            (
+                "grid2d_96x96".to_string(),
+                parsdd_graph::generators::grid2d(96, 96, |_, _| 1.0),
+                ChainOptions::default(),
+            ),
+            (
+                format!("rmat_{}", rmat_tier.name()),
+                zoo::build("rmat", rmat_tier),
+                zoo::chain_options("rmat", rmat_tier),
+            ),
+        ];
+        let mut records = Vec::new();
+        for (case, g, opts) in cases {
+            let b = {
+                let mut b = workloads::rhs(g.n(), 21);
+                let mean = b.iter().sum::<f64>() / b.len() as f64;
+                b.iter_mut().for_each(|v| *v -= mean);
+                b
+            };
+            let mut points = Vec::new();
+            for precision in [Precision::F64, Precision::F32] {
+                let chain = build_chain(&g, &opts.with_precision(precision));
+                let (min, mean) = time_at(1, || chain.solve(&b, 1e-8, 1000));
+                let out = chain.solve(&b, 1e-8, 1000);
+                let stats = chain.stats();
+                eprintln!(
+                    "e15 {case:>14} {precision:?}: solve {min:8.1} ms  it={:3} \
+                     res={:.2e}  resident {:9} B  streamed {:.3e} B/app",
+                    out.iterations,
+                    out.relative_residual,
+                    stats.resident_bytes,
+                    stats.streamed_bytes_per_application
+                );
+                points.push(PrecisionPoint {
+                    precision: match precision {
+                        Precision::F64 => "f64",
+                        Precision::F32 => "f32",
+                    },
+                    solve_min_ms: min,
+                    solve_mean_ms: mean,
+                    iterations: out.iterations,
+                    relative_residual: out.relative_residual,
+                    resident_bytes: stats.resident_bytes,
+                    streamed_bytes_per_application: stats.streamed_bytes_per_application,
+                });
+            }
+            records.push(PrecisionRecord {
+                case,
+                vertices: g.n(),
+                edges: g.m(),
+                points,
+            });
+        }
+        records
+    });
+
     // ----- JSON (hand-rolled; the workspace has no serde) -----
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v7\",");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v8\",");
     // Committed baselines are currently produced on a 1-CPU container:
     // there the tN column measures scheduler overhead under time-slicing,
     // not parallel speedup — read it against machine.cpus.
@@ -637,6 +726,58 @@ fn main() {
         json.push_str("  \"zoo\": null,\n");
     }
 
+    // Mixed-precision A/B (null when the --experiments filter skipped
+    // it): the headline ratios are derived in place so the acceptance
+    // bars can be read off without arithmetic.
+    if let Some(records) = &e15_records {
+        json.push_str("  \"e15_precision\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"case\": \"{}\",", r.case);
+            let _ = writeln!(json, "      \"vertices\": {},", r.vertices);
+            let _ = writeln!(json, "      \"edges\": {},", r.edges);
+            json.push_str("      \"points\": [\n");
+            for (j, p) in r.points.iter().enumerate() {
+                let _ = writeln!(
+                    json,
+                    "        {{ \"precision\": \"{}\", \"solve_min_ms\": {:.3}, \
+                     \"solve_mean_ms\": {:.3}, \"iterations\": {}, \
+                     \"relative_residual\": {}, \"resident_bytes\": {}, \
+                     \"streamed_bytes_per_application\": {} }}{}",
+                    p.precision,
+                    p.solve_min_ms,
+                    p.solve_mean_ms,
+                    p.iterations,
+                    json_f64(p.relative_residual),
+                    p.resident_bytes,
+                    json_f64(p.streamed_bytes_per_application),
+                    if j + 1 < r.points.len() { "," } else { "" }
+                );
+            }
+            json.push_str("      ],\n");
+            let f64_pt = &r.points[0];
+            let f32_pt = &r.points[1];
+            let _ = writeln!(
+                json,
+                "      \"solve_speedup_f32\": {},",
+                json_f64(f64_pt.solve_min_ms / f32_pt.solve_min_ms)
+            );
+            let _ = writeln!(
+                json,
+                "      \"resident_ratio_f32\": {}",
+                json_f64(f32_pt.resident_bytes as f64 / f64_pt.resident_bytes as f64)
+            );
+            let _ = writeln!(
+                json,
+                "    }}{}",
+                if i + 1 < records.len() { "," } else { "" }
+            );
+        }
+        json.push_str("  ],\n");
+    } else {
+        json.push_str("  \"e15_precision\": null,\n");
+    }
+
     // Per-level work balance of the default chain on the E8/E9 workload
     // (the quantity the deep-chain refactor optimises): future PRs diff
     // these arrays to see where the W-cycle spends its flops, not just how
@@ -686,6 +827,17 @@ fn main() {
         json,
         "    \"level_work\": {},",
         json_f64_array(&stats.level_work)
+    );
+    let _ = writeln!(
+        json,
+        "    \"level_resident_bytes\": {},",
+        json_usize_array(&stats.level_resident_bytes)
+    );
+    let _ = writeln!(json, "    \"resident_bytes\": {},", stats.resident_bytes);
+    let _ = writeln!(
+        json,
+        "    \"streamed_bytes_per_application\": {},",
+        json_f64(stats.streamed_bytes_per_application)
     );
     let _ = writeln!(
         json,

@@ -100,10 +100,17 @@ pub fn build(family: &str, tier: Tier) -> Graph {
 /// over an iterative bottom (≈3 200×m at 32³) — the case the adaptive
 /// selection exists for, pinned here so it cannot rot.
 pub fn chain_options(family: &str, tier: Tier) -> ChainOptions {
-    match (family, tier) {
+    let mut options = match (family, tier) {
         ("lattice3d", Tier::Large) => ChainOptions::default().with_adaptive(),
         _ => ChainOptions::default(),
+    };
+    // CI hook: the thread-matrix job re-runs the zoo small suite with
+    // `PARSDD_PRECISION=f32` so the mixed-precision tier is conformance-
+    // tested against the same envelopes as the default path.
+    if let Some(p) = parsdd_solver::chain::Precision::from_env() {
+        options.precision = p;
     }
+    options
 }
 
 /// Result of solving one zoo case: the chain-quality report plus the

@@ -259,6 +259,18 @@ impl Graph {
         self.edges.len()
     }
 
+    /// Heap bytes this graph's CSR + edge list occupy (offsets, arc
+    /// targets/weights/edge-ids, and the undirected edge array): the cost
+    /// of *retaining* the graph, as opposed to the bytes a solver kernel
+    /// streams. Used by the chain's resident-memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+            + self.arc_edge.len() * std::mem::size_of::<EdgeId>()
+            + self.edges.len() * std::mem::size_of::<Edge>()
+    }
+
     /// Degree of vertex `v` (counting parallel edges).
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {

@@ -321,6 +321,103 @@ pub fn project_out_componentwise_rows_with(
     }
 }
 
+/// Fused componentwise-mean projection **and** f32 narrowing: reads the
+/// f64 block, writes `(v − mean) as f32` into `out32` without an f64
+/// staging copy. The mean accumulation and subtraction run in f64 in
+/// exactly [`project_out_componentwise_rows_with`]'s order, so the
+/// narrowed result is bitwise what projecting in place and then
+/// narrowing would produce — this only deletes the intermediate copy and
+/// the separate narrowing pass (two of the five passes the f32 bottom
+/// prelude used to make per solve).
+pub fn project_out_componentwise_rows_narrowing(
+    xr: &[f64],
+    k: usize,
+    labels: &[u32],
+    count: usize,
+    sums: &mut Vec<f64>,
+    sizes: &mut Vec<usize>,
+    out32: &mut Vec<f32>,
+) {
+    if k == 0 {
+        out32.clear();
+        return;
+    }
+    assert_eq!(xr.len(), labels.len() * k);
+    sums.clear();
+    sums.resize(count * k, 0.0);
+    sizes.clear();
+    sizes.resize(count, 0);
+    for (row, &l) in xr.chunks_exact(k).zip(labels) {
+        let s = &mut sums[l as usize * k..(l as usize + 1) * k];
+        for (acc, &v) in s.iter_mut().zip(row) {
+            *acc += v;
+        }
+        sizes[l as usize] += 1;
+    }
+    for (comp, chunk) in sums.chunks_exact_mut(k).enumerate() {
+        let sz = sizes[comp];
+        for m in chunk.iter_mut() {
+            *m = if sz == 0 { 0.0 } else { *m / sz as f64 };
+        }
+    }
+    out32.clear();
+    out32.resize(xr.len(), 0.0);
+    for ((row, orow), &l) in xr
+        .chunks_exact(k)
+        .zip(out32.chunks_exact_mut(k))
+        .zip(labels)
+    {
+        let means = &sums[l as usize * k..(l as usize + 1) * k];
+        for ((&v, &m), o) in row.iter().zip(means).zip(orow) {
+            *o = (v - m) as f32;
+        }
+    }
+}
+
+/// Componentwise-mean projection of an **f32** row-major block — the
+/// all-f32 inner W-cycle's counterpart of
+/// [`project_out_componentwise_rows_with`]. Sums accumulate in f32 (the
+/// rhs is already at f32 rounding scale; components are small at the
+/// bottom where this runs); per column the accumulation order over rows
+/// matches the f64 helper's, so every block width produces the same bits
+/// as width 1.
+pub fn project_out_componentwise_rows_f32_with(
+    xr: &mut [f32],
+    k: usize,
+    labels: &[u32],
+    count: usize,
+    sums: &mut Vec<f32>,
+    sizes: &mut Vec<usize>,
+) {
+    if k == 0 {
+        return;
+    }
+    assert_eq!(xr.len(), labels.len() * k);
+    sums.clear();
+    sums.resize(count * k, 0.0);
+    sizes.clear();
+    sizes.resize(count, 0);
+    for (row, &l) in xr.chunks_exact(k).zip(labels) {
+        let s = &mut sums[l as usize * k..(l as usize + 1) * k];
+        for (acc, &v) in s.iter_mut().zip(row) {
+            *acc += v;
+        }
+        sizes[l as usize] += 1;
+    }
+    for (comp, chunk) in sums.chunks_exact_mut(k).enumerate() {
+        let sz = sizes[comp];
+        for m in chunk.iter_mut() {
+            *m = if sz == 0 { 0.0 } else { *m / sz as f32 };
+        }
+    }
+    for (row, &l) in xr.chunks_exact_mut(k).zip(labels) {
+        let means = &sums[l as usize * k..(l as usize + 1) * k];
+        for (v, &m) in row.iter_mut().zip(means) {
+            *v -= m;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +474,29 @@ mod tests {
         assert!((x[2] + 10.0).abs() < 1e-12);
         assert!((x[4] - 10.0).abs() < 1e-12);
         assert!((x[2] + x[3] + x[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_projection_narrowing_matches_two_step_bitwise() {
+        // The fused project-and-narrow pass must produce exactly the bits
+        // of projecting in place (f64) and then narrowing each entry.
+        let n = 37;
+        let k = 3;
+        let labels: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let xr: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 17) % 31) as f64 / 7.0 - 2.0)
+            .collect();
+        let mut two_step = xr.clone();
+        project_out_componentwise_rows(&mut two_step, k, &labels, 2);
+        let expect: Vec<f32> = two_step.iter().map(|&v| v as f32).collect();
+        let (mut sums, mut sizes, mut got) = (Vec::new(), Vec::new(), Vec::new());
+        project_out_componentwise_rows_narrowing(
+            &xr, k, &labels, 2, &mut sums, &mut sizes, &mut got,
+        );
+        assert_eq!(got.len(), expect.len());
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "entry {i}");
+        }
     }
 
     #[test]

@@ -48,17 +48,18 @@ use parsdd_graph::reorder::{identity_order, rcm_order, relabel};
 use parsdd_graph::{EdgeId, Graph};
 use parsdd_linalg::block::MultiVector;
 use parsdd_linalg::breakdown::{BreakdownReason, DIVERGENCE_FACTOR};
-use parsdd_linalg::envelope::EnvelopeLdl;
+use parsdd_linalg::envelope::{EnvelopeLdl, EnvelopeLdlF32};
 use parsdd_linalg::operator::Preconditioner;
-use parsdd_linalg::permuted::PermutedLevel;
+use parsdd_linalg::permuted::{PermutedLevel, PermutedLevelF32};
 use parsdd_linalg::power::{quadratic_form_ratio_bounds, spectrum_bounds_of_map};
 use parsdd_linalg::vector::{
     colwise_dots_rm, colwise_dots_rm_into, dot_strided, project_out_componentwise_constant,
-    project_out_componentwise_rows, project_out_componentwise_rows_with,
+    project_out_componentwise_rows, project_out_componentwise_rows_f32_with,
+    project_out_componentwise_rows_narrowing, project_out_componentwise_rows_with,
 };
 use parsdd_lsst::subgraph::{ls_subgraph, LsSubgraphParams};
 
-use crate::elimination::{greedy_elimination, EliminationResult};
+use crate::elimination::{greedy_elimination, CompiledTraceF32, EliminationResult};
 use crate::error::RecoveryStep;
 use crate::sparsify::{incremental_sparsify, SparsifyParams};
 
@@ -86,6 +87,54 @@ pub enum LevelOrdering {
     /// Keep the generator/elimination order (the pre-permutation
     /// behaviour; ablation and testing baseline).
     Identity,
+}
+
+/// Storage precision of the operators the preconditioner streams per
+/// application (the per-level merged CSR matrices of levels ≥ 1 and the
+/// bottom envelope factor).
+///
+/// The solve is memory-bandwidth-bound (DESIGN.md §2.3): bytes streamed
+/// per iteration is the cost model, so halving entry width halves the
+/// inner loops' traffic. Under [`Precision::F32`] everything
+/// *preconditioner-internal* narrows — matrix coefficients, the bottom
+/// factor, the Chebyshev direction block and its row dots, and the
+/// elimination traces' prefolded coefficients — while the outer flexible
+/// PCG (its vectors, reductions, and the level-0 operator it measures
+/// true residuals through) stays entirely f64, so the chain still
+/// converges to full 1e-8 outer tolerances; the preconditioner is merely
+/// a slightly different (cheaper) linear map, which flexible PCG absorbs
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full f64 storage everywhere — the determinism-pinned default. The
+    /// f64 path is byte-for-byte identical to chains built before the
+    /// precision knob existed.
+    #[default]
+    F64,
+    /// f32 storage for the per-level matrices of levels ≥ 1 and the
+    /// bottom envelope factor, demoted once after an all-f64 build;
+    /// Chebyshev intervals are recalibrated against the demoted operator,
+    /// the duplicate per-level `Graph` CSR is dropped (roughly halving
+    /// both streamed and resident chain bytes), and every level's
+    /// elimination trace gains a multiply-only compiled form with f32
+    /// coefficients ([`CompiledTraceF32`]) that replaces the f64 trace's
+    /// per-application divisions.
+    F32,
+}
+
+impl Precision {
+    /// Reads the `PARSDD_PRECISION` environment variable (`f32` or `f64`,
+    /// case-insensitive). This is the process-wide override the CI
+    /// thread-matrix job uses to run whole test suites under the f32
+    /// storage tier without touching call sites; unset or unrecognised
+    /// values return `None` and callers keep their configured default.
+    pub fn from_env() -> Option<Precision> {
+        match std::env::var("PARSDD_PRECISION") {
+            Ok(v) if v.eq_ignore_ascii_case("f32") => Some(Precision::F32),
+            Ok(v) if v.eq_ignore_ascii_case("f64") => Some(Precision::F64),
+            _ => None,
+        }
+    }
 }
 
 /// Options controlling chain construction and the recursive solver.
@@ -171,6 +220,12 @@ pub struct ChainOptions {
     /// chains cheaper than the κ_eff tail would dictate — the adaptive
     /// outer PCG absorbs the slightly weaker inner solves.
     pub max_inner_iterations: usize,
+    /// Storage precision of the streamed preconditioner operators (see
+    /// [`Precision`]). [`Precision::F64`] is the determinism-pinned
+    /// default; [`Precision::F32`] halves the bytes every inner
+    /// iteration streams while the f64 outer loop keeps full-accuracy
+    /// answers.
+    pub precision: Precision,
     /// RNG seed.
     pub seed: u64,
 }
@@ -198,6 +253,7 @@ impl Default for ChainOptions {
             inner_method: IterationMethod::Chebyshev,
             inner_extra_iterations: 1,
             max_inner_iterations: 4,
+            precision: Precision::F64,
             seed: 0xcba_0001,
         }
     }
@@ -235,6 +291,13 @@ impl ChainOptions {
     /// Sets the per-level vertex ordering.
     pub fn with_ordering(mut self, ordering: LevelOrdering) -> Self {
         self.ordering = ordering;
+        self
+    }
+
+    /// Sets the storage precision of the streamed preconditioner
+    /// operators (see [`Precision`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -350,13 +413,28 @@ impl ChainOptions {
 #[derive(Debug, Clone)]
 pub struct ChainLevel {
     /// The level's system `A_i` (a Laplacian graph with parallel edges
-    /// merged), in the level's baked-in vertex order.
-    pub graph: Graph,
+    /// merged), in the level's baked-in vertex order. Only consulted at
+    /// build/calibration time — the per-application sweeps run on
+    /// `matrix` — so [`Precision::F32`] chains drop it after calibration
+    /// and a long-lived chain stops holding ~2× the matrix memory it
+    /// streams. [`Precision::F64`] chains retain it (the pre-knob
+    /// resident footprint, byte-for-byte).
+    graph: Option<Graph>,
+    /// Vertex count of `A_i` (kept after `graph` is dropped).
+    n: usize,
+    /// Edge count of `A_i` (kept after `graph` is dropped).
+    m: usize,
     /// Merged diag+offdiag Laplacian rows of `graph` — the single matrix
     /// stream every inner sweep at this level runs on.
-    matrix: PermutedLevel,
+    matrix: LevelMatrix,
     /// The elimination taking the sparsifier `B_i` to `A_{i+1}`.
     pub elimination: EliminationResult,
+    /// [`Precision::F32`] chains only: the multiply-only compiled form of
+    /// `elimination` (divisions prefolded into f32 reciprocals; see
+    /// [`CompiledTraceF32`]). When present, the W-cycle's forward/backward
+    /// substitution passes run on it instead of the f64 trace. `None` on
+    /// f64 chains — their trace arithmetic is pinned.
+    trace32: Option<CompiledTraceF32>,
     /// Sampling condition target `κ_i` carried by the sampled edges (the
     /// level's full target is `tree_scale · κ_i`).
     pub kappa: f64,
@@ -403,6 +481,92 @@ impl ChainLevel {
             f64::INFINITY
         }
     }
+
+    /// Vertex count of the level's system `A_i`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Edge count of the level's system `A_i`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The level's graph, if still resident. `Some` for every level of an
+    /// f64 chain; `None` on [`Precision::F32`] chains, which drop the
+    /// duplicate CSR after Chebyshev calibration.
+    pub fn graph(&self) -> Option<&Graph> {
+        self.graph.as_ref()
+    }
+
+    /// Storage precision of this level's streamed matrix.
+    pub fn storage_precision(&self) -> Precision {
+        match self.matrix {
+            LevelMatrix::F64(_) => Precision::F64,
+            LevelMatrix::F32(_) => Precision::F32,
+        }
+    }
+
+    /// Bytes this level's matrix streams per sparse sweep (coefficients +
+    /// column indices + row offsets).
+    pub fn stream_bytes(&self) -> usize {
+        self.matrix.stream_bytes()
+    }
+
+    /// Heap bytes this level keeps resident: the streamed matrix plus the
+    /// retained `Graph` CSR (zero once dropped). The elimination trace is
+    /// excluded from the accounting — f64 chains hold the build-time f64
+    /// record, f32 chains swap it for the leaner compiled form
+    /// ([`CompiledTraceF32`]) and drop the wide records, so the trace
+    /// never works against the demoted tier.
+    pub fn resident_bytes(&self) -> usize {
+        self.matrix.stream_bytes() + self.graph.as_ref().map_or(0, |g| g.resident_bytes())
+    }
+}
+
+/// A chain level's streamed matrix in its storage precision. The f64
+/// variant is byte-for-byte the pre-knob [`PermutedLevel`]; the f32
+/// variant stores entries narrow and widens each one once at load, with
+/// every accumulation in f64 (so reduction trees stay width-invariant and
+/// the f32 path is itself bitwise-reproducible across pool widths).
+#[derive(Debug, Clone)]
+enum LevelMatrix {
+    F64(PermutedLevel),
+    F32(PermutedLevelF32),
+}
+
+impl LevelMatrix {
+    /// The f64 matrix, for paths pinned to full precision (the level-0
+    /// operator the outer PCG measures true residuals through).
+    /// Panics if the level was demoted — `build_chain` never demotes
+    /// level 0.
+    fn as_f64(&self) -> &PermutedLevel {
+        match self {
+            LevelMatrix::F64(m) => m,
+            LevelMatrix::F32(_) => unreachable!("level 0 and the bottom matrix always stay f64"),
+        }
+    }
+
+    fn stream_bytes(&self) -> usize {
+        match self {
+            LevelMatrix::F64(m) => m.stream_bytes(),
+            LevelMatrix::F32(m) => m.stream_bytes(),
+        }
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            LevelMatrix::F64(m) => m.apply(x, y),
+            LevelMatrix::F32(m) => m.apply(x, y),
+        }
+    }
+
+    fn apply_rowmajor(&self, xr: &[f64], yr: &mut [f64], k: usize) {
+        match self {
+            LevelMatrix::F64(m) => m.apply_rowmajor(xr, yr, k),
+            LevelMatrix::F32(m) => m.apply_rowmajor(xr, yr, k),
+        }
+    }
 }
 
 /// The bottom-of-chain solver (Fact 6.4, with an iterative fallback for
@@ -416,6 +580,11 @@ enum BottomSolver {
     /// application's byte budget). A full profile degrades to exactly the
     /// dense factorisation.
     Direct(EnvelopeLdl),
+    /// The same envelope factor with f32 off-diagonal storage and f64
+    /// accumulation/diagonal ([`Precision::F32`] chains): both triangular
+    /// streams — the dominant bytes of a deep application — at half
+    /// width.
+    DirectF32(EnvelopeLdlF32),
     /// Jacobi-preconditioned CG run to high accuracy (fallback when the
     /// bottom is too large to factor).
     Iterative,
@@ -473,6 +642,24 @@ pub struct ChainStats {
     /// for iterative/trivial bottoms). Each bottom solve streams this
     /// twice; the dense triangle it replaces is `n(n−1)/2` entries.
     pub bottom_envelope_nnz: usize,
+    /// Heap bytes each level keeps resident (streamed matrix + retained
+    /// `Graph` CSR, zero once dropped; see
+    /// [`ChainLevel::resident_bytes`]). The last entry is the bottom's
+    /// share: its f64 matrix, the retained bottom graph and the envelope
+    /// factor.
+    pub level_resident_bytes: Vec<usize>,
+    /// Total resident chain bytes (`Σ level_resident_bytes`).
+    pub resident_bytes: usize,
+    /// Matrix/factor bytes streamed per top-level preconditioner
+    /// application under the same recursion model as
+    /// [`ChainStats::level_work`]: level `i ≥ 1` streams its matrix
+    /// `k_i` times per solve, the bottom streams its envelope factor
+    /// twice per solve, and level 0's entry is the top application's own
+    /// elimination pass (counted as its matrix stream once). Vector and
+    /// elimination-trace traffic is excluded — identical across
+    /// precisions — so this isolates exactly the bytes the precision
+    /// knob halves.
+    pub streamed_bytes_per_application: f64,
 }
 
 /// One level's row of a [`ChainQuality`] report.
@@ -497,6 +684,9 @@ pub struct LevelQuality {
     /// True when this level's κ derivation saturated a clamp (see
     /// [`ChainLevel::kappa_clamped`]).
     pub kappa_clamped: bool,
+    /// Heap bytes this level keeps resident (see
+    /// [`ChainLevel::resident_bytes`]).
+    pub resident_bytes: usize,
 }
 
 /// Chain-quality conformance report: the compact per-level and aggregate
@@ -531,6 +721,12 @@ pub struct ChainQuality {
     /// means some level degraded toward subgraph-only sampling (expected
     /// on near-disconnected inputs; a red flag elsewhere).
     pub kappa_clamp_hits: usize,
+    /// Total resident chain bytes (see
+    /// [`ChainStats::level_resident_bytes`]).
+    pub resident_bytes: usize,
+    /// Matrix/factor bytes streamed per top-level preconditioner
+    /// application (see [`ChainStats::streamed_bytes_per_application`]).
+    pub streamed_bytes_per_application: f64,
 }
 
 impl ChainQuality {
@@ -575,6 +771,12 @@ struct ElimScratch {
     y: Vec<f64>,
     /// `k`-wide row temp for streaming the elimination trace.
     row: Vec<f64>,
+    /// f32 twins of the four buffers above, used by the all-f32 inner
+    /// W-cycle of [`Precision::F32`] chains (empty on f64 chains).
+    reduced32: Vec<f32>,
+    work32: Vec<f32>,
+    y32: Vec<f32>,
+    row32: Vec<f32>,
 }
 
 /// Per-level inner-iteration buffers: the Chebyshev/CG sweep at level `i`
@@ -586,7 +788,17 @@ struct ElimScratch {
 struct IterScratch {
     r: Vec<f64>,
     p: Vec<f64>,
+    /// [`Precision::F32`] levels only: the Chebyshev direction block kept
+    /// in f32, so the fused sweep's gather of `p` streams half the bytes.
+    /// On the all-f32 inner cycle the whole recurrence runs in f32; the
+    /// mixed path (f32 storage driven through the f64 interface) updates
+    /// it as `(z + β·p)` in f64 and narrows once per entry. Stays empty
+    /// on f64 levels.
+    p32: Vec<f32>,
     z: Vec<f64>,
+    /// f32 twins of `r`/`z` for the all-f32 inner cycle.
+    r32: Vec<f32>,
+    z32: Vec<f32>,
     /// CG only: the `A·p` block and per-column recurrence scalars.
     ap: Vec<f64>,
     rz: Vec<f64>,
@@ -595,12 +807,26 @@ struct IterScratch {
 }
 
 /// Bottom-solve buffers (rhs copy + componentwise-projection
-/// accumulators).
+/// accumulators, plus the f32 staging pair the [`BottomSolver::DirectF32`]
+/// tier converts through at the `n·k` boundary), and — because this
+/// struct is the one scratch threaded through the whole W-cycle
+/// recursion — the entry-shim staging pair the f64-facing
+/// `precondition_rm_into` uses to narrow into / widen out of the all-f32
+/// inner cycle (live only across one shim entry, never concurrently with
+/// a deeper shim: the f32 recursion below the shim never re-enters the
+/// f64 interface).
 #[derive(Debug, Default)]
 struct BottomScratch {
     rhs: Vec<f64>,
     proj_sums: Vec<f64>,
     proj_sizes: Vec<usize>,
+    rhs32: Vec<f32>,
+    out32: Vec<f32>,
+    /// f32 projection accumulators for the all-f32 bottom solve.
+    proj_sums32: Vec<f32>,
+    /// Entry-shim staging (see the type docs).
+    shim_in32: Vec<f32>,
+    shim_out32: Vec<f32>,
 }
 
 /// One checked-out set of scratch buffers for a chain application. All
@@ -936,14 +1162,18 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         let inner_iterations = (kappa_target.sqrt().ceil() as usize
             + options.inner_extra_iterations)
             .clamp(2, options.max_inner_iterations);
-        let matrix = PermutedLevel::from_graph(&current);
+        let matrix = LevelMatrix::F64(PermutedLevel::from_graph(&current));
         // Provisional bounds from the sampled ratio; replaced by the
         // power-iteration calibration below once the chain is complete.
         let cheb_bounds = provisional_bounds(measured_ratio, kappa_target);
+        let (level_n, level_m) = (current.n(), current.m());
         levels.push(ChainLevel {
-            graph: current,
+            graph: Some(current),
+            n: level_n,
+            m: level_m,
             matrix,
             elimination,
+            trace32: None,
             kappa: kappa_used,
             tree_scale: sparsifier.tree_scale,
             kappa_clamped: sparsifier.kappa_clamped,
@@ -992,7 +1222,11 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         // one when there are no levels, so both stay in one task.
         let comps = parsdd_graph::components::parallel_connected_components(&current);
         top_comps_slot = Some(if let Some(l) = levels.first() {
-            parsdd_graph::components::parallel_connected_components(&l.graph)
+            parsdd_graph::components::parallel_connected_components(
+                l.graph
+                    .as_ref()
+                    .expect("level graphs are resident during build"),
+            )
         } else {
             comps.clone()
         });
@@ -1017,7 +1251,53 @@ pub fn build_chain(g: &Graph, options: &ChainOptions) -> SolverChain {
         options,
         workspaces: WorkspacePool::new(),
     };
+    if options.precision == Precision::F32 {
+        // Demote once, after the all-f64 build: levels ≥ 1 and the bottom
+        // envelope factor are what the preconditioner streams per
+        // application. Level 0 and the bottom matrix stay f64 — the outer
+        // PCG measures true residuals through them, and an f32 top
+        // operator would cap the reachable residual near single-precision
+        // ε, above the 1e-8 outer tolerances the solver pins.
+        for lvl in chain.levels.iter_mut().skip(1) {
+            lvl.matrix = LevelMatrix::F32(PermutedLevelF32::from_level(lvl.matrix.as_f64()));
+        }
+        // Every level's elimination trace (level 0's included — the trace
+        // is preconditioner-internal even at the top) gets its compiled
+        // multiply-only form: the f64 trace re-divides per application
+        // (`wa/(wa+wb)`, `1/w`, `1/Σw` on every step), and those
+        // unpipelined divides sit on the hottest recursion path.
+        for lvl in chain.levels.iter_mut() {
+            lvl.trace32 = Some(CompiledTraceF32::from_elimination(&lvl.elimination));
+        }
+        // The bottom factor demotes only under a recursion: there each
+        // bottom solve feeds a preconditioner application (absorbed by the
+        // outer flexible PCG) and is streamed `∏k_i` times. A depth-0
+        // chain returns its bottom solve *as the final answer*, which must
+        // hit the caller's tolerance — a single f32-factor solve caps out
+        // near 1e-7 relative.
+        if !chain.levels.is_empty() {
+            if let BottomSolver::Direct(env) = &chain.bottom {
+                chain.bottom = BottomSolver::DirectF32(EnvelopeLdlF32::from_f64(env));
+            }
+        }
+    }
+    // Calibration runs *after* demotion so the Chebyshev intervals bracket
+    // the spectrum of the operator the inner iteration actually applies.
     chain.calibrate_chebyshev_bounds();
+    if options.precision == Precision::F32 {
+        // The per-level Graph CSR is only consulted at build/calibration
+        // time; dropping it here roughly halves the chain's resident
+        // footprint on top of the storage demotion. (f64 chains keep it —
+        // their resident layout is pinned to the pre-knob bytes.) The f64
+        // elimination step records go with it: the compiled trace took
+        // over both substitution passes above, so keeping the wide
+        // records would hold duplicate trace memory for nothing.
+        for lvl in chain.levels.iter_mut() {
+            lvl.graph = None;
+            lvl.elimination.steps = Vec::new();
+            lvl.elimination.star_data = Vec::new();
+        }
+    }
     chain
 }
 
@@ -1060,17 +1340,49 @@ impl SolverChain {
         match &self.bottom {
             BottomSolver::Trivial => 0.0,
             BottomSolver::Direct(env) => 2.0 * env.envelope_nnz() as f64 + 2.0 * n,
+            BottomSolver::DirectF32(env) => 2.0 * env.envelope_nnz() as f64 + 2.0 * n,
             BottomSolver::Iterative => m * (2 * self.bottom_graph.n()).clamp(100, 4000) as f64,
         }
+    }
+
+    /// Bytes one bottom solve streams: both triangular passes of the
+    /// direct factor (at its storage width) plus the f64 diagonal, or the
+    /// iterative fallback's per-iteration graph stream times its budget.
+    fn bottom_stream_bytes(&self) -> f64 {
+        let n = self.bottom_graph.n() as f64;
+        match &self.bottom {
+            BottomSolver::Trivial => 0.0,
+            BottomSolver::Direct(env) => 2.0 * env.envelope_nnz() as f64 * 8.0 + n * 8.0,
+            BottomSolver::DirectF32(env) => 2.0 * env.envelope_nnz() as f64 * 4.0 + n * 8.0,
+            BottomSolver::Iterative => {
+                self.bottom_graph.resident_bytes() as f64
+                    * (2 * self.bottom_graph.n()).clamp(100, 4000) as f64
+            }
+        }
+    }
+
+    /// Heap bytes the bottom keeps resident: its f64 merged-row matrix,
+    /// the retained bottom graph, and the envelope factor's arrays.
+    fn bottom_resident_bytes(&self) -> usize {
+        let factor = match &self.bottom {
+            BottomSolver::Trivial | BottomSolver::Iterative => 0,
+            BottomSolver::Direct(env) => env.resident_bytes(),
+            BottomSolver::DirectF32(env) => env.resident_bytes(),
+        };
+        self.bottom_matrix.stream_bytes() + self.bottom_graph.resident_bytes() + factor
     }
 
     /// Summary statistics of the chain, including the per-level work
     /// accounting of the W-cycle (see [`ChainStats`] for the model).
     pub fn stats(&self) -> ChainStats {
-        let mut level_vertices: Vec<usize> = self.levels.iter().map(|l| l.graph.n()).collect();
-        let mut level_edges: Vec<usize> = self.levels.iter().map(|l| l.graph.m()).collect();
+        let mut level_vertices: Vec<usize> = self.levels.iter().map(|l| l.n()).collect();
+        let mut level_edges: Vec<usize> = self.levels.iter().map(|l| l.m()).collect();
         level_vertices.push(self.bottom_graph.n());
         level_edges.push(self.bottom_graph.m());
+        let mut level_resident_bytes: Vec<usize> =
+            self.levels.iter().map(|l| l.resident_bytes()).collect();
+        level_resident_bytes.push(self.bottom_resident_bytes());
+        let resident_bytes: usize = level_resident_bytes.iter().sum();
 
         // Applications and work, level by level: level 0 hosts the top
         // preconditioner application itself (one forward/back pass); level
@@ -1078,19 +1390,24 @@ impl SolverChain {
         // the bottom is solved ∏ k_j times.
         let mut level_applications: Vec<f64> = Vec::with_capacity(self.levels.len() + 1);
         let mut level_work: Vec<f64> = Vec::with_capacity(self.levels.len() + 1);
+        let mut streamed_bytes_per_application = 0.0f64;
         let mut solves = 1.0f64;
         for (i, l) in self.levels.iter().enumerate() {
             if i == 0 {
                 level_applications.push(1.0);
-                level_work.push(l.graph.m() as f64);
+                level_work.push(l.m() as f64);
+                streamed_bytes_per_application += l.stream_bytes() as f64;
             } else {
                 level_applications.push(solves);
-                level_work.push(solves * l.inner_iterations as f64 * l.graph.m() as f64);
+                level_work.push(solves * l.inner_iterations as f64 * l.m() as f64);
+                streamed_bytes_per_application +=
+                    solves * l.inner_iterations as f64 * l.stream_bytes() as f64;
                 solves *= l.inner_iterations as f64;
             }
         }
         level_applications.push(solves);
         level_work.push(solves * self.bottom_solve_cost());
+        streamed_bytes_per_application += solves * self.bottom_stream_bytes();
         let work_per_application: f64 = level_work.iter().sum();
 
         let recursion_leaves = self
@@ -1112,11 +1429,18 @@ impl SolverChain {
             level_work,
             work_per_application,
             recursion_leaves,
-            direct_bottom: matches!(self.bottom, BottomSolver::Direct(_)),
+            direct_bottom: matches!(
+                self.bottom,
+                BottomSolver::Direct(_) | BottomSolver::DirectF32(_)
+            ),
             bottom_envelope_nnz: match &self.bottom {
                 BottomSolver::Direct(env) => env.envelope_nnz(),
+                BottomSolver::DirectF32(env) => env.envelope_nnz(),
                 _ => 0,
             },
+            level_resident_bytes,
+            resident_bytes,
+            streamed_bytes_per_application,
         }
     }
 
@@ -1127,20 +1451,21 @@ impl SolverChain {
         let input_edges = self
             .levels
             .first()
-            .map(|l| l.graph.m())
+            .map(|l| l.m())
             .unwrap_or_else(|| self.bottom_graph.m());
         let levels: Vec<LevelQuality> = self
             .levels
             .iter()
             .map(|l| LevelQuality {
-                vertices: l.graph.n(),
-                edges: l.graph.m(),
+                vertices: l.n(),
+                edges: l.m(),
                 sparsifier_edges: l.sparsifier_edges,
                 kappa: l.kappa,
                 kappa_eff: l.kappa_eff(),
                 tree_scale: l.tree_scale,
                 inner_iterations: l.inner_iterations,
                 kappa_clamped: l.kappa_clamped,
+                resident_bytes: l.resident_bytes(),
             })
             .collect();
         let kappa_clamp_hits = levels.iter().filter(|l| l.kappa_clamped).count();
@@ -1155,6 +1480,8 @@ impl SolverChain {
             work_per_input_edge: stats.work_per_application / input_edges.max(1) as f64,
             recursion_leaves: stats.recursion_leaves,
             kappa_clamp_hits,
+            resident_bytes: stats.resident_bytes,
+            streamed_bytes_per_application: stats.streamed_bytes_per_application,
         }
     }
 
@@ -1243,27 +1570,55 @@ impl SolverChain {
         out: &mut Vec<f64>,
         scratch: &mut BottomScratch,
     ) {
-        let rhs = &mut scratch.rhs;
-        rhs.clear();
-        rhs.extend_from_slice(br);
-        project_out_componentwise_rows_with(
-            rhs,
-            k,
-            &self.bottom_labels,
-            self.bottom_components,
-            &mut scratch.proj_sums,
-            &mut scratch.proj_sizes,
-        );
+        // The f64-staging projection prelude, shared by the solvers that
+        // consume an f64 rhs. The f32 direct bottom skips it: its fused
+        // project-and-narrow pass below reads `br` directly.
+        let project_into_rhs = |scratch: &mut BottomScratch| {
+            let rhs = &mut scratch.rhs;
+            rhs.clear();
+            rhs.extend_from_slice(br);
+            project_out_componentwise_rows_with(
+                rhs,
+                k,
+                &self.bottom_labels,
+                self.bottom_components,
+                &mut scratch.proj_sums,
+                &mut scratch.proj_sizes,
+            );
+        };
         match &self.bottom {
             BottomSolver::Trivial => {
                 out.clear();
                 out.resize(br.len(), 0.0);
             }
-            BottomSolver::Direct(env) => env.solve_rowmajor_into(rhs, k, out),
+            BottomSolver::Direct(env) => {
+                project_into_rhs(scratch);
+                env.solve_rowmajor_into(&scratch.rhs, k, out);
+            }
+            BottomSolver::DirectF32(env) => {
+                // Project and narrow in one fused pass (no f64 staging
+                // copy), then run both triangular passes entirely in f32
+                // — the rhs is already preconditioner-internal, and
+                // per-entry widening of the factor costs more than it
+                // buys at this rounding scale.
+                project_out_componentwise_rows_narrowing(
+                    br,
+                    k,
+                    &self.bottom_labels,
+                    self.bottom_components,
+                    &mut scratch.proj_sums,
+                    &mut scratch.proj_sizes,
+                    &mut scratch.rhs32,
+                );
+                env.solve_rowmajor_f32_into(&scratch.rhs32, k, &mut scratch.out32);
+                out.clear();
+                out.extend(scratch.out32.iter().map(|&v| v as f64));
+            }
             BottomSolver::Iterative => {
+                project_into_rhs(scratch);
                 let op = parsdd_linalg::laplacian::LaplacianOp::new(&self.bottom_graph);
                 let jac = parsdd_linalg::jacobi::JacobiPreconditioner::from_laplacian(&op);
-                let block = MultiVector::from_rowmajor(rhs, k);
+                let block = MultiVector::from_rowmajor(&scratch.rhs, k);
                 let outs = parsdd_linalg::cg::block_pcg_solve(
                     &op,
                     &jac,
@@ -1276,6 +1631,47 @@ impl SolverChain {
                 let cols: Vec<Vec<f64>> = outs.into_iter().map(|o| o.x).collect();
                 out.clear();
                 out.extend_from_slice(&MultiVector::from_columns(&cols).to_rowmajor());
+            }
+        }
+    }
+
+    /// The bottom solve of the all-f32 inner cycle. The f32 direct
+    /// bottom projects and solves without touching f64; the trivial
+    /// bottom zeroes. The remaining bottoms (an f32 chain whose envelope
+    /// factorisation was refused, leaving the iterative fallback) widen
+    /// at the boundary and reuse the f64 entry — a rare path whose
+    /// per-solve cost dwarfs the staging it allocates.
+    fn bottom_solve_rm32_into(
+        &self,
+        br: &[f32],
+        k: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut BottomScratch,
+    ) {
+        match &self.bottom {
+            BottomSolver::Trivial => {
+                out.clear();
+                out.resize(br.len(), 0.0);
+            }
+            BottomSolver::DirectF32(env) => {
+                scratch.rhs32.clear();
+                scratch.rhs32.extend_from_slice(br);
+                project_out_componentwise_rows_f32_with(
+                    &mut scratch.rhs32,
+                    k,
+                    &self.bottom_labels,
+                    self.bottom_components,
+                    &mut scratch.proj_sums32,
+                    &mut scratch.proj_sizes,
+                );
+                env.solve_rowmajor_f32_into(&scratch.rhs32, k, out);
+            }
+            BottomSolver::Direct(_) | BottomSolver::Iterative => {
+                let wide: Vec<f64> = br.iter().map(|&v| f64::from(v)).collect();
+                let mut wout = Vec::new();
+                self.bottom_solve_rm_into(&wide, k, Self::PRECOND_BOTTOM_TOL, &mut wout, scratch);
+                out.clear();
+                out.extend(wout.iter().map(|&v| v as f32));
             }
         }
     }
@@ -1325,11 +1721,47 @@ impl SolverChain {
         iter_ws: &mut [IterScratch],
         bottom: &mut BottomScratch,
     ) {
-        let elim = &self.levels[level].elimination;
+        let lvl = &self.levels[level];
+        // The f32-chain Chebyshev configuration runs the *entire* cycle
+        // below this interface on f32 vectors: narrow the residual once
+        // here, recurse all-f32, widen the correction once on the way
+        // out. The outer iteration keeps measuring true f64 residuals
+        // through the f64 top operator, so the narrowing only perturbs
+        // the preconditioner — which the flexible PCG absorbs. (CG inner
+        // chains keep the mixed path: f32 storage, f64 vectors.)
+        if lvl.trace32.is_some() && matches!(self.options.inner_method, IterationMethod::Chebyshev)
+        {
+            bottom.shim_in32.clear();
+            bottom.shim_in32.extend(rr.iter().map(|&v| v as f32));
+            let mut rr32 = std::mem::take(&mut bottom.shim_in32);
+            let mut out32 = std::mem::take(&mut bottom.shim_out32);
+            self.precondition_rm32_into(level, &rr32, k, &mut out32, elim_ws, iter_ws, bottom);
+            out.clear();
+            out.extend(out32.iter().map(|&v| v as f64));
+            rr32.clear();
+            bottom.shim_in32 = rr32;
+            bottom.shim_out32 = out32;
+            return;
+        }
         let (mine, elim_rest) = elim_ws
             .split_first_mut()
             .expect("elimination frame per level");
-        elim.forward_rhs_rowmajor_into(rr, k, &mut mine.reduced, &mut mine.work, &mut mine.row);
+        match &lvl.trace32 {
+            Some(tr) => tr.forward_rhs_rowmajor_into(
+                rr,
+                k,
+                &mut mine.reduced,
+                &mut mine.work,
+                &mut mine.row,
+            ),
+            None => lvl.elimination.forward_rhs_rowmajor_into(
+                rr,
+                k,
+                &mut mine.reduced,
+                &mut mine.work,
+                &mut mine.row,
+            ),
+        }
         self.w_cycle_rm_into(
             level + 1,
             &mine.reduced,
@@ -1339,7 +1771,60 @@ impl SolverChain {
             elim_rest,
             bottom,
         );
-        elim.back_substitute_rowmajor_into(&mine.work, &mine.y, k, out, &mut mine.row);
+        match &lvl.trace32 {
+            Some(tr) => {
+                tr.back_substitute_rowmajor_into(&mine.work, &mine.y, k, out, &mut mine.row)
+            }
+            None => lvl.elimination.back_substitute_rowmajor_into(
+                &mine.work,
+                &mine.y,
+                k,
+                out,
+                &mut mine.row,
+            ),
+        }
+    }
+
+    /// The all-f32 preconditioner application (`Precision::F32` chains
+    /// with the Chebyshev inner method): same sandwich as
+    /// [`precondition_rm_into`](Self::precondition_rm_into), every vector
+    /// in f32.
+    #[allow(clippy::too_many_arguments)]
+    fn precondition_rm32_into(
+        &self,
+        level: usize,
+        rr: &[f32],
+        k: usize,
+        out: &mut Vec<f32>,
+        elim_ws: &mut [ElimScratch],
+        iter_ws: &mut [IterScratch],
+        bottom: &mut BottomScratch,
+    ) {
+        let lvl = &self.levels[level];
+        let (mine, elim_rest) = elim_ws
+            .split_first_mut()
+            .expect("elimination frame per level");
+        let tr = lvl
+            .trace32
+            .as_ref()
+            .expect("the all-f32 cycle requires a compiled trace");
+        tr.forward_rhs_rowmajor32_into(
+            rr,
+            k,
+            &mut mine.reduced32,
+            &mut mine.work32,
+            &mut mine.row32,
+        );
+        self.w_cycle_rm32_into(
+            level + 1,
+            &mine.reduced32,
+            k,
+            &mut mine.y32,
+            iter_ws,
+            elim_rest,
+            bottom,
+        );
+        tr.back_substitute_rowmajor32_into(&mine.work32, &mine.y32, k, out, &mut mine.row32);
     }
 
     /// Single-vector preconditioner application: the `k = 1` case of
@@ -1415,12 +1900,20 @@ impl SolverChain {
         // calibration pass (two power iterations through the full recursion
         // on the largest graph); its cheb_bounds keep the provisional value.
         for level in (1..self.levels.len()).rev() {
-            let n = self.levels[level].graph.n();
+            let n = self.levels[level].n();
             if n == 0 {
                 continue;
             }
-            let comps =
-                parsdd_graph::components::parallel_connected_components(&self.levels[level].graph);
+            // `build_chain` calibrates before dropping graphs, so the
+            // component labelling always has its CSR — and the matrix
+            // applied below is the (possibly demoted) operator the inner
+            // iteration will actually run on.
+            let comps = parsdd_graph::components::parallel_connected_components(
+                self.levels[level]
+                    .graph
+                    .as_ref()
+                    .expect("calibration runs before level graphs are dropped"),
+            );
             let seed = self
                 .options
                 .seed
@@ -1503,12 +1996,158 @@ impl SolverChain {
         out.resize(br.len(), 0.0);
         mine.r.clear();
         mine.r.extend_from_slice(br);
-        mine.p.resize(br.len(), 0.0);
+        match &lvl.matrix {
+            LevelMatrix::F64(matrix) => {
+                mine.p.resize(br.len(), 0.0);
+                let mut alpha = 0.0f64;
+                for it in 0..iterations {
+                    self.precondition_rm_into(
+                        level,
+                        &mine.r,
+                        k,
+                        &mut mine.z,
+                        elim_ws,
+                        iter_rest,
+                        bottom,
+                    );
+                    if it == 0 {
+                        mine.p.copy_from_slice(&mine.z);
+                        alpha = 1.0 / theta;
+                    } else {
+                        let beta = if it == 1 {
+                            0.5 * (delta * alpha) * (delta * alpha)
+                        } else {
+                            (delta * alpha / 2.0) * (delta * alpha / 2.0)
+                        };
+                        alpha = 1.0 / (theta - beta / alpha);
+                        for (pi, zi) in mine.p.iter_mut().zip(&mine.z) {
+                            *pi = zi + beta * *pi;
+                        }
+                    }
+                    matrix.cheb_fused_sweep(alpha, &mine.p, out, &mut mine.r, k);
+                }
+            }
+            LevelMatrix::F32(matrix) => {
+                // Same recurrence, but the direction block lives in f32:
+                // the update runs in f64 (`z + β·p`) and narrows once per
+                // entry, so the fused sweep's gather of `p` — the hot
+                // stream besides the matrix itself — moves half the
+                // bytes. x and r stay f64.
+                mine.p32.resize(br.len(), 0.0);
+                let mut alpha = 0.0f64;
+                for it in 0..iterations {
+                    self.precondition_rm_into(
+                        level,
+                        &mine.r,
+                        k,
+                        &mut mine.z,
+                        elim_ws,
+                        iter_rest,
+                        bottom,
+                    );
+                    if it == 0 {
+                        for (pi, zi) in mine.p32.iter_mut().zip(&mine.z) {
+                            *pi = *zi as f32;
+                        }
+                        alpha = 1.0 / theta;
+                    } else {
+                        let beta = if it == 1 {
+                            0.5 * (delta * alpha) * (delta * alpha)
+                        } else {
+                            (delta * alpha / 2.0) * (delta * alpha / 2.0)
+                        };
+                        alpha = 1.0 / (theta - beta / alpha);
+                        for (pi, zi) in mine.p32.iter_mut().zip(&mine.z) {
+                            *pi = (zi + beta * f64::from(*pi)) as f32;
+                        }
+                    }
+                    matrix.cheb_fused_sweep(alpha, &mine.p32, out, &mut mine.r, k);
+                }
+            }
+        }
+    }
+
+    /// The W-cycle recursion step of the all-f32 inner cycle. Only the
+    /// Chebyshev inner method enters this width (the shim in
+    /// [`precondition_rm_into`](Self::precondition_rm_into) guards on
+    /// it), so there is no CG arm here.
+    #[allow(clippy::too_many_arguments)]
+    fn w_cycle_rm32_into(
+        &self,
+        level: usize,
+        br: &[f32],
+        k: usize,
+        out: &mut Vec<f32>,
+        iter_ws: &mut [IterScratch],
+        elim_ws: &mut [ElimScratch],
+        bottom: &mut BottomScratch,
+    ) {
+        if level >= self.levels.len() {
+            self.bottom_solve_rm32_into(br, k, out, bottom);
+            return;
+        }
+        let lvl = &self.levels[level];
+        self.chebyshev_fixed_rm32_into(
+            level,
+            br,
+            k,
+            lvl.inner_iterations,
+            out,
+            iter_ws,
+            elim_ws,
+            bottom,
+        );
+    }
+
+    /// [`chebyshev_fixed_rm_into`](Self::chebyshev_fixed_rm_into) at f32
+    /// vector width. The recurrence scalars stay in f64 — they are
+    /// O(iterations) scalar operations and their accuracy steers the
+    /// polynomial — and β is narrowed once per iteration for the
+    /// elementwise p-update; x, r, z, p all stream in f32, halving the
+    /// elementwise traffic on top of the halved matrix stream.
+    #[allow(clippy::too_many_arguments)]
+    fn chebyshev_fixed_rm32_into(
+        &self,
+        level: usize,
+        br: &[f32],
+        k: usize,
+        iterations: usize,
+        out: &mut Vec<f32>,
+        iter_ws: &mut [IterScratch],
+        elim_ws: &mut [ElimScratch],
+        bottom: &mut BottomScratch,
+    ) {
+        let lvl = &self.levels[level];
+        let (lambda_min, lambda_max) = lvl.cheb_bounds;
+        let theta = 0.5 * (lambda_max + lambda_min);
+        let delta = 0.5 * (lambda_max - lambda_min);
+        let (mine, iter_rest) = iter_ws
+            .split_first_mut()
+            .expect("iteration frame per level");
+        out.clear();
+        out.resize(br.len(), 0.0);
+        mine.r32.clear();
+        mine.r32.extend_from_slice(br);
+        // Demotion stores every level ≥ 1 of an f32 chain as an f32
+        // matrix alongside its compiled trace; the shim only admits such
+        // chains, so this arm is total here.
+        let LevelMatrix::F32(matrix) = &lvl.matrix else {
+            unreachable!("all-f32 cycle on a level without a demoted matrix")
+        };
+        mine.p32.resize(br.len(), 0.0);
         let mut alpha = 0.0f64;
         for it in 0..iterations {
-            self.precondition_rm_into(level, &mine.r, k, &mut mine.z, elim_ws, iter_rest, bottom);
+            self.precondition_rm32_into(
+                level,
+                &mine.r32,
+                k,
+                &mut mine.z32,
+                elim_ws,
+                iter_rest,
+                bottom,
+            );
             if it == 0 {
-                mine.p.copy_from_slice(&mine.z);
+                mine.p32.copy_from_slice(&mine.z32);
                 alpha = 1.0 / theta;
             } else {
                 let beta = if it == 1 {
@@ -1517,12 +2156,12 @@ impl SolverChain {
                     (delta * alpha / 2.0) * (delta * alpha / 2.0)
                 };
                 alpha = 1.0 / (theta - beta / alpha);
-                for (pi, zi) in mine.p.iter_mut().zip(&mine.z) {
-                    *pi = zi + beta * *pi;
+                let bf = beta as f32;
+                for (pi, zi) in mine.p32.iter_mut().zip(&mine.z32) {
+                    *pi = zi + bf * *pi;
                 }
             }
-            lvl.matrix
-                .cheb_fused_sweep(alpha, &mine.p, out, &mut mine.r, k);
+            matrix.cheb_fused_sweep32(alpha, &mine.p32, out, &mut mine.r32, k);
         }
     }
 
@@ -1545,7 +2184,7 @@ impl SolverChain {
         bottom: &mut BottomScratch,
     ) {
         let lvl = &self.levels[level];
-        let n = lvl.graph.n();
+        let n = lvl.n();
         let (mine, iter_rest) = iter_ws
             .split_first_mut()
             .expect("iteration frame per level");
@@ -1623,7 +2262,7 @@ impl SolverChain {
     /// without materialising a second Laplacian operator.
     pub fn apply_top(&self, x: &[f64]) -> Vec<f64> {
         let top_matrix: &PermutedLevel = if let Some(l) = self.levels.first() {
-            &l.matrix
+            l.matrix.as_f64()
         } else {
             &self.bottom_matrix
         };
@@ -1701,7 +2340,7 @@ impl SolverChain {
     ) -> Vec<SolveOutcome> {
         let ChainWorkspace { elim, iter, bottom } = ws;
         let top_matrix: &PermutedLevel = if let Some(l) = self.levels.first() {
-            &l.matrix
+            l.matrix.as_f64()
         } else {
             &self.bottom_matrix
         };
@@ -2057,7 +2696,7 @@ impl<'a> ChainPreconditioner<'a> {
 impl Preconditioner for ChainPreconditioner<'_> {
     fn dim(&self) -> usize {
         if let Some(l) = self.chain.levels.first() {
-            l.graph.n()
+            l.n()
         } else {
             self.chain.bottom_graph.n()
         }
@@ -2406,6 +3045,130 @@ mod tests {
             for (a, b) in zb.col(j).iter().zip(&z1) {
                 assert_eq!(a.to_bits(), b.to_bits(), "column {j}");
             }
+        }
+    }
+
+    #[test]
+    fn f32_chain_converges_and_slims_residency() {
+        let g = generators::grid2d(32, 32, |_, _| 1.0);
+        let opts = ChainOptions {
+            bottom_size: 200,
+            ..Default::default()
+        };
+        let f64_chain = build_chain(&g, &opts);
+        let f32_chain = build_chain(&g, &opts.with_precision(Precision::F32));
+        assert!(f32_chain.depth() >= 1);
+        // Level 0 stays f64 (the outer PCG's residual operator); every
+        // deeper level demotes and drops its graph.
+        assert_eq!(
+            f32_chain.levels()[0].storage_precision(),
+            Precision::F64,
+            "level 0 must stay f64"
+        );
+        for (i, lvl) in f32_chain.levels().iter().enumerate() {
+            assert!(lvl.graph().is_none(), "level {i} graph not dropped");
+            if i >= 1 {
+                assert_eq!(lvl.storage_precision(), Precision::F32, "level {i}");
+            }
+        }
+        // The acceptance bound: per-level resident bytes ≤ 0.55× f64
+        // (the last entry is the bottom, which keeps its f64 matrix and
+        // graph for the iterative fallback — only its envelope factor
+        // halves, so it is bounded separately).
+        let s64 = f64_chain.stats();
+        let s32 = f32_chain.stats();
+        let depth = f32_chain.depth();
+        for i in 0..depth {
+            let (a, b) = (s32.level_resident_bytes[i], s64.level_resident_bytes[i]);
+            assert!(
+                (a as f64) <= 0.55 * (b as f64),
+                "level {i}: f32 resident {a} vs f64 {b}"
+            );
+        }
+        assert!(s32.level_resident_bytes[depth] < s64.level_resident_bytes[depth]);
+        assert!(s32.resident_bytes < s64.resident_bytes);
+        assert!(s32.streamed_bytes_per_application < 0.75 * s64.streamed_bytes_per_application);
+        // Full outer accuracy through the f64 top operator.
+        let b = random_rhs(g.n());
+        let out = f32_chain.solve(&b, 1e-8, 300);
+        assert!(out.converged, "rel {}", out.relative_residual);
+        let op = LaplacianOp::new(&g);
+        let r = op.residual(&out.x, &b);
+        assert!(
+            parsdd_linalg::vector::norm2(&r) <= 1e-7 * parsdd_linalg::vector::norm2(&b),
+            "true residual too large"
+        );
+        // Iteration envelope vs the f64 chain.
+        let out64 = f64_chain.solve(&b, 1e-8, 300);
+        assert!(
+            out.iterations as f64 <= 1.5 * out64.iterations.max(1) as f64,
+            "f32 {} iters vs f64 {}",
+            out.iterations,
+            out64.iterations
+        );
+    }
+
+    #[test]
+    fn f32_knob_keeps_f64_bottom_on_shallow_chains() {
+        // A bottom-only chain returns its bottom solve as the final
+        // answer, so the knob must leave the envelope factor in f64 —
+        // tight tolerances stay reachable in one solve.
+        let g = generators::grid2d(12, 12, |x, y| 1.0 + ((x + 2 * y) % 3) as f64);
+        let chain = build_chain(&g, &ChainOptions::default().with_precision(Precision::F32));
+        assert_eq!(chain.depth(), 0);
+        let stats = chain.stats();
+        assert!(stats.direct_bottom);
+        let b = random_rhs(g.n());
+        let out = chain.solve(&b, 1e-10, 60);
+        assert!(out.converged, "rel {}", out.relative_residual);
+    }
+
+    #[test]
+    fn f32_block_solve_matches_single_solves_bitwise() {
+        let g = generators::grid2d(30, 30, |_, _| 1.0);
+        let opts = ChainOptions {
+            bottom_size: 200,
+            ..Default::default()
+        }
+        .with_precision(Precision::F32);
+        let chain = build_chain(&g, &opts);
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|s| {
+                let mut b: Vec<f64> = (0..g.n())
+                    .map(|i| (((i * (2 * s + 5)) % 31) as f64) - 15.0)
+                    .collect();
+                project_out_constant(&mut b);
+                b
+            })
+            .collect();
+        let outs = chain.solve_block(&MultiVector::from_columns(&cols), 1e-9, 300);
+        for (j, b) in cols.iter().enumerate() {
+            let single = chain.solve(b, 1e-9, 300);
+            assert_eq!(outs[j].iterations, single.iterations, "column {j}");
+            for (a, s) in outs[j].x.iter().zip(&single.x) {
+                assert_eq!(a.to_bits(), s.to_bits(), "column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_default_is_knob_independent() {
+        // ChainOptions::default() must behave bitwise-identically to an
+        // explicit F64 knob — the default path is determinism-pinned.
+        let g = generators::grid2d(28, 28, |x, y| 1.0 + ((x + 2 * y) % 3) as f64);
+        let a = build_chain(&g, &ChainOptions::default());
+        let b = build_chain(&g, &ChainOptions::default().with_precision(Precision::F64));
+        let rhs = random_rhs(g.n());
+        let xa = a.solve(&rhs, 1e-9, 300);
+        let xb = b.solve(&rhs, 1e-9, 300);
+        assert_eq!(xa.iterations, xb.iterations);
+        for (u, v) in xa.x.iter().zip(&xb.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        // And every f64 level retains its graph (the pre-knob layout).
+        for lvl in a.levels() {
+            assert!(lvl.graph().is_some());
+            assert_eq!(lvl.storage_precision(), Precision::F64);
         }
     }
 

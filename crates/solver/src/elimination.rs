@@ -637,6 +637,570 @@ impl EliminationResult {
     }
 }
 
+/// One step of a [`CompiledTraceF32`]. Index/coefficient records only —
+/// everything a pass divides by in the f64 trace is stored here as a
+/// prefolded reciprocal (or normalised ratio), so applying a step is
+/// multiply-adds and nothing else.
+#[derive(Debug, Clone, Copy)]
+enum CompiledStepF32 {
+    /// Degree-1 elimination of `v` attached to `u`; `winv = 1/w`.
+    Degree1 { v: u32, u: u32, winv: f32 },
+    /// Degree-2 elimination of `v` attached to `a`/`b`: `ca = wa/(wa+wb)`,
+    /// `cb = wb/(wa+wb)` drive the forward pass, `wa`/`wb` plus
+    /// `dinv = 1/(wa+wb)` the backward one.
+    Degree2 {
+        v: u32,
+        a: u32,
+        b: u32,
+        ca: f32,
+        cb: f32,
+        wa: f32,
+        wb: f32,
+        dinv: f32,
+    },
+    /// Star elimination of `v`; neighbours live in
+    /// [`CompiledTraceF32::star_data`] at `[offset, offset + len)` and
+    /// `winv = 1/Σw`.
+    Star {
+        v: u32,
+        offset: u32,
+        len: u32,
+        winv: f32,
+    },
+    /// Isolated vertex removed from the system.
+    Isolated { v: u32 },
+}
+
+/// Multiply-only compiled form of an [`EliminationResult`] for the f32
+/// storage tier. The f64 trace recomputes every step's divisions
+/// (`wa/(wa+wb)`, `1/w`, `1/Σw`) on each application — unpipelined
+/// double divides on the hottest recursion path; this form folds them
+/// into f32 coefficients once at build time. Two vector widths share the
+/// compiled steps: the f64-vector entries (level 0's outer interface)
+/// widen each coefficient once per use, and the all-f32 entries (the
+/// inner W-cycle, whose vectors live in f32) run every product and sum
+/// in f32. Both are preconditioner-internal, so rounding at the f32
+/// scale (~6e-8 relative) merely perturbs the preconditioner — the same
+/// argument that lets the level matrices demote. Per column the update
+/// order matches the f64 trace's passes exactly, and blocked
+/// applications are bitwise identical per column at every width `k`.
+#[derive(Debug, Clone)]
+pub struct CompiledTraceF32 {
+    /// Dimension of the eliminated (original) vertex space.
+    n: usize,
+    steps: Vec<CompiledStepF32>,
+    /// `(neighbour, w/Σw, w)` records of the star steps.
+    star_data: Vec<(u32, f32, f32)>,
+    /// Reduced id → original id (the gather producing the reduced rhs).
+    kept: Vec<VertexId>,
+}
+
+impl CompiledTraceF32 {
+    /// Compiles an elimination trace: one pass over the f64 steps, all
+    /// divisions folded.
+    pub fn from_elimination(elim: &EliminationResult) -> Self {
+        let steps = elim
+            .steps
+            .iter()
+            .map(|step| match *step {
+                EliminationStep::Degree1 { v, u, w } => CompiledStepF32::Degree1 {
+                    v,
+                    u,
+                    winv: (1.0 / w) as f32,
+                },
+                EliminationStep::Degree2 { v, a, b, wa, wb } => {
+                    let d = wa + wb;
+                    CompiledStepF32::Degree2 {
+                        v,
+                        a,
+                        b,
+                        ca: (wa / d) as f32,
+                        cb: (wb / d) as f32,
+                        wa: wa as f32,
+                        wb: wb as f32,
+                        dinv: (1.0 / d) as f32,
+                    }
+                }
+                EliminationStep::Star { v, offset, len } => {
+                    let star = elim.star(offset, len);
+                    let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                    CompiledStepF32::Star {
+                        v,
+                        offset,
+                        len,
+                        winv: (1.0 / wtot) as f32,
+                    }
+                }
+                EliminationStep::Isolated { v } => CompiledStepF32::Isolated { v },
+            })
+            .collect();
+        let star_data = {
+            // Rebuild the normalised records star-by-star so each entry
+            // carries its own `w/Σw` (Σ over that star only).
+            let mut data = Vec::with_capacity(elim.star_data.len());
+            for step in &elim.steps {
+                if let EliminationStep::Star { offset, len, .. } = *step {
+                    let star = elim.star(offset, len);
+                    let wtot: f64 = star.iter().map(|&(_, w)| w).sum();
+                    debug_assert_eq!(data.len(), offset as usize);
+                    data.extend(star.iter().map(|&(u, w)| (u, (w / wtot) as f32, w as f32)));
+                }
+            }
+            data
+        };
+        CompiledTraceF32 {
+            n: elim.orig_to_reduced.len(),
+            steps,
+            star_data,
+            kept: elim.kept.clone(),
+        }
+    }
+
+    /// Heap bytes the compiled trace keeps resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.steps.len() * std::mem::size_of::<CompiledStepF32>()
+            + self.star_data.len() * std::mem::size_of::<(u32, f32, f32)>()
+            + self.kept.len() * 4
+    }
+
+    fn star(&self, offset: u32, len: u32) -> &[(u32, f32, f32)] {
+        &self.star_data[offset as usize..(offset + len) as usize]
+    }
+
+    /// Multiply-only counterpart of
+    /// [`EliminationResult::forward_rhs_rowmajor_into`]: same buffers,
+    /// same per-column update order, coefficients widened from f32.
+    pub fn forward_rhs_rowmajor_into(
+        &self,
+        br: &[f64],
+        k: usize,
+        reduced: &mut Vec<f64>,
+        work: &mut Vec<f64>,
+        row: &mut Vec<f64>,
+    ) {
+        assert_eq!(br.len(), self.n * k);
+        work.clear();
+        work.extend_from_slice(br);
+        if k == 1 {
+            for step in &self.steps {
+                match *step {
+                    CompiledStepF32::Degree1 { v, u, .. } => {
+                        work[u as usize] += work[v as usize];
+                    }
+                    CompiledStepF32::Degree2 {
+                        v, a, b, ca, cb, ..
+                    } => {
+                        let bv = work[v as usize];
+                        work[a as usize] += ca as f64 * bv;
+                        work[b as usize] += cb as f64 * bv;
+                    }
+                    CompiledStepF32::Star { v, offset, len, .. } => {
+                        let bv = work[v as usize];
+                        for &(u, c, _) in self.star(offset, len) {
+                            work[u as usize] += c as f64 * bv;
+                        }
+                    }
+                    CompiledStepF32::Isolated { .. } => {}
+                }
+            }
+            reduced.clear();
+            reduced.extend(self.kept.iter().map(|&v| work[v as usize]));
+            return;
+        }
+        row.clear();
+        row.resize(k, 0.0);
+        let mut buf = std::mem::take(row);
+        for step in &self.steps {
+            match *step {
+                CompiledStepF32::Degree1 { v, u, .. } => {
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    let dst = &mut work[u as usize * k..(u as usize + 1) * k];
+                    for (d, &s) in dst.iter_mut().zip(&buf) {
+                        *d += s;
+                    }
+                }
+                CompiledStepF32::Degree2 {
+                    v, a, b, ca, cb, ..
+                } => {
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    let ca = ca as f64;
+                    let dst = &mut work[a as usize * k..(a as usize + 1) * k];
+                    for (t, &s) in dst.iter_mut().zip(&buf) {
+                        *t += ca * s;
+                    }
+                    let cb = cb as f64;
+                    let dst = &mut work[b as usize * k..(b as usize + 1) * k];
+                    for (t, &s) in dst.iter_mut().zip(&buf) {
+                        *t += cb * s;
+                    }
+                }
+                CompiledStepF32::Star { v, offset, len, .. } => {
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    for &(u, c, _) in self.star(offset, len) {
+                        let c = c as f64;
+                        let dst = &mut work[u as usize * k..(u as usize + 1) * k];
+                        for (t, &s) in dst.iter_mut().zip(&buf) {
+                            *t += c * s;
+                        }
+                    }
+                }
+                CompiledStepF32::Isolated { .. } => {}
+            }
+        }
+        *row = buf;
+        reduced.clear();
+        for &v in &self.kept {
+            reduced.extend_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+        }
+    }
+
+    /// Multiply-only counterpart of
+    /// [`EliminationResult::back_substitute_rowmajor_into`]; same
+    /// write-before-read discipline (`x` is sized, not zeroed).
+    pub fn back_substitute_rowmajor_into(
+        &self,
+        working_rhs: &[f64],
+        xr_reduced: &[f64],
+        k: usize,
+        x: &mut Vec<f64>,
+        row: &mut Vec<f64>,
+    ) {
+        assert_eq!(working_rhs.len(), self.n * k);
+        assert_eq!(xr_reduced.len(), self.kept.len() * k);
+        x.resize(self.n * k, 0.0);
+        if k == 1 {
+            for (r, &orig) in self.kept.iter().enumerate() {
+                x[orig as usize] = xr_reduced[r];
+            }
+            for step in self.steps.iter().rev() {
+                match *step {
+                    CompiledStepF32::Degree1 { v, u, winv } => {
+                        x[v as usize] = working_rhs[v as usize] * winv as f64 + x[u as usize];
+                    }
+                    CompiledStepF32::Degree2 {
+                        v,
+                        a,
+                        b,
+                        wa,
+                        wb,
+                        dinv,
+                        ..
+                    } => {
+                        x[v as usize] = (working_rhs[v as usize]
+                            + wa as f64 * x[a as usize]
+                            + wb as f64 * x[b as usize])
+                            * dinv as f64;
+                    }
+                    CompiledStepF32::Star {
+                        v,
+                        offset,
+                        len,
+                        winv,
+                    } => {
+                        let acc: f64 = self
+                            .star(offset, len)
+                            .iter()
+                            .map(|&(u, _, w)| w as f64 * x[u as usize])
+                            .sum();
+                        x[v as usize] = (working_rhs[v as usize] + acc) * winv as f64;
+                    }
+                    CompiledStepF32::Isolated { v } => {
+                        x[v as usize] = 0.0;
+                    }
+                }
+            }
+            return;
+        }
+        for (src, &orig) in xr_reduced.chunks_exact(k).zip(&self.kept) {
+            x[orig as usize * k..(orig as usize + 1) * k].copy_from_slice(src);
+        }
+        row.clear();
+        row.resize(k, 0.0);
+        let mut buf = std::mem::take(row);
+        for step in self.steps.iter().rev() {
+            match *step {
+                CompiledStepF32::Degree1 { v, u, winv } => {
+                    buf.copy_from_slice(&x[u as usize * k..(u as usize + 1) * k]);
+                    let winv = winv as f64;
+                    let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for ((t, &wv), &xu) in dst.iter_mut().zip(wrow).zip(&buf) {
+                        *t = wv * winv + xu;
+                    }
+                }
+                CompiledStepF32::Degree2 {
+                    v,
+                    a,
+                    b,
+                    wa,
+                    wb,
+                    dinv,
+                    ..
+                } => {
+                    let (wa, wb, dinv) = (wa as f64, wb as f64, dinv as f64);
+                    {
+                        let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                        let xa = &x[a as usize * k..(a as usize + 1) * k];
+                        for ((t, &wv), &v) in buf.iter_mut().zip(wrow).zip(xa) {
+                            *t = wv + wa * v;
+                        }
+                    }
+                    {
+                        let xb = &x[b as usize * k..(b as usize + 1) * k];
+                        for (t, &v) in buf.iter_mut().zip(xb) {
+                            *t += wb * v;
+                        }
+                    }
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for (t, &acc) in dst.iter_mut().zip(&buf) {
+                        *t = acc * dinv;
+                    }
+                }
+                CompiledStepF32::Star {
+                    v,
+                    offset,
+                    len,
+                    winv,
+                } => {
+                    buf.iter_mut().for_each(|t| *t = 0.0);
+                    for &(u, _, w) in self.star(offset, len) {
+                        let w = w as f64;
+                        let xu = &x[u as usize * k..(u as usize + 1) * k];
+                        for (t, &v) in buf.iter_mut().zip(xu) {
+                            *t += w * v;
+                        }
+                    }
+                    let winv = winv as f64;
+                    let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for ((t, &wv), &acc) in dst.iter_mut().zip(wrow).zip(&buf) {
+                        *t = (wv + acc) * winv;
+                    }
+                }
+                CompiledStepF32::Isolated { v } => {
+                    x[v as usize * k..(v as usize + 1) * k]
+                        .iter_mut()
+                        .for_each(|t| *t = 0.0);
+                }
+            }
+        }
+        *row = buf;
+    }
+
+    /// All-f32 counterpart of
+    /// [`forward_rhs_rowmajor_into`](Self::forward_rhs_rowmajor_into) for
+    /// the inner W-cycle, where rhs and working vectors live in f32: same
+    /// per-column update order, every product and sum in f32.
+    pub fn forward_rhs_rowmajor32_into(
+        &self,
+        br: &[f32],
+        k: usize,
+        reduced: &mut Vec<f32>,
+        work: &mut Vec<f32>,
+        row: &mut Vec<f32>,
+    ) {
+        assert_eq!(br.len(), self.n * k);
+        work.clear();
+        work.extend_from_slice(br);
+        if k == 1 {
+            for step in &self.steps {
+                match *step {
+                    CompiledStepF32::Degree1 { v, u, .. } => {
+                        work[u as usize] += work[v as usize];
+                    }
+                    CompiledStepF32::Degree2 {
+                        v, a, b, ca, cb, ..
+                    } => {
+                        let bv = work[v as usize];
+                        work[a as usize] += ca * bv;
+                        work[b as usize] += cb * bv;
+                    }
+                    CompiledStepF32::Star { v, offset, len, .. } => {
+                        let bv = work[v as usize];
+                        for &(u, c, _) in self.star(offset, len) {
+                            work[u as usize] += c * bv;
+                        }
+                    }
+                    CompiledStepF32::Isolated { .. } => {}
+                }
+            }
+            reduced.clear();
+            reduced.extend(self.kept.iter().map(|&v| work[v as usize]));
+            return;
+        }
+        row.clear();
+        row.resize(k, 0.0);
+        let mut buf = std::mem::take(row);
+        for step in &self.steps {
+            match *step {
+                CompiledStepF32::Degree1 { v, u, .. } => {
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    let dst = &mut work[u as usize * k..(u as usize + 1) * k];
+                    for (d, &s) in dst.iter_mut().zip(&buf) {
+                        *d += s;
+                    }
+                }
+                CompiledStepF32::Degree2 {
+                    v, a, b, ca, cb, ..
+                } => {
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    let dst = &mut work[a as usize * k..(a as usize + 1) * k];
+                    for (t, &s) in dst.iter_mut().zip(&buf) {
+                        *t += ca * s;
+                    }
+                    let dst = &mut work[b as usize * k..(b as usize + 1) * k];
+                    for (t, &s) in dst.iter_mut().zip(&buf) {
+                        *t += cb * s;
+                    }
+                }
+                CompiledStepF32::Star { v, offset, len, .. } => {
+                    buf.copy_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+                    for &(u, c, _) in self.star(offset, len) {
+                        let dst = &mut work[u as usize * k..(u as usize + 1) * k];
+                        for (t, &s) in dst.iter_mut().zip(&buf) {
+                            *t += c * s;
+                        }
+                    }
+                }
+                CompiledStepF32::Isolated { .. } => {}
+            }
+        }
+        *row = buf;
+        reduced.clear();
+        for &v in &self.kept {
+            reduced.extend_from_slice(&work[v as usize * k..(v as usize + 1) * k]);
+        }
+    }
+
+    /// All-f32 counterpart of
+    /// [`back_substitute_rowmajor_into`](Self::back_substitute_rowmajor_into);
+    /// same write-before-read discipline (`x` is sized, not zeroed).
+    pub fn back_substitute_rowmajor32_into(
+        &self,
+        working_rhs: &[f32],
+        xr_reduced: &[f32],
+        k: usize,
+        x: &mut Vec<f32>,
+        row: &mut Vec<f32>,
+    ) {
+        assert_eq!(working_rhs.len(), self.n * k);
+        assert_eq!(xr_reduced.len(), self.kept.len() * k);
+        x.resize(self.n * k, 0.0);
+        if k == 1 {
+            for (r, &orig) in self.kept.iter().enumerate() {
+                x[orig as usize] = xr_reduced[r];
+            }
+            for step in self.steps.iter().rev() {
+                match *step {
+                    CompiledStepF32::Degree1 { v, u, winv } => {
+                        x[v as usize] = working_rhs[v as usize] * winv + x[u as usize];
+                    }
+                    CompiledStepF32::Degree2 {
+                        v,
+                        a,
+                        b,
+                        wa,
+                        wb,
+                        dinv,
+                        ..
+                    } => {
+                        x[v as usize] =
+                            (working_rhs[v as usize] + wa * x[a as usize] + wb * x[b as usize])
+                                * dinv;
+                    }
+                    CompiledStepF32::Star {
+                        v,
+                        offset,
+                        len,
+                        winv,
+                    } => {
+                        let acc: f32 = self
+                            .star(offset, len)
+                            .iter()
+                            .map(|&(u, _, w)| w * x[u as usize])
+                            .sum();
+                        x[v as usize] = (working_rhs[v as usize] + acc) * winv;
+                    }
+                    CompiledStepF32::Isolated { v } => {
+                        x[v as usize] = 0.0;
+                    }
+                }
+            }
+            return;
+        }
+        for (src, &orig) in xr_reduced.chunks_exact(k).zip(&self.kept) {
+            x[orig as usize * k..(orig as usize + 1) * k].copy_from_slice(src);
+        }
+        row.clear();
+        row.resize(k, 0.0);
+        let mut buf = std::mem::take(row);
+        for step in self.steps.iter().rev() {
+            match *step {
+                CompiledStepF32::Degree1 { v, u, winv } => {
+                    buf.copy_from_slice(&x[u as usize * k..(u as usize + 1) * k]);
+                    let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for ((t, &wv), &xu) in dst.iter_mut().zip(wrow).zip(&buf) {
+                        *t = wv * winv + xu;
+                    }
+                }
+                CompiledStepF32::Degree2 {
+                    v,
+                    a,
+                    b,
+                    wa,
+                    wb,
+                    dinv,
+                    ..
+                } => {
+                    {
+                        let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                        let xa = &x[a as usize * k..(a as usize + 1) * k];
+                        for ((t, &wv), &v) in buf.iter_mut().zip(wrow).zip(xa) {
+                            *t = wv + wa * v;
+                        }
+                    }
+                    {
+                        let xb = &x[b as usize * k..(b as usize + 1) * k];
+                        for (t, &v) in buf.iter_mut().zip(xb) {
+                            *t += wb * v;
+                        }
+                    }
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for (t, &acc) in dst.iter_mut().zip(&buf) {
+                        *t = acc * dinv;
+                    }
+                }
+                CompiledStepF32::Star {
+                    v,
+                    offset,
+                    len,
+                    winv,
+                } => {
+                    buf.iter_mut().for_each(|t| *t = 0.0);
+                    for &(u, _, w) in self.star(offset, len) {
+                        let xu = &x[u as usize * k..(u as usize + 1) * k];
+                        for (t, &v) in buf.iter_mut().zip(xu) {
+                            *t += w * v;
+                        }
+                    }
+                    let wrow = &working_rhs[v as usize * k..(v as usize + 1) * k];
+                    let dst = &mut x[v as usize * k..(v as usize + 1) * k];
+                    for ((t, &wv), &acc) in dst.iter_mut().zip(wrow).zip(&buf) {
+                        *t = (wv + acc) * winv;
+                    }
+                }
+                CompiledStepF32::Isolated { v } => {
+                    x[v as usize * k..(v as usize + 1) * k]
+                        .iter_mut()
+                        .for_each(|t| *t = 0.0);
+                }
+            }
+        }
+        *row = buf;
+    }
+}
+
 type Adjacency = Vec<std::collections::BTreeMap<VertexId, f64>>;
 
 /// Classification of a live vertex under the current adjacency.
@@ -962,6 +1526,75 @@ mod tests {
             let single = elim.back_substitute(&work_1, xr);
             for (a, b) in x.col(j).iter().zip(&single) {
                 assert_eq!(a.to_bits(), b.to_bits(), "solution column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_trace_matches_f64_trace_closely() {
+        // The compiled multiply-only trace replaces every division by a
+        // prefolded f32 reciprocal; per entry its passes must agree with
+        // the f64 trace to f32 relative accuracy.
+        let g = generators::weighted_random_graph(400, 1100, 0.3, 9.0, 17);
+        let elim = greedy_elimination(&g, 9);
+        assert!(
+            elim.steps
+                .iter()
+                .any(|s| matches!(s, EliminationStep::Star { .. })),
+            "want star steps in the exercise"
+        );
+        let compiled = CompiledTraceF32::from_elimination(&elim);
+        let b: Vec<f64> = (0..g.n()).map(|i| ((i * 23) % 17) as f64 - 8.0).collect();
+        let (reduced, work) = elim.forward_rhs(&b);
+        let (mut creduced, mut cwork, mut row) = (Vec::new(), Vec::new(), Vec::new());
+        compiled.forward_rhs_rowmajor_into(&b, 1, &mut creduced, &mut cwork, &mut row);
+        let scale = b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for (a, c) in reduced.iter().zip(&creduced) {
+            assert!((a - c).abs() <= 1e-5 * scale, "forward {a} vs {c}");
+        }
+        let xr: Vec<f64> = (0..elim.kept.len())
+            .map(|i| (i as f64 * 0.31).sin())
+            .collect();
+        let x = elim.back_substitute(&work, &xr);
+        let mut cx = Vec::new();
+        compiled.back_substitute_rowmajor_into(&cwork, &xr, 1, &mut cx, &mut row);
+        let xscale = x.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, c) in x.iter().zip(&cx) {
+            assert!((a - c).abs() <= 1e-4 * xscale, "backward {a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn compiled_trace_blocked_matches_single_bitwise() {
+        let g = generators::weighted_random_graph(300, 900, 1.0, 6.0, 11);
+        let elim = greedy_elimination(&g, 7);
+        let compiled = CompiledTraceF32::from_elimination(&elim);
+        let n = g.n();
+        let k = 3;
+        let br: Vec<f64> = (0..n * k).map(|i| ((i * 7) % 23) as f64 - 11.0).collect();
+        let (mut reduced, mut work, mut row) = (Vec::new(), Vec::new(), Vec::new());
+        compiled.forward_rhs_rowmajor_into(&br, k, &mut reduced, &mut work, &mut row);
+        let xr: Vec<f64> = (0..elim.kept.len() * k)
+            .map(|i| (i as f64 * 0.17).cos())
+            .collect();
+        let mut x = Vec::new();
+        compiled.back_substitute_rowmajor_into(&work, &xr, k, &mut x, &mut row);
+        for j in 0..k {
+            let bj: Vec<f64> = (0..n).map(|v| br[v * k + j]).collect();
+            let (mut red1, mut work1, mut row1) = (Vec::new(), Vec::new(), Vec::new());
+            compiled.forward_rhs_rowmajor_into(&bj, 1, &mut red1, &mut work1, &mut row1);
+            for (r, (a, b)) in red1
+                .iter()
+                .zip(reduced.iter().skip(j).step_by(k))
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "reduced col {j} row {r}");
+            }
+            let xj: Vec<f64> = (0..elim.kept.len()).map(|v| xr[v * k + j]).collect();
+            let mut x1 = Vec::new();
+            compiled.back_substitute_rowmajor_into(&work1, &xj, 1, &mut x1, &mut row1);
+            for (r, (a, b)) in x1.iter().zip(x.iter().skip(j).step_by(k)).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "solution col {j} row {r}");
             }
         }
     }

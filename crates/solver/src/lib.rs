@@ -41,7 +41,7 @@ pub mod sparsify;
 
 pub use chain::{
     build_chain, ChainOptions, ChainPreconditioner, ChainQuality, ChainStats, IterationMethod,
-    LevelQuality, SolveOutcome, SolverChain,
+    LevelQuality, Precision, SolveOutcome, SolverChain,
 };
 pub use elimination::{
     greedy_elimination, greedy_elimination_with_params, EliminationParams, EliminationResult,

@@ -69,8 +69,18 @@ pub struct SddSolverOptions {
 
 impl Default for SddSolverOptions {
     fn default() -> Self {
+        let mut chain = ChainOptions::default();
+        // Process-wide CI hook (see [`crate::chain::Precision::from_env`]):
+        // with `PARSDD_PRECISION` unset — every normal run — this is
+        // exactly `ChainOptions::default()`, so the determinism-pinned
+        // default path is untouched. The thread-matrix CI job sets
+        // `PARSDD_PRECISION=f32` to drive the apps suite through the
+        // mixed-precision tier end to end.
+        if let Some(p) = crate::chain::Precision::from_env() {
+            chain.precision = p;
+        }
         SddSolverOptions {
-            chain: ChainOptions::default(),
+            chain,
             tolerance: 1e-8,
             max_iterations: 200,
         }
@@ -510,6 +520,9 @@ impl SddSolver {
             c.adaptive = true;
             c.max_inner_iterations += 2;
             c.inner_extra_iterations += 1;
+            // A breakdown on a mixed-precision chain escalates to full
+            // precision: the stronger rung always rebuilds in f64.
+            c.precision = crate::chain::Precision::F64;
             build_chain(&self.source_graph, &c.sanitized())
         });
         let out2 = chain2.solve(b, tol, budget.saturating_mul(2));
@@ -544,6 +557,8 @@ impl SddSolver {
                 let mut c = self.options.chain;
                 c.bottom_size = n.max(1);
                 c.dense_bottom_limit = n.max(1);
+                // The exact-factor rung is f64 regardless of the knob.
+                c.precision = crate::chain::Precision::F64;
                 build_chain(&self.source_graph, &c)
             });
             let out3 = chain3.solve(b, tol, budget);

@@ -23,7 +23,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use parsdd_graph::parutil::with_threads;
-use parsdd_solver::chain::{build_chain, ChainOptions};
+use parsdd_solver::chain::{build_chain, ChainOptions, Precision};
 
 struct CountingAlloc;
 
@@ -63,29 +63,34 @@ fn grid_rhs(n: usize) -> Vec<f64> {
 }
 
 /// Zero heap allocations per preconditioner application once warm, at
-/// block widths 1 and 4.
+/// block widths 1 and 4 — in both storage precisions (the f32 tier's
+/// `p32` direction scratch lives in the same `ChainWorkspace` arena, so
+/// demoted chains make no per-application heap traffic either).
 #[test]
 fn preconditioner_application_is_allocation_free_when_warm() {
     with_threads(1, || {
         let g = parsdd_graph::generators::grid2d(64, 64, |x, y| 1.0 + ((x * 3 + y) % 5) as f64);
-        let chain = build_chain(&g, &ChainOptions::default());
-        let n = g.n();
-        for k in [1usize, 4] {
-            let br: Vec<f64> = (0..n * k).map(|i| ((i % 19) as f64) - 9.0).collect();
-            let mut out = Vec::new();
-            // Warm-up: the first application grows every arena buffer to
-            // its steady-state size (sizes are deterministic per level).
-            chain.precondition_block_rm(&br, k, &mut out);
-            chain.precondition_block_rm(&br, k, &mut out);
-            let before = allocs_here();
-            for _ in 0..5 {
+        for precision in [Precision::F64, Precision::F32] {
+            let chain = build_chain(&g, &ChainOptions::default().with_precision(precision));
+            let n = g.n();
+            for k in [1usize, 4] {
+                let br: Vec<f64> = (0..n * k).map(|i| ((i % 19) as f64) - 9.0).collect();
+                let mut out = Vec::new();
+                // Warm-up: the first application grows every arena buffer to
+                // its steady-state size (sizes are deterministic per level).
                 chain.precondition_block_rm(&br, k, &mut out);
+                chain.precondition_block_rm(&br, k, &mut out);
+                let before = allocs_here();
+                for _ in 0..5 {
+                    chain.precondition_block_rm(&br, k, &mut out);
+                }
+                let grew = allocs_here() - before;
+                assert_eq!(
+                    grew, 0,
+                    "width-{k} {precision:?} preconditioner application allocated \
+                     {grew} times in steady state"
+                );
             }
-            let grew = allocs_here() - before;
-            assert_eq!(
-                grew, 0,
-                "width-{k} preconditioner application allocated {grew} times in steady state"
-            );
         }
     });
 }
@@ -99,23 +104,25 @@ fn preconditioner_application_is_allocation_free_when_warm() {
 fn solve_allocations_are_iteration_count_independent() {
     with_threads(1, || {
         let g = parsdd_graph::generators::grid2d(64, 64, |x, y| 1.0 + ((x * 3 + y) % 5) as f64);
-        let chain = build_chain(&g, &ChainOptions::default());
-        let b = grid_rhs(g.n());
-        // Warm the workspace pool and the outer-solve buffers.
-        let _ = chain.solve(&b, 0.0, 5);
+        for precision in [Precision::F64, Precision::F32] {
+            let chain = build_chain(&g, &ChainOptions::default().with_precision(precision));
+            let b = grid_rhs(g.n());
+            // Warm the workspace pool and the outer-solve buffers.
+            let _ = chain.solve(&b, 0.0, 5);
 
-        let measure = |iters: usize| {
-            let before = allocs_here();
-            let outcome = chain.solve(&b, 0.0, iters);
-            assert_eq!(outcome.iterations, iters);
-            allocs_here() - before
-        };
-        let short = measure(10);
-        let long = measure(25);
-        assert_eq!(
-            short, long,
-            "solve allocates per iteration: {short} allocations at 10 iterations \
-             vs {long} at 25"
-        );
+            let measure = |iters: usize| {
+                let before = allocs_here();
+                let outcome = chain.solve(&b, 0.0, iters);
+                assert_eq!(outcome.iterations, iters);
+                allocs_here() - before
+            };
+            let short = measure(10);
+            let long = measure(25);
+            assert_eq!(
+                short, long,
+                "{precision:?} solve allocates per iteration: {short} allocations \
+                 at 10 iterations vs {long} at 25"
+            );
+        }
     });
 }

@@ -207,6 +207,38 @@ fn recovery_ladder_end_to_end_on_barbell() {
     assert_eq!(rungs, rungs2);
 }
 
+/// The recovery ladder escalates a mixed-precision chain to full
+/// precision: a starved f32-chain solve is rescued, the stronger/direct
+/// rungs rebuild in f64 regardless of the knob, and the answer checks
+/// out against an independent operator.
+#[test]
+fn f32_chain_breakdown_escalates_to_f64_rungs() {
+    use parsdd_solver::chain::Precision;
+    let g = barbell();
+    let mut opts = SddSolverOptions {
+        max_iterations: 1,
+        ..Default::default()
+    };
+    opts.chain = ChainOptions::default().with_precision(Precision::F32);
+    let solver = SddSolver::new_laplacian(&g, opts);
+    assert_eq!(solver.chain().options().precision, Precision::F32);
+    let b = balanced_rhs(g.n(), 29);
+
+    let plain = solver.solve(&b);
+    assert!(!plain.converged, "budget must be insufficient for the test");
+
+    let out = solver.try_solve(&b).expect("ladder must rescue f32 chains");
+    assert!(out.converged);
+    assert!(
+        !out.recovery.is_empty(),
+        "escalation from the f32 chain must be recorded"
+    );
+    // Whatever rung rescued it, the answer must be genuinely right.
+    let op = LaplacianOp::new(&g);
+    let r = sub(&b, &op.apply_vec(&out.x));
+    assert!(norm2(&r) <= 1e-6 * norm2(&b));
+}
+
 /// A solver whose system was built from corrupted data must fail at
 /// *build* time for every corruption the plan generates, regardless of
 /// where in the edge list the corruption lands.

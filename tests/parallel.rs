@@ -214,8 +214,8 @@ fn chain_fingerprint(g: &parsdd_graph::Graph, rhs_seed: u64) -> Vec<u64> {
     let chain = build_chain(g, &ChainOptions::default());
     let mut fp = vec![chain.depth() as u64];
     for lvl in chain.levels() {
-        fp.push(lvl.graph.n() as u64);
-        fp.push(lvl.graph.m() as u64);
+        fp.push(lvl.n() as u64);
+        fp.push(lvl.m() as u64);
         fp.push(lvl.kappa.to_bits());
         fp.push(lvl.tree_scale.to_bits());
         fp.push(lvl.kappa_clamped as u64);

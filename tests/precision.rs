@@ -1,0 +1,173 @@
+//! Conformance contracts of the mixed-precision chain tier
+//! (`ChainOptions::precision = F32`, DESIGN.md §2.7).
+//!
+//! The f32 tier trades streamed bytes, not answers or reproducibility:
+//!
+//! 1. f32 chains converge to the same 1e-8 outer tolerance as f64 across
+//!    the zoo small tiers, with iteration counts inside a pinned ≤1.5×
+//!    envelope — the flexible outer PCG absorbs the approximate
+//!    preconditioner.
+//! 2. The f32 path is itself bitwise-reproducible across pool widths
+//!    {1, 2, 4} — every kernel (f64-accumulating or all-f32) uses a
+//!    fixed width-independent reduction tree — and batched solves match
+//!    looped single solves bitwise.
+//! 3. The f64 default is bitwise-identical with the knob absent and with
+//!    it explicitly set to `F64` — the determinism-pinned path gains no
+//!    new behavior.
+//! 4. The residency claim is measured: every f32 chain level holds
+//!    ≤ 0.55× the bytes of its f64 counterpart (storage demotion plus
+//!    the dropped duplicate CSR).
+
+use parsdd_bench::zoo::{self, Tier};
+use parsdd_graph::parutil::with_threads;
+use parsdd_solver::chain::{build_chain, ChainOptions, Precision};
+
+const TOLERANCE: f64 = 1e-8;
+
+fn rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| (((i as u64).wrapping_mul(seed.wrapping_add(13)) % 29) as f64) - 14.0)
+        .collect();
+    let mean = b.iter().sum::<f64>() / n as f64;
+    b.iter_mut().for_each(|v| *v -= mean);
+    b
+}
+
+/// Zoo small tiers: the f32 chain reaches the same 1e-8 tolerance with an
+/// iteration count within 1.5× of the f64 chain's, and each chain level
+/// holds at most 0.55× the resident bytes.
+#[test]
+fn f32_zoo_small_converges_within_iteration_envelope() {
+    for &family in zoo::FAMILIES {
+        let g = zoo::build(family, Tier::Small);
+        let opts = zoo::chain_options(family, Tier::Small);
+        let f64_run = zoo::run(&g, opts.with_precision(Precision::F64), TOLERANCE);
+        let f32_run = zoo::run(&g, opts.with_precision(Precision::F32), TOLERANCE);
+        eprintln!(
+            "[precision {family}/small] f64 it={} f32 it={} res={:.3e}",
+            f64_run.iterations, f32_run.iterations, f32_run.relative_residual
+        );
+        assert!(
+            f32_run.converged && f32_run.relative_residual <= TOLERANCE,
+            "{family}: f32 chain did not converge (it={} res={:.3e})",
+            f32_run.iterations,
+            f32_run.relative_residual
+        );
+        assert!(
+            f32_run.iterations as f64 <= 1.5 * f64_run.iterations.max(1) as f64,
+            "{family}: f32 took {} iterations vs f64's {} — outside the 1.5× envelope",
+            f32_run.iterations,
+            f64_run.iterations
+        );
+        // The residency acceptance bound, per chain level (the bottom
+        // keeps its f64 matrix + graph for the iterative fallback and is
+        // only required to shrink).
+        let s64 = build_chain(&g, &opts.with_precision(Precision::F64)).stats();
+        let s32 = build_chain(&g, &opts.with_precision(Precision::F32)).stats();
+        let depth = s32.level_resident_bytes.len() - 1;
+        for i in 0..depth {
+            assert!(
+                s32.level_resident_bytes[i] as f64 <= 0.55 * s64.level_resident_bytes[i] as f64,
+                "{family} level {i}: f32 resident {} vs f64 {}",
+                s32.level_resident_bytes[i],
+                s64.level_resident_bytes[i]
+            );
+        }
+        if depth > 0 {
+            assert!(
+                s32.resident_bytes < s64.resident_bytes,
+                "{family}: no total saving"
+            );
+            assert!(
+                s32.streamed_bytes_per_application < s64.streamed_bytes_per_application,
+                "{family}: no streamed-byte saving"
+            );
+        }
+    }
+}
+
+/// Chain structure, calibration, and solve iterates of the f32 tier as
+/// comparable bits.
+fn f32_solve_bits(g: &parsdd_graph::Graph, b: &[f64]) -> Vec<u64> {
+    let chain = build_chain(g, &ChainOptions::default().with_precision(Precision::F32));
+    let mut fp = vec![chain.depth() as u64];
+    for lvl in chain.levels() {
+        fp.push(lvl.n() as u64);
+        fp.push(lvl.m() as u64);
+        fp.push(lvl.cheb_bounds.0.to_bits());
+        fp.push(lvl.cheb_bounds.1.to_bits());
+        fp.push(lvl.inner_iterations as u64);
+    }
+    let out = chain.solve(b, TOLERANCE, 300);
+    fp.push(out.iterations as u64);
+    fp.push(out.relative_residual.to_bits());
+    fp.extend(out.x.iter().map(|v| v.to_bits()));
+    fp
+}
+
+/// The f32 path holds the same width-independence contract as the f64
+/// path: builds and solves are bitwise identical at pool widths 1, 2, 4.
+#[test]
+fn f32_chains_bitwise_identical_across_pool_widths() {
+    let grid = parsdd_graph::generators::grid2d(40, 40, |x, y| 1.0 + ((x * 3 + y) % 5) as f64);
+    let road = zoo::build("road", Tier::Small);
+    for g in [&grid, &road] {
+        let b = rhs(g.n(), 17);
+        let base = with_threads(1, || f32_solve_bits(g, &b));
+        for threads in [2usize, 4] {
+            let fp = with_threads(threads, || f32_solve_bits(g, &b));
+            assert_eq!(base, fp, "f32 solve differs at pool width {threads}");
+        }
+    }
+}
+
+/// Batched f32 solves are bitwise identical to looped single solves —
+/// the block kernels' per-column arithmetic is width-invariant in the
+/// f32 tier exactly as in the f64 tier.
+#[test]
+fn f32_batched_solves_match_looped_bitwise() {
+    use parsdd_linalg::MultiVector;
+    let g = parsdd_graph::generators::grid2d(36, 36, |_, _| 1.0);
+    let chain = build_chain(&g, &ChainOptions::default().with_precision(Precision::F32));
+    let cols: Vec<Vec<f64>> = (0..4).map(|s| rhs(g.n(), 31 + s as u64)).collect();
+    let batched = chain.solve_block(&MultiVector::from_columns(&cols), TOLERANCE, 300);
+    for (j, b) in cols.iter().enumerate() {
+        let single = chain.solve(b, TOLERANCE, 300);
+        assert_eq!(batched[j].iterations, single.iterations, "column {j}");
+        assert_eq!(
+            batched[j].relative_residual.to_bits(),
+            single.relative_residual.to_bits(),
+            "column {j}"
+        );
+        for (a, s) in batched[j].x.iter().zip(&single.x) {
+            assert_eq!(a.to_bits(), s.to_bits(), "column {j} solution");
+        }
+    }
+}
+
+/// The committed f64 behavior is unchanged by the knob's existence: a
+/// default build and an explicit `F64` build produce bitwise-identical
+/// structure and solves, and every level retains its graph.
+#[test]
+fn f64_default_unchanged_with_knob_absent_or_explicit() {
+    let g = zoo::build("rmat", Tier::Small);
+    let b = rhs(g.n(), 3);
+    let implicit = build_chain(&g, &ChainOptions::default());
+    let explicit = build_chain(&g, &ChainOptions::default().with_precision(Precision::F64));
+    assert_eq!(implicit.stats().level_edges, explicit.stats().level_edges);
+    assert_eq!(implicit.stats().kappa_eff, explicit.stats().kappa_eff);
+    assert_eq!(
+        implicit.stats().level_resident_bytes,
+        explicit.stats().level_resident_bytes
+    );
+    let xa = implicit.solve(&b, TOLERANCE, 300);
+    let xb = explicit.solve(&b, TOLERANCE, 300);
+    assert_eq!(xa.iterations, xb.iterations);
+    for (u, v) in xa.x.iter().zip(&xb.x) {
+        assert_eq!(u.to_bits(), v.to_bits());
+    }
+    for lvl in implicit.levels() {
+        assert!(lvl.graph().is_some(), "f64 chains keep their level CSRs");
+        assert_eq!(lvl.storage_precision(), Precision::F64);
+    }
+}
