@@ -27,6 +27,10 @@
 //!   Poisson image editing and label propagation.
 //! * [`poisson`] — discrete Poisson problems on grids (the vision/graphics
 //!   motivation), a convenience layer used by the examples.
+//! * [`mod@pagerank`] — PageRank / weighted SpMV over the frontier traversal
+//!   core (the Ligra `SPMV` workload), dense-pull pinned for bitwise
+//!   width-determinism; runs on [`Graph`](parsdd_graph::Graph), the lean
+//!   CSR, or an mmap view.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -34,6 +38,7 @@
 pub mod electrical;
 pub mod harmonic;
 pub mod maxflow;
+pub mod pagerank;
 pub mod poisson;
 pub mod resistance;
 pub mod sparsifier;
@@ -42,6 +47,7 @@ pub mod spectral;
 pub use electrical::{electrical_flow, electrical_flows, ElectricalFlow};
 pub use harmonic::{harmonic_interpolation, harmonic_interpolation_many, HarmonicResult};
 pub use maxflow::{approx_max_flow, exact_max_flow, ApproxMaxFlowResult};
+pub use pagerank::{pagerank, spmv, PageRankResult};
 pub use resistance::{approximate_effective_resistances, exact_effective_resistances};
 pub use sparsifier::{spectral_sparsify, SparsifierResult};
 pub use spectral::{fiedler_vector, spectral_bisection, FiedlerResult};

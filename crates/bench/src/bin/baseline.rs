@@ -4,9 +4,13 @@
 //! workload-zoo chain-quality record (every family × tier's `ChainQuality`
 //! stats and solve outcome; `--experiments zoo` selects it), the
 //! mixed-precision A/B (`e15_precision`: f64 vs f32 chain storage on the
-//! E8 grid and a medium zoo case), plus machine info and the default
-//! chain's per-level work and residency accounting — the fixed reference
-//! point perf PRs diff against.
+//! E8 grid and a medium zoo case), the large-scale end-to-end record
+//! (`e16_scale`: a ≥10M-edge random-geometric graph through generate →
+//! lean CSR → PCSR write → mmap PageRank → `build_chain` → `solve`, with
+//! per-phase wall time and resident memory; `--quick` shrinks it to ~1M
+//! edges), plus machine info and the default chain's per-level work and
+//! residency accounting — the fixed reference point perf PRs diff
+//! against.
 //!
 //! Usage (run with the `opt-bench` profile — or at least `--release` —
 //! or the numbers are meaningless):
@@ -560,10 +564,145 @@ fn main() {
         records
     });
 
+    // ----- E16: large-scale end-to-end (per-phase time + resident memory)
+    //
+    // One graph at committed scale (≥10M edges full, ~1M edges --quick)
+    // driven through every layer the scale refactor touched: the
+    // counter-RNG generator, the lean CSR, the PCSR binary writer, the
+    // zero-copy mmap view feeding an `edge_map` workload (PageRank), and
+    // finally `build_chain` + `solve`. Each phase records wall time and
+    // the VmRSS high-water reading right after it, so the memory story
+    // (flat SoA arrays, dropped per-level graphs, streamed loaders) is a
+    // committed measurement rather than a claim.
+    struct ScalePhase {
+        name: &'static str,
+        ms: f64,
+        rss_bytes: u64,
+    }
+    struct ScaleRecord {
+        workload: String,
+        vertices: usize,
+        edges: usize,
+        phases: Vec<ScalePhase>,
+        iterations: usize,
+        relative_residual: f64,
+        converged: bool,
+        pagerank_iterations: usize,
+        graph_bytes_per_edge: f64,
+        csr_bytes_per_edge: f64,
+        csr_over_graph: f64,
+    }
+    /// Current resident set in bytes, from `/proc/self/status` (0 when
+    /// the platform has no procfs).
+    fn rss_bytes() -> u64 {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines().find(|l| l.starts_with("VmRSS:")).and_then(|l| {
+                    l.split_whitespace()
+                        .nth(1)
+                        .and_then(|kb| kb.parse::<u64>().ok())
+                })
+            })
+            .map(|kb| kb * 1024)
+            .unwrap_or(0)
+    }
+    let e16_record: Option<ScaleRecord> = enabled(&filter, "e16_scale").then(|| {
+        // Random-geometric at average degree 8 ⇒ m ≈ 4n (boundary cells
+        // shave ~0.2%); 2.6M vertices lands safely above the 10M-edge
+        // acceptance floor.
+        let n: usize = if quick { 250_000 } else { 2_600_000 };
+        let mut phases: Vec<ScalePhase> = Vec::new();
+        let timed = |name: &'static str, phases: &mut Vec<ScalePhase>, f: &mut dyn FnMut()| {
+            let t0 = Instant::now();
+            f();
+            phases.push(ScalePhase {
+                name,
+                ms: t0.elapsed().as_secs_f64() * 1000.0,
+                rss_bytes: rss_bytes(),
+            });
+        };
+        let mut g_opt: Option<parsdd_graph::Graph> = None;
+        timed("generate", &mut phases, &mut || {
+            g_opt = Some(parsdd_graph::generators::random_geometric(n, 8.0, 16));
+        });
+        let g = g_opt.expect("generated");
+        let mut csr_opt: Option<parsdd_graph::Csr> = None;
+        timed("lean_csr", &mut phases, &mut || {
+            csr_opt = Some(parsdd_graph::Csr::from_graph(&g));
+        });
+        let csr = csr_opt.expect("csr");
+        let graph_bpe = g.resident_bytes() as f64 / g.m().max(1) as f64;
+        let csr_bpe = csr.bytes_per_edge();
+        let pcsr_path = std::env::temp_dir().join(format!("parsdd_e16_{n}.pcsr"));
+        timed("pcsr_write", &mut phases, &mut || {
+            parsdd_graph::io::write_binary_csr_file(&csr, &pcsr_path).expect("pcsr write");
+        });
+        // PageRank over the zero-copy mmap view: the whole edge_map
+        // traversal layer exercised off-heap. Fixed 5 iterations — this
+        // phase times the SpMV sweeps, not convergence.
+        let mut pagerank_iterations = 0usize;
+        #[cfg(all(unix, target_endian = "little"))]
+        timed("mmap_pagerank", &mut phases, &mut || {
+            let mapped = parsdd_graph::MappedCsr::open(&pcsr_path).expect("mmap");
+            let pr = parsdd_apps::pagerank(&mapped, 0.85, 0.0, 5);
+            pagerank_iterations = pr.iterations;
+        });
+        #[cfg(not(all(unix, target_endian = "little")))]
+        timed("streamed_pagerank", &mut phases, &mut || {
+            let c = parsdd_graph::io::read_binary_csr_file(&pcsr_path).expect("pcsr read");
+            let pr = parsdd_apps::pagerank(&c, 0.85, 0.0, 5);
+            pagerank_iterations = pr.iterations;
+        });
+        let _ = std::fs::remove_file(&pcsr_path);
+        drop(csr);
+        let mut chain_opt = None;
+        timed("chain_build", &mut phases, &mut || {
+            chain_opt = Some(build_chain(&g, &ChainOptions::default()));
+        });
+        let chain = chain_opt.expect("chain");
+        let b = {
+            let mut b = workloads::rhs(g.n(), 33);
+            let mean = b.iter().sum::<f64>() / b.len() as f64;
+            b.iter_mut().for_each(|v| *v -= mean);
+            b
+        };
+        let mut out_opt = None;
+        timed("solve", &mut phases, &mut || {
+            out_opt = Some(chain.solve(&b, 1e-8, 1000));
+        });
+        let out = out_opt.expect("solved");
+        for p in &phases {
+            eprintln!(
+                "e16 {:>16}: {:10.1} ms  rss {:7.1} MiB",
+                p.name,
+                p.ms,
+                p.rss_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+        eprintln!(
+            "e16 solve: it={} res={:.3e} converged={}  bytes/edge graph {:.1} csr {:.1}",
+            out.iterations, out.relative_residual, out.converged, graph_bpe, csr_bpe
+        );
+        ScaleRecord {
+            workload: format!("random_geometric n={n} avg_degree=8 seed=16"),
+            vertices: g.n(),
+            edges: g.m(),
+            phases,
+            iterations: out.iterations,
+            relative_residual: out.relative_residual,
+            converged: out.converged,
+            pagerank_iterations,
+            graph_bytes_per_edge: graph_bpe,
+            csr_bytes_per_edge: csr_bpe,
+            csr_over_graph: csr_bpe / graph_bpe,
+        }
+    });
+
     // ----- JSON (hand-rolled; the workspace has no serde) -----
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v8\",");
+    let _ = writeln!(json, "  \"schema\": \"parsdd-bench-baseline-v9\",");
     // Committed baselines are currently produced on a 1-CPU container:
     // there the tN column measures scheduler overhead under time-slicing,
     // not parallel speedup — read it against machine.cpus.
@@ -776,6 +915,59 @@ fn main() {
         json.push_str("  ],\n");
     } else {
         json.push_str("  \"e15_precision\": null,\n");
+    }
+
+    // Scale demonstration (null when the --experiments filter skipped
+    // it): per-phase wall time + resident memory of the ≥10M-edge
+    // end-to-end run, plus the CSR-vs-Graph bytes-per-edge ratio the
+    // refactor's ≤ 0.75× acceptance bar reads off.
+    if let Some(r) = &e16_record {
+        json.push_str("  \"e16_scale\": {\n");
+        let _ = writeln!(json, "    \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(json, "    \"vertices\": {},", r.vertices);
+        let _ = writeln!(json, "    \"edges\": {},", r.edges);
+        json.push_str("    \"phases\": [\n");
+        for (i, p) in r.phases.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{ \"name\": \"{}\", \"ms\": {:.3}, \"rss_bytes\": {} }}{}",
+                p.name,
+                p.ms,
+                p.rss_bytes,
+                if i + 1 < r.phases.len() { "," } else { "" }
+            );
+        }
+        json.push_str("    ],\n");
+        let _ = writeln!(json, "    \"solve_iterations\": {},", r.iterations);
+        let _ = writeln!(
+            json,
+            "    \"relative_residual\": {},",
+            json_f64(r.relative_residual)
+        );
+        let _ = writeln!(json, "    \"converged\": {},", r.converged);
+        let _ = writeln!(
+            json,
+            "    \"pagerank_iterations\": {},",
+            r.pagerank_iterations
+        );
+        let _ = writeln!(
+            json,
+            "    \"graph_bytes_per_edge\": {},",
+            json_f64(r.graph_bytes_per_edge)
+        );
+        let _ = writeln!(
+            json,
+            "    \"csr_bytes_per_edge\": {},",
+            json_f64(r.csr_bytes_per_edge)
+        );
+        let _ = writeln!(
+            json,
+            "    \"csr_over_graph\": {}",
+            json_f64(r.csr_over_graph)
+        );
+        json.push_str("  },\n");
+    } else {
+        json.push_str("  \"e16_scale\": null,\n");
     }
 
     // Per-level work balance of the default chain on the E8/E9 workload

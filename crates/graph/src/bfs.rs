@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
+use crate::frontier::{edge_map, EdgeMapOp, EdgeMapOptions, Frontier};
 use crate::graph::{EdgeId, Graph, VertexId, INVALID_VERTEX};
 
 /// Distance value meaning "unreached".
@@ -110,6 +111,40 @@ pub struct ShiftedBfsResult {
 /// Sentinel for "no owner".
 pub const NO_OWNER: u32 = u32::MAX;
 
+/// Unclaimed sentinel for the packed (owner, edge) claim word.
+const UNCLAIMED: u64 = u64::MAX;
+
+#[inline]
+fn pack_claim(owner_idx: u32, edge: u32) -> u64 {
+    ((owner_idx as u64) << 32) | edge as u64
+}
+
+/// The shifted-BFS relaxation as an [`EdgeMapOp`]: claim unsettled alive
+/// destinations with `fetch_min` of the packed `(owner, edge)` word, so
+/// ties break by smaller owner index then smaller edge id no matter which
+/// direction or pool width ran the round.
+struct ShiftedClaimOp<'a> {
+    claim: &'a [AtomicU64],
+    settled: &'a [bool],
+    owner: &'a [u32],
+    alive: Option<&'a [bool]>,
+    arc_edges: &'a [EdgeId],
+}
+
+impl EdgeMapOp for ShiftedClaimOp<'_> {
+    fn update(&self, src: VertexId, dst: VertexId, _w: f64, arc: usize) -> bool {
+        let word = pack_claim(self.owner[src as usize], self.arc_edges[arc]);
+        let prev = self.claim[dst as usize].fetch_min(word, Ordering::AcqRel);
+        word < prev
+    }
+    fn update_atomic(&self, src: VertexId, dst: VertexId, w: f64, arc: usize) -> bool {
+        self.update(src, dst, w, arc)
+    }
+    fn cond(&self, dst: VertexId) -> bool {
+        self.alive.is_none_or(|a| a[dst as usize]) && !self.settled[dst as usize]
+    }
+}
+
 /// Level-synchronous shifted multi-source BFS.
 ///
 /// Vertex `u` ends up owned by the source `i` (at hop distance `d_i(u)`
@@ -138,7 +173,6 @@ pub fn shifted_multi_source_bfs(
     // A vertex is *settled* once a previous round claimed it; claims within
     // the current round race through `fetch_min` and are therefore
     // deterministic regardless of scheduling.
-    const UNCLAIMED: u64 = u64::MAX;
     let claim: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(UNCLAIMED)).collect();
     let mut settled = vec![false; n];
     let mut owner = vec![NO_OWNER; n];
@@ -156,7 +190,6 @@ pub fn shifted_multi_source_bfs(
         }
     }
 
-    let pack = |owner_idx: u32, edge: u32| ((owner_idx as u64) << 32) | edge as u64;
     let unpack = |x: u64| ((x >> 32) as u32, x as u32);
 
     let mut frontier: Vec<VertexId> = Vec::new();
@@ -175,44 +208,39 @@ pub fn shifted_multi_source_bfs(
                     // break fetch_min tie-breaking; use edge = u32::MAX so
                     // parent-bearing claims of the same owner win, which is
                     // harmless because a source is its own root).
-                    claim[v as usize].fetch_min(pack(src_idx, u32::MAX), Ordering::AcqRel);
+                    claim[v as usize].fetch_min(pack_claim(src_idx, u32::MAX), Ordering::AcqRel);
                     injected.push(v);
                 }
             }
         }
 
-        // Expand the previous round's frontier.
-        if !frontier.is_empty() {
-            let traversed: u64 = frontier
-                .par_iter()
-                .map(|&v| {
-                    let mut cnt = 0u64;
-                    let ov = owner[v as usize];
-                    for (u, _w, e) in g.arcs(v) {
-                        cnt += 1;
-                        if !is_alive(u) || settled[u as usize] {
-                            continue;
-                        }
-                        claim[u as usize].fetch_min(pack(ov, e), Ordering::AcqRel);
-                    }
-                    cnt
-                })
-                .collect::<Vec<u64>>()
-                .into_iter()
-                .sum();
-            arcs_traversed += traversed;
+        // Expand the previous round's frontier through `edge_map`. Claims
+        // race through `fetch_min`, so the sparse push and the dense pull
+        // (chosen by the deterministic work estimate) produce identical
+        // claim states at every pool width. The output frontier is the set
+        // of vertices whose claim word was lowered this round; vertices
+        // pre-claimed by an injection with a smaller word are covered by
+        // `injected` below.
+        let mut candidates: Vec<VertexId> = if frontier.is_empty() {
+            Vec::new()
+        } else {
+            let op = ShiftedClaimOp {
+                claim: &claim,
+                settled: &settled,
+                owner: &owner,
+                alive,
+                arc_edges: g.csr_arc_edges(),
+            };
+            let front = Frontier::from_sorted(std::mem::take(&mut frontier));
+            let res = edge_map(g, &front, &op, EdgeMapOptions::default());
+            arcs_traversed += res.arcs_scanned;
+            res.frontier.to_sorted_vec()
+        };
+        if !injected.is_empty() {
+            candidates.extend(injected.iter().copied());
+            candidates.par_sort_unstable();
+            candidates.dedup();
         }
-
-        // Gather all vertices claimed this round: neighbours of the frontier
-        // plus injected sources.
-        let mut candidates: Vec<VertexId> = frontier
-            .par_iter()
-            .flat_map_iter(|&v| g.neighbors(v).iter().copied())
-            .filter(|&u| is_alive(u) && !settled[u as usize])
-            .collect();
-        candidates.extend(injected.iter().copied());
-        candidates.par_sort_unstable();
-        candidates.dedup();
 
         if candidates.is_empty() {
             // Nothing claimed this round. If no future injections remain we

@@ -1,0 +1,224 @@
+//! Lean structure-of-arrays CSR for traversal and streaming kernels.
+//!
+//! [`Csr`] is the memory-minimal companion of [`Graph`]: three contiguous
+//! arrays (`offsets`/`neighbors`/`weights`, u32 vertex ids for n < 2³²) and
+//! nothing else — no undirected edge list, no arc→edge-id map. At roughly
+//! 24 bytes per edge (vs ~48 for [`Graph`], which additionally retains the
+//! edge list and edge-id mirror for the solver's transformations) it is the
+//! representation of choice for web-scale traversal workloads: PageRank /
+//! SpMV over [`edge_map`](crate::frontier::edge_map), BFS sweeps, and the
+//! binary on-disk format in [`io`](crate::io).
+//!
+//! Offsets are stored as `u64` to match the on-disk layout exactly, so the
+//! mmap loader can hand out zero-copy views with the same shape.
+
+use crate::graph::{Graph, VertexId};
+use crate::parutil::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// A flat structure-of-arrays CSR graph: `offsets` (length `n + 1`),
+/// `neighbors` and `weights` (length `2m`, one entry per directed arc).
+///
+/// Immutable after construction. Both arcs of an undirected edge carry the
+/// same weight; the arc order within a vertex segment is inherited from the
+/// source representation (edge-id order when built via
+/// [`Csr::from_graph`]).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    n: usize,
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+    weights: Vec<f64>,
+}
+
+impl Csr {
+    /// Converts a [`Graph`] into the lean representation by a parallel flat
+    /// copy of its CSR arrays (the edge list and arc→edge-id map are
+    /// dropped). The arc layout — per-vertex segments in edge-id order —
+    /// is preserved exactly.
+    pub fn from_graph(g: &Graph) -> Self {
+        let offsets: Vec<u64> = g
+            .csr_offsets()
+            .par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|&o| o as u64)
+            .collect();
+        Csr {
+            n: g.n(),
+            offsets,
+            neighbors: g.csr_targets().to_vec(),
+            weights: g.csr_weights().to_vec(),
+        }
+    }
+
+    /// Assembles a CSR from raw parts (used by the binary loaders).
+    ///
+    /// Panics when the arrays are inconsistent: `offsets` must have length
+    /// `n + 1`, start at 0, be non-decreasing, and end at
+    /// `neighbors.len() == weights.len()`; every neighbor must be `< n`.
+    pub fn from_parts(
+        n: usize,
+        offsets: Vec<u64>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<f64>,
+    ) -> Self {
+        assert_eq!(offsets.len(), n + 1, "offsets must have length n + 1");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            offsets[n] as usize,
+            neighbors.len(),
+            "offsets must end at the arc count"
+        );
+        assert_eq!(neighbors.len(), weights.len());
+        assert!(
+            offsets.par_windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert!(
+            neighbors
+                .par_iter()
+                .with_min_len(SEQ_CUTOFF)
+                .all(|&t| (t as usize) < n),
+            "neighbor out of range"
+        );
+        Csr {
+            n,
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges (`arc_count / 2`).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of directed arcs (`2m`).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbors of `v`, in the vertex's arc-segment order.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Arc weights of `v`, aligned with [`neighbors`](Self::neighbors).
+    #[inline]
+    pub fn arc_weights(&self, v: VertexId) -> &[f64] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.weights[lo..hi]
+    }
+
+    /// Weighted degree (sum of incident arc weights) of `v`, accumulated in
+    /// arc-segment order (deterministic).
+    pub fn weighted_degree(&self, v: VertexId) -> f64 {
+        self.arc_weights(v).iter().sum()
+    }
+
+    /// The raw offset array (`n + 1` entries, `u64` to match the on-disk
+    /// layout).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw neighbor array (`2m` entries).
+    #[inline]
+    pub fn raw_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// The raw arc-weight array (`2m` entries).
+    #[inline]
+    pub fn raw_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Heap bytes of the three arrays — the cost of retaining the graph.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Resident bytes per undirected edge (∞-free: 0.0 for the empty graph).
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.m() == 0 {
+            0.0
+        } else {
+            self.resident_bytes() as f64 / self.m() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn from_graph_preserves_layout() {
+        let g = generators::grid2d(13, 9, |x, y| 1.0 + (x + 2 * y) as f64);
+        let c = Csr::from_graph(&g);
+        assert_eq!(c.n(), g.n());
+        assert_eq!(c.m(), g.m());
+        assert_eq!(c.arc_count(), 2 * g.m());
+        for v in 0..g.n() as VertexId {
+            assert_eq!(c.neighbors(v), g.neighbors(v));
+            let gw: Vec<f64> = g.arcs(v).map(|(_, w, _)| w).collect();
+            assert_eq!(c.arc_weights(v), &gw[..]);
+            assert_eq!(c.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn resident_bytes_beat_graph() {
+        let g = generators::grid2d(40, 40, |_, _| 1.0);
+        let c = Csr::from_graph(&g);
+        let ratio = c.resident_bytes() as f64 / g.resident_bytes() as f64;
+        assert!(
+            ratio <= 0.75,
+            "lean CSR must be ≤ 0.75× the Graph bytes, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let g = generators::path(6, 2.0);
+        let c = Csr::from_graph(&g);
+        let c2 = Csr::from_parts(
+            c.n(),
+            c.offsets().to_vec(),
+            c.raw_neighbors().to_vec(),
+            c.raw_weights().to_vec(),
+        );
+        assert_eq!(c2.raw_neighbors(), c.raw_neighbors());
+        assert_eq!(c2.raw_weights(), c.raw_weights());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_bad_offsets() {
+        let _ = Csr::from_parts(2, vec![0, 3, 2], vec![1, 0], vec![1.0, 1.0]);
+    }
+}

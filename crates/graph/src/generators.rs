@@ -14,7 +14,7 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use crate::builder::GraphBuilder;
-use crate::graph::{Graph, VertexId};
+use crate::graph::{Edge, Graph, VertexId};
 
 /// Path graph `0 - 1 - ... - (n-1)` with constant edge weight.
 pub fn path(n: usize, weight: f64) -> Graph {
@@ -488,6 +488,229 @@ pub fn near_disconnected_clusters(
     b.build()
 }
 
+// ---------------------------------------------------------------------------
+// Scaled generators: counter-based RNG, parallel emission, ≥10M edges.
+//
+// The zoo generators above walk a sequential ChaCha stream, which caps them
+// at a few hundred thousand edges before generation dominates the workload.
+// The generators below derive every random decision from `(seed, counter)`
+// via SplitMix64 finalisation rounds (the same construction as the
+// sparsifier's `counter_coin`), so each item is a pure function of its id:
+// emission parallelises as an order-preserving map and the output is
+// bitwise identical at every pool width.
+// ---------------------------------------------------------------------------
+
+/// Counter-based uniform `u64` for item `id` under `seed`: two SplitMix64
+/// finalisation rounds over `(seed, id)`. Order-independent by
+/// construction, which is what lets the scaled generators run as parallel
+/// maps instead of sequential RNG streams.
+#[inline]
+pub fn counter_u64(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Counter-based uniform f64 in `[0, 1)` (53 mantissa bits of
+/// [`counter_u64`]).
+#[inline]
+pub fn counter_unit(seed: u64, id: u64) -> f64 {
+    ((counter_u64(seed, id) >> 11) as f64) / (1u64 << 53) as f64
+}
+
+/// Flat parallel R-MAT on `2^scale` vertices: `edges` independent quadrant
+/// walks, each a pure function of `(seed, edge id)`, emitted by a parallel
+/// map with no shared state — no `HashSet`, no largest-component pass, no
+/// sequential RNG. Self-loops are dropped and duplicate pairs merged (the
+/// final sort + dedup is the only super-linear step), so the edge count
+/// lands somewhat below `edges`; isolated vertices remain (callers wanting
+/// the giant component compose with
+/// [`largest_component`](crate::components::largest_component)). Unit
+/// weights; bitwise identical at every pool width.
+pub fn rmat_flat(scale: u32, edges: usize, seed: u64) -> Graph {
+    use rayon::prelude::*;
+    assert!((1..=31).contains(&scale), "rmat scale out of range");
+    let n = 1usize << scale;
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    let mut pairs: Vec<(VertexId, VertexId)> = (0..edges as u64)
+        .into_par_iter()
+        .with_min_len(4096)
+        .filter_map(|i| {
+            let (mut u, mut v) = (0usize, 0usize);
+            for level in 0..scale {
+                let bit = 1usize << (scale - 1 - level);
+                // Two counter draws per level: probability-noise and the
+                // quadrant pick (mirrors the sequential `rmat` smoothing).
+                let id = i * 64 + 2 * level as u64;
+                let noise = 0.9 + 0.2 * counter_unit(seed, id);
+                let (a, bq, c) = (A * noise, B * noise, C * noise);
+                let r = counter_unit(seed, id + 1) * (a + bq + c + (1.0 - A - B - C) * noise);
+                if r < a {
+                    // top-left: neither bit set
+                } else if r < a + bq {
+                    v |= bit;
+                } else if r < a + bq + c {
+                    u |= bit;
+                } else {
+                    u |= bit;
+                    v |= bit;
+                }
+            }
+            if u == v {
+                None
+            } else if u < v {
+                Some((u as VertexId, v as VertexId))
+            } else {
+                Some((v as VertexId, u as VertexId))
+            }
+        })
+        .collect();
+    pairs.par_sort_unstable();
+    pairs.dedup();
+    let edges: Vec<Edge> = pairs
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|(u, v)| Edge::new(u, v, 1.0))
+        .collect();
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches `d`
+/// edges to existing vertices chosen proportionally to degree (by sampling
+/// uniform positions in the running arc-endpoint list). The attachment
+/// process is inherently sequential, but every random draw is counter-based
+/// (`(seed, draw counter)`), so the output is a pure function of the
+/// arguments and generation is a single O(m) pass — no RNG state to
+/// snapshot, no rejection loops beyond per-vertex duplicate avoidance.
+/// Power-law degree tail, connected by construction, unit weights.
+pub fn preferential_attachment(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d >= 1 && n >= 2);
+    // Arc endpoints double as the sampling urn: a vertex appears once per
+    // incident edge, so a uniform index is a degree-proportional draw.
+    let mut urn: Vec<VertexId> = Vec::with_capacity(2 * n * d.min(n));
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * d);
+    let mut ctr = 0u64;
+    let mut picked: Vec<VertexId> = Vec::with_capacity(d);
+    urn.push(0);
+    for v in 1..n as VertexId {
+        let k = (v as usize).min(d);
+        picked.clear();
+        let mut guard = 0usize;
+        while picked.len() < k && guard < 32 * k {
+            guard += 1;
+            let t = urn[(counter_u64(seed, ctr) % urn.len() as u64) as usize];
+            ctr += 1;
+            if t == v || picked.contains(&t) {
+                continue;
+            }
+            picked.push(t);
+            edges.push(Edge::new(t, v, 1.0));
+            urn.push(t);
+            urn.push(v);
+        }
+        if picked.is_empty() {
+            // Degenerate fallback (urn exhausted by duplicates): attach to
+            // the previous vertex so the graph stays connected.
+            edges.push(Edge::new(v - 1, v, 1.0));
+            urn.push(v - 1);
+            urn.push(v);
+        }
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// Random geometric graph on the unit square: `n` vertices at
+/// counter-random positions, an edge between every pair within Euclidean
+/// distance `r = sqrt(avg_degree / (π n))` (giving expected degree
+/// `avg_degree` away from the boundary, i.e. `m ≈ n · avg_degree / 2`).
+/// Neighbor search buckets vertices into an `r`-sided cell grid (flat cell
+/// CSR, counting sort), and each vertex scans its 3×3 cell neighborhood in
+/// a parallel map, emitting only `u < v` pairs in deterministic
+/// (cell-order, then id) order — bitwise identical at every pool width.
+/// The giant component covers nearly all vertices once
+/// `avg_degree ≳ ln n`; weights are unit.
+pub fn random_geometric(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    use rayon::prelude::*;
+    assert!(n >= 2 && avg_degree > 0.0);
+    let r = (avg_degree / (std::f64::consts::PI * n as f64)).sqrt();
+    assert!(r < 0.5, "avg_degree too large for the unit square");
+    // Positions: two counter draws per vertex.
+    let pos: Vec<(f64, f64)> = (0..n as u64)
+        .into_par_iter()
+        .with_min_len(4096)
+        .map(|v| (counter_unit(seed, 2 * v), counter_unit(seed, 2 * v + 1)))
+        .collect();
+    // Cell grid with side >= r so neighbors lie in the 3x3 surrounding
+    // block. Counting sort into a flat cell CSR (cells in row-major order,
+    // vertices in id order within a cell — fully deterministic).
+    let side = (1.0 / r).floor().max(1.0) as usize;
+    let cell_of = |v: usize| -> usize {
+        let (x, y) = pos[v];
+        let cx = ((x * side as f64) as usize).min(side - 1);
+        let cy = ((y * side as f64) as usize).min(side - 1);
+        cy * side + cx
+    };
+    let mut counts = vec![0u32; side * side + 1];
+    for v in 0..n {
+        counts[cell_of(v) + 1] += 1;
+    }
+    for c in 1..counts.len() {
+        counts[c] += counts[c - 1];
+    }
+    let cell_start = counts.clone();
+    let mut members = vec![0 as VertexId; n];
+    let mut cursor = cell_start.clone();
+    for v in 0..n {
+        let c = cell_of(v);
+        members[cursor[c] as usize] = v as VertexId;
+        cursor[c] += 1;
+    }
+    // Parallel emission: vertex v scans the 3x3 block of its cell and
+    // keeps u > v within radius. flat_map_iter keeps per-vertex output in
+    // scan order and the shim's collect preserves item order.
+    let r2 = r * r;
+    let edges: Vec<Edge> = (0..n)
+        .into_par_iter()
+        .with_min_len(1024)
+        .flat_map_iter(|v| {
+            let (x, y) = pos[v];
+            let cx = ((x * side as f64) as usize).min(side - 1);
+            let cy = ((y * side as f64) as usize).min(side - 1);
+            let x0 = cx.saturating_sub(1);
+            let x1 = (cx + 1).min(side - 1);
+            let y0 = cy.saturating_sub(1);
+            let y1 = (cy + 1).min(side - 1);
+            let mut out = Vec::new();
+            for gy in y0..=y1 {
+                for gx in x0..=x1 {
+                    let c = gy * side + gx;
+                    let lo = cell_start[c] as usize;
+                    let hi = cell_start[c + 1] as usize;
+                    for &u in &members[lo..hi] {
+                        if (u as usize) <= v {
+                            continue;
+                        }
+                        let (ux, uy) = pos[u as usize];
+                        let (dx, dy) = (ux - x, uy - y);
+                        if dx * dx + dy * dy <= r2 {
+                            out.push(Edge::new(v as VertexId, u, 1.0));
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    Graph::from_edges_unchecked(n, edges)
+}
+
 /// Rescales every edge weight by a power-law factor to produce graphs with
 /// large *spread* Δ (ratio of max to min weight), exercising the weight-
 /// class machinery of AKPW (Section 5). `decades` is log10(Δ).
@@ -679,6 +902,76 @@ mod tests {
         assert_eq!(giant.n(), 50);
         assert_eq!(giant.m(), 49);
         assert!(is_connected(&giant));
+    }
+
+    #[test]
+    fn rmat_flat_shape_and_width_determinism() {
+        let g = rmat_flat(11, 12_000, 5);
+        assert!(g.is_simple());
+        assert!(g.m() > 9_000, "dedup removed too much: m = {}", g.m());
+        // Heavy tail survives the flat construction.
+        let giant = crate::components::largest_component(&g);
+        let avg = 2.0 * giant.m() as f64 / giant.n() as f64;
+        assert!(
+            giant.max_degree() as f64 > 5.0 * avg,
+            "max degree {} vs avg {avg:.1}",
+            giant.max_degree()
+        );
+        // Pure function of (scale, edges, seed) at every pool width.
+        for threads in [1usize, 2, 4] {
+            let h = crate::parutil::with_threads(threads, || rmat_flat(11, 12_000, 5));
+            assert_eq!(h.edges(), g.edges(), "width {threads}");
+        }
+        assert_ne!(rmat_flat(11, 12_000, 6).edges(), g.edges());
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(4_000, 3, 9);
+        assert!(is_connected(&g), "attachment graphs are connected");
+        // m = 3(n - 1) - duplicates-at-start ≈ 3n.
+        assert!(g.m() >= 3 * (g.n() - 2) - 3 && g.m() < 3 * g.n());
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            g.max_degree() as f64 > 8.0 * avg,
+            "max degree {} vs avg {avg:.1} lacks the rich-get-richer tail",
+            g.max_degree()
+        );
+        assert_eq!(g.edges(), preferential_attachment(4_000, 3, 9).edges());
+        assert_ne!(g.edges(), preferential_attachment(4_000, 3, 10).edges());
+    }
+
+    #[test]
+    fn random_geometric_shape_and_width_determinism() {
+        let n = 6_000;
+        let deg = 12.0;
+        let g = random_geometric(n, deg, 31);
+        assert!(g.is_simple());
+        // Edge count within 25% of n·deg/2 (boundary effects shave a bit).
+        let target = n as f64 * deg / 2.0;
+        assert!(
+            (g.m() as f64) > 0.75 * target && (g.m() as f64) < 1.25 * target,
+            "m = {} vs target {target}",
+            g.m()
+        );
+        // deg ≳ ln n: the giant component covers nearly everything.
+        let giant = crate::components::largest_component(&g);
+        assert!(giant.n() as f64 > 0.95 * n as f64, "giant = {}", giant.n());
+        for threads in [1usize, 2, 4] {
+            let h = crate::parutil::with_threads(threads, || random_geometric(n, deg, 31));
+            assert_eq!(h.edges(), g.edges(), "width {threads}");
+        }
+        assert_ne!(g.edges(), random_geometric(n, deg, 32).edges());
+    }
+
+    #[test]
+    fn counter_rng_is_uniform_enough() {
+        // Cheap sanity: mean of 4096 unit draws near 0.5, distinct values.
+        let k = 4096;
+        let mean: f64 = (0..k).map(|i| counter_unit(7, i)).sum::<f64>() / k as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert_ne!(counter_u64(7, 1), counter_u64(7, 2));
+        assert_ne!(counter_u64(7, 1), counter_u64(8, 1));
     }
 
     #[test]

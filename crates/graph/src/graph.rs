@@ -6,7 +6,9 @@
 //! low-stretch subgraph output, the incremental sparsifier — can refer to
 //! edges of the *original* graph across transformations.
 
+use crate::parutil::{exclusive_prefix_sum, SyncMutPtr, SEQ_CUTOFF};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Vertex identifier. Vertices are numbered `0..n`.
 pub type VertexId = u32;
@@ -195,14 +197,135 @@ impl Graph {
     /// on the first self-loop, out-of-range endpoint, or non-finite /
     /// non-positive weight.
     pub fn validated(n: usize, edges: Vec<Edge>) -> Result<Self, GraphDataError> {
-        for (i, e) in edges.iter().enumerate() {
-            check_edge(i, e, n)?;
+        if edges.len() < SEQ_CUTOFF {
+            for (i, e) in edges.iter().enumerate() {
+                check_edge(i, e, n)?;
+            }
+        } else if let Some((_, err)) = edges
+            .par_iter()
+            .enumerate()
+            .with_min_len(SEQ_CUTOFF)
+            .filter_map(|(i, e)| check_edge(i, e, n).err().map(|err| (i, err)))
+            .min_by(|a, b| a.0.cmp(&b.0))
+        {
+            return Err(err);
         }
         Ok(Self::from_edges_unchecked(n, edges))
     }
 
     /// Builds a graph assuming the edge list has already been validated.
+    ///
+    /// Above [`SEQ_CUTOFF`] edges the CSR is
+    /// assembled in parallel (atomic degree counting, parallel prefix sums,
+    /// atomic-cursor scatter, then a per-vertex segment sort by edge id that
+    /// restores the sequential fill's exact arc order) — the result is
+    /// bitwise identical to the sequential path at every pool width.
     pub fn from_edges_unchecked(n: usize, edges: Vec<Edge>) -> Self {
+        let m = edges.len();
+        if m < SEQ_CUTOFF {
+            return Self::from_edges_sequential(n, edges);
+        }
+        // Parallel degree counting. Arc counts are exact integers, so the
+        // scatter order does not affect them.
+        let degree: Vec<AtomicU32> = (0..n)
+            .into_par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        edges.par_iter().with_min_len(SEQ_CUTOFF).for_each(|e| {
+            degree[e.u as usize].fetch_add(1, Ordering::Relaxed);
+            degree[e.v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let counts: Vec<usize> = degree
+            .par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|d| d.load(Ordering::Relaxed) as usize)
+            .collect();
+        // Parallel prefix sums -> offsets.
+        let offsets = exclusive_prefix_sum(&counts);
+        debug_assert_eq!(offsets[n], 2 * m);
+        // Scatter arcs through per-vertex atomic cursors. Arrival order
+        // within a vertex is nondeterministic here; the segment sort below
+        // canonicalises it.
+        let cursor: Vec<AtomicUsize> = offsets[..n]
+            .par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|&o| AtomicUsize::new(o))
+            .collect();
+        let mut targets = vec![0 as VertexId; 2 * m];
+        let mut weights = vec![0.0f64; 2 * m];
+        let mut arc_edge = vec![0 as EdgeId; 2 * m];
+        {
+            let tp = SyncMutPtr(targets.as_mut_ptr());
+            let wp = SyncMutPtr(weights.as_mut_ptr());
+            let ep = SyncMutPtr(arc_edge.as_mut_ptr());
+            edges
+                .par_iter()
+                .enumerate()
+                .with_min_len(SEQ_CUTOFF / 4)
+                .for_each(|(id, e)| {
+                    let pu = cursor[e.u as usize].fetch_add(1, Ordering::Relaxed);
+                    let pv = cursor[e.v as usize].fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: fetch_add hands every arc a distinct slot in
+                    // the vertex's `offsets[u]..offsets[u+1]` segment.
+                    unsafe {
+                        tp.write(pu, e.v);
+                        wp.write(pu, e.w);
+                        ep.write(pu, id as EdgeId);
+                        tp.write(pv, e.u);
+                        wp.write(pv, e.w);
+                        ep.write(pv, id as EdgeId);
+                    }
+                });
+        }
+        // Canonicalise every vertex segment to edge-id order — exactly the
+        // layout the sequential fill produces (each edge contributes one arc
+        // per endpoint, in input order).
+        {
+            let tp = SyncMutPtr(targets.as_mut_ptr());
+            let wp = SyncMutPtr(weights.as_mut_ptr());
+            let ep = SyncMutPtr(arc_edge.as_mut_ptr());
+            let targets_r = &targets;
+            let weights_r = &weights;
+            let arc_edge_r = &arc_edge;
+            let offsets_r = &offsets;
+            (0..n)
+                .into_par_iter()
+                .with_min_len(SEQ_CUTOFF / 4)
+                .for_each(|v| {
+                    let lo = offsets_r[v];
+                    let hi = offsets_r[v + 1];
+                    if hi - lo < 2 {
+                        return;
+                    }
+                    let mut seg: Vec<(EdgeId, VertexId, f64)> = (lo..hi)
+                        .map(|i| (arc_edge_r[i], targets_r[i], weights_r[i]))
+                        .collect();
+                    seg.sort_unstable_by_key(|a| a.0);
+                    for (k, (e, t, w)) in seg.into_iter().enumerate() {
+                        // SAFETY: vertex segments are disjoint; this task
+                        // owns `lo..hi` exclusively.
+                        unsafe {
+                            ep.write(lo + k, e);
+                            tp.write(lo + k, t);
+                            wp.write(lo + k, w);
+                        }
+                    }
+                });
+        }
+        Graph {
+            n,
+            offsets,
+            targets,
+            weights,
+            arc_edge,
+            edges,
+        }
+    }
+
+    /// Sequential CSR assembly (small inputs and the reference layout for
+    /// the parallel path above).
+    fn from_edges_sequential(n: usize, edges: Vec<Edge>) -> Self {
         let m = edges.len();
         // Degree counting.
         let mut degree = vec![0usize; n];
@@ -354,33 +477,100 @@ impl Graph {
 
     /// Merges parallel edges by summing their weights, returning a simple
     /// graph (no parallel edges, no self-loops). Edge ids are renumbered.
+    ///
+    /// Implemented as a parallel sort + run merge (no hash map, so peak
+    /// memory stays flat at web scale). Parallel edges are summed in input
+    /// order and output edges are sorted by `(u, v)`, matching the original
+    /// hash-map implementation bitwise.
     pub fn simplify(&self) -> Graph {
-        use std::collections::HashMap;
-        let mut map: HashMap<(VertexId, VertexId), f64> = HashMap::with_capacity(self.m());
-        for e in &self.edges {
-            let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
-            *map.entry(key).or_insert(0.0) += e.w;
-        }
-        let mut edges: Vec<Edge> = map
-            .into_iter()
-            .map(|((u, v), w)| Edge::new(u, v, w))
+        let m = self.m();
+        // (min, max, id) triples; sorting the full triple keeps input order
+        // within each endpoint group, so the weight sums below accumulate
+        // parallel edges in edge-id order.
+        let mut keyed: Vec<(VertexId, VertexId, EdgeId)> = self
+            .edges
+            .par_iter()
+            .enumerate()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|(id, e)| {
+                let (a, b) = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+                (a, b, id as EdgeId)
+            })
             .collect();
-        // Deterministic order.
-        edges.sort_by_key(|e| (e.u, e.v));
+        keyed.par_sort_unstable();
+        // Group starts, compacted in order.
+        let keyed_r = &keyed;
+        let starts: Vec<usize> = (0..m)
+            .into_par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .filter(|&i| {
+                i == 0 || (keyed_r[i].0, keyed_r[i].1) != (keyed_r[i - 1].0, keyed_r[i - 1].1)
+            })
+            .collect();
+        let starts_r = &starts;
+        let edges: Vec<Edge> = (0..starts.len())
+            .into_par_iter()
+            .with_min_len(SEQ_CUTOFF / 4)
+            .map(|gi| {
+                let lo = starts_r[gi];
+                let hi = if gi + 1 < starts_r.len() {
+                    starts_r[gi + 1]
+                } else {
+                    m
+                };
+                let (u, v, _) = keyed_r[lo];
+                let mut w = 0.0;
+                for k in keyed_r[lo..hi].iter() {
+                    w += self.edges[k.2 as usize].w;
+                }
+                Edge::new(u, v, w)
+            })
+            .collect();
         Graph::from_edges_unchecked(self.n, edges)
     }
 
     /// True when the graph contains no parallel edges.
     pub fn is_simple(&self) -> bool {
-        use std::collections::HashSet;
-        let mut seen = HashSet::with_capacity(self.m());
-        for e in &self.edges {
-            let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
-            if !seen.insert(key) {
-                return false;
-            }
-        }
-        true
+        let mut keys: Vec<u64> = self
+            .edges
+            .par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|e| {
+                let (a, b) = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+                ((a as u64) << 32) | b as u64
+            })
+            .collect();
+        keys.par_sort_unstable();
+        !keys
+            .par_windows(2)
+            .with_min_len(SEQ_CUTOFF)
+            .any(|w| w[0] == w[1])
+    }
+
+    /// The raw CSR offset array, length `n + 1`. `offsets[v]..offsets[v+1]`
+    /// is vertex `v`'s arc segment in [`csr_targets`](Self::csr_targets) /
+    /// [`csr_weights`](Self::csr_weights) / [`csr_arc_edges`](Self::csr_arc_edges).
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw arc-target array, length `2m`.
+    #[inline]
+    pub fn csr_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// The raw arc-weight array, length `2m`.
+    #[inline]
+    pub fn csr_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The raw arc→edge-id array, length `2m`.
+    #[inline]
+    pub fn csr_arc_edges(&self) -> &[EdgeId] {
+        &self.arc_edge
     }
 
     /// Volume (sum of degrees) of a set of vertices.
@@ -501,6 +691,71 @@ mod tests {
         let e = Edge::new(3, 7, 1.0);
         assert_eq!(e.other(3), 7);
         assert_eq!(e.other(7), 3);
+    }
+
+    /// Deterministic pseudo-random edge list large enough to exercise the
+    /// parallel CSR assembly path (splitmix64-style mixing).
+    fn scrambled_edges(n: u32, m: usize) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(m);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..m {
+            let mut next = || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let u = (next() % n as u64) as u32;
+            let mut v = (next() % n as u64) as u32;
+            if v == u {
+                v = (v + 1) % n;
+            }
+            let w = 0.5 + (next() % 1000) as f64 / 250.0;
+            out.push(Edge::new(u, v, w));
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_layout() {
+        let n = 503;
+        let edges = scrambled_edges(n as u32, SEQ_CUTOFF + 1717);
+        let par = Graph::from_edges_unchecked(n, edges.clone());
+        let seq = Graph::from_edges_sequential(n, edges);
+        assert_eq!(par.offsets, seq.offsets);
+        assert_eq!(par.targets, seq.targets);
+        assert_eq!(par.arc_edge, seq.arc_edge);
+        assert!(par
+            .weights
+            .iter()
+            .zip(&seq.weights)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn simplify_matches_hashmap_reference() {
+        use std::collections::HashMap;
+        let n = 97;
+        let edges = scrambled_edges(n as u32, SEQ_CUTOFF + 311);
+        let g = Graph::from_edges_unchecked(n, edges.clone());
+        let mut map: HashMap<(VertexId, VertexId), f64> = HashMap::new();
+        for e in &edges {
+            let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+            *map.entry(key).or_insert(0.0) += e.w;
+        }
+        let mut expect: Vec<Edge> = map
+            .into_iter()
+            .map(|((u, v), w)| Edge::new(u, v, w))
+            .collect();
+        expect.sort_by_key(|e| (e.u, e.v));
+        let s = g.simplify();
+        assert!(s.is_simple());
+        assert_eq!(s.m(), expect.len());
+        for (a, b) in s.edges().iter().zip(&expect) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.w.to_bits(), b.w.to_bits());
+        }
     }
 
     #[test]

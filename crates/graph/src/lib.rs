@@ -17,6 +17,10 @@
 //!   experiment reproduction: 2-D/3-D grids, random regular multigraphs,
 //!   Erdős–Rényi graphs, paths, cycles, stars, complete graphs, barbells,
 //!   random trees and "ultra-sparse" tree-plus-extra-edges graphs.
+//! * [`csr`] — the lean structure-of-arrays CSR ([`Csr`]) used by the
+//!   traversal kernels, the binary on-disk format and the scale workloads.
+//! * [`frontier`] — Ligra/GBBS-style `edge_map`/`vertex_map` primitives
+//!   with a direction-optimizing dense/sparse switch.
 //! * [`bfs`] — sequential and level-synchronous parallel breadth-first
 //!   search, including the *shifted* multi-source BFS that implements the
 //!   paper's jittered ball growing (Section 2, "Parallel Ball Growing").
@@ -44,7 +48,9 @@ pub mod bfs;
 pub mod builder;
 pub mod components;
 pub mod contraction;
+pub mod csr;
 pub mod dijkstra;
+pub mod frontier;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -56,6 +62,13 @@ pub mod tree;
 pub mod unionfind;
 
 pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use frontier::{
+    edge_map, edge_map_seq, vertex_map, CsrLike, Direction, EdgeMapOp, EdgeMapOptions,
+    EdgeMapResult, Frontier,
+};
 pub use graph::{Edge, EdgeId, Graph, GraphDataError, VertexId, INVALID_VERTEX};
+#[cfg(all(unix, target_endian = "little"))]
+pub use io::MappedCsr;
 pub use multigraph::{ClassedEdge, MultiGraph};
 pub use tree::RootedForest;

@@ -8,8 +8,15 @@
 
 use crate::bfs::UNREACHED;
 use crate::graph::{EdgeId, Graph, VertexId, INVALID_VERTEX};
+use crate::parutil::{exclusive_prefix_sum, SyncMutPtr, SEQ_CUTOFF};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// A rooted spanning forest of a host graph.
+///
+/// The tree adjacency and the binary-lifting ancestor table are stored as
+/// flat arrays (no per-vertex `Vec`s), so building a forest over a 10M-edge
+/// level does a handful of large allocations instead of `n` small ones.
 #[derive(Debug, Clone)]
 pub struct RootedForest {
     /// Parent of each vertex (`INVALID_VERTEX` for roots).
@@ -22,8 +29,154 @@ pub struct RootedForest {
     pub wdepth: Vec<f64>,
     /// Root of each vertex's tree.
     pub root: Vec<VertexId>,
-    /// Binary-lifting ancestor table: `up[k][v]` is the `2^k`-th ancestor.
-    up: Vec<Vec<VertexId>>,
+    /// Flat binary-lifting ancestor table: entry `k * n + v` is the
+    /// `2^k`-th ancestor of `v`; `levels` strides of length `n`.
+    up: Vec<VertexId>,
+    /// Number of lifting levels in `up`.
+    levels: usize,
+}
+
+/// Flat CSR adjacency restricted to a set of tree edges, with per-vertex
+/// segments in tree-edge-list order (exactly the order the old per-vertex
+/// `Vec` adjacency produced, so the DFS below visits identically).
+struct TreeAdj {
+    off: Vec<usize>,
+    nbr: Vec<VertexId>,
+    edge: Vec<EdgeId>,
+    w: Vec<f64>,
+}
+
+impl TreeAdj {
+    fn build(g: &Graph, tree_edges: &[EdgeId], length: &(impl Fn(f64) -> f64 + Sync)) -> Self {
+        let n = g.n();
+        let t = tree_edges.len();
+        if t < SEQ_CUTOFF {
+            // Sequential two-pass counting sort.
+            let mut counts = vec![0usize; n];
+            for &e in tree_edges {
+                let edge = g.edge(e);
+                counts[edge.u as usize] += 1;
+                counts[edge.v as usize] += 1;
+            }
+            let off = exclusive_prefix_sum(&counts);
+            let mut cursor = off[..n].to_vec();
+            let mut nbr = vec![INVALID_VERTEX; 2 * t];
+            let mut edge_ids = vec![EdgeId::MAX; 2 * t];
+            let mut w = vec![0.0f64; 2 * t];
+            for &e in tree_edges {
+                let edge = g.edge(e);
+                let lw = length(edge.w);
+                let pu = cursor[edge.u as usize];
+                nbr[pu] = edge.v;
+                edge_ids[pu] = e;
+                w[pu] = lw;
+                cursor[edge.u as usize] += 1;
+                let pv = cursor[edge.v as usize];
+                nbr[pv] = edge.u;
+                edge_ids[pv] = e;
+                w[pv] = lw;
+                cursor[edge.v as usize] += 1;
+            }
+            return TreeAdj {
+                off,
+                nbr,
+                edge: edge_ids,
+                w,
+            };
+        }
+        // Parallel counting + prefix sums + atomic-cursor scatter, then a
+        // per-vertex segment sort by position in the tree-edge list to
+        // restore the sequential insertion order.
+        let counts_atomic: Vec<AtomicU32> = (0..n)
+            .into_par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        tree_edges
+            .par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .for_each(|&e| {
+                let edge = g.edge(e);
+                counts_atomic[edge.u as usize].fetch_add(1, Ordering::Relaxed);
+                counts_atomic[edge.v as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        let counts: Vec<usize> = counts_atomic
+            .par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|c| c.load(Ordering::Relaxed) as usize)
+            .collect();
+        let off = exclusive_prefix_sum(&counts);
+        let cursor: Vec<AtomicUsize> = off[..n]
+            .par_iter()
+            .with_min_len(SEQ_CUTOFF)
+            .map(|&o| AtomicUsize::new(o))
+            .collect();
+        let mut pos = vec![0u32; 2 * t];
+        let mut nbr = vec![INVALID_VERTEX; 2 * t];
+        let mut edge_ids = vec![EdgeId::MAX; 2 * t];
+        let mut w = vec![0.0f64; 2 * t];
+        {
+            let pp = SyncMutPtr(pos.as_mut_ptr());
+            let np = SyncMutPtr(nbr.as_mut_ptr());
+            let ep = SyncMutPtr(edge_ids.as_mut_ptr());
+            let wp = SyncMutPtr(w.as_mut_ptr());
+            tree_edges
+                .par_iter()
+                .enumerate()
+                .with_min_len(SEQ_CUTOFF / 4)
+                .for_each(|(i, &e)| {
+                    let edge = g.edge(e);
+                    let lw = length(edge.w);
+                    let pu = cursor[edge.u as usize].fetch_add(1, Ordering::Relaxed);
+                    let pv = cursor[edge.v as usize].fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: fetch_add hands each arc a distinct slot.
+                    unsafe {
+                        pp.write(pu, i as u32);
+                        np.write(pu, edge.v);
+                        ep.write(pu, e);
+                        wp.write(pu, lw);
+                        pp.write(pv, i as u32);
+                        np.write(pv, edge.u);
+                        ep.write(pv, e);
+                        wp.write(pv, lw);
+                    }
+                });
+            let nbr_r = &nbr;
+            let edge_r = &edge_ids;
+            let w_r = &w;
+            let pos_r = &pos;
+            let off_r = &off;
+            (0..n)
+                .into_par_iter()
+                .with_min_len(SEQ_CUTOFF / 4)
+                .for_each(|v| {
+                    let lo = off_r[v];
+                    let hi = off_r[v + 1];
+                    if hi - lo < 2 {
+                        return;
+                    }
+                    let mut seg: Vec<(u32, VertexId, EdgeId, f64)> = (lo..hi)
+                        .map(|i| (pos_r[i], nbr_r[i], edge_r[i], w_r[i]))
+                        .collect();
+                    seg.sort_unstable_by_key(|s| s.0);
+                    for (k, (p, nb, e, lw)) in seg.into_iter().enumerate() {
+                        // SAFETY: vertex segments are disjoint.
+                        unsafe {
+                            pp.write(lo + k, p);
+                            np.write(lo + k, nb);
+                            ep.write(lo + k, e);
+                            wp.write(lo + k, lw);
+                        }
+                    }
+                });
+        }
+        TreeAdj {
+            off,
+            nbr,
+            edge: edge_ids,
+            w,
+        }
+    }
 }
 
 impl RootedForest {
@@ -31,14 +184,23 @@ impl RootedForest {
     ///
     /// Panics if the edges contain a cycle.
     pub fn from_tree_edges(g: &Graph, tree_edges: &[EdgeId]) -> Self {
+        Self::from_tree_edges_with(g, tree_edges, |w| w)
+    }
+
+    /// Builds a rooted forest whose path lengths accumulate `length(w)`
+    /// instead of the raw edge weight `w`.
+    ///
+    /// This lets the stretch computations work in the *length* metric
+    /// (`length = |w| 1.0 / w` for conductance graphs) without
+    /// materialising a reweighted copy of the host graph. Panics if the
+    /// edges contain a cycle.
+    pub fn from_tree_edges_with(
+        g: &Graph,
+        tree_edges: &[EdgeId],
+        length: impl Fn(f64) -> f64 + Sync,
+    ) -> Self {
         let n = g.n();
-        // Adjacency restricted to the tree edges.
-        let mut adj: Vec<Vec<(VertexId, EdgeId, f64)>> = vec![Vec::new(); n];
-        for &e in tree_edges {
-            let edge = g.edge(e);
-            adj[edge.u as usize].push((edge.v, e, edge.w));
-            adj[edge.v as usize].push((edge.u, e, edge.w));
-        }
+        let adj = TreeAdj::build(g, tree_edges, &length);
         let mut parent = vec![INVALID_VERTEX; n];
         let mut parent_edge = vec![EdgeId::MAX; n];
         let mut depth = vec![UNREACHED; n];
@@ -55,15 +217,18 @@ impl RootedForest {
             root[r as usize] = r;
             stack.push(r);
             while let Some(v) = stack.pop() {
-                for &(u, e, w) in &adj[v as usize] {
+                let lo = adj.off[v as usize];
+                let hi = adj.off[v as usize + 1];
+                for i in lo..hi {
+                    let u = adj.nbr[i];
                     if depth[u as usize] != UNREACHED {
                         continue;
                     }
                     visited_edges += 1;
                     depth[u as usize] = depth[v as usize] + 1;
-                    wdepth[u as usize] = wdepth[v as usize] + w;
+                    wdepth[u as usize] = wdepth[v as usize] + adj.w[i];
                     parent[u as usize] = v;
-                    parent_edge[u as usize] = e;
+                    parent_edge[u as usize] = adj.edge[i];
                     root[u as usize] = r;
                     stack.push(u);
                 }
@@ -74,23 +239,28 @@ impl RootedForest {
             tree_edges.len(),
             "tree edge list contains a cycle or duplicate edges"
         );
-        // Binary lifting table.
+        // Flat binary lifting table: `levels` strides of length `n`.
         let max_depth = depth.iter().copied().max().unwrap_or(0).max(1);
         let levels = (usize::BITS - (max_depth as usize).leading_zeros()) as usize + 1;
-        let mut up = Vec::with_capacity(levels);
-        up.push(parent.clone());
+        let mut up: Vec<VertexId> = Vec::with_capacity(levels * n);
+        up.extend_from_slice(&parent);
         for k in 1..levels {
-            let prev = &up[k - 1];
-            let mut cur = vec![INVALID_VERTEX; n];
-            for v in 0..n {
-                let mid = prev[v];
-                cur[v] = if mid == INVALID_VERTEX {
-                    INVALID_VERTEX
-                } else {
-                    prev[mid as usize]
-                };
-            }
-            up.push(cur);
+            let cur: Vec<VertexId> = {
+                let prev = &up[(k - 1) * n..k * n];
+                (0..n)
+                    .into_par_iter()
+                    .with_min_len(SEQ_CUTOFF)
+                    .map(|v| {
+                        let mid = prev[v];
+                        if mid == INVALID_VERTEX {
+                            INVALID_VERTEX
+                        } else {
+                            prev[mid as usize]
+                        }
+                    })
+                    .collect()
+            };
+            up.extend_from_slice(&cur);
         }
         RootedForest {
             parent,
@@ -99,7 +269,14 @@ impl RootedForest {
             wdepth,
             root,
             up,
+            levels,
         }
+    }
+
+    /// The `2^k`-th ancestor of `v` (`INVALID_VERTEX` beyond the root).
+    #[inline]
+    fn up(&self, k: usize, v: VertexId) -> VertexId {
+        self.up[k * self.parent.len() + v as usize]
     }
 
     /// Number of vertices.
@@ -126,7 +303,7 @@ impl RootedForest {
         let mut k = 0;
         while diff > 0 {
             if diff & 1 == 1 {
-                u = self.up[k][u as usize];
+                u = self.up(k, u);
             }
             diff >>= 1;
             k += 1;
@@ -134,9 +311,9 @@ impl RootedForest {
         if u == v {
             return Some(u);
         }
-        for k in (0..self.up.len()).rev() {
-            let au = self.up[k][u as usize];
-            let av = self.up[k][v as usize];
+        for k in (0..self.levels).rev() {
+            let au = self.up(k, u);
+            let av = self.up(k, v);
             if au != av {
                 u = au;
                 v = av;

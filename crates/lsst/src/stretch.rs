@@ -102,6 +102,23 @@ pub fn per_edge_stretch_over_tree(g: &Graph, tree_edges: &[EdgeId]) -> Vec<f64> 
         .collect()
 }
 
+/// Per-edge stretch over a tree in the *reciprocal-length* metric: edge
+/// lengths are `1/w` (weights are conductances), computed directly on the
+/// conductance graph via a length-mapped forest — no reweighted copy of
+/// the graph is materialised.
+///
+/// Bitwise identical to `per_edge_stretch_over_tree(&reciprocal_view, t)`:
+/// the forest accumulates the same `1.0 / w` values and each stretch
+/// divides by the same `1.0 / w(e)` length.
+pub fn per_edge_stretch_over_tree_lengths(g: &Graph, tree_edges: &[EdgeId]) -> Vec<f64> {
+    let forest = RootedForest::from_tree_edges_with(g, tree_edges, |w| 1.0 / w);
+    g.edges()
+        .par_iter()
+        .with_min_len(512)
+        .map(|e| forest.tree_distance(e.u, e.v) / (1.0 / e.w))
+        .collect()
+}
+
 /// Measures the exact stretch of a random sample of `sample_size` edges of
 /// `g` with respect to the subgraph formed by `subgraph_edges` (running one
 /// Dijkstra per sampled edge inside the subgraph). If `sample_size >= m`
@@ -202,6 +219,26 @@ mod tests {
         let r = stretch_over_subgraph_sampled(&g, &t, 25, 7);
         assert_eq!(r.edges_measured, 25);
         assert!(r.average_stretch >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn length_metric_stretch_matches_reciprocal_view_bitwise() {
+        use parsdd_graph::Edge;
+        let g = generators::weighted_random_graph(80, 260, 0.5, 6.0, 11);
+        let t = kruskal(&g);
+        let direct = per_edge_stretch_over_tree_lengths(&g, &t);
+        let recip = Graph::from_edges_unchecked(
+            g.n(),
+            g.edges()
+                .iter()
+                .map(|e| Edge::new(e.u, e.v, 1.0 / e.w))
+                .collect(),
+        );
+        let viaview = per_edge_stretch_over_tree(&recip, &t);
+        assert_eq!(direct.len(), viaview.len());
+        for (a, b) in direct.iter().zip(&viaview) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

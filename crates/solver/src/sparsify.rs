@@ -41,7 +41,7 @@
 use rayon::prelude::*;
 
 use parsdd_graph::{Edge, EdgeId, Graph};
-use parsdd_lsst::stretch::per_edge_stretch_over_tree;
+use parsdd_lsst::stretch::per_edge_stretch_over_tree_lengths;
 
 /// The reciprocal-weight ("length") view of a conductance graph, used for
 /// resistance-stretch computation (and by the chain for the low-stretch
@@ -66,7 +66,10 @@ pub fn per_edge_resistance_stretch(
     tree_scale: f64,
 ) -> Vec<f64> {
     let inv_scale = 1.0 / tree_scale.max(1.0);
-    let mut stretch = per_edge_stretch_over_tree(&length_view(g), forest_edges);
+    // Length-mapped forest straight over the conductance graph: bitwise the
+    // same values as stretching over `length_view(g)`, without assembling a
+    // second m-edge CSR per call.
+    let mut stretch = per_edge_stretch_over_tree_lengths(g, forest_edges);
     if inv_scale != 1.0 {
         stretch
             .par_iter_mut()
@@ -289,55 +292,50 @@ pub fn incremental_sparsify(
     let in_forest = subgraph_flags(m, forest_edges);
     let total_stretch = total_finite_offsubgraph_stretch(&stretch, &in_subgraph);
 
-    // Sampling/weight pass as an order-preserving parallel map: each edge's
-    // fate is a pure function of (seed, edge id, stretch), so the pass is
-    // embarrassingly parallel and — with the shim's length-only split trees
-    // — bitwise reproducible at every pool width. `None` = dropped;
-    // `Some(edge)` = kept (subgraph edges and non-finite-stretch edges pass
-    // through here too, with forest edges scaled).
+    // Sampling/weight sweep as one order-preserving parallel compaction:
+    // each edge's fate is a pure function of (seed, edge id, stretch), so
+    // the pass is embarrassingly parallel and — with the shim's
+    // length-only split trees — bitwise reproducible at every pool width.
+    // Fusing the decision into the filter keeps peak memory at the kept
+    // edges only (no m-element decision buffer, no sequential drain).
     let seed = params.seed;
     let kappa = params.kappa;
     let oversample = params.oversample;
-    let decisions: Vec<Option<Edge>> = (0..m)
+    let decide = |id: usize| -> Option<Edge> {
+        let e = g.edge(id as EdgeId);
+        if in_forest[id] {
+            return Some(Edge::new(e.u, e.v, e.w * tree_scale));
+        }
+        if in_subgraph[id] {
+            return Some(e);
+        }
+        let s = stretch[id];
+        if !s.is_finite() {
+            // The forest does not connect this edge's endpoints
+            // (possible only if the caller passed a non-spanning
+            // forest); keep the edge to stay conservative.
+            return Some(e);
+        }
+        let p = (oversample * s * log_n / kappa).min(1.0);
+        if p > 0.0 && counter_coin(seed, id as u64) < p {
+            Some(Edge::new(e.u, e.v, e.w / p))
+        } else {
+            None
+        }
+    };
+    let kept: Vec<(u32, Edge)> = (0..m)
         .into_par_iter()
         .with_min_len(2048)
-        .map(|id| {
-            let e = g.edge(id as EdgeId);
-            if in_forest[id] {
-                return Some(Edge::new(e.u, e.v, e.w * tree_scale));
-            }
-            if in_subgraph[id] {
-                return Some(e);
-            }
-            let s = stretch[id];
-            if !s.is_finite() {
-                // The forest does not connect this edge's endpoints
-                // (possible only if the caller passed a non-spanning
-                // forest); keep the edge to stay conservative.
-                return Some(e);
-            }
-            let p = (oversample * s * log_n / kappa).min(1.0);
-            if p > 0.0 && counter_coin(seed, id as u64) < p {
-                Some(Edge::new(e.u, e.v, e.w / p))
-            } else {
-                None
-            }
-        })
+        .filter_map(|id| decide(id).map(|e| (id as u32, e)))
         .collect();
-
-    let mut edges: Vec<Edge> = Vec::with_capacity(subgraph_edges.len());
-    let mut subgraph_count = 0usize;
-    let mut sampled_count = 0usize;
-    for (id, decision) in decisions.into_iter().enumerate() {
-        if let Some(e) = decision {
-            if in_subgraph[id] {
-                subgraph_count += 1;
-            } else {
-                sampled_count += 1;
-            }
-            edges.push(e);
-        }
-    }
+    let subgraph_count =
+        parsdd_graph::parutil::par_count(&kept, |(id, _)| in_subgraph[*id as usize]);
+    let sampled_count = kept.len() - subgraph_count;
+    let edges: Vec<Edge> = kept
+        .into_par_iter()
+        .with_min_len(2048)
+        .map(|(_, e)| e)
+        .collect();
 
     Sparsifier {
         graph: Graph::from_edges_unchecked(n, edges),

@@ -14,9 +14,10 @@
 //! 3. The f64 default is bitwise-identical with the knob absent and with
 //!    it explicitly set to `F64` — the determinism-pinned path gains no
 //!    new behavior.
-//! 4. The residency claim is measured: every f32 chain level holds
-//!    ≤ 0.55× the bytes of its f64 counterpart (storage demotion plus
-//!    the dropped duplicate CSR).
+//! 4. The residency claim is measured: both tiers drop their per-level
+//!    CSR graphs after calibration, so each demoted f32 level holds
+//!    ≤ 0.72× the matrix-stream bytes of its f64 counterpart (level 0
+//!    stays f64 on both tiers and is byte-identical).
 
 use parsdd_bench::zoo::{self, Tier};
 use parsdd_graph::parutil::with_threads;
@@ -34,8 +35,9 @@ fn rhs(n: usize, seed: u64) -> Vec<f64> {
 }
 
 /// Zoo small tiers: the f32 chain reaches the same 1e-8 tolerance with an
-/// iteration count within 1.5× of the f64 chain's, and each chain level
-/// holds at most 0.55× the resident bytes.
+/// iteration count within 1.5× of the f64 chain's, and each demoted chain
+/// level holds at most 0.72× the resident bytes (level 0 stays f64 on
+/// both tiers, so it is byte-identical).
 #[test]
 fn f32_zoo_small_converges_within_iteration_envelope() {
     for &family in zoo::FAMILIES {
@@ -65,9 +67,15 @@ fn f32_zoo_small_converges_within_iteration_envelope() {
         let s64 = build_chain(&g, &opts.with_precision(Precision::F64)).stats();
         let s32 = build_chain(&g, &opts.with_precision(Precision::F32)).stats();
         let depth = s32.level_resident_bytes.len() - 1;
-        for i in 0..depth {
+        if depth > 0 {
+            assert_eq!(
+                s32.level_resident_bytes[0], s64.level_resident_bytes[0],
+                "{family}: level 0 stays f64 on both tiers"
+            );
+        }
+        for i in 1..depth {
             assert!(
-                s32.level_resident_bytes[i] as f64 <= 0.55 * s64.level_resident_bytes[i] as f64,
+                s32.level_resident_bytes[i] as f64 <= 0.72 * s64.level_resident_bytes[i] as f64,
                 "{family} level {i}: f32 resident {} vs f64 {}",
                 s32.level_resident_bytes[i],
                 s64.level_resident_bytes[i]
@@ -147,7 +155,8 @@ fn f32_batched_solves_match_looped_bitwise() {
 
 /// The committed f64 behavior is unchanged by the knob's existence: a
 /// default build and an explicit `F64` build produce bitwise-identical
-/// structure and solves, and every level retains its graph.
+/// structure and solves, and every level drops its build-time CSR after
+/// calibration (the streamed matrices are the only resident state).
 #[test]
 fn f64_default_unchanged_with_knob_absent_or_explicit() {
     let g = zoo::build("rmat", Tier::Small);
@@ -167,7 +176,10 @@ fn f64_default_unchanged_with_knob_absent_or_explicit() {
         assert_eq!(u.to_bits(), v.to_bits());
     }
     for lvl in implicit.levels() {
-        assert!(lvl.graph().is_some(), "f64 chains keep their level CSRs");
+        assert!(
+            lvl.graph().is_none(),
+            "level CSRs are dropped after calibration"
+        );
         assert_eq!(lvl.storage_precision(), Precision::F64);
     }
 }
